@@ -1,0 +1,103 @@
+//! Adam optimizer state for per-operator perturbation tensors.
+
+/// Adam hyperparameters; the paper uses `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdamParams {
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Denominator stabilizer `ε`.
+    pub eps: f64,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Adam state for one flat tensor.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+    params: AdamParams,
+}
+
+impl AdamState {
+    /// Creates zeroed state for `n` scalars.
+    pub fn new(n: usize, params: AdamParams) -> Self {
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            params,
+        }
+    }
+
+    /// One Adam *ascent* step: returns the update to add, given the
+    /// gradient of the objective being maximized and a stepsize.
+    pub fn step(&mut self, grad: &[f32], lr: f64) -> Vec<f32> {
+        assert_eq!(grad.len(), self.m.len(), "gradient length mismatch");
+        self.t += 1;
+        let b1 = self.params.beta1;
+        let b2 = self.params.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        grad.iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let g = g as f64;
+                self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+                self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+                let mhat = self.m[i] / bc1;
+                let vhat = self.v[i] / bc2;
+                (lr * mhat / (vhat.sqrt() + self.params.eps)) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascends_towards_gradient_sign() {
+        let mut s = AdamState::new(2, AdamParams::default());
+        let up = s.step(&[1.0, -1.0], 0.1);
+        assert!(up[0] > 0.0);
+        assert!(up[1] < 0.0);
+    }
+
+    #[test]
+    fn step_magnitude_approaches_lr() {
+        // With constant gradients, |update| → lr.
+        let mut s = AdamState::new(1, AdamParams::default());
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = s.step(&[2.0], 0.01)[0];
+        }
+        assert!((last - 0.01).abs() < 2e-3, "update {last}");
+    }
+
+    #[test]
+    fn zero_gradient_zero_update() {
+        let mut s = AdamState::new(3, AdamParams::default());
+        let up = s.step(&[0.0; 3], 0.5);
+        assert!(up.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut s = AdamState::new(2, AdamParams::default());
+        let _ = s.step(&[1.0], 0.1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for attacks.
+
+use core::fmt;
+
+/// Errors from attack construction and optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The logits node or target class is unusable.
+    BadLogits(String),
+    /// Underlying graph failure.
+    Graph(String),
+    /// Underlying bound-engine failure.
+    Bound(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::BadLogits(m) => write!(f, "bad logits/target: {m}"),
+            AttackError::Graph(m) => write!(f, "graph error: {m}"),
+            AttackError::Bound(m) => write!(f, "bound error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<tao_graph::GraphError> for AttackError {
+    fn from(e: tao_graph::GraphError) -> Self {
+        AttackError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AttackError::BadLogits("x".into()).to_string().contains("x"));
+    }
+}

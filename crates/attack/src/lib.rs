@@ -1,0 +1,22 @@
+//! # tao-attack
+//!
+//! Bound-aware adversarial attacks on the TAO admissible sets (§4): a
+//! white-box proposer injects additive perturbations `Δ_v` at operator
+//! outputs and optimizes the logit margin (Eq. 10) with PGD/Adam, while
+//! projecting onto either the element-wise theoretical feasible set
+//! (Eq. 11) or the empirical order-statistics feasible set (Eq. 12). The
+//! crate also provides the §4.5 evaluation metrics (margin-percentile
+//! bucketing, ASR, failed-attack progress).
+
+pub mod adam;
+pub mod error;
+pub mod metrics;
+pub mod pgd;
+
+pub use adam::{AdamParams, AdamState};
+pub use error::AttackError;
+pub use metrics::{bucket_targets, AttackTableRow, BucketStats, BUCKETS};
+pub use pgd::{run_attack, AttackConfig, AttackProblem, AttackResult, ProjectionKind};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, AttackError>;

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: tensor kernels across simulated devices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tao_device::Device;
+use tao_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::<f32>::rand_uniform(&[32, 128], -1.0, 1.0, 1);
+    let b = Tensor::<f32>::rand_uniform(&[128, 32], -1.0, 1.0, 2);
+    let mut group = c.benchmark_group("matmul_32x128x32");
+    for dev in Device::standard_fleet() {
+        group.bench_with_input(BenchmarkId::from_parameter(dev.name()), &dev, |bch, dev| {
+            bch.iter(|| a.matmul(&b, dev.config()).expect("matmul"));
+        });
+    }
+    group.bench_function("reference", |bch| {
+        let r = Device::reference();
+        bch.iter(|| a.matmul(&b, r.config()).expect("matmul"));
+    });
+    group.finish();
+}
+
+fn bench_softmax_and_norms(c: &mut Criterion) {
+    let x = Tensor::<f32>::rand_uniform(&[64, 256], -3.0, 3.0, 3);
+    let gamma = Tensor::<f32>::ones(&[256]);
+    let beta = Tensor::<f32>::zeros(&[256]);
+    let dev = Device::a100_like();
+    c.bench_function("softmax_64x256", |bch| {
+        bch.iter(|| x.softmax_last(dev.config()).expect("softmax"));
+    });
+    c.bench_function("layer_norm_64x256", |bch| {
+        bch.iter(|| x.layer_norm(&gamma, &beta, 1e-5, dev.config()).expect("ln"));
+    });
+    c.bench_function("rms_norm_64x256", |bch| {
+        bch.iter(|| x.rms_norm(&gamma, 1e-6, dev.config()).expect("rms"));
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let x = Tensor::<f32>::rand_uniform(&[1, 8, 16, 16], -1.0, 1.0, 4);
+    let w = Tensor::<f32>::rand_uniform(&[8, 8, 3, 3], -0.3, 0.3, 5);
+    let dev = Device::rtx4090_like();
+    c.bench_function("conv2d_8x16x16_3x3", |bch| {
+        bch.iter(|| {
+            x.conv2d(
+                &w,
+                None,
+                tao_tensor::Conv2dParams {
+                    stride: 1,
+                    padding: 1,
+                },
+                dev.config(),
+            )
+            .expect("conv")
+        });
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_softmax_and_norms, bench_conv
+}
+criterion_main!(kernels);

@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks: SHA-256 and Merkle commitments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tao_merkle::{graph_tree, sha256, weight_tree, MerkleTree};
+use tao_models::{bert, BertConfig};
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 64 * 1024];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+fn bench_model_commitments(c: &mut Criterion) {
+    let model = bert::build(BertConfig::small(), 1);
+    c.bench_function("weight_tree_bert_small", |b| {
+        b.iter(|| weight_tree(&model.graph))
+    });
+    c.bench_function("graph_tree_bert_small", |b| {
+        b.iter(|| graph_tree(&model.graph))
+    });
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..1024).map(|i| format!("leaf{i}").into_bytes()).collect();
+    let tree = MerkleTree::from_leaves(&leaves);
+    c.bench_function("prove_1024_leaves", |b| {
+        b.iter(|| tree.prove(511).expect("in range"))
+    });
+    let proof = tree.prove(511).expect("in range");
+    c.bench_function("verify_1024_leaves", |b| {
+        b.iter(|| tao_merkle::verify_inclusion(&tree.root(), &leaves[511], &proof))
+    });
+}
+
+criterion_group! {
+    name = merkle;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sha256, bench_model_commitments, bench_proofs
+}
+criterion_main!(merkle);

@@ -1,0 +1,59 @@
+//! Criterion macrobenchmarks: bound co-execution overhead, calibration,
+//! and the end-to-end dispute game.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tao_bench::disputes::{run_perturbed_dispute, spread_targets};
+use tao_bench::{bert_workload, qwen_workload};
+use tao_bounds::BoundEngine;
+use tao_graph::execute;
+use tao_tensor::KernelConfig;
+
+fn bench_bound_coexecution(c: &mut Criterion) {
+    let w = qwen_workload(3, 1);
+    let graph = &w.deployment.model.graph;
+    let input = &w.test_inputs[0];
+    let exec = execute(graph, input, &KernelConfig::reference(), None).expect("forward");
+    // Forward alone vs forward + bound co-execution: the optimistic-phase
+    // overhead story of §6.
+    c.bench_function("qwen_forward", |b| {
+        b.iter(|| execute(graph, input, &KernelConfig::reference(), None).expect("forward"));
+    });
+    let engine = BoundEngine::paper_default();
+    c.bench_function("qwen_bound_coexecution", |b| {
+        b.iter(|| engine.co_execute(graph, &exec).expect("bounds"));
+    });
+}
+
+fn bench_dispute_game(c: &mut Criterion) {
+    let w = bert_workload(4, 1);
+    let input = w.test_inputs[0].clone();
+    let target = spread_targets(&w, 4)[2];
+    c.bench_function("dispute_bert_n2", |b| {
+        b.iter(|| run_perturbed_dispute(&w, &input, target, 0.05, 2));
+    });
+    c.bench_function("dispute_bert_n8", |b| {
+        b.iter(|| run_perturbed_dispute(&w, &input, target, 0.05, 8));
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    use tao_calib::calibrate;
+    use tao_device::Fleet;
+    use tao_models::{bert, data, BertConfig};
+    let cfg = BertConfig {
+        layers: 1,
+        ..BertConfig::small()
+    };
+    let model = bert::build(cfg, 1);
+    let samples = data::token_dataset(4, cfg.seq, cfg.vocab, 5);
+    c.bench_function("calibrate_bert_1layer_4samples", |b| {
+        b.iter(|| calibrate(&model.graph, &samples, &Fleet::standard()).expect("calibration"));
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bound_coexecution, bench_dispute_game, bench_calibration
+}
+criterion_main!(pipeline);

@@ -1,0 +1,145 @@
+//! Shared attack-sweep driver for the Table 2 / Fig. 5 binaries.
+
+use tao_attack::{
+    bucket_targets, run_attack, AttackConfig, AttackProblem, AttackResult, AttackTableRow,
+    ProjectionKind,
+};
+use tao_device::Device;
+use tao_graph::execute;
+
+use crate::Workload;
+
+/// One `(bound check, α)` attack setting.
+#[derive(Debug, Clone, Copy)]
+pub struct Setting {
+    /// Display label (`"emp x1"`, `"theo x1(d)"`, …).
+    pub label: &'static str,
+    /// Projection family.
+    pub kind: ProjectionKind,
+    /// Bound scale α.
+    pub scale: f64,
+}
+
+/// The paper's Table 2 settings.
+pub const SETTINGS: [Setting; 6] = [
+    Setting {
+        label: "Empirical x1",
+        kind: ProjectionKind::Empirical,
+        scale: 1.0,
+    },
+    Setting {
+        label: "Empirical x2",
+        kind: ProjectionKind::Empirical,
+        scale: 2.0,
+    },
+    Setting {
+        label: "Empirical x3",
+        kind: ProjectionKind::Empirical,
+        scale: 3.0,
+    },
+    Setting {
+        label: "Theo x1(d)",
+        kind: ProjectionKind::TheoreticalDeterministic,
+        scale: 1.0,
+    },
+    Setting {
+        label: "Theo x1(p)",
+        kind: ProjectionKind::TheoreticalProbabilistic,
+        scale: 1.0,
+    },
+    Setting {
+        label: "Theo x0.5(p)",
+        kind: ProjectionKind::TheoreticalProbabilistic,
+        scale: 0.5,
+    },
+];
+
+/// Runs the bucketed attack sweep for one workload and setting; also
+/// returns the raw per-attack results (Fig. 5 uses the distribution).
+pub fn sweep(
+    w: &Workload,
+    setting: Setting,
+    max_iters: usize,
+) -> (AttackTableRow, Vec<AttackResult>) {
+    let mut row = AttackTableRow::default();
+    let mut raw = Vec::new();
+    for (si, input) in w.test_inputs.iter().enumerate() {
+        let problem = AttackProblem {
+            graph: &w.deployment.model.graph,
+            inputs: input,
+            logits_node: w.deployment.model.logits,
+            thresholds: &w.deployment.thresholds,
+        };
+        let Ok(lane) = problem.honest_logits() else {
+            continue;
+        };
+        for (bucket, target) in bucket_targets(&lane, si as u64) {
+            let cfg = AttackConfig {
+                max_iters,
+                ..AttackConfig::paper_default(setting.kind, setting.scale)
+            };
+            if let Ok(r) = run_attack(&problem, target, &cfg) {
+                row.record(bucket, &r);
+                raw.push(r);
+            }
+        }
+    }
+    (row, raw)
+}
+
+/// Runs the honest-execution false-positive check: for each held-out
+/// input, execute on two different devices and test whether the full
+/// screening (final-output exceedance at scale α) flags the honest run.
+pub fn false_positives(w: &Workload, alpha_rescale: f64) -> (usize, usize) {
+    use tao_calib::{error_profile, DEFAULT_EPS};
+    let a_dev = Device::rtx4090_like();
+    let b_dev = Device::h100_like();
+    let logits = w.deployment.model.logits;
+    let mut fp = 0;
+    let mut total = 0;
+    for input in &w.test_inputs {
+        let Ok(a) = execute(&w.deployment.model.graph, input, a_dev.config(), None) else {
+            continue;
+        };
+        let Ok(b) = execute(&w.deployment.model.graph, input, b_dev.config(), None) else {
+            continue;
+        };
+        let prof = error_profile(
+            a.value(logits).expect("logits"),
+            b.value(logits).expect("logits"),
+            DEFAULT_EPS,
+        );
+        let exc = w
+            .deployment
+            .thresholds
+            .exceedance(logits, &prof)
+            .unwrap_or(f64::INFINITY);
+        total += 1;
+        if exc > alpha_rescale {
+            fp += 1;
+        }
+    }
+    (fp, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert_workload;
+
+    #[test]
+    fn sweep_produces_results_and_no_empirical_successes() {
+        let w = bert_workload(4, 2);
+        let (row, raw) = sweep(&w, SETTINGS[0], 30);
+        assert!(!raw.is_empty());
+        assert_eq!(row.overall_asr(), 0.0, "empirical x1 must yield 0% ASR");
+    }
+
+    #[test]
+    fn honest_runs_produce_no_false_positives() {
+        let w = bert_workload(6, 4);
+        let (fp, total) = false_positives(&w, 1.0);
+        assert_eq!(fp, 0, "honest runs flagged {fp}/{total}");
+        assert!(total > 0);
+    }
+}

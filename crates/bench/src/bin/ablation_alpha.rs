@@ -1,0 +1,101 @@
+//! Ablation: the safety factor α (Eq. 7) trades false-positive risk
+//! against detection tightness. Sweeps α and reports (i) the honest-run
+//! false-positive rate and (ii) the smallest uniform perturbation the
+//! final-output screening still detects.
+//!
+//! Run with `cargo run --release -p tao-bench --bin ablation_alpha`.
+
+use tao_bench::{print_table, qwen_workload, sci};
+use tao_calib::{error_profile, DEFAULT_EPS};
+use tao_device::Device;
+use tao_graph::{execute, Perturbations};
+use tao_tensor::Tensor;
+
+fn main() {
+    let w = qwen_workload(12, 8);
+    let logits = w.deployment.model.logits;
+    let graph = &w.deployment.model.graph;
+    let prop = Device::rtx4090_like();
+    let chal = Device::h100_like();
+
+    let mut rows = Vec::new();
+    for alpha in [1.0f64, 1.5, 2.0, 3.0, 5.0, 10.0] {
+        // Rescale the committed (α = 3) thresholds to the swept α.
+        let rescale = alpha / w.deployment.thresholds.alpha;
+
+        // False positives over honest held-out runs.
+        let mut fp = 0;
+        for input in &w.test_inputs {
+            let a = execute(graph, input, prop.config(), None).expect("forward");
+            let b = execute(graph, input, chal.config(), None).expect("forward");
+            let prof = error_profile(
+                a.value(logits).expect("logits"),
+                b.value(logits).expect("logits"),
+                DEFAULT_EPS,
+            );
+            let exc = w
+                .deployment
+                .thresholds
+                .exceedance(logits, &prof)
+                .unwrap_or(f64::INFINITY);
+            if exc > rescale {
+                fp += 1;
+            }
+        }
+
+        // Detection floor: smallest logit-lane perturbation still caught.
+        let input = &w.test_inputs[0];
+        let honest = execute(graph, input, prop.config(), None).expect("forward");
+        let shape = honest.values[logits.0].dims().to_vec();
+        let mut floor = f64::INFINITY;
+        let mut mag = 1e-9;
+        while mag < 1e-1 {
+            mag *= 1.5;
+            let mut p = Perturbations::new();
+            p.insert(
+                logits,
+                Tensor::<f32>::randn(&shape, 9).mul_scalar(mag as f32),
+            );
+            let evil = execute(graph, input, prop.config(), Some(&p)).expect("forward");
+            let own = execute(graph, input, chal.config(), None).expect("forward");
+            let prof = error_profile(
+                evil.value(logits).expect("logits"),
+                own.value(logits).expect("logits"),
+                DEFAULT_EPS,
+            );
+            let exc = w
+                .deployment
+                .thresholds
+                .exceedance(logits, &prof)
+                .unwrap_or(f64::INFINITY);
+            if exc > rescale {
+                floor = mag;
+                break;
+            }
+        }
+
+        rows.push(vec![
+            format!("{alpha}"),
+            format!("{fp}/{}", w.test_inputs.len()),
+            if floor.is_finite() {
+                sci(floor)
+            } else {
+                ">1e-1".into()
+            },
+        ]);
+    }
+    print_table(
+        "Ablation — safety factor α: false positives vs detection floor",
+        &["alpha", "honest FPs", "smallest caught perturbation"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: zero honest false positives at every alpha >= 1, with a\n\
+         detection floor orders of magnitude below any task-relevant logit\n\
+         change. The floor is nearly alpha-insensitive because the screening\n\
+         binds at its strictest percentile (the low-percentile relative-error\n\
+         channel), where observed/threshold ratios cross 1 very steeply -- the\n\
+         reason the paper can inflate alpha to 3 for safety without giving up\n\
+         detection power (Table 2's alpha sweep shows the same)."
+    );
+}

@@ -1,0 +1,101 @@
+//! Fig. 3 reproduction: deterministic vs probabilistic theoretical error
+//! bounds per operator type (Qwen-style and BERT-style models).
+//!
+//! The paper reports mean absolute theoretical bounds per operator kind,
+//! with probabilistic `γ̃_k(4)` markedly tighter than deterministic `γ_k`
+//! — especially for large-reduction operators. Run with
+//! `cargo run -p tao-bench --bin fig3_theoretical_bounds`.
+
+use std::collections::BTreeMap;
+
+use tao_bench::{bert_workload, print_table, qwen_workload, sci, Workload};
+use tao_bounds::BoundEngine;
+use tao_graph::execute;
+use tao_tensor::KernelConfig;
+
+fn mean_bounds_per_kind(
+    w: &Workload,
+    engine: &BoundEngine,
+    kinds: &[&str],
+) -> BTreeMap<String, (f64, u64)> {
+    let mut acc: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for input in &w.test_inputs {
+        let exec =
+            execute(&w.model().graph, input, &KernelConfig::reference(), None).expect("forward");
+        let bounds = engine.co_execute(&w.model().graph, &exec).expect("bounds");
+        for node in w.model().graph.nodes() {
+            let kind = node.kind.mnemonic();
+            if !kinds.contains(&kind) {
+                continue;
+            }
+            let tau = &bounds[node.id.0];
+            let entry = acc.entry(kind.to_string()).or_insert((0.0, 0));
+            entry.0 += tau.data().iter().sum::<f64>();
+            entry.1 += tau.len() as u64;
+        }
+    }
+    acc
+}
+
+fn report(name: &str, w: &Workload, kinds: &[&str]) {
+    let det = mean_bounds_per_kind(w, &BoundEngine::deterministic(), kinds);
+    let prob = mean_bounds_per_kind(w, &BoundEngine::paper_default(), kinds);
+    let rows: Vec<Vec<String>> = kinds
+        .iter()
+        .filter_map(|&k| {
+            let (ds, dn) = det.get(k)?;
+            let (ps, pn) = prob.get(k)?;
+            let d = ds / *dn as f64;
+            let p = ps / *pn as f64;
+            Some(vec![
+                k.to_string(),
+                sci(p),
+                sci(d),
+                format!("{:.1}x", d / p.max(1e-300)),
+            ])
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 3 — {name} theoretical error (mean abs bound)"),
+        &["operator", "probabilistic", "deterministic", "det/prob"],
+        &rows,
+    );
+}
+
+fn main() {
+    let n = 3 * tao_bench::scale();
+    let qwen = qwen_workload(3, n);
+    let bert = bert_workload(3, n);
+    // The paper's Fig. 3 panels: mean/linear/matmul for Qwen,
+    // linear/matmul/layer_norm for BERT.
+    report("Qwen-8B (sim)", &qwen, &["rms_norm", "linear", "matmul"]);
+    report(
+        "BERT-large (sim)",
+        &bert,
+        &["linear", "matmul", "layer_norm"],
+    );
+
+    // The paper's regime: the det/prob gap grows like sqrt(k)/4 with the
+    // reduction depth, crossing 1 at k = 16. Our laptop-scale attention
+    // matmuls sit below the crossover (k = 8); production models sit far
+    // above it. Show the pure accumulation-factor ratio across k.
+    use tao_bounds::{gamma_det, gamma_prob, U32};
+    let rows: Vec<Vec<String>> = [8usize, 16, 64, 1024, 8192]
+        .iter()
+        .map(|&k| {
+            let d = gamma_det(k, U32);
+            let p = gamma_prob(k, U32, 4.0);
+            vec![k.to_string(), sci(p), sci(d), format!("{:.1}x", d / p)]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 (context) — gamma_det / gamma_prob vs reduction depth k",
+        &["k", "probabilistic", "deterministic", "det/prob"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: deterministic bounds exceed probabilistic ones for every\n\
+         reduction deeper than the k = 16 crossover, with the gap growing like\n\
+         sqrt(k)/4 (the paper's models sit at k ~ 1024-8192, ours at k ~ 8-128)."
+    );
+}

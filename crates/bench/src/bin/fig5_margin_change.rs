@@ -1,0 +1,64 @@
+//! Fig. 5 reproduction: distribution of the normalized margin change
+//! `δ = Δm / m₀` on failed attacks at α = 1 (boxplot summary statistics).
+//!
+//! Run with `cargo run --release -p tao-bench --bin fig5_margin_change`.
+
+use tao_attack::ProjectionKind;
+use tao_bench::attacks::{sweep, Setting};
+use tao_bench::{bert_workload, print_table, qwen_workload, resnet_workload, Workload};
+use tao_calib::percentile;
+
+fn boxplot(w: &Workload, label: &str, kind: ProjectionKind, iters: usize) -> Vec<String> {
+    let (_, raw) = sweep(
+        w,
+        Setting {
+            label: "fig5",
+            kind,
+            scale: 1.0,
+        },
+        iters,
+    );
+    let fails: Vec<f64> = raw
+        .iter()
+        .filter(|r| !r.success)
+        .map(|r| r.delta_rel.clamp(0.0, 1.0))
+        .collect();
+    let q = |p: f64| percentile(&fails, p);
+    vec![
+        format!("{} {}", w.paper_name, label),
+        fails.len().to_string(),
+        format!("{:.3}", q(25.0)),
+        format!("{:.3}", q(50.0)),
+        format!("{:.3}", q(75.0)),
+        format!("{:.3}", q(95.0)),
+    ]
+}
+
+fn main() {
+    let s = tao_bench::scale();
+    let iters = 60 * s;
+    let mut rows = Vec::new();
+    for w in [
+        bert_workload(6, 3 * s),
+        qwen_workload(6, 3 * s),
+        resnet_workload(6, 3 * s),
+    ] {
+        rows.push(boxplot(&w, "Emp", ProjectionKind::Empirical, iters));
+        rows.push(boxplot(
+            &w,
+            "Theo(p)",
+            ProjectionKind::TheoreticalProbabilistic,
+            iters,
+        ));
+    }
+    print_table(
+        "Fig. 5 — normalized margin change on failed attacks (α = 1)",
+        &["model / bound", "n(fail)", "q25", "median", "q75", "q95"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: empirical-threshold distributions concentrate near zero\n\
+         (almost no progress towards a flip); theoretical(p) distributions show\n\
+         visibly heavier tails, most pronounced for the LLM-style decoder."
+    );
+}

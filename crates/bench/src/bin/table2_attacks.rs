@@ -1,0 +1,93 @@
+//! Table 2 reproduction: bucketed attack outcomes under threshold scaling
+//! — ASR (%), mean Δm_fail (δ_fail) per margin bucket, and the honest-run
+//! false-positive rate.
+//!
+//! Run with `cargo run --release -p tao-bench --bin table2_attacks`
+//! (the attack sweep is compute-heavy; `TAO_BENCH_SCALE` scales samples).
+
+use tao_attack::ProjectionKind;
+use tao_bench::attacks::{false_positives, sweep, SETTINGS};
+use tao_bench::{bert_workload, print_table, qwen_workload, resnet_workload, Workload};
+
+/// Diagnostic rows: the attack window must open monotonically as the
+/// theoretical bounds are loosened. The paper's nonzero ASR for Qwen3-8B
+/// under worst-case bounds arises at production scale, where the total
+/// admissible budget (elements x τ) is ~1e5x larger than at laptop scale;
+/// these rows show where our models' windows open.
+const DIAGNOSTIC: [tao_bench::attacks::Setting; 2] = [
+    tao_bench::attacks::Setting {
+        label: "Theo x1e2(d) diag",
+        kind: ProjectionKind::TheoreticalDeterministic,
+        scale: 1e2,
+    },
+    tao_bench::attacks::Setting {
+        label: "Theo x1e4(d) diag",
+        kind: ProjectionKind::TheoreticalDeterministic,
+        scale: 1e4,
+    },
+];
+
+fn report(w: &Workload, max_iters: usize) {
+    let mut rows = Vec::new();
+    for setting in SETTINGS.into_iter().chain(DIAGNOSTIC) {
+        let (row, _) = sweep(w, setting, max_iters);
+        let fp = if matches!(setting.kind, ProjectionKind::Empirical) {
+            let (fp, total) = false_positives(w, setting.scale);
+            format!(
+                "{:.0}% ({fp}/{total})",
+                if total > 0 {
+                    100.0 * fp as f64 / total as f64
+                } else {
+                    0.0
+                }
+            )
+        } else {
+            "-".to_string()
+        };
+        let mut cells = vec![setting.label.to_string()];
+        for b in &row.buckets {
+            cells.push(format!(
+                "{:.1}% {:.2}({:.1}%)",
+                b.asr(),
+                b.mean_delta_m_fail(),
+                100.0 * b.mean_delta_rel_fail()
+            ));
+        }
+        cells.push(fp);
+        rows.push(cells);
+    }
+    print_table(
+        &format!(
+            "Table 2 — {} bucketed attack outcomes (ASR, Δm_fail(δ_fail))",
+            w.paper_name
+        ),
+        &[
+            "bound x scale",
+            "0-20%",
+            "20-40%",
+            "40-60%",
+            "60-80%",
+            "80-100%",
+            "FP",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let s = tao_bench::scale();
+    let iters = 60 * s;
+    for w in [
+        bert_workload(6, 3 * s),
+        resnet_workload(6, 3 * s),
+        qwen_workload(6, 3 * s),
+    ] {
+        report(&w, iters);
+    }
+    println!(
+        "\nExpected shape: empirical thresholds hold 0% ASR at every α with tiny\n\
+         failed-attack progress and 0% false positives; deterministic theoretical\n\
+         bounds leave the largest attack window, probabilistic ones a small one\n\
+         (nonzero mainly for the LLM-style decoder)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Shared dispute-game driver for the Fig. 8 / Table 3 binaries.
+
+use std::time::Instant;
+
+use tao_device::Device;
+use tao_graph::{execute, NodeId, Perturbations};
+use tao_protocol::{run_dispute, DisputeConfig, DisputeOutcome};
+use tao_tensor::Tensor;
+
+use crate::Workload;
+
+/// A dispute run with wall-clock timing.
+pub struct TimedDispute {
+    /// Protocol outcome.
+    pub outcome: DisputeOutcome,
+    /// Wall-clock seconds for the full localization game.
+    pub seconds: f64,
+    /// Forward FLOPs of the proposer execution (Cost Ratio denominator).
+    pub forward_flops: u64,
+}
+
+/// Spreads `count` perturbation targets evenly across the compute nodes
+/// (the paper perturbs eight operators through the model).
+pub fn spread_targets(w: &Workload, count: usize) -> Vec<NodeId> {
+    let nodes = w.deployment.model.graph.compute_nodes();
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    (0..count.min(nodes.len()))
+        .map(|i| nodes[i * nodes.len() / count.min(nodes.len()).max(1)])
+        .collect()
+}
+
+/// Runs one dispute against a proposer that perturbed `target` by
+/// `magnitude` (uniform additive), with partition width `n_way`.
+pub fn run_perturbed_dispute(
+    w: &Workload,
+    input: &[Tensor<f32>],
+    target: NodeId,
+    magnitude: f32,
+    n_way: usize,
+) -> TimedDispute {
+    let proposer = Device::rtx4090_like();
+    let challenger = Device::h100_like();
+    let graph = &w.deployment.model.graph;
+    let honest = execute(graph, input, proposer.config(), None).expect("honest forward");
+    let shape = honest.values[target.0].dims().to_vec();
+    let mut p = Perturbations::new();
+    p.insert(target, Tensor::full(&shape, magnitude));
+    let trace = execute(graph, input, proposer.config(), Some(&p)).expect("perturbed forward");
+    let start = Instant::now();
+    let outcome = run_dispute(
+        graph,
+        &w.deployment.graph_tree,
+        &w.deployment.weight_tree,
+        &w.deployment.commitment.graph_root,
+        &w.deployment.commitment.weight_root,
+        &trace,
+        input,
+        &challenger,
+        &w.deployment.thresholds,
+        DisputeConfig { n_way },
+    )
+    .expect("dispute");
+    TimedDispute {
+        outcome,
+        seconds: start.elapsed().as_secs_f64(),
+        forward_flops: honest.total_flops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert_workload;
+    use tao_protocol::DisputeResult;
+
+    #[test]
+    fn perturbed_dispute_reaches_leaf() {
+        let w = bert_workload(5, 1);
+        let targets = spread_targets(&w, 3);
+        let d = run_perturbed_dispute(&w, &w.test_inputs[0], targets[1], 0.05, 2);
+        assert!(matches!(d.outcome.result, DisputeResult::Leaf(_)));
+        assert!(d.forward_flops > 0);
+        assert!(d.seconds >= 0.0);
+    }
+
+    #[test]
+    fn spread_targets_are_distinct_and_ordered() {
+        let w = bert_workload(3, 0);
+        let t = spread_targets(&w, 8);
+        for pair in t.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+}

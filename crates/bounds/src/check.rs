@@ -1,0 +1,111 @@
+//! Leaf-level theoretical-bound verification.
+
+use tao_tensor::Tensor;
+
+/// Outcome of an element-wise bound check.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CheckReport {
+    /// True when every element respects its bound.
+    pub passed: bool,
+    /// Number of violating elements.
+    pub violations: usize,
+    /// Largest ratio `|claimed - reference| / τ` observed (0 for empty).
+    pub worst_ratio: f64,
+}
+
+/// Verifies `|claimed - reference| ≤ scale·τ` element-wise — the Phase 3
+/// theoretical-bound check with an optional diagnostic scale `α`.
+///
+/// Tensors must have identical lengths; mismatched shapes fail the check
+/// outright (a shape change is a graph violation, not a rounding one).
+pub fn check_within_bound(
+    claimed: &Tensor<f32>,
+    reference: &Tensor<f32>,
+    tau: &Tensor<f64>,
+    scale: f64,
+) -> CheckReport {
+    if claimed.len() != reference.len() || claimed.len() != tau.len() {
+        return CheckReport {
+            passed: false,
+            violations: claimed.len().max(1),
+            worst_ratio: f64::INFINITY,
+        };
+    }
+    let mut violations = 0;
+    let mut worst: f64 = 0.0;
+    for i in 0..claimed.len() {
+        let dev = (claimed.data()[i] as f64 - reference.data()[i] as f64).abs();
+        let limit = scale * tau.data()[i];
+        let ratio = if limit > 0.0 {
+            dev / limit
+        } else if dev > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        worst = worst.max(ratio);
+        if dev > limit {
+            violations += 1;
+        }
+    }
+    CheckReport {
+        passed: violations == 0,
+        violations,
+        worst_ratio: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let tau = Tensor::<f64>::from_vec(vec![1e-7, 1e-7], &[2]).unwrap();
+        let r = check_within_bound(&a, &a, &tau, 1.0);
+        assert!(r.passed);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.worst_ratio, 0.0);
+    }
+
+    #[test]
+    fn violation_detected() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.0, 2.5], &[2]).unwrap();
+        let tau = Tensor::<f64>::from_vec(vec![1e-7, 1e-7], &[2]).unwrap();
+        let r = check_within_bound(&b, &a, &tau, 1.0);
+        assert!(!r.passed);
+        assert_eq!(r.violations, 1);
+        assert!(r.worst_ratio > 1.0);
+    }
+
+    #[test]
+    fn scale_loosens() {
+        let a = Tensor::<f32>::from_vec(vec![1.0], &[1]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.0 + 1.5e-7], &[1]).unwrap();
+        let tau = Tensor::<f64>::from_vec(vec![1e-7], &[1]).unwrap();
+        assert!(!check_within_bound(&b, &a, &tau, 1.0).passed);
+        assert!(check_within_bound(&b, &a, &tau, 2.0).passed);
+    }
+
+    #[test]
+    fn zero_bound_requires_exact() {
+        let a = Tensor::<f32>::from_vec(vec![1.0], &[1]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.0 + 1e-7], &[1]).unwrap();
+        let tau = Tensor::<f64>::zeros(&[1]);
+        let pass = check_within_bound(&a, &a, &tau, 1.0);
+        assert!(pass.passed);
+        let fail = check_within_bound(&b, &a, &tau, 1.0);
+        assert!(!fail.passed);
+        assert!(fail.worst_ratio.is_infinite());
+    }
+
+    #[test]
+    fn shape_mismatch_fails() {
+        let a = Tensor::<f32>::zeros(&[2]);
+        let b = Tensor::<f32>::zeros(&[3]);
+        let tau = Tensor::<f64>::zeros(&[2]);
+        assert!(!check_within_bound(&b, &a, &tau, 1.0).passed);
+    }
+}

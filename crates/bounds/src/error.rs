@@ -1,0 +1,67 @@
+//! Error types for bound computation.
+
+use core::fmt;
+
+/// Errors from theoretical-bound co-execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundError {
+    /// The execution trace does not match the graph.
+    TraceMismatch {
+        /// Node count of the graph.
+        graph_len: usize,
+        /// Value count of the trace.
+        trace_len: usize,
+    },
+    /// An underlying graph error.
+    Graph(String),
+    /// An underlying tensor error.
+    Tensor(tao_tensor::TensorError),
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::TraceMismatch {
+                graph_len,
+                trace_len,
+            } => {
+                write!(
+                    f,
+                    "trace has {trace_len} values for graph of {graph_len} nodes"
+                )
+            }
+            BoundError::Graph(m) => write!(f, "graph error: {m}"),
+            BoundError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+impl From<tao_graph::GraphError> for BoundError {
+    fn from(e: tao_graph::GraphError) -> Self {
+        BoundError::Graph(e.to_string())
+    }
+}
+
+impl From<tao_tensor::TensorError> for BoundError {
+    fn from(e: tao_tensor::TensorError) -> Self {
+        BoundError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = BoundError::TraceMismatch {
+            graph_len: 3,
+            trace_len: 1,
+        };
+        assert!(e.to_string().contains("3 nodes"));
+        let t: BoundError = tao_tensor::TensorError::InvalidArgument("z".into()).into();
+        assert!(t.to_string().contains("tensor error"));
+    }
+}

@@ -1,0 +1,145 @@
+//! IEEE-754 rounding-error accumulation factors.
+//!
+//! Implements the standard deterministic bound `γ_k = ku/(1-ku)` (Higham)
+//! and the probabilistic bound `γ̃_k(λ) = exp(λ√k·u + ku²/(1-u)) − 1`
+//! (Higham & Mary), as stated in Appendix A.2 of the paper. With `λ = 4`
+//! the probabilistic bound holds with probability `≥ 1 − 2exp(−λ²(1−u)²/2)
+//! ≈ 99.93%` and behaves like `4u√k`, markedly tighter than `ku` for
+//! large reductions.
+
+/// Unit roundoff of IEEE-754 binary32 (`2^-24`).
+pub const U32: f64 = 5.960_464_477_539_063e-8;
+
+/// Unit roundoff of IEEE-754 binary64 (`2^-53`).
+pub const U64: f64 = 1.110_223_024_625_156_5e-16;
+
+/// Default tail parameter for the probabilistic bound.
+pub const DEFAULT_LAMBDA: f64 = 4.0;
+
+/// Which theoretical accumulation factor to use.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BoundMode {
+    /// Worst-case `γ_k = ku/(1-ku)`.
+    Deterministic,
+    /// High-probability `γ̃_k(λ)`.
+    Probabilistic {
+        /// Tail parameter `λ`.
+        lambda: f64,
+    },
+}
+
+impl BoundMode {
+    /// The paper's default probabilistic mode (`λ = 4`).
+    pub fn probabilistic() -> Self {
+        BoundMode::Probabilistic {
+            lambda: DEFAULT_LAMBDA,
+        }
+    }
+
+    /// Accumulation factor for a `k`-step rounding chain at unit roundoff
+    /// `u`. Returns `0` for `k = 0`.
+    pub fn gamma(&self, k: usize, u: f64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        match *self {
+            BoundMode::Deterministic => gamma_det(k, u),
+            BoundMode::Probabilistic { lambda } => gamma_prob(k, u, lambda),
+        }
+    }
+
+    /// Confidence of the bound: `1` for deterministic, `P(λ)` otherwise.
+    pub fn confidence(&self, u: f64) -> f64 {
+        match *self {
+            BoundMode::Deterministic => 1.0,
+            BoundMode::Probabilistic { lambda } => {
+                1.0 - 2.0 * (-lambda * lambda * (1.0 - u) * (1.0 - u) / 2.0).exp()
+            }
+        }
+    }
+}
+
+/// Deterministic `γ_k = ku/(1-ku)`; saturates when `ku >= 1`.
+pub fn gamma_det(k: usize, u: f64) -> f64 {
+    let ku = k as f64 * u;
+    if ku >= 1.0 {
+        f64::INFINITY
+    } else {
+        ku / (1.0 - ku)
+    }
+}
+
+/// Probabilistic `γ̃_k(λ) = exp(λ√k·u + ku²/(1-u)) − 1`.
+pub fn gamma_prob(k: usize, u: f64, lambda: f64) -> f64 {
+    let kf = k as f64;
+    (lambda * kf.sqrt() * u + kf * u * u / (1.0 - u)).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_roundoffs_match_epsilon() {
+        assert_eq!(U32, (f32::EPSILON as f64) / 2.0);
+        assert_eq!(U64, f64::EPSILON / 2.0);
+    }
+
+    #[test]
+    fn gamma_det_small_k_is_ku() {
+        let g = gamma_det(10, U32);
+        assert!((g - 10.0 * U32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_det_saturates() {
+        assert!(gamma_det(1 << 25, U32).is_infinite());
+    }
+
+    #[test]
+    fn gamma_prob_scales_like_sqrt_k() {
+        // γ̃_k(4) ≈ 4u√k for moderate k.
+        for k in [16usize, 256, 4096] {
+            let g = gamma_prob(k, U32, 4.0);
+            let approx = 4.0 * U32 * (k as f64).sqrt();
+            assert!((g / approx - 1.0).abs() < 1e-3, "k={k}: {g} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn probabilistic_tighter_for_large_k() {
+        for k in [64usize, 1024, 65536] {
+            assert!(
+                gamma_prob(k, U32, 4.0) < gamma_det(k, U32),
+                "probabilistic must be tighter at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_tighter_for_tiny_k() {
+        // At k = 1 the probabilistic bound (4u) exceeds the worst case (u).
+        assert!(gamma_prob(1, U32, 4.0) > gamma_det(1, U32));
+    }
+
+    #[test]
+    fn mode_dispatch_and_confidence() {
+        let det = BoundMode::Deterministic;
+        let prob = BoundMode::probabilistic();
+        assert_eq!(det.gamma(0, U32), 0.0);
+        assert_eq!(prob.gamma(0, U32), 0.0);
+        assert_eq!(det.confidence(U32), 1.0);
+        let c = prob.confidence(U32);
+        assert!(c > 0.999 && c < 1.0, "confidence {c}");
+    }
+
+    #[test]
+    fn gamma_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 1..100 {
+            let g = gamma_det(k, U32);
+            assert!(g > prev);
+            prev = g;
+        }
+    }
+}

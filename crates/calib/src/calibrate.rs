@@ -1,0 +1,276 @@
+//! Cross-device calibration sweep (§3.2, Eq. 1–7).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use tao_device::Fleet;
+use tao_graph::{execute, Graph, NodeId};
+use tao_tensor::Tensor;
+
+use crate::error::CalibError;
+use crate::profile::{
+    error_profile, OperatorThreshold, PercentilePair, ThresholdBundle, DEFAULT_EPS,
+};
+use crate::Result;
+
+/// Raw calibration output: per-operator envelopes, per-sample sequences
+/// (for the stability diagnostics), and mean-error summaries.
+#[derive(Debug, Clone)]
+pub struct CalibrationRecord {
+    /// Compute-node ids in canonical order.
+    pub nodes: Vec<NodeId>,
+    /// Operator mnemonics, parallel to `nodes`.
+    pub mnemonics: Vec<String>,
+    /// Max-envelope percentile profiles across devices and samples
+    /// (Eq. 5–6), parallel to `nodes`.
+    pub envelopes: Vec<PercentilePair>,
+    /// Per-sample profiles (envelope across device pairs within each
+    /// sample), keyed by node: the sequences Appendix B's diagnostics run
+    /// over.
+    pub sequences: HashMap<NodeId, Vec<PercentilePair>>,
+    /// Mean element-wise absolute cross-device error per node.
+    pub mean_abs: HashMap<NodeId, f64>,
+}
+
+impl CalibrationRecord {
+    /// Builds the committed threshold bundle with safety factor `alpha`.
+    pub fn into_thresholds(self, alpha: f64) -> ThresholdBundle {
+        let operators = self
+            .nodes
+            .iter()
+            .zip(&self.mnemonics)
+            .zip(&self.envelopes)
+            .map(|((&node, mnemonic), env)| OperatorThreshold {
+                node,
+                mnemonic: mnemonic.clone(),
+                thresholds: env.inflate(alpha),
+                mean_abs_error: self.mean_abs.get(&node).copied().unwrap_or(0.0),
+            })
+            .collect();
+        ThresholdBundle {
+            grid: crate::percentile::PERCENTILE_GRID.to_vec(),
+            alpha,
+            operators,
+        }
+    }
+}
+
+/// Runs the offline cross-device calibration: every sample is executed on
+/// every fleet device, and per-operator error percentile profiles are
+/// collected over all ordered device pairs (Eq. 1–6).
+///
+/// Samples are swept in parallel (scoped threads); each worker owns its
+/// full set of device traces, and only the cheap profile merge is locked.
+///
+/// # Errors
+///
+/// Returns an error for an empty fleet/sample set or if execution fails.
+pub fn calibrate(
+    graph: &Graph,
+    samples: &[Vec<Tensor<f32>>],
+    fleet: &Fleet,
+) -> Result<CalibrationRecord> {
+    if fleet.len() < 2 {
+        return Err(CalibError::NotEnoughDevices(fleet.len()));
+    }
+    if samples.is_empty() {
+        return Err(CalibError::NoSamples);
+    }
+    let compute_nodes = graph.traced_nodes();
+    let mnemonics: Vec<String> = compute_nodes
+        .iter()
+        .map(|&id| graph.node(id).map(|n| n.kind.mnemonic().to_string()))
+        .collect::<core::result::Result<_, _>>()
+        .map_err(|e| CalibError::Graph(e.to_string()))?;
+
+    struct Shared {
+        envelopes: Vec<PercentilePair>,
+        sequences: HashMap<NodeId, Vec<PercentilePair>>,
+        sum_abs: HashMap<NodeId, (f64, u64)>,
+    }
+    let shared = Mutex::new(Shared {
+        envelopes: vec![PercentilePair::zero(); compute_nodes.len()],
+        sequences: compute_nodes
+            .iter()
+            .map(|&n| (n, vec![PercentilePair::zero(); samples.len()]))
+            .collect(),
+        sum_abs: compute_nodes.iter().map(|&n| (n, (0.0, 0))).collect(),
+    });
+    let errors: Mutex<Vec<CalibError>> = Mutex::new(Vec::new());
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let chunk = samples.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (ti, sample_chunk) in samples.chunks(chunk).enumerate() {
+            let shared = &shared;
+            let errors = &errors;
+            let compute_nodes = &compute_nodes;
+            scope.spawn(move |_| {
+                for (si, sample) in sample_chunk.iter().enumerate() {
+                    let s = ti * chunk + si;
+                    // Execute on every device.
+                    let mut traces = Vec::with_capacity(fleet.len());
+                    for dev in fleet.devices() {
+                        match execute(graph, sample, dev.config(), None) {
+                            Ok(t) => traces.push(t),
+                            Err(e) => {
+                                errors.lock().push(CalibError::Graph(e.to_string()));
+                                return;
+                            }
+                        }
+                    }
+                    // Per-sample envelope across ordered device pairs.
+                    let mut local: Vec<PercentilePair> =
+                        vec![PercentilePair::zero(); compute_nodes.len()];
+                    let mut local_abs: Vec<(f64, u64)> = vec![(0.0, 0); compute_nodes.len()];
+                    for j in 0..traces.len() {
+                        for k in j + 1..traces.len() {
+                            for (ci, &node) in compute_nodes.iter().enumerate() {
+                                let a = &traces[j].values[node.0];
+                                let b = &traces[k].values[node.0];
+                                let prof = error_profile(a, b, DEFAULT_EPS);
+                                local[ci].envelope(&prof);
+                                let (abs, _) =
+                                    crate::profile::elementwise_errors(a, b, DEFAULT_EPS);
+                                local_abs[ci].0 += abs.iter().sum::<f64>();
+                                local_abs[ci].1 += abs.len() as u64;
+                            }
+                        }
+                    }
+                    let mut guard = shared.lock();
+                    for (ci, &node) in compute_nodes.iter().enumerate() {
+                        guard.envelopes[ci].envelope(&local[ci]);
+                        if let Some(seq) = guard.sequences.get_mut(&node) {
+                            seq[s] = local[ci].clone();
+                        }
+                        if let Some(acc) = guard.sum_abs.get_mut(&node) {
+                            acc.0 += local_abs[ci].0;
+                            acc.1 += local_abs[ci].1;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| CalibError::Worker)?;
+
+    let errs = errors.into_inner();
+    if let Some(e) = errs.into_iter().next() {
+        return Err(e);
+    }
+    let shared = shared.into_inner();
+    let mean_abs = shared
+        .sum_abs
+        .into_iter()
+        .map(|(n, (sum, count))| (n, if count == 0 { 0.0 } else { sum / count as f64 }))
+        .collect();
+    Ok(CalibrationRecord {
+        nodes: compute_nodes,
+        mnemonics,
+        envelopes: shared.envelopes,
+        sequences: shared.sequences,
+        mean_abs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DEFAULT_ALPHA;
+    use tao_graph::{GraphBuilder, OpKind};
+
+    fn small_model() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter("w", Tensor::<f32>::rand_uniform(&[96, 32], -1.0, 1.0, 1));
+        let m = b.op("m", OpKind::MatMul, &[x, w]);
+        let s = b.op("s", OpKind::Softmax, &[m]);
+        b.finish(vec![s]).unwrap()
+    }
+
+    fn dataset(n: usize) -> Vec<Vec<Tensor<f32>>> {
+        (0..n)
+            .map(|i| {
+                vec![Tensor::<f32>::rand_uniform(
+                    &[4, 96],
+                    -2.0,
+                    2.0,
+                    100 + i as u64,
+                )]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_produces_nonzero_thresholds() {
+        let g = small_model();
+        let record = calibrate(&g, &dataset(6), &Fleet::standard()).unwrap();
+        assert_eq!(record.nodes.len(), 2);
+        // The matmul has a real reduction: cross-device errors must appear.
+        let matmul_env = &record.envelopes[0];
+        assert!(
+            matmul_env.abs.iter().any(|&v| v > 0.0),
+            "matmul envelope all zero: {:?}",
+            matmul_env.abs
+        );
+        let bundle = record.into_thresholds(DEFAULT_ALPHA);
+        assert_eq!(bundle.alpha, 3.0);
+        assert_eq!(bundle.operators.len(), 2);
+    }
+
+    #[test]
+    fn thresholds_cover_fresh_honest_executions() {
+        // False-positive check at calibration scale: an unseen honest input
+        // on any fleet device stays within the α-inflated thresholds.
+        let g = small_model();
+        let fleet = Fleet::standard();
+        let record = calibrate(&g, &dataset(12), &fleet).unwrap();
+        let bundle = record.into_thresholds(DEFAULT_ALPHA);
+        let fresh = vec![Tensor::<f32>::rand_uniform(&[4, 96], -2.0, 2.0, 999)];
+        let a = execute(&g, &fresh, fleet.devices()[0].config(), None).unwrap();
+        let b = execute(&g, &fresh, fleet.devices()[3].config(), None).unwrap();
+        for &node in &bundle.operators.iter().map(|o| o.node).collect::<Vec<_>>() {
+            let prof = error_profile(&a.values[node.0], &b.values[node.0], DEFAULT_EPS);
+            let exc = bundle.exceedance(node, &prof).unwrap();
+            assert!(exc <= 1.0, "node {node}: exceedance {exc}");
+        }
+    }
+
+    #[test]
+    fn sequences_have_one_entry_per_sample() {
+        let g = small_model();
+        let record = calibrate(&g, &dataset(5), &Fleet::standard()).unwrap();
+        for seq in record.sequences.values() {
+            assert_eq!(seq.len(), 5);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let g = small_model();
+        assert!(matches!(
+            calibrate(
+                &g,
+                &dataset(2),
+                &Fleet::new(vec![tao_device::Device::reference()])
+            ),
+            Err(CalibError::NotEnoughDevices(1))
+        ));
+        assert!(matches!(
+            calibrate(&g, &[], &Fleet::standard()),
+            Err(CalibError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn mean_abs_is_positive_for_reductions() {
+        let g = small_model();
+        let record = calibrate(&g, &dataset(4), &Fleet::standard()).unwrap();
+        let matmul = record.nodes[0];
+        assert!(record.mean_abs[&matmul] > 0.0);
+        assert!(record.mean_abs[&matmul] < 1e-3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for calibration.
+
+use core::fmt;
+
+/// Errors from the calibration sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibError {
+    /// Calibration requires at least two devices.
+    NotEnoughDevices(usize),
+    /// Calibration requires at least one input sample.
+    NoSamples,
+    /// Graph execution failed during the sweep.
+    Graph(String),
+    /// A calibration worker thread panicked.
+    Worker,
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::NotEnoughDevices(n) => {
+                write!(f, "calibration needs >= 2 devices, got {n}")
+            }
+            CalibError::NoSamples => write!(f, "calibration needs at least one sample"),
+            CalibError::Graph(m) => write!(f, "graph execution failed: {m}"),
+            CalibError::Worker => write!(f, "calibration worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CalibError::NotEnoughDevices(1).to_string().contains(">= 2"));
+        assert!(CalibError::NoSamples.to_string().contains("sample"));
+    }
+}

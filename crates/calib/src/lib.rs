@@ -1,0 +1,32 @@
+//! # tao-calib
+//!
+//! Cross-device empirical error calibration (§3.2 and Appendix B of the
+//! TAO paper): element-wise absolute/relative error profiles over the
+//! committed percentile grid (Eq. 1–4), max-envelopes across device pairs
+//! and samples (Eq. 5–6), α-inflated committed thresholds (Eq. 7), the
+//! Appendix B stability diagnostics (SupNorm / Jackknife / TailAdj /
+//! RollSD), and the nondecreasing cap curve (Eq. 8) with its
+//! order-statistics projection (Eq. 12).
+
+pub mod calibrate;
+pub mod cap;
+pub mod error;
+pub mod percentile;
+pub mod profile;
+pub mod stability;
+
+pub use calibrate::{calibrate, CalibrationRecord};
+pub use cap::CapCurve;
+pub use error::CalibError;
+pub use percentile::{grid_index, grid_profile, median, percentile, PERCENTILE_GRID};
+pub use profile::{
+    elementwise_errors, error_profile, OperatorThreshold, PercentilePair, ThresholdBundle,
+    DEFAULT_ALPHA, DEFAULT_EPS,
+};
+pub use stability::{
+    diagnostics, running_medians, stability_table, sym_rel_change, StabilityMetrics, StabilityRow,
+    DEFAULT_WINDOW,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, CalibError>;

@@ -1,0 +1,257 @@
+//! Per-operator empirical error profiles and committed threshold bundles.
+
+use tao_graph::NodeId;
+use tao_tensor::Tensor;
+
+use crate::percentile::{grid_profile, PERCENTILE_GRID};
+
+/// Default division-by-zero guard for relative errors.
+pub const DEFAULT_EPS: f64 = 1e-12;
+
+/// Default threshold safety factor `α` (Eq. 7).
+pub const DEFAULT_ALPHA: f64 = 3.0;
+
+/// Absolute and relative percentile-value vectors over the committed grid.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PercentilePair {
+    /// Absolute-error percentiles `P_abs(p)`.
+    pub abs: Vec<f64>,
+    /// Relative-error percentiles `P_rel(p)`.
+    pub rel: Vec<f64>,
+}
+
+impl PercentilePair {
+    /// All-zero profile (used for structural operators).
+    pub fn zero() -> Self {
+        PercentilePair {
+            abs: vec![0.0; PERCENTILE_GRID.len()],
+            rel: vec![0.0; PERCENTILE_GRID.len()],
+        }
+    }
+
+    /// Elementwise max-envelope with another pair (Eq. 5–6).
+    pub fn envelope(&mut self, other: &PercentilePair) {
+        for (a, b) in self.abs.iter_mut().zip(&other.abs) {
+            *a = a.max(*b);
+        }
+        for (a, b) in self.rel.iter_mut().zip(&other.rel) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Multiplies every percentile value by `alpha` (Eq. 7).
+    pub fn inflate(&self, alpha: f64) -> PercentilePair {
+        PercentilePair {
+            abs: self.abs.iter().map(|v| v * alpha).collect(),
+            rel: self.rel.iter().map(|v| v * alpha).collect(),
+        }
+    }
+}
+
+/// Element-wise absolute and relative errors between two executions of the
+/// same operator (Eq. 1–2), flattened to 1-D.
+pub fn elementwise_errors(a: &Tensor<f32>, b: &Tensor<f32>, eps: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = a.len().min(b.len());
+    let mut abs = Vec::with_capacity(n);
+    let mut rel = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = a.data()[i] as f64;
+        let y = b.data()[i] as f64;
+        let d = (x - y).abs();
+        abs.push(d);
+        rel.push(d / (x.abs() + eps));
+    }
+    (abs, rel)
+}
+
+/// Percentile profiles of the element-wise errors between two outputs
+/// (Eq. 3–4).
+pub fn error_profile(a: &Tensor<f32>, b: &Tensor<f32>, eps: f64) -> PercentilePair {
+    let (abs, rel) = elementwise_errors(a, b, eps);
+    PercentilePair {
+        abs: grid_profile(&abs),
+        rel: grid_profile(&rel),
+    }
+}
+
+/// Calibrated thresholds for one operator: the α-inflated max-envelope.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatorThreshold {
+    /// Operator node id in the canonical order.
+    pub node: NodeId,
+    /// Operator mnemonic (for reports; not load-bearing).
+    pub mnemonic: String,
+    /// Thresholds `τ_abs(p)`, `τ_rel(p)` over the grid.
+    pub thresholds: PercentilePair,
+    /// Mean absolute cross-device error observed in calibration (for the
+    /// error-vs-depth and heatmap figures).
+    pub mean_abs_error: f64,
+}
+
+/// The committed threshold bundle: grid, safety factor, and per-operator
+/// thresholds in canonical node order. Serialized into the `r_e` Merkle
+/// commitment and fixed for the lifetime of a deployment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThresholdBundle {
+    /// The percentile grid `P`.
+    pub grid: Vec<f64>,
+    /// Safety factor `α` applied to the raw envelopes.
+    pub alpha: f64,
+    /// Per-operator thresholds (compute operators only).
+    pub operators: Vec<OperatorThreshold>,
+}
+
+impl ThresholdBundle {
+    /// Looks up the threshold entry for a node.
+    pub fn for_node(&self, node: NodeId) -> Option<&OperatorThreshold> {
+        self.operators.iter().find(|o| o.node == node)
+    }
+
+    /// Serializes each operator entry to a Merkle leaf (canonical JSON).
+    pub fn to_leaves(&self) -> Vec<Vec<u8>> {
+        self.operators
+            .iter()
+            .map(|o| serde_json::to_vec(o).expect("threshold serialization is infallible"))
+            .collect()
+    }
+
+    /// The maximum observed-vs-threshold ratio `p^max_i` of Eq. 15 for an
+    /// observed error pair against this bundle's entry for `node`.
+    ///
+    /// Ratios ignore grid points whose threshold is zero unless the
+    /// observation is also nonzero there (in which case the ratio is
+    /// infinite: any deviation on an exact operator is offending).
+    pub fn exceedance(&self, node: NodeId, observed: &PercentilePair) -> Option<f64> {
+        let entry = self.for_node(node)?;
+        let mut worst: f64 = 0.0;
+        for (obs, thr) in observed
+            .abs
+            .iter()
+            .zip(&entry.thresholds.abs)
+            .chain(observed.rel.iter().zip(&entry.thresholds.rel))
+        {
+            let r = if *thr > 0.0 {
+                obs / thr
+            } else if *obs > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            worst = worst.max(r);
+        }
+        Some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_errors_basic() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.5, 2.0], &[2]).unwrap();
+        let (abs, rel) = elementwise_errors(&a, &b, 0.0);
+        assert_eq!(abs, vec![0.5, 0.0]);
+        assert_eq!(rel, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn identical_outputs_zero_profile() {
+        let a = Tensor::<f32>::rand_uniform(&[64], -1.0, 1.0, 1);
+        let p = error_profile(&a, &a, DEFAULT_EPS);
+        assert!(p.abs.iter().all(|&v| v == 0.0));
+        assert!(p.rel.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn envelope_takes_max() {
+        let mut a = PercentilePair {
+            abs: vec![1.0, 5.0],
+            rel: vec![0.1, 0.2],
+        };
+        let b = PercentilePair {
+            abs: vec![2.0, 3.0],
+            rel: vec![0.05, 0.4],
+        };
+        a.envelope(&b);
+        assert_eq!(a.abs, vec![2.0, 5.0]);
+        assert_eq!(a.rel, vec![0.1, 0.4]);
+    }
+
+    #[test]
+    fn inflate_scales() {
+        let p = PercentilePair {
+            abs: vec![1.0],
+            rel: vec![2.0],
+        };
+        let q = p.inflate(3.0);
+        assert_eq!(q.abs, vec![3.0]);
+        assert_eq!(q.rel, vec![6.0]);
+    }
+
+    #[test]
+    fn exceedance_detects_violation() {
+        let bundle = ThresholdBundle {
+            grid: PERCENTILE_GRID.to_vec(),
+            alpha: 3.0,
+            operators: vec![OperatorThreshold {
+                node: NodeId(5),
+                mnemonic: "matmul".into(),
+                thresholds: PercentilePair {
+                    abs: vec![1e-6; PERCENTILE_GRID.len()],
+                    rel: vec![1e-5; PERCENTILE_GRID.len()],
+                },
+                mean_abs_error: 1e-7,
+            }],
+        };
+        let ok = PercentilePair {
+            abs: vec![5e-7; PERCENTILE_GRID.len()],
+            rel: vec![5e-6; PERCENTILE_GRID.len()],
+        };
+        assert!(bundle.exceedance(NodeId(5), &ok).unwrap() <= 1.0);
+        let bad = PercentilePair {
+            abs: vec![5e-6; PERCENTILE_GRID.len()],
+            rel: vec![5e-6; PERCENTILE_GRID.len()],
+        };
+        assert!(bundle.exceedance(NodeId(5), &bad).unwrap() > 1.0);
+        assert!(bundle.exceedance(NodeId(7), &ok).is_none());
+    }
+
+    #[test]
+    fn exceedance_zero_threshold_is_strict() {
+        let bundle = ThresholdBundle {
+            grid: PERCENTILE_GRID.to_vec(),
+            alpha: 3.0,
+            operators: vec![OperatorThreshold {
+                node: NodeId(0),
+                mnemonic: "relu".into(),
+                thresholds: PercentilePair::zero(),
+                mean_abs_error: 0.0,
+            }],
+        };
+        let exact = PercentilePair::zero();
+        assert_eq!(bundle.exceedance(NodeId(0), &exact).unwrap(), 0.0);
+        let mut off = PercentilePair::zero();
+        off.abs[3] = 1e-9;
+        assert!(bundle.exceedance(NodeId(0), &off).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn leaves_roundtrip_json() {
+        let bundle = ThresholdBundle {
+            grid: PERCENTILE_GRID.to_vec(),
+            alpha: 3.0,
+            operators: vec![OperatorThreshold {
+                node: NodeId(1),
+                mnemonic: "softmax".into(),
+                thresholds: PercentilePair::zero(),
+                mean_abs_error: 0.0,
+            }],
+        };
+        let leaves = bundle.to_leaves();
+        assert_eq!(leaves.len(), 1);
+        let back: OperatorThreshold = serde_json::from_slice(&leaves[0]).unwrap();
+        assert_eq!(back, bundle.operators[0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Stability diagnostics for empirical percentile profiles (Appendix B).
+
+use crate::percentile::{grid_index, median, percentile};
+use crate::CalibrationRecord;
+
+/// Relative-scale guard `ε` for the symmetric relative change.
+pub const STAB_EPS: f64 = 1e-18;
+
+/// Default tail/window length `W`.
+pub const DEFAULT_WINDOW: usize = 10;
+
+/// The four per-(operator, percentile) diagnostics of Appendix B.1.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StabilityMetrics {
+    /// (D1) Short-horizon relative drift of the running median.
+    pub sup_norm: f64,
+    /// (D2) Maximum leave-one-out influence.
+    pub jackknife: f64,
+    /// (D3) Tail adjustment over the last `W` steps.
+    pub tail_adj: f64,
+    /// (D4) Rolling-window variability.
+    pub roll_sd: f64,
+}
+
+/// Symmetric relative change `δ(a, b) = 2|a-b| / (|a| + |b| + ε)` (Eq. 38).
+pub fn sym_rel_change(a: f64, b: f64) -> f64 {
+    2.0 * (a - b).abs() / (a.abs() + b.abs() + STAB_EPS)
+}
+
+/// Running medians `θ̃(k) = median(y_1..y_k)` for `k = 1..n` (Eq. 37).
+pub fn running_medians(seq: &[f64]) -> Vec<f64> {
+    (1..=seq.len()).map(|k| median(&seq[..k])).collect()
+}
+
+/// Computes the four diagnostics for one per-sample sequence.
+///
+/// Non-finite values are excluded up front. Returns all-zero metrics for
+/// sequences shorter than two points.
+pub fn diagnostics(seq: &[f64], w: usize) -> StabilityMetrics {
+    let seq: Vec<f64> = seq.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = seq.len();
+    if n < 2 {
+        return StabilityMetrics {
+            sup_norm: 0.0,
+            jackknife: 0.0,
+            tail_adj: 0.0,
+            roll_sd: 0.0,
+        };
+    }
+    let w = w.clamp(1, n - 1);
+    let rm = running_medians(&seq);
+    let theta_n = rm[n - 1];
+    let denom = theta_n.abs() + STAB_EPS;
+
+    // (D1) SupNorm over the last W steps.
+    let sup_norm = (n - w..n)
+        .map(|k| sym_rel_change(theta_n, rm[k - 1]))
+        .fold(0.0f64, f64::max);
+
+    // (D2) Jackknife: leave-one-out medians.
+    let jackknife = (0..n)
+        .map(|t| {
+            let mut loo: Vec<f64> = Vec::with_capacity(n - 1);
+            loo.extend_from_slice(&seq[..t]);
+            loo.extend_from_slice(&seq[t + 1..]);
+            (median(&loo) - theta_n).abs() / denom
+        })
+        .fold(0.0f64, f64::max);
+
+    // (D3) Tail adjustment: running-median increments over the last W.
+    let tail_adj = (n - w..n)
+        .map(|k| (rm[k] - rm[k - 1]).abs() / denom)
+        .fold(0.0f64, f64::max);
+
+    // (D4) Rolling-window SD of windowed medians.
+    let rolls: Vec<f64> = (w..=n).map(|k| median(&seq[k - w..k])).collect();
+    let roll_sd = if rolls.len() < 2 {
+        0.0
+    } else {
+        let m = rolls.iter().sum::<f64>() / rolls.len() as f64;
+        let var = rolls.iter().map(|r| (r - m) * (r - m)).sum::<f64>() / (rolls.len() - 1) as f64;
+        var.sqrt() / denom
+    };
+
+    StabilityMetrics {
+        sup_norm,
+        jackknife,
+        tail_adj,
+        roll_sd,
+    }
+}
+
+/// One row of the Table 1 reproduction: metric summaries at one percentile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StabilityRow {
+    /// The percentile `p` whose per-sample sequence was diagnosed.
+    pub p: f64,
+    /// SupNorm at the 50th / 90th percentile across operators.
+    pub sup_norm: (f64, f64),
+    /// Jackknife at the 50th / 90th percentile across operators.
+    pub jackknife: (f64, f64),
+    /// TailAdj at the 50th / 90th percentile across operators.
+    pub tail_adj: (f64, f64),
+    /// RollSD at the 50th / 90th percentile across operators.
+    pub roll_sd: (f64, f64),
+}
+
+/// Computes Table 1 rows: for each requested percentile, run the four
+/// diagnostics on every operator's per-sample absolute-error sequence and
+/// summarize across operators at the 50th and 90th percentiles.
+pub fn stability_table(record: &CalibrationRecord, ps: &[f64], w: usize) -> Vec<StabilityRow> {
+    ps.iter()
+        .filter_map(|&p| {
+            let gi = grid_index(p)?;
+            let mut sup = Vec::new();
+            let mut jk = Vec::new();
+            let mut tail = Vec::new();
+            let mut roll = Vec::new();
+            for node in &record.nodes {
+                let seq: Vec<f64> = record.sequences[node].iter().map(|pp| pp.abs[gi]).collect();
+                let m = diagnostics(&seq, w);
+                sup.push(m.sup_norm);
+                jk.push(m.jackknife);
+                tail.push(m.tail_adj);
+                roll.push(m.roll_sd);
+            }
+            let summary = |v: &[f64]| (percentile(v, 50.0), percentile(v, 90.0));
+            Some(StabilityRow {
+                p,
+                sup_norm: summary(&sup),
+                jackknife: summary(&jk),
+                tail_adj: summary(&tail),
+                roll_sd: summary(&roll),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_rel_change_properties() {
+        assert_eq!(sym_rel_change(1.0, 1.0), 0.0);
+        assert!((sym_rel_change(1.0, 0.0) - 2.0).abs() < 1e-9);
+        assert_eq!(sym_rel_change(2.0, 1.0), sym_rel_change(1.0, 2.0));
+    }
+
+    #[test]
+    fn running_medians_known() {
+        let rm = running_medians(&[3.0, 1.0, 2.0]);
+        assert_eq!(rm, vec![3.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_sequence_fully_stable() {
+        let seq = vec![1e-6; 50];
+        let m = diagnostics(&seq, DEFAULT_WINDOW);
+        assert_eq!(m.sup_norm, 0.0);
+        assert_eq!(m.jackknife, 0.0);
+        assert_eq!(m.tail_adj, 0.0);
+        // Variance of identical values carries only f64 noise.
+        assert!(m.roll_sd < 1e-12, "roll_sd {}", m.roll_sd);
+    }
+
+    #[test]
+    fn near_stationary_sequence_small_metrics() {
+        // Small jitter around a stable level: metrics stay modest.
+        let seq: Vec<f64> = (0..50)
+            .map(|i| 1e-6 * (1.0 + 0.02 * ((i * 7 % 10) as f64 / 10.0 - 0.5)))
+            .collect();
+        let m = diagnostics(&seq, DEFAULT_WINDOW);
+        assert!(m.sup_norm < 0.05, "sup {}", m.sup_norm);
+        assert!(m.jackknife < 0.05, "jk {}", m.jackknife);
+        assert!(m.tail_adj < 0.05, "tail {}", m.tail_adj);
+        assert!(m.roll_sd < 0.15, "roll {}", m.roll_sd);
+    }
+
+    #[test]
+    fn drifting_sequence_flagged() {
+        // Strong upward drift: SupNorm must be large.
+        let seq: Vec<f64> = (0..50).map(|i| (i + 1) as f64).collect();
+        let m = diagnostics(&seq, DEFAULT_WINDOW);
+        assert!(m.sup_norm > 0.05, "sup {}", m.sup_norm);
+    }
+
+    #[test]
+    fn outlier_inflates_jackknife() {
+        // Short sequence so one point can move the median visibly.
+        let mut seq = vec![1.0; 5];
+        seq[2] = 100.0;
+        let clean = diagnostics(&vec![1.0; 5], 3).jackknife;
+        let dirty = diagnostics(&seq, 3).jackknife;
+        assert!(dirty >= clean);
+    }
+
+    #[test]
+    fn degenerate_sequences() {
+        let m = diagnostics(&[], DEFAULT_WINDOW);
+        assert_eq!(m.sup_norm, 0.0);
+        let m1 = diagnostics(&[5.0], DEFAULT_WINDOW);
+        assert_eq!(m1.jackknife, 0.0);
+        let nan = diagnostics(&[f64::NAN, 1.0, 1.0], 2);
+        assert!(nan.sup_norm.is_finite());
+    }
+}

@@ -1,0 +1,96 @@
+//! Phase 0: model deployment — calibration and commitments.
+
+use tao_calib::{calibrate, CalibrationRecord, ThresholdBundle};
+use tao_device::Fleet;
+use tao_merkle::{commit_model, graph_tree, weight_tree, MerkleTree, ModelCommitment};
+use tao_models::Model;
+use tao_tensor::Tensor;
+
+use crate::error::TaoError;
+use crate::Result;
+
+/// A deployed model: the traced graph plus everything the protocol needs —
+/// calibrated thresholds, Merkle trees and the on-coordinator commitment.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The traced model.
+    pub model: Model,
+    /// The calibration fleet.
+    pub fleet: Fleet,
+    /// Committed empirical thresholds (α-inflated envelopes).
+    pub thresholds: ThresholdBundle,
+    /// Raw calibration record (kept for stability diagnostics and plots).
+    pub calibration: CalibrationRecord,
+    /// Weight Merkle tree `T_w`.
+    pub weight_tree: MerkleTree,
+    /// Graph-structure Merkle tree `T_g`.
+    pub graph_tree: MerkleTree,
+    /// The Phase 0 commitment `(r_w, r_g, r_e)`.
+    pub commitment: ModelCommitment,
+}
+
+/// Runs Phase 0: offline cross-device calibration over `samples`, α
+/// inflation, and Merkle commitment of weights, graph and thresholds.
+///
+/// # Errors
+///
+/// Returns an error when calibration fails (empty fleet or samples).
+pub fn deploy(
+    model: Model,
+    fleet: Fleet,
+    samples: &[Vec<Tensor<f32>>],
+    alpha: f64,
+) -> Result<Deployment> {
+    if alpha < 1.0 {
+        return Err(TaoError::Config(format!(
+            "safety factor alpha {alpha} must be >= 1"
+        )));
+    }
+    let calibration = calibrate(&model.graph, samples, &fleet)?;
+    let thresholds = calibration.clone().into_thresholds(alpha);
+    let wt = weight_tree(&model.graph);
+    let gt = graph_tree(&model.graph);
+    let commitment = commit_model(&model.graph, &thresholds.to_leaves());
+    Ok(Deployment {
+        model,
+        fleet,
+        thresholds,
+        calibration,
+        weight_tree: wt,
+        graph_tree: gt,
+        commitment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_calib::DEFAULT_ALPHA;
+    use tao_models::{bert, BertConfig};
+
+    #[test]
+    fn deploy_produces_consistent_commitments() {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = tao_models::data::token_dataset(4, cfg.seq, cfg.vocab, 10);
+        let d = deploy(model, Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+        assert_eq!(d.commitment.weight_root, d.weight_tree.root());
+        assert_eq!(d.commitment.graph_root, d.graph_tree.root());
+        assert_eq!(d.thresholds.alpha, DEFAULT_ALPHA);
+        assert!(!d.thresholds.operators.is_empty());
+    }
+
+    #[test]
+    fn alpha_below_one_rejected() {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = tao_models::data::token_dataset(2, cfg.seq, cfg.vocab, 10);
+        assert!(deploy(model, Fleet::standard(), &samples, 0.5).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Unified error type for the end-to-end runtime.
+
+use core::fmt;
+
+/// Errors surfaced by the `tao` facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaoError {
+    /// Graph construction or execution failed.
+    Graph(String),
+    /// Calibration failed.
+    Calib(String),
+    /// Protocol action failed.
+    Protocol(String),
+    /// Bound computation failed.
+    Bound(String),
+    /// Attack machinery failed.
+    Attack(String),
+    /// Configuration problem in the runtime itself.
+    Config(String),
+}
+
+impl fmt::Display for TaoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            TaoError::Graph(m) => ("graph", m),
+            TaoError::Calib(m) => ("calibration", m),
+            TaoError::Protocol(m) => ("protocol", m),
+            TaoError::Bound(m) => ("bound", m),
+            TaoError::Attack(m) => ("attack", m),
+            TaoError::Config(m) => ("config", m),
+        };
+        write!(f, "{kind} error: {msg}")
+    }
+}
+
+impl std::error::Error for TaoError {}
+
+impl From<tao_graph::GraphError> for TaoError {
+    fn from(e: tao_graph::GraphError) -> Self {
+        TaoError::Graph(e.to_string())
+    }
+}
+
+impl From<tao_calib::CalibError> for TaoError {
+    fn from(e: tao_calib::CalibError) -> Self {
+        TaoError::Calib(e.to_string())
+    }
+}
+
+impl From<tao_protocol::ProtocolError> for TaoError {
+    fn from(e: tao_protocol::ProtocolError) -> Self {
+        TaoError::Protocol(e.to_string())
+    }
+}
+
+impl From<tao_bounds::BoundError> for TaoError {
+    fn from(e: tao_bounds::BoundError) -> Self {
+        TaoError::Bound(e.to_string())
+    }
+}
+
+impl From<tao_attack::AttackError> for TaoError {
+    fn from(e: tao_attack::AttackError) -> Self {
+        TaoError::Attack(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TaoError = tao_calib::CalibError::NoSamples.into();
+        assert!(e.to_string().contains("calibration"));
+        let g: TaoError = tao_graph::GraphError::Malformed("x".into()).into();
+        assert!(g.to_string().contains("graph"));
+    }
+}

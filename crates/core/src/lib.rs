@@ -1,0 +1,60 @@
+//! # tao
+//!
+//! TAO: tolerance-aware optimistic verification for floating-point neural
+//! networks — the end-to-end runtime tying together the tensor/device/graph
+//! substrates, the dual error models, calibration, commitments, the
+//! dispute protocol and the attack suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tao::{deploy, default_coordinator, run_session, ProposerBehavior, SessionConfig};
+//! use tao_device::Fleet;
+//! use tao_models::{bert, data, BertConfig};
+//!
+//! // Phase 0: trace, calibrate and commit a model.
+//! let cfg = BertConfig { layers: 1, ..BertConfig::small() };
+//! let model = bert::build(cfg, 1);
+//! let samples = data::token_dataset(4, cfg.seq, cfg.vocab, 7);
+//! let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
+//!
+//! // Phases 1-3: an honest run finalizes unchallenged.
+//! let mut coordinator = default_coordinator().unwrap();
+//! let inputs = vec![bert::sample_ids(cfg, 42)];
+//! let report = run_session(
+//!     &deployment,
+//!     &mut coordinator,
+//!     &SessionConfig::default(),
+//!     &inputs,
+//!     &ProposerBehavior::Honest,
+//! )
+//! .unwrap();
+//! assert!(report.proposer_prevailed());
+//! ```
+
+pub mod deploy;
+pub mod error;
+pub mod session;
+pub mod verify;
+
+pub use deploy::{deploy, Deployment};
+pub use error::TaoError;
+pub use session::{
+    challenger_flags, default_coordinator, run_session, ProposerBehavior, SessionConfig,
+    SessionReport,
+};
+pub use verify::{make_receipt, screen_output, verify_receipt, Receipt, ScreeningReport};
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use tao_attack as attack;
+pub use tao_bounds as bounds;
+pub use tao_calib as calib;
+pub use tao_device as device;
+pub use tao_graph as graph;
+pub use tao_merkle as merkle;
+pub use tao_models as models;
+pub use tao_protocol as protocol;
+pub use tao_tensor as tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, TaoError>;

@@ -1,0 +1,333 @@
+//! Phases 1–3: the end-to-end optimistic verification session.
+
+use tao_bounds::BoundEngine;
+use tao_calib::{error_profile, DEFAULT_EPS};
+use tao_device::Device;
+use tao_graph::{execute, Execution, Perturbations};
+use tao_merkle::{claim_commitment, tensor_hash, ClaimMeta};
+use tao_protocol::{
+    adjudicate, leaf_case, run_dispute, sample_committee, AdjudicationPath, ClaimStatus,
+    Coordinator, DisputeConfig, DisputeOutcome, DisputeResult, LeafVerdict, Party,
+};
+use tao_tensor::Tensor;
+
+use crate::deploy::Deployment;
+use crate::error::TaoError;
+use crate::Result;
+
+/// How the proposer behaves during Phase 1.
+#[derive(Debug, Clone)]
+pub enum ProposerBehavior {
+    /// Runs the committed model faithfully on its device.
+    Honest,
+    /// Injects the given additive perturbations at operator outputs.
+    Malicious(Perturbations),
+}
+
+/// Configuration of one verification session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Proposer device.
+    pub proposer: Device,
+    /// Challenger device.
+    pub challenger: Device,
+    /// Challenge window in coordinator ticks.
+    pub window: u64,
+    /// Dispute partition width `N`.
+    pub n_way: usize,
+    /// Committee size for Phase 3 (odd).
+    pub committee: usize,
+    /// Sortition seed.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            proposer: Device::rtx4090_like(),
+            challenger: Device::h100_like(),
+            window: 10,
+            n_way: 2,
+            committee: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Everything that happened in one session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Coordinator claim id.
+    pub claim_id: u64,
+    /// The proposer's posted output.
+    pub output: Tensor<f32>,
+    /// Whether the challenger's screen flagged the claim.
+    pub challenged: bool,
+    /// Dispute-game outcome when challenged.
+    pub dispute: Option<DisputeOutcome>,
+    /// Leaf adjudication result when the game reached a leaf.
+    pub verdict: Option<(AdjudicationPath, LeafVerdict)>,
+    /// Final coordinator status of the claim.
+    pub final_status: ClaimStatus,
+}
+
+impl SessionReport {
+    /// True when the claim finalized in the proposer's favour.
+    pub fn proposer_prevailed(&self) -> bool {
+        matches!(
+            self.final_status,
+            ClaimStatus::Finalized
+                | ClaimStatus::Settled {
+                    winner: Party::Proposer
+                }
+        )
+    }
+}
+
+/// The challenger's Phase 2 trigger: re-execute and compare the *final
+/// output* error percentiles against the committed thresholds (§2.2).
+///
+/// # Errors
+///
+/// Returns an error when re-execution fails.
+pub fn challenger_flags(
+    deployment: &Deployment,
+    claimed: &Execution,
+    inputs: &[Tensor<f32>],
+    challenger: &Device,
+) -> Result<bool> {
+    let logits = deployment.model.logits;
+    let own = execute(&deployment.model.graph, inputs, challenger.config(), None)?;
+    let prof = error_profile(claimed.value(logits)?, own.value(logits)?, DEFAULT_EPS);
+    let exceedance = deployment
+        .thresholds
+        .exceedance(logits, &prof)
+        .unwrap_or(f64::INFINITY);
+    Ok(exceedance > 1.0)
+}
+
+/// Runs a full session: proposer executes and commits (Phase 1); the
+/// challenger screens the result and, if it exceeds thresholds, plays the
+/// dispute game (Phase 2) and leaf adjudication (Phase 3); the
+/// coordinator settles bonds accordingly.
+///
+/// # Errors
+///
+/// Returns an error if any protocol step fails structurally (kernel
+/// errors, missing funds, bad records). Verdicts — including "challenger
+/// loses" — are reported in the [`SessionReport`], not as errors.
+pub fn run_session(
+    deployment: &Deployment,
+    coordinator: &mut Coordinator,
+    cfg: &SessionConfig,
+    inputs: &[Tensor<f32>],
+    behavior: &ProposerBehavior,
+) -> Result<SessionReport> {
+    let graph = &deployment.model.graph;
+
+    // Phase 1: proposer executes and commits.
+    let perturb = match behavior {
+        ProposerBehavior::Honest => None,
+        ProposerBehavior::Malicious(p) => Some(p),
+    };
+    let trace = execute(graph, inputs, cfg.proposer.config(), perturb)?;
+    let output = trace.value(deployment.model.logits)?.clone();
+    let meta = ClaimMeta {
+        device: cfg.proposer.name().to_string(),
+        kernel: format!("{:?}", cfg.proposer.config().accum),
+        dtype: "f32".to_string(),
+        challenge_window: cfg.window,
+    };
+    let input_hash = tensor_hash(&inputs[0]);
+    let c0 = claim_commitment(
+        &deployment.commitment,
+        &input_hash,
+        &tensor_hash(&output),
+        &meta,
+    );
+    let claim_id = coordinator.submit_claim("proposer", c0, &meta)?;
+
+    // Challenger screening.
+    let challenged = challenger_flags(deployment, &trace, inputs, &cfg.challenger)?;
+    if !challenged {
+        coordinator.advance(cfg.window + 1);
+        let final_status = coordinator.claim(claim_id)?.status.clone();
+        return Ok(SessionReport {
+            claim_id,
+            output,
+            challenged: false,
+            dispute: None,
+            verdict: None,
+            final_status,
+        });
+    }
+
+    // Phase 2: dispute localization.
+    coordinator.open_challenge(claim_id, "challenger")?;
+    let outcome = run_dispute(
+        graph,
+        &deployment.graph_tree,
+        &deployment.weight_tree,
+        &deployment.commitment.graph_root,
+        &deployment.commitment.weight_root,
+        &trace,
+        inputs,
+        &cfg.challenger,
+        &deployment.thresholds,
+        DisputeConfig { n_way: cfg.n_way },
+    )?;
+
+    let (verdict, winner) = match outcome.result {
+        DisputeResult::Leaf(leaf) => {
+            // Phase 3: single-operator adjudication.
+            let case = leaf_case(graph, leaf, &trace, inputs);
+            let committee = sample_committee(deployment.fleet.devices(), cfg.committee, cfg.seed);
+            let engine = BoundEngine::paper_default();
+            let (path, leaf_verdict) =
+                adjudicate(&case, &engine, &deployment.thresholds, &committee)?;
+            let winner = match leaf_verdict {
+                LeafVerdict::Fraud => Party::Challenger,
+                LeafVerdict::Accepted => Party::Proposer,
+            };
+            (Some((path, leaf_verdict)), winner)
+        }
+        DisputeResult::NoOffendingChild { .. } => (None, Party::Proposer),
+    };
+    coordinator.settle(claim_id, winner, cfg.committee)?;
+    let final_status = coordinator.claim(claim_id)?.status.clone();
+    Ok(SessionReport {
+        claim_id,
+        output,
+        challenged: true,
+        dispute: Some(outcome),
+        verdict,
+        final_status,
+    })
+}
+
+/// Convenience: builds a funded coordinator with default market economics
+/// and a mid-region slash.
+///
+/// # Errors
+///
+/// Returns an error when the default economics have an empty feasible
+/// region (they do not).
+pub fn default_coordinator() -> Result<Coordinator> {
+    let econ = tao_protocol::EconParams::default_market();
+    let (lo, hi) = econ
+        .feasible_slash_region()
+        .ok_or_else(|| TaoError::Config("default economics infeasible".into()))?;
+    let mut c = Coordinator::new(econ, (lo + hi) / 2.0)?;
+    c.fund("proposer", 10_000.0);
+    c.fund("challenger", 1_000.0);
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy;
+    use tao_calib::DEFAULT_ALPHA;
+    use tao_device::Fleet;
+    use tao_models::{bert, data, BertConfig};
+
+    fn deployment() -> (Deployment, Vec<Tensor<f32>>) {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = data::token_dataset(6, cfg.seq, cfg.vocab, 100);
+        let d = deploy(model, Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+        let inputs = vec![bert::sample_ids(cfg, 777)];
+        (d, inputs)
+    }
+
+    #[test]
+    fn honest_session_finalizes_unchallenged() {
+        let (d, inputs) = deployment();
+        let mut coord = default_coordinator().unwrap();
+        let report = run_session(
+            &d,
+            &mut coord,
+            &SessionConfig::default(),
+            &inputs,
+            &ProposerBehavior::Honest,
+        )
+        .unwrap();
+        assert!(
+            !report.challenged,
+            "honest cross-device run must pass screening"
+        );
+        assert!(report.proposer_prevailed());
+        assert!(matches!(report.final_status, ClaimStatus::Finalized));
+    }
+
+    #[test]
+    fn malicious_session_is_caught_and_slashed() {
+        let (d, inputs) = deployment();
+        let mut coord = default_coordinator().unwrap();
+        // Perturb an interior operator enough to shift the output.
+        let target = d.model.graph.compute_nodes()[2];
+        let honest = execute(
+            &d.model.graph,
+            &inputs,
+            Device::rtx4090_like().config(),
+            None,
+        )
+        .unwrap();
+        let shape = honest.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.02));
+        let report = run_session(
+            &d,
+            &mut coord,
+            &SessionConfig::default(),
+            &inputs,
+            &ProposerBehavior::Malicious(p),
+        )
+        .unwrap();
+        assert!(report.challenged);
+        let dispute = report.dispute.as_ref().unwrap();
+        assert!(matches!(dispute.result, DisputeResult::Leaf(_)));
+        let (_, verdict) = report.verdict.unwrap();
+        assert_eq!(verdict, LeafVerdict::Fraud);
+        assert!(matches!(
+            report.final_status,
+            ClaimStatus::Settled {
+                winner: Party::Challenger
+            }
+        ));
+        assert!(coord.balance("challenger") > 1_000.0 - 1e-9);
+    }
+
+    #[test]
+    fn dispute_localizes_exact_perturbed_operator() {
+        let (d, inputs) = deployment();
+        let mut coord = default_coordinator().unwrap();
+        let target = d.model.graph.compute_nodes()[4];
+        let honest = execute(
+            &d.model.graph,
+            &inputs,
+            Device::rtx4090_like().config(),
+            None,
+        )
+        .unwrap();
+        let shape = honest.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.05));
+        let report = run_session(
+            &d,
+            &mut coord,
+            &SessionConfig::default(),
+            &inputs,
+            &ProposerBehavior::Malicious(p),
+        )
+        .unwrap();
+        if let Some(dispute) = &report.dispute {
+            if let DisputeResult::Leaf(leaf) = dispute.result {
+                assert_eq!(leaf, target, "dispute must land on the perturbed operator");
+            }
+        }
+    }
+}

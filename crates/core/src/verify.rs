@@ -1,0 +1,167 @@
+//! User-side verification utilities: everything a result consumer can
+//! check *without* playing the dispute game — commitment binding, output
+//! screening, and receipt construction.
+
+use tao_calib::{error_profile, DEFAULT_EPS};
+use tao_device::Device;
+use tao_graph::execute;
+use tao_merkle::{claim_commitment, tensor_hash, ClaimMeta, Digest};
+use tao_tensor::Tensor;
+
+use crate::deploy::Deployment;
+use crate::Result;
+
+/// A verifiable receipt the proposer hands the user alongside the output.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Receipt {
+    /// The claim commitment `C0` as posted on the coordinator.
+    pub commitment: Digest,
+    /// Execution metadata bound into the commitment.
+    pub meta: ClaimMeta,
+    /// Hash of the input the proposer claims to have served.
+    pub input_hash: Digest,
+    /// Hash of the returned output.
+    pub output_hash: Digest,
+}
+
+/// Builds a receipt for a served request.
+pub fn make_receipt(
+    deployment: &Deployment,
+    input: &Tensor<f32>,
+    output: &Tensor<f32>,
+    meta: ClaimMeta,
+) -> Receipt {
+    let input_hash = tensor_hash(input);
+    let output_hash = tensor_hash(output);
+    let commitment = claim_commitment(&deployment.commitment, &input_hash, &output_hash, &meta);
+    Receipt {
+        commitment,
+        meta,
+        input_hash,
+        output_hash,
+    }
+}
+
+/// Checks that a receipt binds the given input/output to the deployment's
+/// committed model: recomputes `C0` from first principles and compares.
+pub fn verify_receipt(
+    deployment: &Deployment,
+    receipt: &Receipt,
+    input: &Tensor<f32>,
+    output: &Tensor<f32>,
+) -> bool {
+    tensor_hash(input) == receipt.input_hash
+        && tensor_hash(output) == receipt.output_hash
+        && claim_commitment(
+            &deployment.commitment,
+            &receipt.input_hash,
+            &receipt.output_hash,
+            &receipt.meta,
+        ) == receipt.commitment
+}
+
+/// Outcome of the user-side output screening.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScreeningReport {
+    /// The Eq. 15 exceedance of the returned output versus a local
+    /// re-execution.
+    pub exceedance: f64,
+    /// True when the output should be disputed.
+    pub should_challenge: bool,
+}
+
+/// Screens a returned output by re-executing locally on `device` and
+/// comparing error percentiles against the committed thresholds — the
+/// same check a voluntary challenger runs (§2.2 Phase 2 trigger).
+///
+/// # Errors
+///
+/// Returns an error when local re-execution fails.
+pub fn screen_output(
+    deployment: &Deployment,
+    inputs: &[Tensor<f32>],
+    claimed_output: &Tensor<f32>,
+    device: &Device,
+) -> Result<ScreeningReport> {
+    let logits = deployment.model.logits;
+    let own = execute(&deployment.model.graph, inputs, device.config(), None)?;
+    let prof = error_profile(claimed_output, own.value(logits)?, DEFAULT_EPS);
+    let exceedance = deployment
+        .thresholds
+        .exceedance(logits, &prof)
+        .unwrap_or(f64::INFINITY);
+    Ok(ScreeningReport {
+        exceedance,
+        should_challenge: exceedance > 1.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy;
+    use tao_device::Fleet;
+    use tao_models::{bert, data, BertConfig};
+
+    fn setup() -> (Deployment, Vec<Tensor<f32>>, Tensor<f32>) {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = data::token_dataset(16, cfg.seq, cfg.vocab, 50);
+        let d = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
+        let inputs = vec![bert::sample_ids(cfg, 5)];
+        let exec = execute(&d.model.graph, &inputs, Device::a100_like().config(), None).unwrap();
+        let output = exec.value(d.model.logits).unwrap().clone();
+        (d, inputs, output)
+    }
+
+    fn meta() -> ClaimMeta {
+        ClaimMeta {
+            device: "sim-a100".into(),
+            kernel: "pairwise".into(),
+            dtype: "f32".into(),
+            challenge_window: 10,
+        }
+    }
+
+    #[test]
+    fn receipt_roundtrip() {
+        let (d, inputs, output) = setup();
+        let r = make_receipt(&d, &inputs[0], &output, meta());
+        assert!(verify_receipt(&d, &r, &inputs[0], &output));
+    }
+
+    #[test]
+    fn receipt_rejects_swapped_output() {
+        let (d, inputs, output) = setup();
+        let r = make_receipt(&d, &inputs[0], &output, meta());
+        let mut other = output.clone();
+        other.data_mut()[0] += 1e-3;
+        assert!(!verify_receipt(&d, &r, &inputs[0], &other));
+        // And a swapped input.
+        let other_input = inputs[0].add_scalar(1.0);
+        assert!(!verify_receipt(&d, &r, &other_input, &output));
+    }
+
+    #[test]
+    fn receipt_rejects_forged_meta() {
+        let (d, inputs, output) = setup();
+        let mut r = make_receipt(&d, &inputs[0], &output, meta());
+        r.meta.challenge_window = 1; // Shortened window forgery.
+        assert!(!verify_receipt(&d, &r, &inputs[0], &output));
+    }
+
+    #[test]
+    fn screening_accepts_honest_flags_tampered() {
+        let (d, inputs, output) = setup();
+        let device = Device::h100_like();
+        let ok = screen_output(&d, &inputs, &output, &device).unwrap();
+        assert!(!ok.should_challenge, "exceedance {}", ok.exceedance);
+        let tampered = output.add_scalar(0.01);
+        let bad = screen_output(&d, &inputs, &tampered, &device).unwrap();
+        assert!(bad.should_challenge);
+        assert!(bad.exceedance > ok.exceedance);
+    }
+}

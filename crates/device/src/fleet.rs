@@ -1,0 +1,85 @@
+//! A named collection of devices used for calibration and committees.
+
+use crate::device::Device;
+
+/// An ordered, named collection of simulated devices.
+///
+/// Calibration (in `tao-calib`) sweeps all ordered device *pairs* of a
+/// fleet; committee sampling (in `tao-protocol`) draws adjudicators from a
+/// fleet.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fleet {
+    devices: Vec<Device>,
+}
+
+impl Fleet {
+    /// Creates a fleet from a device list.
+    pub fn new(devices: Vec<Device>) -> Self {
+        Fleet { devices }
+    }
+
+    /// The paper's four-GPU calibration fleet.
+    pub fn standard() -> Self {
+        Fleet {
+            devices: Device::standard_fleet(),
+        }
+    }
+
+    /// Devices in order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks a device up by name.
+    pub fn get(&self, name: &str) -> Option<&Device> {
+        self.devices.iter().find(|d| d.name() == name)
+    }
+
+    /// All ordered pairs `(i, j)` with `i < j` (the calibration sweep).
+    pub fn pairs(&self) -> Vec<(&Device, &Device)> {
+        let mut out = Vec::new();
+        for i in 0..self.devices.len() {
+            for j in i + 1..self.devices.len() {
+                out.push((&self.devices[i], &self.devices[j]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_fleet_pairs() {
+        let f = Fleet::standard();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.pairs().len(), 6);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let f = Fleet::standard();
+        assert!(f.get("sim-a100").is_some());
+        assert!(f.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let f = Fleet::new(vec![]);
+        assert!(f.is_empty());
+        assert!(f.pairs().is_empty());
+    }
+}

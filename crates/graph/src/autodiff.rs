@@ -1,0 +1,945 @@
+//! Reverse-mode automatic differentiation over executed graphs.
+//!
+//! The bound-aware attacks of §4.4 need `∇_{Δ_v} L` for perturbations
+//! injected at arbitrary operator outputs. Because the loss gradient with
+//! respect to a node's *output* is exactly the gradient with respect to a
+//! perturbation added to it, one backward pass yields every `∇_{Δ_v}`
+//! simultaneously.
+//!
+//! Gradients are computed in plain f32 under the reference kernel
+//! configuration; attack optimization does not need bitwise-faithful
+//! device rounding, only accurate descent directions.
+
+use std::collections::HashMap;
+
+use tao_tensor::{KernelConfig, MathElement, Shape, Tensor};
+
+use crate::error::GraphError;
+use crate::exec::Execution;
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::OpKind;
+use crate::Result;
+
+/// Per-node gradients produced by [`backward`]; `None` where no gradient
+/// reached the node (or none is defined, e.g. embedding indices).
+pub type Gradients = Vec<Option<Tensor<f32>>>;
+
+/// Runs reverse-mode differentiation.
+///
+/// `seed_grads` maps output (or interior) node ids to their upstream
+/// gradient tensors — typically the single graph output with `dL/dy`.
+///
+/// # Errors
+///
+/// Returns an error when a seed shape mismatches its node output or a VJP
+/// hits malformed state.
+pub fn backward(
+    graph: &Graph,
+    exec: &Execution,
+    inputs: &[Tensor<f32>],
+    seed_grads: &HashMap<NodeId, Tensor<f32>>,
+) -> Result<Gradients> {
+    let cfg = KernelConfig::reference();
+    let mut grads: Gradients = vec![None; graph.len()];
+    for (&id, g) in seed_grads {
+        let out = exec.value(id)?;
+        if g.shape() != out.shape() {
+            return Err(GraphError::Malformed(format!(
+                "seed gradient for {id} has shape {:?}, node output is {:?}",
+                g.dims(),
+                out.dims()
+            )));
+        }
+        accumulate(&mut grads, id, g.clone())?;
+    }
+    for node in graph.nodes().iter().rev() {
+        let Some(gout) = grads[node.id.0].clone() else {
+            continue;
+        };
+        let input_grads = vjp(graph, node, exec, inputs, &gout, &cfg)?;
+        for (slot, grad) in node.inputs.iter().zip(input_grads) {
+            if let Some(g) = grad {
+                accumulate(&mut grads, *slot, g)?;
+            }
+        }
+    }
+    Ok(grads)
+}
+
+fn accumulate(grads: &mut Gradients, id: NodeId, g: Tensor<f32>) -> Result<()> {
+    match &mut grads[id.0] {
+        Some(existing) => {
+            *existing = existing.add(&g)?;
+        }
+        slot @ None => *slot = Some(g),
+    }
+    Ok(())
+}
+
+/// Sums `grad` over broadcast dimensions so it matches `target` (the VJP of
+/// implicit broadcasting).
+fn unbroadcast(grad: &Tensor<f32>, target: &Shape, cfg: &KernelConfig) -> Result<Tensor<f32>> {
+    if grad.shape() == target {
+        return Ok(grad.clone());
+    }
+    let mut g = grad.clone();
+    // Collapse leading extra axes.
+    while g.rank() > target.rank() {
+        g = g.sum_axis(0, cfg)?;
+    }
+    // Sum axes where the target extent is 1.
+    for axis in 0..target.rank() {
+        if target.dims()[axis] == 1 && g.dims()[axis] != 1 {
+            let summed = g.sum_axis(axis, cfg)?;
+            // Re-insert the singleton axis.
+            let mut dims = summed.dims().to_vec();
+            dims.insert(axis, 1);
+            g = summed.reshape(&dims)?;
+        }
+    }
+    Ok(g)
+}
+
+/// Per-operator vector-Jacobian product: gradient w.r.t. each input.
+#[allow(clippy::too_many_lines)]
+fn vjp(
+    _graph: &Graph,
+    node: &Node,
+    exec: &Execution,
+    inputs: &[Tensor<f32>],
+    gout: &Tensor<f32>,
+    cfg: &KernelConfig,
+) -> Result<Vec<Option<Tensor<f32>>>> {
+    let val = |id: NodeId| exec.value(id);
+    let out = exec.value(node.id)?;
+    let _ = inputs;
+    let gs: Vec<Option<Tensor<f32>>> = match &node.kind {
+        OpKind::Input(_) | OpKind::Parameter(_) => vec![],
+
+        OpKind::Add => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            vec![
+                Some(unbroadcast(gout, a.shape(), cfg)?),
+                Some(unbroadcast(gout, b.shape(), cfg)?),
+            ]
+        }
+        OpKind::Sub => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            vec![
+                Some(unbroadcast(gout, a.shape(), cfg)?),
+                Some(unbroadcast(&gout.neg(), b.shape(), cfg)?),
+            ]
+        }
+        OpKind::Mul => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            vec![
+                Some(unbroadcast(&gout.mul(b)?, a.shape(), cfg)?),
+                Some(unbroadcast(&gout.mul(a)?, b.shape(), cfg)?),
+            ]
+        }
+        OpKind::Div => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            let ga = gout.div(b)?;
+            let gb = gout.mul(a)?.div(&b.mul(b)?)?.neg();
+            vec![
+                Some(unbroadcast(&ga, a.shape(), cfg)?),
+                Some(unbroadcast(&gb, b.shape(), cfg)?),
+            ]
+        }
+        OpKind::Pow => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            // d(a^b)/da = b a^(b-1);  d(a^b)/db = a^b ln a.
+            let ga = gout.mul(b)?.mul(&a.pow(&b.add_scalar(-1.0))?)?;
+            let ln_a = a.map(|x| if x > 0.0 { x.ln() } else { 0.0 });
+            let gb = gout.mul(out)?.mul(&ln_a)?;
+            vec![
+                Some(unbroadcast(&ga, a.shape(), cfg)?),
+                Some(unbroadcast(&gb, b.shape(), cfg)?),
+            ]
+        }
+        OpKind::Neg => vec![Some(gout.neg())],
+        OpKind::AddScalar(_) => vec![Some(gout.clone())],
+        OpKind::MulScalar(s) => vec![Some(gout.mul_scalar(*s as f32))],
+        OpKind::PowScalar(p) => {
+            let x = val(node.inputs[0])?;
+            let p32 = *p as f32;
+            let g = gout.mul(&x.pow_scalar(p32 - 1.0).mul_scalar(p32))?;
+            vec![Some(g)]
+        }
+        OpKind::Sqrt => {
+            // d√x = 1/(2√x) = 0.5 / out.
+            let g = gout.mul(&out.map(|y| if y > 0.0 { 0.5 / y } else { 0.0 }))?;
+            vec![Some(g)]
+        }
+        OpKind::Rsqrt => {
+            // d x^-1/2 = -1/2 x^-3/2 = -out^3 / 2.
+            let g = gout.mul(&out.map(|y| -0.5 * y * y * y))?;
+            vec![Some(g)]
+        }
+        OpKind::Exp => vec![Some(gout.mul(out)?)],
+        OpKind::Log => {
+            let x = val(node.inputs[0])?;
+            vec![Some(gout.div(x)?)]
+        }
+        OpKind::Sin => {
+            let x = val(node.inputs[0])?;
+            vec![Some(gout.mul(&x.cos())?)]
+        }
+        OpKind::Cos => {
+            let x = val(node.inputs[0])?;
+            vec![Some(gout.mul(&x.sin().neg())?)]
+        }
+        OpKind::Tanh => {
+            // 1 - tanh^2.
+            let g = gout.mul(&out.map(|t| 1.0 - t * t))?;
+            vec![Some(g)]
+        }
+        OpKind::Relu => {
+            let x = val(node.inputs[0])?;
+            let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            vec![Some(gout.mul(&mask)?)]
+        }
+        OpKind::Gelu => {
+            let x = val(node.inputs[0])?;
+            const C: f32 = 0.797_884_6;
+            const K: f32 = 0.044_715;
+            let d = x.map(|v| {
+                let u = C * (v + K * v * v * v);
+                let t = u.tanh_with(cfg.math);
+                0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * C * (1.0 + 3.0 * K * v * v)
+            });
+            vec![Some(gout.mul(&d)?)]
+        }
+        OpKind::Silu => {
+            let x = val(node.inputs[0])?;
+            let d = x.map(|v| {
+                let s = v.sigmoid_with(cfg.math);
+                s * (1.0 + v * (1.0 - s))
+            });
+            vec![Some(gout.mul(&d)?)]
+        }
+        OpKind::Sigmoid => {
+            let g = gout.mul(&out.map(|s| s * (1.0 - s)))?;
+            vec![Some(g)]
+        }
+        OpKind::Softmax => {
+            // g_i = y_i (gout_i - Σ_j gout_j y_j) per lane.
+            let d = out.dims()[out.rank() - 1];
+            let mut gx = Vec::with_capacity(out.len());
+            for (ylane, glane) in out.data().chunks(d).zip(gout.data().chunks(d)) {
+                let dot: f32 = ylane.iter().zip(glane).map(|(&y, &g)| y * g).sum();
+                for (y, g) in ylane.iter().zip(glane) {
+                    gx.push(y * (g - dot));
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, out.dims())?)]
+        }
+        OpKind::LayerNorm { eps } => {
+            let x = val(node.inputs[0])?;
+            let gamma = val(node.inputs[1])?;
+            let d = x.dims()[x.rank() - 1];
+            let nd = d as f32;
+            let mut gx = Vec::with_capacity(x.len());
+            let mut ggamma = vec![0.0f32; d];
+            let mut gbeta = vec![0.0f32; d];
+            for (lane, glane) in x.data().chunks(d).zip(gout.data().chunks(d)) {
+                let mean: f32 = lane.iter().sum::<f32>() / nd;
+                let var: f32 = lane.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nd;
+                let inv = 1.0 / (var + *eps as f32).sqrt();
+                let xhat: Vec<f32> = lane.iter().map(|&v| (v - mean) * inv).collect();
+                let gg: Vec<f32> = glane
+                    .iter()
+                    .zip(gamma.data())
+                    .map(|(&g, &gm)| g * gm)
+                    .collect();
+                let mean_gg: f32 = gg.iter().sum::<f32>() / nd;
+                let mean_gg_xhat: f32 =
+                    gg.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f32>() / nd;
+                for i in 0..d {
+                    gx.push(inv * (gg[i] - mean_gg - xhat[i] * mean_gg_xhat));
+                    ggamma[i] += glane[i] * xhat[i];
+                    gbeta[i] += glane[i];
+                }
+            }
+            vec![
+                Some(Tensor::from_vec(gx, x.dims())?),
+                Some(Tensor::from_vec(ggamma, &[d])?),
+                Some(Tensor::from_vec(gbeta, &[d])?),
+            ]
+        }
+        OpKind::RmsNorm { eps } => {
+            let x = val(node.inputs[0])?;
+            let gamma = val(node.inputs[1])?;
+            let d = x.dims()[x.rank() - 1];
+            let nd = d as f32;
+            let mut gx = Vec::with_capacity(x.len());
+            let mut ggamma = vec![0.0f32; d];
+            for (lane, glane) in x.data().chunks(d).zip(gout.data().chunks(d)) {
+                let ms: f32 = lane.iter().map(|&v| v * v).sum::<f32>() / nd;
+                let r = (ms + *eps as f32).sqrt();
+                let dot: f32 = glane
+                    .iter()
+                    .zip(gamma.data())
+                    .zip(lane)
+                    .map(|((&g, &gm), &v)| g * gm * v)
+                    .sum();
+                for i in 0..d {
+                    gx.push(gamma.data()[i] * glane[i] / r - lane[i] * dot / (nd * r * r * r));
+                    ggamma[i] += glane[i] * lane[i] / r;
+                }
+            }
+            vec![
+                Some(Tensor::from_vec(gx, x.dims())?),
+                Some(Tensor::from_vec(ggamma, &[d])?),
+            ]
+        }
+        OpKind::BatchNorm2d { eps } => {
+            let x = val(node.inputs[0])?;
+            let gamma = val(node.inputs[1])?;
+            let rvar = val(node.inputs[4])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let hw = h * w;
+            let mut gx = Vec::with_capacity(x.len());
+            for ni in 0..n {
+                for ci in 0..c {
+                    let scale = gamma.data()[ci] / (rvar.data()[ci] + *eps as f32).sqrt();
+                    let base = (ni * c + ci) * hw;
+                    for &g in &gout.data()[base..base + hw] {
+                        gx.push(g * scale);
+                    }
+                }
+            }
+            // Running stats are constants; gamma/beta grads omitted (eval
+            // mode, adversary cannot touch parameters anyway).
+            vec![
+                Some(Tensor::from_vec(gx, x.dims())?),
+                None,
+                None,
+                None,
+                None,
+            ]
+        }
+        OpKind::GroupNorm { groups, eps } => {
+            let x = val(node.inputs[0])?;
+            let gamma = val(node.inputs[1])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let cg = c / groups;
+            let glen = cg * h * w;
+            let nd = glen as f32;
+            let mut gx = vec![0.0f32; x.len()];
+            for ni in 0..n {
+                for gi in 0..*groups {
+                    let base = (ni * c + gi * cg) * h * w;
+                    let lane = &x.data()[base..base + glen];
+                    let glane = &gout.data()[base..base + glen];
+                    let mean: f32 = lane.iter().sum::<f32>() / nd;
+                    let var: f32 = lane.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nd;
+                    let inv = 1.0 / (var + *eps as f32).sqrt();
+                    let xhat: Vec<f32> = lane.iter().map(|&v| (v - mean) * inv).collect();
+                    let gg: Vec<f32> = glane
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &g)| g * gamma.data()[gi * cg + i / (h * w)])
+                        .collect();
+                    let mean_gg: f32 = gg.iter().sum::<f32>() / nd;
+                    let mean_gg_xhat: f32 =
+                        gg.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f32>() / nd;
+                    for i in 0..glen {
+                        gx[base + i] = inv * (gg[i] - mean_gg - xhat[i] * mean_gg_xhat);
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?), None, None]
+        }
+        OpKind::MatMul => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            // gA = g @ B^T, gB = A^T @ g, reducing over any implicit batch.
+            let bt = transpose_last2(b)?;
+            let at = transpose_last2(a)?;
+            let mut ga = gout.matmul(&bt, cfg)?;
+            let mut gb = at.matmul(gout, cfg)?;
+            if ga.rank() > a.rank() {
+                ga = sum_leading(&ga, a.rank(), cfg)?;
+            }
+            if gb.rank() > b.rank() {
+                gb = sum_leading(&gb, b.rank(), cfg)?;
+            }
+            // When one operand was unbatched but output batched, reduce.
+            if a.rank() == gout.rank() && b.rank() == 2 && gout.rank() > 2 {
+                gb = sum_leading(&gb, 2, cfg)?;
+            }
+            if b.rank() == gout.rank() && a.rank() == 2 && gout.rank() > 2 {
+                ga = sum_leading(&ga, 2, cfg)?;
+            }
+            vec![Some(ga), Some(gb)]
+        }
+        OpKind::Linear => {
+            let x = val(node.inputs[0])?;
+            let wt = val(node.inputs[1])?;
+            let in_f = x.dims()[x.rank() - 1];
+            let out_f = wt.dims()[0];
+            let rows = x.len() / in_f;
+            // gx = g @ W; gW = g^T x (summed over rows); gb = sum g.
+            let mut gx = vec![0.0f32; x.len()];
+            let mut gw = vec![0.0f32; out_f * in_f];
+            let mut gb = vec![0.0f32; out_f];
+            for r in 0..rows {
+                let g = &gout.data()[r * out_f..(r + 1) * out_f];
+                let xr = &x.data()[r * in_f..(r + 1) * in_f];
+                for o in 0..out_f {
+                    let go = g[o];
+                    gb[o] += go;
+                    let wrow = &wt.data()[o * in_f..(o + 1) * in_f];
+                    for i in 0..in_f {
+                        gx[r * in_f + i] += go * wrow[i];
+                        gw[o * in_f + i] += go * xr[i];
+                    }
+                }
+            }
+            let mut out_grads = vec![
+                Some(Tensor::from_vec(gx, x.dims())?),
+                Some(Tensor::from_vec(gw, wt.dims())?),
+            ];
+            if node.inputs.len() == 3 {
+                out_grads.push(Some(Tensor::from_vec(gb, &[out_f])?));
+            }
+            out_grads
+        }
+        OpKind::Conv2d { stride, padding } => {
+            let x = val(node.inputs[0])?;
+            let wt = val(node.inputs[1])?;
+            let (n, c_in, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let (c_out, _, kh, kw) = (wt.dims()[0], wt.dims()[1], wt.dims()[2], wt.dims()[3]);
+            let (oh, ow) = (out.dims()[2], out.dims()[3]);
+            let pad = *padding as isize;
+            let mut gx = vec![0.0f32; x.len()];
+            let mut gw = vec![0.0f32; wt.len()];
+            let mut gb = vec![0.0f32; c_out];
+            for ni in 0..n {
+                for oc in 0..c_out {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = gout.data()[((ni * c_out + oc) * oh + oy) * ow + ox];
+                            gb[oc] += go;
+                            for ic in 0..c_in {
+                                for ky in 0..kh {
+                                    let iy = (oy * stride + ky) as isize - pad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride + kx) as isize - pad;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let xi =
+                                            ((ni * c_in + ic) * h + iy as usize) * w + ix as usize;
+                                        let wi = ((oc * c_in + ic) * kh + ky) * kw + kx;
+                                        gx[xi] += go * wt.data()[wi];
+                                        gw[wi] += go * x.data()[xi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let mut out_grads = vec![
+                Some(Tensor::from_vec(gx, x.dims())?),
+                Some(Tensor::from_vec(gw, wt.dims())?),
+            ];
+            if node.inputs.len() == 3 {
+                out_grads.push(Some(Tensor::from_vec(gb, &[c_out])?));
+            }
+            out_grads
+        }
+        OpKind::SumAll => {
+            let x = val(node.inputs[0])?;
+            let g = gout.data()[0];
+            vec![Some(Tensor::full(x.dims(), g))]
+        }
+        OpKind::MeanAll => {
+            let x = val(node.inputs[0])?;
+            let g = gout.data()[0] / x.len() as f32;
+            vec![Some(Tensor::full(x.dims(), g))]
+        }
+        OpKind::SumAxis(axis) | OpKind::MeanAxis(axis) => {
+            let x = val(node.inputs[0])?;
+            let extent = x.dims()[*axis];
+            let scale = if matches!(node.kind, OpKind::MeanAxis(_)) {
+                1.0 / extent as f32
+            } else {
+                1.0
+            };
+            let outer: usize = x.dims()[..*axis].iter().product();
+            let inner: usize = x.dims()[*axis + 1..].iter().product();
+            let mut gx = vec![0.0f32; x.len()];
+            for o in 0..outer {
+                for k in 0..extent {
+                    for i in 0..inner {
+                        gx[o * extent * inner + k * inner + i] = gout.data()[o * inner + i] * scale;
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::MaxAxis(axis) => {
+            let x = val(node.inputs[0])?;
+            let extent = x.dims()[*axis];
+            let outer: usize = x.dims()[..*axis].iter().product();
+            let inner: usize = x.dims()[*axis + 1..].iter().product();
+            let mut gx = vec![0.0f32; x.len()];
+            for o in 0..outer {
+                for i in 0..inner {
+                    let mut best = 0;
+                    for k in 1..extent {
+                        if x.data()[o * extent * inner + k * inner + i]
+                            > x.data()[o * extent * inner + best * inner + i]
+                        {
+                            best = k;
+                        }
+                    }
+                    gx[o * extent * inner + best * inner + i] = gout.data()[o * inner + i];
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::MaxPool2d { kernel, stride } => {
+            let x = val(node.inputs[0])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = (out.dims()[2], out.dims()[3]);
+            let mut gx = vec![0.0f32; x.len()];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = base + oy * stride * w + ox * stride;
+                            for ky in 0..*kernel {
+                                for kx in 0..*kernel {
+                                    let idx = base + (oy * stride + ky) * w + ox * stride + kx;
+                                    if x.data()[idx] > x.data()[best] {
+                                        best = idx;
+                                    }
+                                }
+                            }
+                            gx[best] += gout.data()[((ni * c + ci) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::AvgPool2d { kernel, stride } => {
+            let x = val(node.inputs[0])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = (out.dims()[2], out.dims()[3]);
+            let norm = 1.0 / (*kernel * *kernel) as f32;
+            let mut gx = vec![0.0f32; x.len()];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gout.data()[((ni * c + ci) * oh + oy) * ow + ox] * norm;
+                            for ky in 0..*kernel {
+                                for kx in 0..*kernel {
+                                    gx[base + (oy * stride + ky) * w + ox * stride + kx] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::AdaptiveAvgPool1x1 => {
+            let x = val(node.inputs[0])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let hw = (h * w) as f32;
+            let mut gx = Vec::with_capacity(x.len());
+            for ni in 0..n {
+                for ci in 0..c {
+                    let g = gout.data()[ni * c + ci] / hw;
+                    gx.extend(std::iter::repeat(g).take(h * w));
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::UpsampleNearest(factor) => {
+            let x = val(node.inputs[0])?;
+            let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = (h * factor, w * factor);
+            let mut gx = vec![0.0f32; x.len()];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let obase = (ni * c + ci) * oh * ow;
+                    let ibase = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            gx[ibase + (oy / factor) * w + ox / factor] +=
+                                gout.data()[obase + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(gx, x.dims())?)]
+        }
+        OpKind::Reshape(_) | OpKind::Flatten | OpKind::FlattenFrom(_) => {
+            let x = val(node.inputs[0])?;
+            vec![Some(gout.reshape(x.dims())?)]
+        }
+        OpKind::Transpose(a, b) => vec![Some(gout.transpose(*a, *b)?)],
+        OpKind::Permute(perm) => {
+            // Gradient flows through the inverse permutation.
+            let mut inv = vec![0usize; perm.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                inv[p] = i;
+            }
+            vec![Some(gout.permute(&inv)?)]
+        }
+        OpKind::Slice { axis, start, end } => {
+            let x = val(node.inputs[0])?;
+            let mut gx = Tensor::zeros(x.dims());
+            let outer: usize = x.dims()[..*axis].iter().product();
+            let inner: usize = x.dims()[*axis + 1..].iter().product();
+            let extent = x.dims()[*axis];
+            let sliced = end - start;
+            for o in 0..outer {
+                for k in 0..sliced {
+                    for i in 0..inner {
+                        gx.data_mut()[o * extent * inner + (start + k) * inner + i] =
+                            gout.data()[o * sliced * inner + k * inner + i];
+                    }
+                }
+            }
+            vec![Some(gx)]
+        }
+        OpKind::Concat(axis) => {
+            let mut grads = Vec::with_capacity(node.inputs.len());
+            let mut cursor = 0;
+            for &inp in &node.inputs {
+                let extent = val(inp)?.dims()[*axis];
+                grads.push(Some(gout.slice(*axis, cursor, cursor + extent)?));
+                cursor += extent;
+            }
+            grads
+        }
+        OpKind::Embedding => {
+            // Indices get no gradient; the table is a parameter the
+            // adversary cannot perturb, so its gradient is unneeded.
+            vec![None, None]
+        }
+        OpKind::MaskedFill(_) => {
+            let x = val(node.inputs[0])?;
+            let mask = val(node.inputs[1])?;
+            let m = mask.broadcast_to(x.shape())?;
+            let g = gout
+                .data()
+                .iter()
+                .zip(m.data())
+                .map(|(&g, &b)| if b != 0.0 { 0.0 } else { g })
+                .collect();
+            vec![Some(Tensor::from_vec(g, x.dims())?), None]
+        }
+        OpKind::Identity => vec![Some(gout.clone())],
+    };
+    Ok(gs)
+}
+
+fn transpose_last2(t: &Tensor<f32>) -> Result<Tensor<f32>> {
+    let r = t.rank();
+    Ok(t.transpose(r - 2, r - 1)?)
+}
+
+fn sum_leading(t: &Tensor<f32>, target_rank: usize, cfg: &KernelConfig) -> Result<Tensor<f32>> {
+    let mut out = t.clone();
+    while out.rank() > target_rank {
+        out = out.sum_axis(0, cfg)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::exec::execute;
+
+    /// Finite-difference check of `d out_sum / d input` against autodiff.
+    fn check_grad(build: impl Fn(&mut GraphBuilder, NodeId) -> NodeId, input: Tensor<f32>) {
+        let cfg = KernelConfig::reference();
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let y = build(&mut b, x);
+        let s = b.op("loss", OpKind::SumAll, &[y]);
+        let g = b.finish(vec![s]).unwrap();
+
+        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let mut seeds = HashMap::new();
+        seeds.insert(s, Tensor::scalar(1.0f32));
+        let grads = backward(&g, &exec, &[input.clone()], &seeds).unwrap();
+        let gx = grads[x.0].as_ref().expect("input grad");
+
+        let f = |inp: &Tensor<f32>| -> f64 {
+            let e = execute(&g, &[inp.clone()], &cfg, None).unwrap();
+            e.outputs(&g)[0].data()[0] as f64
+        };
+        let h = 1e-3f32;
+        for i in 0..input.len().min(8) {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= h;
+            let fd = (f(&plus) - f(&minus)) / (2.0 * h as f64);
+            let ad = gx.data()[i] as f64;
+            assert!(
+                (fd - ad).abs() < 2e-2 * (1.0 + fd.abs()),
+                "element {i}: fd {fd} vs ad {ad}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_grad() {
+        check_grad(
+            |b, x| b.op("r", OpKind::Relu, &[x]),
+            Tensor::from_vec(vec![1.0, -2.0, 0.5, -0.1], &[4]).unwrap(),
+        );
+    }
+
+    #[test]
+    fn gelu_silu_sigmoid_tanh_grads() {
+        let input = Tensor::<f32>::rand_uniform(&[6], -2.0, 2.0, 3);
+        check_grad(|b, x| b.op("g", OpKind::Gelu, &[x]), input.clone());
+        check_grad(|b, x| b.op("s", OpKind::Silu, &[x]), input.clone());
+        check_grad(|b, x| b.op("sg", OpKind::Sigmoid, &[x]), input.clone());
+        check_grad(|b, x| b.op("t", OpKind::Tanh, &[x]), input);
+    }
+
+    #[test]
+    fn exp_log_sqrt_grads() {
+        let input = Tensor::<f32>::rand_uniform(&[5], 0.5, 2.0, 4);
+        check_grad(|b, x| b.op("e", OpKind::Exp, &[x]), input.clone());
+        check_grad(|b, x| b.op("l", OpKind::Log, &[x]), input.clone());
+        check_grad(|b, x| b.op("q", OpKind::Sqrt, &[x]), input.clone());
+        check_grad(|b, x| b.op("rq", OpKind::Rsqrt, &[x]), input);
+    }
+
+    #[test]
+    fn softmax_grad() {
+        check_grad(
+            |b, x| {
+                let s = b.op("sm", OpKind::Softmax, &[x]);
+                // Weighted so the gradient is nonzero (plain sum of a
+                // softmax is constant 1).
+                let w = b.parameter(
+                    "w",
+                    Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], &[4]).unwrap(),
+                );
+                b.op("wm", OpKind::Mul, &[s, w])
+            },
+            Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], &[1, 4]).unwrap(),
+        );
+    }
+
+    #[test]
+    fn matmul_grad() {
+        check_grad(
+            |b, x| {
+                let w = b.parameter("w", Tensor::<f32>::rand_uniform(&[3, 2], -1.0, 1.0, 5));
+                b.op("m", OpKind::MatMul, &[x, w])
+            },
+            Tensor::<f32>::rand_uniform(&[2, 3], -1.0, 1.0, 6),
+        );
+    }
+
+    #[test]
+    fn linear_grad() {
+        check_grad(
+            |b, x| {
+                let w = b.parameter("w", Tensor::<f32>::rand_uniform(&[4, 3], -1.0, 1.0, 7));
+                let bias = b.parameter("b", Tensor::<f32>::rand_uniform(&[4], -1.0, 1.0, 8));
+                b.op("lin", OpKind::Linear, &[x, w, bias])
+            },
+            Tensor::<f32>::rand_uniform(&[2, 3], -1.0, 1.0, 9),
+        );
+    }
+
+    #[test]
+    fn conv_grad() {
+        check_grad(
+            |b, x| {
+                let w = b.parameter(
+                    "w",
+                    Tensor::<f32>::rand_uniform(&[2, 1, 2, 2], -1.0, 1.0, 10),
+                );
+                b.op(
+                    "c",
+                    OpKind::Conv2d {
+                        stride: 1,
+                        padding: 1,
+                    },
+                    &[x, w],
+                )
+            },
+            Tensor::<f32>::rand_uniform(&[1, 1, 3, 3], -1.0, 1.0, 11),
+        );
+    }
+
+    #[test]
+    fn layer_norm_grad() {
+        check_grad(
+            |b, x| {
+                let gamma = b.parameter("g", Tensor::<f32>::rand_uniform(&[4], 0.5, 1.5, 12));
+                let beta = b.parameter("be", Tensor::<f32>::zeros(&[4]));
+                let ln = b.op("ln", OpKind::LayerNorm { eps: 1e-5 }, &[x, gamma, beta]);
+                let w = b.parameter(
+                    "w",
+                    Tensor::from_vec(vec![1.0, -2.0, 0.5, 1.5], &[4]).unwrap(),
+                );
+                b.op("wm", OpKind::Mul, &[ln, w])
+            },
+            Tensor::<f32>::rand_uniform(&[2, 4], -1.0, 1.0, 13),
+        );
+    }
+
+    #[test]
+    fn rms_norm_grad() {
+        check_grad(
+            |b, x| {
+                let gamma = b.parameter("g", Tensor::<f32>::rand_uniform(&[4], 0.5, 1.5, 14));
+                let rn = b.op("rn", OpKind::RmsNorm { eps: 1e-6 }, &[x, gamma]);
+                let w = b.parameter(
+                    "w",
+                    Tensor::from_vec(vec![1.0, -1.0, 2.0, -0.5], &[4]).unwrap(),
+                );
+                b.op("wm", OpKind::Mul, &[rn, w])
+            },
+            Tensor::<f32>::rand_uniform(&[2, 4], -1.0, 1.0, 15),
+        );
+    }
+
+    #[test]
+    fn pooling_grads() {
+        let img = Tensor::<f32>::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, 16);
+        check_grad(
+            |b, x| {
+                b.op(
+                    "mp",
+                    OpKind::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
+                    &[x],
+                )
+            },
+            img.clone(),
+        );
+        check_grad(
+            |b, x| {
+                b.op(
+                    "ap",
+                    OpKind::AvgPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
+                    &[x],
+                )
+            },
+            img.clone(),
+        );
+        check_grad(
+            |b, x| b.op("gp", OpKind::AdaptiveAvgPool1x1, &[x]),
+            img.clone(),
+        );
+        check_grad(|b, x| b.op("up", OpKind::UpsampleNearest(2), &[x]), img);
+    }
+
+    #[test]
+    fn structural_grads() {
+        let t = Tensor::<f32>::rand_uniform(&[2, 3], -1.0, 1.0, 17);
+        check_grad(
+            |b, x| b.op("rs", OpKind::Reshape(vec![3, 2]), &[x]),
+            t.clone(),
+        );
+        check_grad(|b, x| b.op("tp", OpKind::Transpose(0, 1), &[x]), t.clone());
+        check_grad(
+            |b, x| {
+                b.op(
+                    "sl",
+                    OpKind::Slice {
+                        axis: 1,
+                        start: 1,
+                        end: 3,
+                    },
+                    &[x],
+                )
+            },
+            t.clone(),
+        );
+        check_grad(|b, x| b.op("id", OpKind::Identity, &[x]), t);
+    }
+
+    #[test]
+    fn elementwise_binary_grads_with_broadcast() {
+        check_grad(
+            |b, x| {
+                let c = b.parameter("c", Tensor::from_vec(vec![2.0, -3.0, 0.5], &[3]).unwrap());
+                let m = b.op("m", OpKind::Mul, &[x, c]);
+                let d = b.op("d", OpKind::Div, &[m, c]);
+                b.op("a", OpKind::Add, &[d, c])
+            },
+            Tensor::<f32>::rand_uniform(&[2, 3], 0.5, 1.5, 18),
+        );
+    }
+
+    #[test]
+    fn reductions_grads() {
+        let t = Tensor::<f32>::rand_uniform(&[2, 3], -1.0, 1.0, 19);
+        check_grad(|b, x| b.op("sa", OpKind::SumAxis(1), &[x]), t.clone());
+        check_grad(|b, x| b.op("ma", OpKind::MeanAxis(0), &[x]), t.clone());
+        check_grad(|b, x| b.op("mx", OpKind::MaxAxis(1), &[x]), t.clone());
+        check_grad(|b, x| b.op("mn", OpKind::MeanAll, &[x]), t);
+    }
+
+    #[test]
+    fn grad_reaches_interior_nodes() {
+        // The attack needs gradients at *every* compute node, not just the
+        // input; verify interior node gradients exist.
+        let cfg = KernelConfig::reference();
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let e = b.op("e", OpKind::Exp, &[x]);
+        let r = b.op("r", OpKind::Relu, &[e]);
+        let s = b.op("s", OpKind::SumAll, &[r]);
+        let g = b.finish(vec![s]).unwrap();
+        let input = Tensor::<f32>::rand_uniform(&[4], -1.0, 1.0, 20);
+        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let mut seeds = HashMap::new();
+        seeds.insert(s, Tensor::scalar(1.0f32));
+        let grads = backward(&g, &exec, &[input], &seeds).unwrap();
+        assert!(grads[e.0].is_some());
+        assert!(grads[r.0].is_some());
+        assert!(grads[x.0].is_some());
+    }
+
+    #[test]
+    fn seed_shape_mismatch_rejected() {
+        let cfg = KernelConfig::reference();
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let g = b.finish(vec![x]).unwrap();
+        let input = Tensor::<f32>::zeros(&[3]);
+        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let mut seeds = HashMap::new();
+        seeds.insert(x, Tensor::<f32>::zeros(&[2]));
+        assert!(backward(&g, &exec, &[input], &seeds).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Tracing-style graph builder.
+//!
+//! The builder plays the role of `torch.fx` tracing: model code calls
+//! builder methods in execution order and gets back [`NodeId`] handles,
+//! producing a graph already in canonical topological order.
+
+use std::collections::BTreeMap;
+
+use tao_tensor::Tensor;
+
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::OpKind;
+use crate::Result;
+
+/// Incremental graph constructor.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    params: BTreeMap<String, Tensor<f32>>,
+    num_inputs: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_inputs` placeholder inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        GraphBuilder {
+            nodes: Vec::new(),
+            params: BTreeMap::new(),
+            num_inputs,
+        }
+    }
+
+    /// Adds an input placeholder node for input position `index`.
+    pub fn input(&mut self, index: usize, name: impl Into<String>) -> NodeId {
+        self.push(name.into(), OpKind::Input(index), vec![])
+    }
+
+    /// Registers a parameter tensor and adds its access node.
+    ///
+    /// Re-registering the same name overwrites the tensor (last write
+    /// wins), mirroring a state-dict load.
+    pub fn parameter(&mut self, name: impl Into<String>, value: Tensor<f32>) -> NodeId {
+        let name = name.into();
+        self.params.insert(name.clone(), value);
+        self.push(name.clone(), OpKind::Parameter(name), vec![])
+    }
+
+    /// Adds an operator node.
+    pub fn op(&mut self, name: impl Into<String>, kind: OpKind, inputs: &[NodeId]) -> NodeId {
+        self.push(name.into(), kind, inputs.to_vec())
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the graph with the given output nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if validation fails (see [`Graph::new`]).
+    pub fn finish(self, outputs: Vec<NodeId>) -> Result<Graph> {
+        Graph::new(self.nodes, self.params, self.num_inputs, outputs)
+    }
+
+    fn push(&mut self, name: String, kind: OpKind, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            name,
+            kind,
+            inputs,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = GraphBuilder::new(1);
+        assert!(b.is_empty());
+        let x = b.input(0, "x");
+        let y = b.op("y", OpKind::Relu, &[x]);
+        assert_eq!(x, NodeId(0));
+        assert_eq!(y, NodeId(1));
+        assert_eq!(b.len(), 2);
+        let g = b.finish(vec![y]).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn parameter_registers_tensor() {
+        let mut b = GraphBuilder::new(0);
+        let w = b.parameter("w", Tensor::<f32>::ones(&[2]));
+        let g = b.finish(vec![w]).unwrap();
+        assert_eq!(g.param("w").unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn parameter_overwrite_last_wins() {
+        let mut b = GraphBuilder::new(0);
+        let _w1 = b.parameter("w", Tensor::<f32>::ones(&[1]));
+        let w2 = b.parameter("w", Tensor::<f32>::zeros(&[1]));
+        let g = b.finish(vec![w2]).unwrap();
+        assert_eq!(g.param("w").unwrap().data(), &[0.0]);
+    }
+}

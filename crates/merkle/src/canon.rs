@@ -1,0 +1,132 @@
+//! Canonical byte serialization for hashing.
+//!
+//! `canon(·)` must be injective over the committed domain: two different
+//! tensors (or operator signatures) must never serialize to the same
+//! bytes. Every variable-length field is therefore length-prefixed.
+
+use tao_graph::Node;
+use tao_tensor::{Element, Tensor};
+
+/// Appends a length-prefixed byte string.
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Canonical serialization of a tensor: dtype tag, shape, row-major
+/// strides, then raw little-endian element bytes.
+pub fn canon_tensor<T: Element>(t: &Tensor<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.len() * 4 + 64);
+    put_str(&mut out, T::DTYPE);
+    out.extend_from_slice(&(t.rank() as u64).to_le_bytes());
+    for &d in t.dims() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for s in t.shape().strides() {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes_vec());
+    }
+    out
+}
+
+/// Canonical serialization of a named parameter (`name` then tensor).
+pub fn canon_param<T: Element>(name: &str, t: &Tensor<T>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, name);
+    put_bytes(&mut out, &canon_tensor(t));
+    out
+}
+
+/// Canonical operator signature `σ(n)`: name, kind mnemonic, attribute
+/// encoding, and input edges (topology is implied by the argument ids).
+pub fn canon_signature(node: &Node) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(node.id.0 as u64).to_le_bytes());
+    put_str(&mut out, &node.name);
+    put_str(&mut out, node.kind.mnemonic());
+    // Attribute encoding: the serde debug of the kind is stable within this
+    // crate graph and covers every attribute (eps, stride, axes, ...).
+    put_str(&mut out, &format!("{:?}", node.kind));
+    out.extend_from_slice(&(node.inputs.len() as u64).to_le_bytes());
+    for input in &node.inputs {
+        out.extend_from_slice(&(input.0 as u64).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::{NodeId, OpKind};
+
+    #[test]
+    fn tensor_canon_distinguishes_shape() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert_ne!(canon_tensor(&a), canon_tensor(&b));
+    }
+
+    #[test]
+    fn tensor_canon_distinguishes_dtype() {
+        let a = Tensor::<f32>::ones(&[2]);
+        let b = Tensor::<f64>::ones(&[2]);
+        assert_ne!(canon_tensor(&a), canon_tensor(&b));
+    }
+
+    #[test]
+    fn tensor_canon_distinguishes_last_bit() {
+        let a = Tensor::<f32>::from_vec(vec![1.0], &[1]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![1.0 + f32::EPSILON], &[1]).unwrap();
+        assert_ne!(canon_tensor(&a), canon_tensor(&b));
+    }
+
+    #[test]
+    fn param_canon_includes_name() {
+        let t = Tensor::<f32>::ones(&[1]);
+        assert_ne!(canon_param("a", &t), canon_param("b", &t));
+    }
+
+    #[test]
+    fn signature_covers_attributes_and_edges() {
+        let base = Node {
+            id: NodeId(3),
+            name: "conv".into(),
+            kind: OpKind::Conv2d {
+                stride: 1,
+                padding: 0,
+            },
+            inputs: vec![NodeId(0), NodeId(1)],
+        };
+        let mut stride2 = base.clone();
+        stride2.kind = OpKind::Conv2d {
+            stride: 2,
+            padding: 0,
+        };
+        assert_ne!(canon_signature(&base), canon_signature(&stride2));
+        let mut rewired = base.clone();
+        rewired.inputs = vec![NodeId(0), NodeId(2)];
+        assert_ne!(canon_signature(&base), canon_signature(&rewired));
+        let mut renamed = base.clone();
+        renamed.name = "conv2".into();
+        assert_ne!(canon_signature(&base), canon_signature(&renamed));
+    }
+
+    #[test]
+    fn length_prefixing_prevents_concat_ambiguity() {
+        // ("ab", "c") vs ("a", "bc") must differ.
+        let mut x = Vec::new();
+        put_str(&mut x, "ab");
+        put_str(&mut x, "c");
+        let mut y = Vec::new();
+        put_str(&mut y, "a");
+        put_str(&mut y, "bc");
+        assert_ne!(x, y);
+    }
+}

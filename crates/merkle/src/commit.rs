@@ -1,0 +1,233 @@
+//! Model and claim commitments (Phase 0 / Phase 1 artifacts).
+
+use tao_graph::Graph;
+use tao_tensor::Tensor;
+
+use crate::canon::{canon_param, canon_signature, canon_tensor};
+use crate::sha256::{sha256, Digest, Sha256};
+use crate::tree::{verify_inclusion, InclusionProof, MerkleTree};
+
+/// Execution metadata bound into a claim commitment (the paper's "meta":
+/// device type, kernel versions, dtypes, and the challenge window Δ).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClaimMeta {
+    /// Executing device name.
+    pub device: String,
+    /// Kernel configuration description.
+    pub kernel: String,
+    /// Element dtype of the execution.
+    pub dtype: String,
+    /// Challenge window in coordinator ticks.
+    pub challenge_window: u64,
+}
+
+impl ClaimMeta {
+    fn canon(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for field in [&self.device, &self.kernel, &self.dtype] {
+            out.extend_from_slice(&(field.len() as u64).to_le_bytes());
+            out.extend_from_slice(field.as_bytes());
+        }
+        out.extend_from_slice(&self.challenge_window.to_le_bytes());
+        out
+    }
+}
+
+/// The Phase 0 model commitment: weight root `r_w`, graph root `r_g`, and
+/// the threshold root `r_e` for the calibrated empirical profiles.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModelCommitment {
+    /// Merkle root over the sorted parameter tensors.
+    pub weight_root: Digest,
+    /// Merkle root over the operator signatures in canonical order.
+    pub graph_root: Digest,
+    /// Merkle root over the committed empirical thresholds.
+    pub threshold_root: Digest,
+}
+
+/// Builds the weight Merkle tree `T_w` (leaves: `canon(name, tensor)` in
+/// lexicographic key order — the state dict is a `BTreeMap`, so iteration
+/// order is already sorted).
+pub fn weight_tree(graph: &Graph) -> MerkleTree {
+    let leaves: Vec<Vec<u8>> = graph
+        .params()
+        .iter()
+        .map(|(name, t)| canon_param(name, t))
+        .collect();
+    MerkleTree::from_leaves(&leaves)
+}
+
+/// Builds the graph-structure Merkle tree `T_g` (leaves: `σ(n)` in
+/// canonical topological order).
+pub fn graph_tree(graph: &Graph) -> MerkleTree {
+    let leaves: Vec<Vec<u8>> = graph.nodes().iter().map(canon_signature).collect();
+    MerkleTree::from_leaves(&leaves)
+}
+
+/// Commits a model given the serialized per-operator thresholds (one byte
+/// string per operator, in canonical node order).
+pub fn commit_model<B: AsRef<[u8]>>(graph: &Graph, threshold_leaves: &[B]) -> ModelCommitment {
+    ModelCommitment {
+        weight_root: weight_tree(graph).root(),
+        graph_root: graph_tree(graph).root(),
+        threshold_root: MerkleTree::from_leaves(threshold_leaves).root(),
+    }
+}
+
+/// Hash of a tensor's canonical serialization (`H(x)`, `H(y)`).
+pub fn tensor_hash(t: &Tensor<f32>) -> Digest {
+    sha256(&canon_tensor(t))
+}
+
+/// Hash of an ordered tensor list (multi-input/multi-output interfaces):
+/// `H(Σ_z H(canon(z)))` as in §5.2.
+pub fn tensor_list_hash(ts: &[&Tensor<f32>]) -> Digest {
+    let mut h = Sha256::new();
+    for t in ts {
+        h.update(&tensor_hash(t));
+    }
+    h.finalize()
+}
+
+/// The Phase 1 claim commitment
+/// `C0 = H(r_w || r_g || H(x) || H(y) || meta)`.
+pub fn claim_commitment(
+    model: &ModelCommitment,
+    input_hash: &Digest,
+    output_hash: &Digest,
+    meta: &ClaimMeta,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&model.weight_root);
+    h.update(&model.graph_root);
+    h.update(input_hash);
+    h.update(output_hash);
+    h.update(&meta.canon());
+    h.finalize()
+}
+
+/// Verifies that a revealed parameter belongs to a weight root.
+pub fn verify_weight_leaf(
+    root: &Digest,
+    name: &str,
+    tensor: &Tensor<f32>,
+    proof: &InclusionProof,
+) -> bool {
+    verify_inclusion(root, &canon_param(name, tensor), proof)
+}
+
+/// Verifies that a node signature belongs to a graph root.
+pub fn verify_graph_leaf(root: &Digest, node: &tao_graph::Node, proof: &InclusionProof) -> bool {
+    verify_inclusion(root, &canon_signature(node), proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::{GraphBuilder, OpKind};
+
+    fn model() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter(
+            "fc.weight",
+            Tensor::<f32>::rand_uniform(&[4, 4], -1.0, 1.0, 1),
+        );
+        let bias = b.parameter("fc.bias", Tensor::<f32>::zeros(&[4]));
+        let y = b.op("fc", OpKind::Linear, &[x, w, bias]);
+        b.finish(vec![y]).unwrap()
+    }
+
+    fn meta() -> ClaimMeta {
+        ClaimMeta {
+            device: "sim-a100".into(),
+            kernel: "pairwise+fma".into(),
+            dtype: "f32".into(),
+            challenge_window: 10,
+        }
+    }
+
+    #[test]
+    fn weight_root_changes_with_any_weight_bit() {
+        let g1 = model();
+        let r1 = weight_tree(&g1).root();
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let mut wt = g1.param("fc.weight").unwrap().clone();
+        wt.data_mut()[0] += f32::EPSILON;
+        let w = b.parameter("fc.weight", wt);
+        let bias = b.parameter("fc.bias", Tensor::<f32>::zeros(&[4]));
+        let y = b.op("fc", OpKind::Linear, &[x, w, bias]);
+        let g2 = b.finish(vec![y]).unwrap();
+        assert_ne!(r1, weight_tree(&g2).root());
+    }
+
+    #[test]
+    fn graph_root_changes_with_topology() {
+        let g1 = model();
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter("fc.weight", g1.param("fc.weight").unwrap().clone());
+        let bias = b.parameter("fc.bias", Tensor::<f32>::zeros(&[4]));
+        let y = b.op("fc", OpKind::Linear, &[x, w, bias]);
+        let r = b.op("extra_relu", OpKind::Relu, &[y]);
+        let g2 = b.finish(vec![r]).unwrap();
+        assert_ne!(graph_tree(&g1).root(), graph_tree(&g2).root());
+    }
+
+    #[test]
+    fn claim_commitment_binds_everything() {
+        let g = model();
+        let mc = commit_model(&g, &[b"thresholds".to_vec()]);
+        let x = Tensor::<f32>::ones(&[1, 4]);
+        let y = Tensor::<f32>::ones(&[1, 4]);
+        let c0 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &meta());
+        // Different output → different commitment.
+        let y2 = Tensor::<f32>::zeros(&[1, 4]);
+        let c1 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y2), &meta());
+        assert_ne!(c0, c1);
+        // Different window → different commitment.
+        let mut m2 = meta();
+        m2.challenge_window = 99;
+        let c2 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &m2);
+        assert_ne!(c0, c2);
+    }
+
+    #[test]
+    fn weight_inclusion_proofs() {
+        let g = model();
+        let tree = weight_tree(&g);
+        // Keys sorted: fc.bias (0), fc.weight (1).
+        let p_bias = tree.prove(0).unwrap();
+        assert!(verify_weight_leaf(
+            &tree.root(),
+            "fc.bias",
+            g.param("fc.bias").unwrap(),
+            &p_bias
+        ));
+        // Wrong name fails.
+        assert!(!verify_weight_leaf(
+            &tree.root(),
+            "fc.weight",
+            g.param("fc.bias").unwrap(),
+            &p_bias
+        ));
+    }
+
+    #[test]
+    fn graph_inclusion_proofs() {
+        let g = model();
+        let tree = graph_tree(&g);
+        for node in g.nodes() {
+            let p = tree.prove(node.id.0).unwrap();
+            assert!(verify_graph_leaf(&tree.root(), node, &p));
+        }
+    }
+
+    #[test]
+    fn tensor_list_hash_order_sensitive() {
+        let a = Tensor::<f32>::ones(&[2]);
+        let b = Tensor::<f32>::zeros(&[2]);
+        assert_ne!(tensor_list_hash(&[&a, &b]), tensor_list_hash(&[&b, &a]));
+    }
+}

@@ -1,0 +1,248 @@
+//! Merkle trees with domain separation and inclusion proofs.
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// Domain-separation prefix for leaf hashes.
+const LEAF_PREFIX: u8 = 0x00;
+/// Domain-separation prefix for interior hashes.
+const NODE_PREFIX: u8 = 0x01;
+
+/// A binary Merkle tree over a fixed leaf list.
+///
+/// Leaves are hashed with a `0x00` prefix and interior nodes with `0x01`
+/// (preventing second-preimage splices); odd levels promote the last node
+/// unchanged. Proof depth is `⌈log2 n⌉`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    // levels[0] = leaf digests, levels.last() = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof: the leaf index plus sibling digests bottom-up.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling digest at each level, bottom-up; `None` where the node was
+    /// promoted without a sibling.
+    pub siblings: Vec<Option<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from raw leaf byte strings.
+    pub fn from_leaves<B: AsRef<[u8]>>(leaves: &[B]) -> Self {
+        let leaf_digests: Vec<Digest> = leaves
+            .iter()
+            .map(|l| {
+                let mut h = Sha256::new();
+                h.update(&[LEAF_PREFIX]);
+                h.update(l.as_ref());
+                h.finalize()
+            })
+            .collect();
+        Self::from_leaf_digests(leaf_digests)
+    }
+
+    /// Builds a tree from precomputed (already domain-separated) leaf
+    /// digests.
+    pub fn from_leaf_digests(leaf_digests: Vec<Digest>) -> Self {
+        let mut levels = vec![leaf_digests];
+        while levels.last().map(|l| l.len() > 1).unwrap_or(false) {
+            let prev = levels.last().expect("non-empty by loop condition");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(hash_pair(&pair[0], &pair[1]));
+                } else {
+                    // Odd node promoted unchanged.
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Root digest; for an empty tree, the hash of the empty string.
+    pub fn root(&self) -> Digest {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or_else(|| sha256(b""))
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// True for an empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inclusion proof for leaf `index`; `None` when out of range.
+    pub fn prove(&self, index: usize) -> Option<InclusionProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+            let sib = idx ^ 1;
+            siblings.push(level.get(sib).copied());
+            idx /= 2;
+        }
+        Some(InclusionProof { index, siblings })
+    }
+
+    /// Proof-size statistic: the number of digests in a proof for `index`.
+    pub fn proof_len(&self, index: usize) -> usize {
+        self.prove(index)
+            .map(|p| p.siblings.iter().flatten().count())
+            .unwrap_or(0)
+    }
+}
+
+fn hash_pair(l: &Digest, r: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_PREFIX]);
+    h.update(l);
+    h.update(r);
+    h.finalize()
+}
+
+/// Verifies an inclusion proof for raw leaf bytes against a root.
+pub fn verify_inclusion(root: &Digest, leaf: &[u8], proof: &InclusionProof) -> bool {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(leaf);
+    verify_inclusion_digest(root, h.finalize(), proof)
+}
+
+/// Verifies an inclusion proof for a precomputed leaf digest.
+pub fn verify_inclusion_digest(root: &Digest, leaf_digest: Digest, proof: &InclusionProof) -> bool {
+    let mut acc = leaf_digest;
+    let mut idx = proof.index;
+    for sib in &proof.siblings {
+        match sib {
+            Some(s) => {
+                acc = if idx % 2 == 0 {
+                    hash_pair(&acc, s)
+                } else {
+                    hash_pair(s, &acc)
+                };
+            }
+            None => {
+                // Promoted without sibling: digest unchanged.
+            }
+        }
+        idx /= 2;
+    }
+    &acc == root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = MerkleTree::from_leaves(&leaves(1));
+        assert_eq!(t.len(), 1);
+        let p = t.prove(0).unwrap();
+        assert!(verify_inclusion(&t.root(), b"leaf-0", &p));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_various_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let ls = leaves(n);
+            let t = MerkleTree::from_leaves(&ls);
+            for (i, leaf) in ls.iter().enumerate() {
+                let p = t.prove(i).unwrap();
+                assert!(verify_inclusion(&t.root(), leaf, &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_rejected() {
+        let ls = leaves(8);
+        let t = MerkleTree::from_leaves(&ls);
+        let p = t.prove(3).unwrap();
+        assert!(!verify_inclusion(&t.root(), b"leaf-4", &p));
+        assert!(!verify_inclusion(&t.root(), b"tampered", &p));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let ls = leaves(8);
+        let t = MerkleTree::from_leaves(&ls);
+        let mut p = t.prove(3).unwrap();
+        p.index = 4;
+        assert!(!verify_inclusion(&t.root(), b"leaf-3", &p));
+    }
+
+    #[test]
+    fn tampered_sibling_rejected() {
+        let ls = leaves(8);
+        let t = MerkleTree::from_leaves(&ls);
+        let mut p = t.prove(0).unwrap();
+        if let Some(Some(s)) = p.siblings.first_mut().map(|s| s.as_mut()) {
+            s[0] ^= 0xff;
+        }
+        assert!(!verify_inclusion(&t.root(), b"leaf-0", &p));
+    }
+
+    #[test]
+    fn roots_differ_when_any_leaf_differs() {
+        let a = MerkleTree::from_leaves(&leaves(5));
+        let mut ls = leaves(5);
+        ls[2] = b"changed".to_vec();
+        let b = MerkleTree::from_leaves(&ls);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaf_order_matters() {
+        let mut ls = leaves(4);
+        let a = MerkleTree::from_leaves(&ls);
+        ls.swap(0, 1);
+        let b = MerkleTree::from_leaves(&ls);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn domain_separation_leaf_vs_node() {
+        // A 2-leaf tree's root must differ from a leaf hash of the
+        // concatenated children (second-preimage splice).
+        let ls = leaves(2);
+        let t = MerkleTree::from_leaves(&ls);
+        let mut spliced = vec![0x01u8];
+        spliced.extend_from_slice(&sha256(b"leaf-0"));
+        spliced.extend_from_slice(&sha256(b"leaf-1"));
+        assert_ne!(t.root(), sha256(&spliced));
+    }
+
+    #[test]
+    fn empty_tree_root_is_defined() {
+        let t = MerkleTree::from_leaves::<Vec<u8>>(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.root(), sha256(b""));
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn proof_depth_logarithmic() {
+        let t = MerkleTree::from_leaves(&leaves(1024));
+        assert_eq!(t.proof_len(0), 10);
+        let t33 = MerkleTree::from_leaves(&leaves(33));
+        assert!(t33.proof_len(0) <= 6);
+    }
+}

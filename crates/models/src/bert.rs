@@ -1,0 +1,201 @@
+//! A BERT-style bidirectional encoder classifier (the BERT-large
+//! stand-in): token + position embeddings, pre-LN encoder layers with
+//! bidirectional multi-head attention and GELU FFNs, and a first-token
+//! classification head.
+
+use tao_graph::{GraphBuilder, OpKind};
+use tao_tensor::Tensor;
+
+use crate::common::{xavier, Model};
+use crate::transformer::{gelu_ffn, layer_norm, self_attention, AttnDims};
+
+/// BERT-style configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BertConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Classification classes.
+    pub classes: usize,
+}
+
+impl BertConfig {
+    /// Laptop-scale stand-in for BERT-large.
+    pub fn small() -> Self {
+        BertConfig {
+            vocab: 64,
+            seq: 8,
+            dim: 32,
+            heads: 4,
+            layers: 2,
+            classes: 14,
+        }
+    }
+
+    /// Deeper variant for dispute-scaling experiments.
+    pub fn deep(layers: usize) -> Self {
+        BertConfig {
+            layers,
+            ..Self::small()
+        }
+    }
+}
+
+/// Builds the model with seeded weights. Input: a `[seq]` tensor of
+/// integer-valued token ids.
+pub fn build(cfg: BertConfig, seed: u64) -> Model {
+    let mut b = GraphBuilder::new(1);
+    let ids = b.input(0, "token_ids");
+    let mut s = seed * 1_000;
+    let mut next = || {
+        s += 1;
+        s
+    };
+
+    // Embeddings: token lookup plus learned positions.
+    let table = b.parameter(
+        "embeddings.word.weight",
+        xavier(&[cfg.vocab, cfg.dim], cfg.vocab, cfg.dim, next()),
+    );
+    let tok = b.op("embeddings.word", OpKind::Embedding, &[table, ids]);
+    let pos = b.parameter(
+        "embeddings.position.weight",
+        xavier(&[cfg.seq, cfg.dim], cfg.seq, cfg.dim, next()),
+    );
+    let emb = b.op("embeddings.add", OpKind::Add, &[tok, pos]);
+    let mut cur = layer_norm(&mut b, "embeddings.ln", emb, cfg.dim);
+
+    let d = AttnDims {
+        seq: cfg.seq,
+        dim: cfg.dim,
+        heads: cfg.heads,
+    };
+    for l in 0..cfg.layers {
+        let p = format!("encoder.layer{l}");
+        let ln1 = layer_norm(&mut b, &format!("{p}.ln1"), cur, cfg.dim);
+        let attn = self_attention(&mut b, &format!("{p}.attn"), ln1, d, None, next());
+        let res1 = b.op(format!("{p}.residual1"), OpKind::Add, &[attn, cur]);
+        let ln2 = layer_norm(&mut b, &format!("{p}.ln2"), res1, cfg.dim);
+        let ffn = gelu_ffn(
+            &mut b,
+            &format!("{p}.ffn"),
+            ln2,
+            cfg.dim,
+            cfg.dim * 4,
+            next(),
+        );
+        cur = b.op(format!("{p}.residual2"), OpKind::Add, &[ffn, res1]);
+    }
+
+    // Pool the first ([CLS]) token and classify.
+    let cls = b.op(
+        "pooler.cls",
+        OpKind::Slice {
+            axis: 0,
+            start: 0,
+            end: 1,
+        },
+        &[cur],
+    );
+    let pooled_w = b.parameter(
+        "pooler.dense.weight",
+        xavier(&[cfg.dim, cfg.dim], cfg.dim, cfg.dim, next()),
+    );
+    let pooled = b.op("pooler.dense", OpKind::Linear, &[cls, pooled_w]);
+    let pooled_act = b.op("pooler.tanh", OpKind::Tanh, &[pooled]);
+    let wcls = b.parameter(
+        "classifier.weight",
+        xavier(&[cfg.classes, cfg.dim], cfg.dim, cfg.classes, next()),
+    );
+    let bcls = b.parameter("classifier.bias", Tensor::<f32>::zeros(&[cfg.classes]));
+    let logits = b.op("classifier", OpKind::Linear, &[pooled_act, wcls, bcls]);
+
+    let graph = b.finish(vec![logits]).expect("bert graph is well-formed");
+    Model {
+        name: "bert-sim".into(),
+        graph,
+        logits,
+        input_shapes: vec![vec![cfg.seq]],
+    }
+}
+
+/// Samples a valid token-id input for the model.
+pub fn sample_ids(cfg: BertConfig, seed: u64) -> Tensor<f32> {
+    crate::data::zipf_tokens(cfg.seq, cfg.vocab, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::execute;
+    use tao_tensor::KernelConfig;
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let cfg = BertConfig::small();
+        let m = build(cfg, 1);
+        let ids = sample_ids(cfg, 2);
+        let exec = execute(&m.graph, &[ids], &KernelConfig::reference(), None).unwrap();
+        let logits = exec.value(m.logits).unwrap();
+        assert_eq!(logits.dims(), &[1, cfg.classes]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn graph_contains_expected_op_mix() {
+        let m = build(BertConfig::small(), 1);
+        let mnems: Vec<&str> = m.graph.nodes().iter().map(|n| n.kind.mnemonic()).collect();
+        for needed in [
+            "embedding",
+            "layer_norm",
+            "softmax",
+            "gelu",
+            "linear",
+            "matmul",
+            "tanh",
+        ] {
+            assert!(mnems.contains(&needed), "missing {needed}");
+        }
+    }
+
+    #[test]
+    fn layer_count_scales_graph() {
+        let two = build(BertConfig::small(), 1).num_ops();
+        let four = build(BertConfig::deep(4), 1).num_ops();
+        assert!(four > two + 20);
+    }
+
+    #[test]
+    fn different_inputs_different_logits() {
+        let cfg = BertConfig::small();
+        let m = build(cfg, 1);
+        let a = execute(
+            &m.graph,
+            &[sample_ids(cfg, 1)],
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap()
+        .value(m.logits)
+        .unwrap()
+        .clone();
+        let b2 = execute(
+            &m.graph,
+            &[sample_ids(cfg, 9)],
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap()
+        .value(m.logits)
+        .unwrap()
+        .clone();
+        assert_ne!(a.data(), b2.data());
+    }
+}

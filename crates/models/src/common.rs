@@ -1,0 +1,51 @@
+//! Shared model plumbing: the `Model` wrapper and initializers.
+
+use tao_graph::{Graph, NodeId};
+use tao_tensor::Tensor;
+
+/// A traced model ready for the TAO pipeline.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Short family name (`"resnet-sim"`, `"bert-sim"`, …).
+    pub name: String,
+    /// The traced graph in canonical topological order.
+    pub graph: Graph,
+    /// Node producing the logits (classification or next-token).
+    pub logits: NodeId,
+    /// Shapes of the expected inputs, in order.
+    pub input_shapes: Vec<Vec<usize>>,
+}
+
+impl Model {
+    /// Number of operators `|V|`.
+    pub fn num_ops(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+/// He/Kaiming-style scaled normal initialization.
+pub fn kaiming(shape: &[usize], fan_in: usize, seed: u64) -> Tensor<f32> {
+    let scale = (2.0 / fan_in.max(1) as f64).sqrt();
+    let t = Tensor::<f32>::randn(shape, seed);
+    t.mul_scalar(scale as f32)
+}
+
+/// Xavier/Glorot-style scaled normal initialization.
+pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor<f32> {
+    let scale = (2.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    Tensor::<f32>::randn(shape, seed).mul_scalar(scale as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initializers_scale_with_fan_in() {
+        let small_fan = kaiming(&[64, 4], 4, 1);
+        let big_fan = kaiming(&[64, 4], 1024, 1);
+        assert!(small_fan.max_abs() > big_fan.max_abs());
+        let x = xavier(&[8, 8], 8, 8, 2);
+        assert!(x.max_abs() < 3.0);
+    }
+}

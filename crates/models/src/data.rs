@@ -1,0 +1,125 @@
+//! Seeded synthetic datasets standing in for ImageNet / DBpedia / C4.
+//!
+//! Calibration and attack experiments need representative input
+//! *distributions* per model family, not the actual corpora: Zipf-law
+//! token streams reproduce the heavy-tailed vocabulary statistics of text
+//! corpora, and class-conditioned Gaussian images give the CNN calibrated
+//! per-class structure.
+
+use rand::Rng;
+use rand::SeedableRng;
+use tao_tensor::Tensor;
+
+/// A Zipf(1.0)-distributed token sequence over `vocab` ids, as an
+/// integer-valued f32 tensor (the graph-embedding input convention).
+pub fn zipf_tokens(seq: usize, vocab: usize, seed: u64) -> Tensor<f32> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    // Inverse-CDF sampling over unnormalized weights 1/rank.
+    let weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let data = (0..seq)
+        .map(|_| {
+            let mut u = rng.gen_range(0.0..total);
+            let mut id = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    id = i;
+                    break;
+                }
+                u -= w;
+            }
+            id as f32
+        })
+        .collect();
+    Tensor::from_vec(data, &[seq]).expect("length matches seq")
+}
+
+/// A class-conditioned image: a Gaussian blob whose center and per-channel
+/// intensity depend on the class, plus seeded pixel noise.
+pub fn class_image(channels: usize, size: usize, class: usize, seed: u64) -> Tensor<f32> {
+    let mut img = Tensor::<f32>::randn(&[1, channels, size, size], seed).mul_scalar(0.3);
+    let cx = (class * 7 + 3) % size;
+    let cy = (class * 13 + 5) % size;
+    let sigma = (size as f64 / 4.0).max(1.0);
+    for c in 0..channels {
+        let gain = 1.0 + 0.5 * ((class + c) % 3) as f32;
+        for y in 0..size {
+            for x in 0..size {
+                let d2 = ((x as f64 - cx as f64).powi(2) + (y as f64 - cy as f64).powi(2))
+                    / (2.0 * sigma * sigma);
+                let bump = (-d2).exp() as f32 * gain;
+                let idx = (c * size + y) * size + x;
+                img.data_mut()[idx] += bump;
+            }
+        }
+    }
+    img
+}
+
+/// A calibration dataset of `n` token-id samples.
+pub fn token_dataset(n: usize, seq: usize, vocab: usize, seed: u64) -> Vec<Vec<Tensor<f32>>> {
+    (0..n)
+        .map(|i| vec![zipf_tokens(seq, vocab, seed + i as u64)])
+        .collect()
+}
+
+/// A calibration dataset of `n` class-conditioned images cycling over
+/// `classes` classes.
+pub fn image_dataset(
+    n: usize,
+    channels: usize,
+    size: usize,
+    classes: usize,
+    seed: u64,
+) -> Vec<Vec<Tensor<f32>>> {
+    (0..n)
+        .map(|i| {
+            vec![class_image(
+                channels,
+                size,
+                i % classes.max(1),
+                seed + i as u64,
+            )]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_tokens_valid_and_skewed() {
+        let t = zipf_tokens(2_000, 50, 1);
+        assert!(t
+            .data()
+            .iter()
+            .all(|&v| (0.0..50.0).contains(&v) && v.fract() == 0.0));
+        // Rank-0 tokens dominate rank-30 tokens under Zipf.
+        let count = |id: f32| t.data().iter().filter(|&&v| v == id).count();
+        assert!(count(0.0) > count(30.0) * 2);
+    }
+
+    #[test]
+    fn zipf_is_seeded() {
+        assert_eq!(zipf_tokens(32, 20, 5).data(), zipf_tokens(32, 20, 5).data());
+        assert_ne!(zipf_tokens(32, 20, 5).data(), zipf_tokens(32, 20, 6).data());
+    }
+
+    #[test]
+    fn class_images_differ_by_class() {
+        let a = class_image(3, 16, 0, 1);
+        let b = class_image(3, 16, 5, 1);
+        assert_eq!(a.dims(), &[1, 3, 16, 16]);
+        assert_ne!(a.data(), b.data());
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn dataset_builders_sizes() {
+        assert_eq!(token_dataset(4, 8, 32, 0).len(), 4);
+        let imgs = image_dataset(3, 3, 8, 10, 0);
+        assert_eq!(imgs.len(), 3);
+        assert_eq!(imgs[0][0].dims(), &[1, 3, 8, 8]);
+    }
+}

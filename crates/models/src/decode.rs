@@ -1,0 +1,123 @@
+//! Autoregressive greedy decoding for the Qwen-style decoder — the
+//! multi-step text-generation workload of §7.
+//!
+//! Each step executes the decoder graph on the current window and selects
+//! the next token from the last position's logits. Token selection is the
+//! discrete decision the paper's tie-break discussion targets: without a
+//! committed rule, tolerance-level logit drift can flip an argmax and turn
+//! numerical noise into divergent generations.
+
+use tao_graph::execute;
+use tao_tensor::{KernelConfig, Tensor};
+
+use crate::common::Model;
+use crate::qwen::QwenConfig;
+
+/// One decoded step: the chosen token and the last-position logits it was
+/// chosen from (the step state a temporal commitment would cover).
+#[derive(Debug, Clone)]
+pub struct DecodeStep {
+    /// Selected token id.
+    pub token: usize,
+    /// The logits lane the selection was made from.
+    pub logits: Vec<f32>,
+}
+
+/// Token-selection policy for decoding.
+pub trait SelectToken {
+    /// Chooses a token index from a logits lane at a given step.
+    fn select(&self, logits: &[f32], step: u64) -> Option<usize>;
+}
+
+/// Plain argmax (ties broken by lowest index; *not* drift-stable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Argmax;
+
+impl SelectToken for Argmax {
+    fn select(&self, logits: &[f32], _step: u64) -> Option<usize> {
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Greedy-decodes `steps` tokens starting from `prompt` (a full-window
+/// token-id tensor). The window slides: the oldest token is dropped and
+/// the new one appended, keeping the graph shape static.
+///
+/// # Errors
+///
+/// Returns an error when a forward pass fails.
+pub fn greedy_decode(
+    model: &Model,
+    cfg: QwenConfig,
+    prompt: &Tensor<f32>,
+    steps: usize,
+    kernel: &KernelConfig,
+    policy: &impl SelectToken,
+) -> Result<Vec<DecodeStep>, tao_graph::GraphError> {
+    let mut window = prompt.clone();
+    let mut out = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let exec = execute(&model.graph, std::slice::from_ref(&window), kernel, None)?;
+        let logits = exec.value(model.logits)?;
+        let lane = logits.data()[logits.len() - cfg.vocab..].to_vec();
+        let token = policy.select(&lane, step as u64).unwrap_or(0);
+        out.push(DecodeStep {
+            token,
+            logits: lane,
+        });
+        // Slide the window.
+        let mut ids = window.data()[1..].to_vec();
+        ids.push(token as f32);
+        window = Tensor::from_vec(ids, &[cfg.seq]).expect("window keeps its shape");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qwen;
+
+    #[test]
+    fn decode_is_deterministic_per_kernel() {
+        let cfg = QwenConfig::small();
+        let model = qwen::build(cfg, 3);
+        let prompt = qwen::sample_ids(cfg, 1);
+        let k = KernelConfig::reference();
+        let a = greedy_decode(&model, cfg, &prompt, 5, &k, &Argmax).unwrap();
+        let b = greedy_decode(&model, cfg, &prompt, 5, &k, &Argmax).unwrap();
+        let ta: Vec<usize> = a.iter().map(|s| s.token).collect();
+        let tb: Vec<usize> = b.iter().map(|s| s.token).collect();
+        assert_eq!(ta, tb);
+        assert!(ta.iter().all(|&t| t < cfg.vocab));
+    }
+
+    #[test]
+    fn decode_depends_on_prompt() {
+        let cfg = QwenConfig::small();
+        let model = qwen::build(cfg, 3);
+        let k = KernelConfig::reference();
+        let a = greedy_decode(&model, cfg, &qwen::sample_ids(cfg, 1), 6, &k, &Argmax).unwrap();
+        let b = greedy_decode(&model, cfg, &qwen::sample_ids(cfg, 2), 6, &k, &Argmax).unwrap();
+        let ta: Vec<usize> = a.iter().map(|s| s.token).collect();
+        let tb: Vec<usize> = b.iter().map(|s| s.token).collect();
+        assert_ne!(ta, tb, "different prompts should rarely decode identically");
+    }
+
+    #[test]
+    fn steps_carry_full_logits_lane() {
+        let cfg = QwenConfig::small();
+        let model = qwen::build(cfg, 3);
+        let k = KernelConfig::reference();
+        let steps = greedy_decode(&model, cfg, &qwen::sample_ids(cfg, 5), 3, &k, &Argmax).unwrap();
+        assert_eq!(steps.len(), 3);
+        for s in &steps {
+            assert_eq!(s.logits.len(), cfg.vocab);
+            assert_eq!(s.token, Argmax.select(&s.logits, 0).unwrap());
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! A latent-diffusion stand-in: a small UNet epsilon-predictor with group
+//! norms, SiLU activations, residual time conditioning, down/upsampling
+//! with a skip connection — plus a DDIM-style deterministic sampler that
+//! layers time steps over the single-step graph (the multi-step workload
+//! of §7).
+
+use tao_graph::{execute, GraphBuilder, NodeId, OpKind};
+use tao_tensor::{KernelConfig, Tensor};
+
+use crate::common::{kaiming, xavier, Model};
+
+/// UNet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DiffusionConfig {
+    /// Latent channels.
+    pub latent_channels: usize,
+    /// Latent spatial extent (square, must be even).
+    pub latent: usize,
+    /// Base UNet width.
+    pub channels: usize,
+    /// Time-embedding width.
+    pub temb: usize,
+}
+
+impl DiffusionConfig {
+    /// Laptop-scale stand-in for Stable Diffusion v1-5's UNet.
+    pub fn small() -> Self {
+        DiffusionConfig {
+            latent_channels: 4,
+            latent: 8,
+            channels: 8,
+            temb: 16,
+        }
+    }
+}
+
+fn gn(b: &mut GraphBuilder, prefix: &str, x: NodeId, c: usize, groups: usize) -> NodeId {
+    let gamma = b.parameter(format!("{prefix}.gamma"), Tensor::<f32>::ones(&[c]));
+    let beta = b.parameter(format!("{prefix}.beta"), Tensor::<f32>::zeros(&[c]));
+    b.op(
+        prefix.to_string(),
+        OpKind::GroupNorm { groups, eps: 1e-5 },
+        &[x, gamma, beta],
+    )
+}
+
+/// Builds the single-step UNet. Inputs: latent `[1, c_lat, s, s]` and a
+/// precomputed sinusoidal time embedding `[temb]`. Output: predicted
+/// noise with the latent's shape.
+pub fn build(cfg: DiffusionConfig, seed: u64) -> Model {
+    let mut b = GraphBuilder::new(2);
+    let latent = b.input(0, "latent");
+    let temb_in = b.input(1, "time_embedding");
+    let mut s = seed * 100_000;
+    let mut next = || {
+        s += 1;
+        s
+    };
+    let c = cfg.channels;
+    let c2 = cfg.channels * 2;
+
+    // Time conditioning MLP -> per-channel bias [1, c, 1, 1].
+    let wt1 = b.parameter(
+        "time.fc1.weight",
+        xavier(&[c, cfg.temb], cfg.temb, c, next()),
+    );
+    let bt1 = b.parameter("time.fc1.bias", Tensor::<f32>::zeros(&[c]));
+    let t1 = b.op("time.fc1", OpKind::Linear, &[temb_in, wt1, bt1]);
+    let t1a = b.op("time.silu", OpKind::Silu, &[t1]);
+    let wt2 = b.parameter("time.fc2.weight", xavier(&[c, c], c, c, next()));
+    let t2 = b.op("time.fc2", OpKind::Linear, &[t1a, wt2]);
+    let tcond = b.op("time.reshape", OpKind::Reshape(vec![1, c, 1, 1]), &[t2]);
+
+    // Stem.
+    let w_in = b.parameter(
+        "conv_in.weight",
+        kaiming(
+            &[c, cfg.latent_channels, 3, 3],
+            cfg.latent_channels * 9,
+            next(),
+        ),
+    );
+    let h0 = b.op(
+        "conv_in",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[latent, w_in],
+    );
+    let h0t = b.op("time.add", OpKind::Add, &[h0, tcond]);
+
+    // Down block (keeps a skip).
+    let d_gn = gn(&mut b, "down.norm", h0t, c, 4);
+    let d_act = b.op("down.silu", OpKind::Silu, &[d_gn]);
+    let w_d = b.parameter("down.conv.weight", kaiming(&[c, c, 3, 3], c * 9, next()));
+    let skip = b.op(
+        "down.conv",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[d_act, w_d],
+    );
+    let w_ds = b.parameter("downsample.weight", kaiming(&[c2, c, 3, 3], c * 9, next()));
+    let down = b.op(
+        "downsample",
+        OpKind::Conv2d {
+            stride: 2,
+            padding: 1,
+        },
+        &[skip, w_ds],
+    );
+
+    // Middle block.
+    let m_gn = gn(&mut b, "mid.norm", down, c2, 4);
+    let m_act = b.op("mid.silu", OpKind::Silu, &[m_gn]);
+    let w_m = b.parameter("mid.conv.weight", kaiming(&[c2, c2, 3, 3], c2 * 9, next()));
+    let mid = b.op(
+        "mid.conv",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[m_act, w_m],
+    );
+
+    // Up block: upsample, concat skip, fuse.
+    let up = b.op("upsample", OpKind::UpsampleNearest(2), &[mid]);
+    let cat = b.op("skip.concat", OpKind::Concat(1), &[up, skip]);
+    let w_u = b.parameter(
+        "up.conv.weight",
+        kaiming(&[c, c2 + c, 3, 3], (c2 + c) * 9, next()),
+    );
+    let fused = b.op(
+        "up.conv",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[cat, w_u],
+    );
+
+    // Output head.
+    let o_gn = gn(&mut b, "out.norm", fused, c, 4);
+    let o_act = b.op("out.silu", OpKind::Silu, &[o_gn]);
+    let w_o = b.parameter(
+        "conv_out.weight",
+        kaiming(&[cfg.latent_channels, c, 3, 3], c * 9, next()),
+    );
+    let eps = b.op(
+        "conv_out",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[o_act, w_o],
+    );
+
+    let graph = b.finish(vec![eps]).expect("unet graph is well-formed");
+    Model {
+        name: "diffusion-sim".into(),
+        graph,
+        logits: eps,
+        input_shapes: vec![
+            vec![1, cfg.latent_channels, cfg.latent, cfg.latent],
+            vec![cfg.temb],
+        ],
+    }
+}
+
+/// Sinusoidal time embedding of width `dim` for step `t`.
+pub fn time_embedding(t: usize, dim: usize) -> Tensor<f32> {
+    let half = dim / 2;
+    let mut v = Vec::with_capacity(dim);
+    for i in 0..half {
+        let freq = (10_000f64).powf(-(i as f64) / half.max(1) as f64);
+        let angle = t as f64 * freq;
+        v.push(angle.sin() as f32);
+        v.push(angle.cos() as f32);
+    }
+    v.resize(dim, 0.0);
+    Tensor::from_vec(v, &[dim]).expect("length matches dim")
+}
+
+/// A cosine alpha-bar schedule over `steps` diffusion steps, floored at
+/// `1e-3` so the `1/√ᾱ` amplification in the DDIM update stays bounded
+/// (standard cosine-schedule clamping).
+fn alpha_bar(step: usize, steps: usize) -> f64 {
+    let f = |u: f64| {
+        ((u + 0.008) / 1.008 * std::f64::consts::FRAC_PI_2)
+            .cos()
+            .powi(2)
+    };
+    (f(step as f64 / steps as f64) / f(0.0)).max(1e-3)
+}
+
+/// Runs a deterministic DDIM-style sampling loop: starting from seeded
+/// Gaussian noise, each step executes the UNet graph and takes the DDIM
+/// update with eta = 0. Returns the latent trajectory, one entry per step
+/// (the temporal commitment chain of §7).
+///
+/// # Errors
+///
+/// Returns an error when a UNet execution fails.
+pub fn ddim_sample(
+    model: &Model,
+    cfg: DiffusionConfig,
+    steps: usize,
+    seed: u64,
+    kernel: &KernelConfig,
+) -> Result<Vec<Tensor<f32>>, tao_graph::GraphError> {
+    let mut x = Tensor::<f32>::randn(&model.input_shapes[0], seed);
+    let mut trajectory = Vec::with_capacity(steps);
+    for i in (1..=steps).rev() {
+        let temb = time_embedding(i, cfg.temb);
+        let exec = execute(&model.graph, &[x.clone(), temb], kernel, None)?;
+        let eps = exec.value(model.logits)?;
+        let ab_t = alpha_bar(i, steps);
+        let ab_prev = alpha_bar(i - 1, steps);
+        // DDIM (eta = 0): x0 = (x - sqrt(1-ab_t) eps) / sqrt(ab_t);
+        // x_{t-1} = sqrt(ab_prev) x0 + sqrt(1-ab_prev) eps.
+        let sq_t = (ab_t.sqrt()) as f32;
+        let sq1_t = ((1.0 - ab_t).sqrt()) as f32;
+        let sq_p = (ab_prev.sqrt()) as f32;
+        let sq1_p = ((1.0 - ab_prev).sqrt()) as f32;
+        let x0 = x
+            .sub(&eps.mul_scalar(sq1_t))
+            .expect("shapes match")
+            .mul_scalar(1.0 / sq_t);
+        x = x0
+            .mul_scalar(sq_p)
+            .add(&eps.mul_scalar(sq1_p))
+            .expect("shapes match");
+        trajectory.push(x.clone());
+    }
+    Ok(trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unet_predicts_noise_shape() {
+        let cfg = DiffusionConfig::small();
+        let m = build(cfg, 1);
+        let latent = Tensor::<f32>::randn(&m.input_shapes[0], 2);
+        let temb = time_embedding(10, cfg.temb);
+        let exec = execute(
+            &m.graph,
+            &[latent.clone(), temb],
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap();
+        let eps = exec.value(m.logits).unwrap();
+        assert_eq!(eps.dims(), latent.dims());
+        assert!(eps.all_finite());
+    }
+
+    #[test]
+    fn skip_connection_concat_present() {
+        let m = build(DiffusionConfig::small(), 1);
+        let mnems: Vec<&str> = m.graph.nodes().iter().map(|n| n.kind.mnemonic()).collect();
+        assert!(mnems.contains(&"cat"));
+        assert!(mnems.contains(&"interpolate"));
+        assert!(mnems.contains(&"group_norm"));
+    }
+
+    #[test]
+    fn ddim_trajectory_deterministic_and_finite() {
+        let cfg = DiffusionConfig::small();
+        let m = build(cfg, 1);
+        let a = ddim_sample(&m, cfg, 4, 7, &KernelConfig::reference()).unwrap();
+        let b = ddim_sample(&m, cfg, 4, 7, &KernelConfig::reference()).unwrap();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data());
+            assert!(x.all_finite());
+        }
+        let c = ddim_sample(&m, cfg, 4, 8, &KernelConfig::reference()).unwrap();
+        assert_ne!(a[3].data(), c[3].data());
+    }
+
+    #[test]
+    fn time_embedding_varies_with_t() {
+        let a = time_embedding(1, 16);
+        let b = time_embedding(50, 16);
+        assert_ne!(a.data(), b.data());
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn alpha_bar_monotone_decreasing() {
+        let steps = 20;
+        let mut prev = alpha_bar(0, steps);
+        assert!((prev - 1.0).abs() < 1e-12);
+        for t in 1..=steps {
+            let a = alpha_bar(t, steps);
+            assert!(a < prev);
+            prev = a;
+        }
+    }
+}

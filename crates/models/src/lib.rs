@@ -1,0 +1,29 @@
+//! # tao-models
+//!
+//! The model zoo for the TAO reproduction: laptop-scale stand-ins for the
+//! paper's four evaluation models — a ResNet-style residual CNN, a
+//! BERT-style encoder classifier, a Qwen-style causal decoder
+//! (RMSNorm/SwiGLU/causal attention), and a latent-diffusion UNet with a
+//! DDIM sampler — all traced through the public `tao-graph` builder, plus
+//! seeded synthetic datasets standing in for ImageNet/DBpedia/C4.
+//!
+//! The protocol, bounds, calibration and attacks operate per-operator on
+//! the traced graph, so what matters is the *graph shape* of each family
+//! (convolution/residual, attention/softmax/layer-norm, causal LM head,
+//! UNet skip connections), not the parameter count.
+
+pub mod bert;
+pub mod common;
+pub mod data;
+pub mod decode;
+pub mod diffusion;
+pub mod qwen;
+pub mod resnet;
+pub mod transformer;
+
+pub use bert::BertConfig;
+pub use common::Model;
+pub use decode::{greedy_decode, Argmax, DecodeStep, SelectToken};
+pub use diffusion::DiffusionConfig;
+pub use qwen::QwenConfig;
+pub use resnet::ResNetConfig;

@@ -1,0 +1,170 @@
+//! A Qwen-style causal decoder (the Qwen3-8B stand-in): token embeddings,
+//! pre-RMSNorm decoder layers with causal multi-head attention and SwiGLU
+//! FFNs, a final RMSNorm, and a next-token LM head.
+
+use tao_graph::{GraphBuilder, OpKind};
+
+use crate::common::{xavier, Model};
+use crate::transformer::{causal_mask_tensor, rms_norm, self_attention, swiglu_ffn, AttnDims};
+
+/// Qwen-style configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QwenConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Decoder layers.
+    pub layers: usize,
+}
+
+impl QwenConfig {
+    /// Laptop-scale stand-in for Qwen3-8B.
+    pub fn small() -> Self {
+        QwenConfig {
+            vocab: 96,
+            seq: 8,
+            dim: 32,
+            heads: 4,
+            layers: 2,
+        }
+    }
+
+    /// Deeper variant for dispute-scaling experiments.
+    pub fn deep(layers: usize) -> Self {
+        QwenConfig {
+            layers,
+            ..Self::small()
+        }
+    }
+}
+
+/// Builds the model with seeded weights. Input: `[seq]` token ids; output
+/// logits `[seq, vocab]` (next-token prediction reads the last row).
+pub fn build(cfg: QwenConfig, seed: u64) -> Model {
+    let mut b = GraphBuilder::new(1);
+    let ids = b.input(0, "token_ids");
+    let mut s = seed * 10_000;
+    let mut next = || {
+        s += 1;
+        s
+    };
+
+    let table = b.parameter(
+        "model.embed_tokens.weight",
+        xavier(&[cfg.vocab, cfg.dim], cfg.vocab, cfg.dim, next()),
+    );
+    let mut cur = b.op("model.embed_tokens", OpKind::Embedding, &[table, ids]);
+    let mask = b.parameter("model.causal_mask", causal_mask_tensor(cfg.seq));
+
+    let d = AttnDims {
+        seq: cfg.seq,
+        dim: cfg.dim,
+        heads: cfg.heads,
+    };
+    for l in 0..cfg.layers {
+        let p = format!("model.layers{l}");
+        let norm1 = rms_norm(&mut b, &format!("{p}.input_norm"), cur, cfg.dim);
+        let attn = self_attention(&mut b, &format!("{p}.attn"), norm1, d, Some(mask), next());
+        let res1 = b.op(format!("{p}.residual1"), OpKind::Add, &[attn, cur]);
+        let norm2 = rms_norm(&mut b, &format!("{p}.post_norm"), res1, cfg.dim);
+        let ffn = swiglu_ffn(
+            &mut b,
+            &format!("{p}.mlp"),
+            norm2,
+            cfg.dim,
+            cfg.dim * 3,
+            next(),
+        );
+        cur = b.op(format!("{p}.residual2"), OpKind::Add, &[ffn, res1]);
+    }
+
+    let final_norm = rms_norm(&mut b, "model.norm", cur, cfg.dim);
+    let lm_head = b.parameter(
+        "lm_head.weight",
+        xavier(&[cfg.vocab, cfg.dim], cfg.dim, cfg.vocab, next()),
+    );
+    let logits = b.op("lm_head", OpKind::Linear, &[final_norm, lm_head]);
+
+    let graph = b.finish(vec![logits]).expect("qwen graph is well-formed");
+    Model {
+        name: "qwen-sim".into(),
+        graph,
+        logits,
+        input_shapes: vec![vec![cfg.seq]],
+    }
+}
+
+/// Samples a valid token-id input for the model.
+pub fn sample_ids(cfg: QwenConfig, seed: u64) -> tao_tensor::Tensor<f32> {
+    crate::data::zipf_tokens(cfg.seq, cfg.vocab, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::execute;
+    use tao_tensor::KernelConfig;
+
+    #[test]
+    fn forward_produces_per_token_logits() {
+        let cfg = QwenConfig::small();
+        let m = build(cfg, 1);
+        let ids = sample_ids(cfg, 3);
+        let exec = execute(&m.graph, &[ids], &KernelConfig::reference(), None).unwrap();
+        let logits = exec.value(m.logits).unwrap();
+        assert_eq!(logits.dims(), &[cfg.seq, cfg.vocab]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn causality_prefix_invariance() {
+        // Changing the last token must not change the first position's
+        // logits (the causal-mask smoke test).
+        let cfg = QwenConfig::small();
+        let m = build(cfg, 1);
+        let mut ids_a = sample_ids(cfg, 4);
+        let mut ids_b = ids_a.clone();
+        let last = ids_b.len() - 1;
+        ids_b.data_mut()[last] = (ids_a.data()[last] as usize % (cfg.vocab - 1)) as f32 + 1.0;
+        let la = execute(&m.graph, &[ids_a.clone()], &KernelConfig::reference(), None)
+            .unwrap()
+            .value(m.logits)
+            .unwrap()
+            .clone();
+        let lb = execute(&m.graph, &[ids_b], &KernelConfig::reference(), None)
+            .unwrap()
+            .value(m.logits)
+            .unwrap()
+            .clone();
+        ids_a.data_mut()[0] += 0.0;
+        for j in 0..cfg.vocab {
+            assert_eq!(la.at(&[0, j]).unwrap(), lb.at(&[0, j]).unwrap());
+        }
+        // But the last position's logits do change.
+        let row = cfg.seq - 1;
+        assert!((0..cfg.vocab).any(|j| la.at(&[row, j]).unwrap() != lb.at(&[row, j]).unwrap()));
+    }
+
+    #[test]
+    fn graph_uses_rms_norm_and_silu() {
+        let m = build(QwenConfig::small(), 1);
+        let mnems: Vec<&str> = m.graph.nodes().iter().map(|n| n.kind.mnemonic()).collect();
+        assert!(mnems.contains(&"rms_norm"));
+        assert!(mnems.contains(&"silu"));
+        assert!(mnems.contains(&"masked_fill"));
+        assert!(
+            !mnems.contains(&"layer_norm"),
+            "Qwen family uses RMSNorm only"
+        );
+    }
+
+    #[test]
+    fn deep_variant_scales() {
+        assert!(build(QwenConfig::deep(5), 1).num_ops() > build(QwenConfig::small(), 1).num_ops());
+    }
+}

@@ -1,0 +1,224 @@
+//! A ResNet-style residual CNN (the ResNet-152 stand-in).
+//!
+//! Stem convolution + batch norm + ReLU + max pool, a stack of residual
+//! blocks (conv→bn→relu→conv→bn, skip connection, relu), global average
+//! pooling and a linear classifier — the exact graph shapes (convolution,
+//! batch norm, residual adds, pooling) that make the CNN rows of the
+//! paper's tables behave the way they do.
+
+use tao_graph::{GraphBuilder, NodeId, OpKind};
+use tao_tensor::Tensor;
+
+use crate::common::{kaiming, Model};
+
+/// ResNet-style configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResNetConfig {
+    /// Input image extent (square).
+    pub image: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Stem/block channel width.
+    pub channels: usize,
+    /// Residual blocks.
+    pub blocks: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl ResNetConfig {
+    /// A laptop-scale stand-in for ResNet-152 used by tests and benches.
+    pub fn small() -> Self {
+        ResNetConfig {
+            image: 16,
+            in_channels: 3,
+            channels: 8,
+            blocks: 3,
+            classes: 10,
+        }
+    }
+
+    /// A deeper variant for dispute-scaling experiments.
+    pub fn deep(blocks: usize) -> Self {
+        ResNetConfig {
+            blocks,
+            ..Self::small()
+        }
+    }
+}
+
+fn bn_params(b: &mut GraphBuilder, prefix: &str, c: usize, seed: u64) -> [NodeId; 4] {
+    let gamma = b.parameter(format!("{prefix}.gamma"), Tensor::<f32>::ones(&[c]));
+    let beta = b.parameter(format!("{prefix}.beta"), Tensor::<f32>::zeros(&[c]));
+    let mean = b.parameter(
+        format!("{prefix}.running_mean"),
+        Tensor::<f32>::randn(&[c], seed).mul_scalar(0.05),
+    );
+    let var = b.parameter(
+        format!("{prefix}.running_var"),
+        Tensor::<f32>::rand_uniform(&[c], 0.9, 1.1, seed + 1),
+    );
+    [gamma, beta, mean, var]
+}
+
+/// Builds the model with seeded weights.
+pub fn build(cfg: ResNetConfig, seed: u64) -> Model {
+    let mut b = GraphBuilder::new(1);
+    let x = b.input(0, "image");
+    let mut s = seed;
+    let mut next = || {
+        s += 1;
+        s
+    };
+
+    // Stem: 3x3 conv stride 1 pad 1, bn, relu, 2x2 max pool.
+    let wstem = b.parameter(
+        "stem.conv.weight",
+        kaiming(
+            &[cfg.channels, cfg.in_channels, 3, 3],
+            cfg.in_channels * 9,
+            next(),
+        ),
+    );
+    let conv0 = b.op(
+        "stem.conv",
+        OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+        },
+        &[x, wstem],
+    );
+    let bn0p = bn_params(&mut b, "stem.bn", cfg.channels, next());
+    let bn0 = b.op(
+        "stem.bn",
+        OpKind::BatchNorm2d { eps: 1e-5 },
+        &[conv0, bn0p[0], bn0p[1], bn0p[2], bn0p[3]],
+    );
+    let relu0 = b.op("stem.relu", OpKind::Relu, &[bn0]);
+    let mut cur = b.op(
+        "stem.pool",
+        OpKind::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        },
+        &[relu0],
+    );
+
+    // Residual blocks.
+    for blk in 0..cfg.blocks {
+        let p = format!("layer{blk}");
+        let w1 = b.parameter(
+            format!("{p}.conv1.weight"),
+            kaiming(
+                &[cfg.channels, cfg.channels, 3, 3],
+                cfg.channels * 9,
+                next(),
+            ),
+        );
+        let c1 = b.op(
+            format!("{p}.conv1"),
+            OpKind::Conv2d {
+                stride: 1,
+                padding: 1,
+            },
+            &[cur, w1],
+        );
+        let b1p = bn_params(&mut b, &format!("{p}.bn1"), cfg.channels, next());
+        let bn1 = b.op(
+            format!("{p}.bn1"),
+            OpKind::BatchNorm2d { eps: 1e-5 },
+            &[c1, b1p[0], b1p[1], b1p[2], b1p[3]],
+        );
+        let r1 = b.op(format!("{p}.relu1"), OpKind::Relu, &[bn1]);
+        let w2 = b.parameter(
+            format!("{p}.conv2.weight"),
+            kaiming(
+                &[cfg.channels, cfg.channels, 3, 3],
+                cfg.channels * 9,
+                next(),
+            ),
+        );
+        let c2 = b.op(
+            format!("{p}.conv2"),
+            OpKind::Conv2d {
+                stride: 1,
+                padding: 1,
+            },
+            &[r1, w2],
+        );
+        let b2p = bn_params(&mut b, &format!("{p}.bn2"), cfg.channels, next());
+        let bn2 = b.op(
+            format!("{p}.bn2"),
+            OpKind::BatchNorm2d { eps: 1e-5 },
+            &[c2, b2p[0], b2p[1], b2p[2], b2p[3]],
+        );
+        let add = b.op(format!("{p}.residual"), OpKind::Add, &[bn2, cur]);
+        cur = b.op(format!("{p}.relu2"), OpKind::Relu, &[add]);
+    }
+
+    // Head: global average pool, flatten, linear classifier.
+    let gap = b.op("head.gap", OpKind::AdaptiveAvgPool1x1, &[cur]);
+    let flat = b.op("head.flatten", OpKind::FlattenFrom(1), &[gap]);
+    let wfc = b.parameter(
+        "head.fc.weight",
+        kaiming(&[cfg.classes, cfg.channels], cfg.channels, next()),
+    );
+    let bfc = b.parameter("head.fc.bias", Tensor::<f32>::zeros(&[cfg.classes]));
+    let logits = b.op("head.fc", OpKind::Linear, &[flat, wfc, bfc]);
+
+    let graph = b.finish(vec![logits]).expect("resnet graph is well-formed");
+    Model {
+        name: "resnet-sim".into(),
+        graph,
+        logits,
+        input_shapes: vec![vec![1, cfg.in_channels, cfg.image, cfg.image]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::execute;
+    use tao_tensor::KernelConfig;
+
+    #[test]
+    fn forward_produces_logits() {
+        let m = build(ResNetConfig::small(), 7);
+        let x = Tensor::<f32>::randn(&m.input_shapes[0], 1);
+        let exec = execute(&m.graph, &[x], &KernelConfig::reference(), None).unwrap();
+        let logits = exec.value(m.logits).unwrap();
+        assert_eq!(logits.dims(), &[1, 10]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn deeper_config_has_more_ops() {
+        let small = build(ResNetConfig::small(), 1);
+        let deep = build(ResNetConfig::deep(8), 1);
+        assert!(deep.num_ops() > small.num_ops());
+    }
+
+    #[test]
+    fn weights_are_seeded() {
+        let a = build(ResNetConfig::small(), 3);
+        let b2 = build(ResNetConfig::small(), 3);
+        let c = build(ResNetConfig::small(), 4);
+        assert_eq!(
+            a.graph.param("stem.conv.weight").unwrap().data(),
+            b2.graph.param("stem.conv.weight").unwrap().data()
+        );
+        assert_ne!(
+            a.graph.param("stem.conv.weight").unwrap().data(),
+            c.graph.param("stem.conv.weight").unwrap().data()
+        );
+    }
+
+    #[test]
+    fn residual_blocks_contain_batch_norm_and_conv() {
+        let m = build(ResNetConfig::small(), 1);
+        let mnems: Vec<&str> = m.graph.nodes().iter().map(|n| n.kind.mnemonic()).collect();
+        assert!(mnems.iter().filter(|&&s| s == "conv2d").count() >= 7);
+        assert!(mnems.iter().filter(|&&s| s == "batch_norm2d").count() >= 7);
+        assert!(mnems.contains(&"adaptive_avg_pool2d"));
+    }
+}

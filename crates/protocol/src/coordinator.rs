@@ -1,0 +1,584 @@
+//! The coordinator: an authenticated state machine with a logical clock,
+//! escrowed bonds, challenge windows, per-round timeouts, and settlement.
+//!
+//! The paper instantiates this layer as Ethereum smart contracts; TAO
+//! itself only needs tamper-evident commitments, fair timeouts and bond
+//! management, which this in-process coordinator provides with identical
+//! semantics and a deterministic gas ledger.
+
+use std::collections::HashMap;
+
+use tao_merkle::{ClaimMeta, Digest, ModelCommitment};
+
+use crate::econ::EconParams;
+use crate::error::ProtocolError;
+use crate::gas::{self, GasMeter};
+use crate::Result;
+
+/// A protocol party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Party {
+    /// The compute provider that posted the claim.
+    Proposer,
+    /// The disputing verifier.
+    Challenger,
+}
+
+/// Lifecycle of a claim.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ClaimStatus {
+    /// Inside the challenge window.
+    Pending,
+    /// Window elapsed unchallenged: economically final.
+    Finalized,
+    /// Under an active dispute.
+    Disputed {
+        /// The challenging account.
+        challenger: String,
+    },
+    /// Dispute settled.
+    Settled {
+        /// The prevailing party.
+        winner: Party,
+    },
+}
+
+/// A posted claim.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Claim {
+    /// Claim id.
+    pub id: u64,
+    /// Proposer account.
+    pub proposer: String,
+    /// The commitment `C0`.
+    pub commitment: Digest,
+    /// Posting tick.
+    pub posted_at: u64,
+    /// Challenge-window length in ticks.
+    pub window: u64,
+    /// Current status.
+    pub status: ClaimStatus,
+}
+
+impl Claim {
+    /// Last tick at which a challenge is accepted.
+    pub fn deadline(&self) -> u64 {
+        self.posted_at + self.window
+    }
+}
+
+/// The in-process coordinator.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    tick: u64,
+    accounts: HashMap<String, f64>,
+    escrow: HashMap<String, f64>,
+    claims: Vec<Claim>,
+    models: Vec<ModelCommitment>,
+    econ: EconParams,
+    slash: f64,
+    /// Gas ledger for every coordinator interaction.
+    pub gas: GasMeter,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given economics and slash amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slash` is outside the feasible region of the
+    /// economic parameters.
+    pub fn new(econ: EconParams, slash: f64) -> Result<Self> {
+        if !econ.incentive_compatible(slash) {
+            return Err(ProtocolError::BadState(format!(
+                "slash {slash} outside feasible region {:?}",
+                econ.feasible_slash_region()
+            )));
+        }
+        Ok(Coordinator {
+            tick: 0,
+            accounts: HashMap::new(),
+            escrow: HashMap::new(),
+            claims: Vec::new(),
+            models: Vec::new(),
+            econ,
+            slash,
+            gas: GasMeter::new(),
+        })
+    }
+
+    /// Current logical tick (block height).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Credits an account.
+    pub fn fund(&mut self, account: &str, amount: f64) {
+        *self.accounts.entry(account.to_string()).or_insert(0.0) += amount;
+    }
+
+    /// Free (non-escrowed) balance of an account.
+    pub fn balance(&self, account: &str) -> f64 {
+        self.accounts.get(account).copied().unwrap_or(0.0)
+    }
+
+    /// Escrowed balance of an account.
+    pub fn escrowed(&self, account: &str) -> f64 {
+        self.escrow.get(account).copied().unwrap_or(0.0)
+    }
+
+    /// Registers a model commitment (Phase 0).
+    pub fn register_model(&mut self, commitment: ModelCommitment) -> usize {
+        self.gas
+            .charge("register_model", gas::G_TX + 3 * gas::G_SSTORE_NEW);
+        self.models.push(commitment);
+        self.models.len() - 1
+    }
+
+    /// The §5.5 randomized-audit channel: deterministically decides (from
+    /// the claim commitment and a public beacon) whether a pending claim is
+    /// audited with probability `φ`. Audits and voluntary challenges are
+    /// mutually exclusive per claim; audit costs are borne by user service
+    /// fees rather than a challenger deposit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown claim.
+    pub fn audit_selected(&self, id: u64, beacon: u64) -> Result<bool> {
+        let claim = self.claim(id)?;
+        let mut h = tao_merkle::Sha256::new();
+        h.update(&claim.commitment);
+        h.update(&beacon.to_le_bytes());
+        let digest = h.finalize();
+        let draw =
+            u64::from_le_bytes(digest[..8].try_into().expect("8 bytes")) as f64 / u64::MAX as f64;
+        Ok(draw < self.econ.phi)
+    }
+
+    /// Opens a randomized audit against a pending claim. Unlike a
+    /// voluntary challenge, no challenger deposit is posted — the audit is
+    /// funded from service fees — but the proposer collateral freezes the
+    /// same way.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the claim is not pending or the window
+    /// closed.
+    pub fn open_audit(&mut self, id: u64) -> Result<()> {
+        let (deadline, status_ok) = {
+            let claim = self.claim(id)?;
+            (
+                claim.deadline(),
+                matches!(claim.status, ClaimStatus::Pending),
+            )
+        };
+        if !status_ok {
+            return Err(ProtocolError::BadState(format!(
+                "claim #{id} is not pending"
+            )));
+        }
+        if self.tick > deadline {
+            return Err(ProtocolError::WindowClosed {
+                claim: id,
+                now: self.tick,
+                deadline,
+            });
+        }
+        self.gas.charge("open_audit", gas::open_challenge());
+        self.claims[id as usize].status = ClaimStatus::Disputed {
+            challenger: "audit-committee".to_string(),
+        };
+        Ok(())
+    }
+
+    /// A registered model commitment.
+    pub fn model(&self, idx: usize) -> Option<&ModelCommitment> {
+        self.models.get(idx)
+    }
+
+    /// Posts a claim commitment (Phase 1), escrowing the proposer deposit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the proposer's balance is below `D_p`.
+    pub fn submit_claim(
+        &mut self,
+        proposer: &str,
+        commitment: Digest,
+        meta: &ClaimMeta,
+    ) -> Result<u64> {
+        self.lock(proposer, self.econ.d_p)?;
+        self.gas.charge("commit_claim", gas::commit_claim());
+        let id = self.claims.len() as u64;
+        self.claims.push(Claim {
+            id,
+            proposer: proposer.to_string(),
+            commitment,
+            posted_at: self.tick,
+            window: meta.challenge_window,
+            status: ClaimStatus::Pending,
+        });
+        Ok(id)
+    }
+
+    /// A claim by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn claim(&self, id: u64) -> Result<&Claim> {
+        self.claims
+            .get(id as usize)
+            .ok_or(ProtocolError::UnknownClaim(id))
+    }
+
+    /// Advances the logical clock, finalizing pending claims whose windows
+    /// elapsed. Returns the ids finalized.
+    pub fn advance(&mut self, ticks: u64) -> Vec<u64> {
+        self.tick += ticks;
+        let now = self.tick;
+        let mut finalized = Vec::new();
+        let mut releases = Vec::new();
+        for claim in &mut self.claims {
+            if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
+                claim.status = ClaimStatus::Finalized;
+                releases.push((claim.proposer.clone(), claim.id));
+            }
+        }
+        for (proposer, id) in releases {
+            self.release(&proposer, self.econ.d_p);
+            // Pay the task reward on finality.
+            self.fund(&proposer, self.econ.r_p);
+            finalized.push(id);
+        }
+        finalized
+    }
+
+    /// Opens a challenge against a pending claim, escrowing `D_ch` and
+    /// freezing the proposer's collateral.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the claim is not pending, the window closed,
+    /// or the challenger cannot post the deposit.
+    pub fn open_challenge(&mut self, id: u64, challenger: &str) -> Result<()> {
+        let (deadline, status_ok) = {
+            let claim = self.claim(id)?;
+            (
+                claim.deadline(),
+                matches!(claim.status, ClaimStatus::Pending),
+            )
+        };
+        if !status_ok {
+            return Err(ProtocolError::BadState(format!(
+                "claim #{id} is not pending"
+            )));
+        }
+        if self.tick > deadline {
+            return Err(ProtocolError::WindowClosed {
+                claim: id,
+                now: self.tick,
+                deadline,
+            });
+        }
+        self.lock(challenger, self.econ.d_ch)?;
+        self.gas.charge("open_challenge", gas::open_challenge());
+        self.claims[id as usize].status = ClaimStatus::Disputed {
+            challenger: challenger.to_string(),
+        };
+        Ok(())
+    }
+
+    /// Settles a disputed claim: the loser is slashed by `S_slash` from
+    /// escrow, the winner's deposit is released, and the winner (plus the
+    /// committee, when used) is rewarded per §5.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the claim is not disputed.
+    pub fn settle(&mut self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
+        let (proposer, challenger) = {
+            let claim = self.claim(id)?;
+            let ClaimStatus::Disputed { challenger } = &claim.status else {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id} is not disputed"
+                )));
+            };
+            (claim.proposer.clone(), challenger.clone())
+        };
+        self.gas.charge("settlement", gas::settlement());
+        match winner {
+            Party::Challenger => {
+                // Slash the proposer: challenger share + committee share.
+                let slashed = self.slash.min(self.escrowed(&proposer));
+                self.take_escrow(&proposer, slashed);
+                self.release(
+                    &proposer,
+                    self.escrowed(&proposer).min(self.econ.d_p - slashed),
+                );
+                self.fund(&challenger, self.econ.alpha_ch * slashed);
+                if committee_size > 0 {
+                    let cm_total = self.econ.alpha_cm * slashed;
+                    self.fund("committee-pool", cm_total);
+                    let _ = committee_size;
+                }
+                self.release(&challenger, self.econ.d_ch);
+            }
+            Party::Proposer => {
+                // Spam deterrence: the challenger forfeits its deposit.
+                let forfeited = self.econ.d_ch.min(self.escrowed(&challenger));
+                self.take_escrow(&challenger, forfeited);
+                self.fund(&proposer, forfeited);
+                self.release(&proposer, self.econ.d_p);
+                self.fund(&proposer, self.econ.r_p);
+                if committee_size > 0 {
+                    self.fund(
+                        "committee-pool",
+                        self.econ.committee_fee * committee_size as f64,
+                    );
+                }
+            }
+        }
+        self.claims[id as usize].status = ClaimStatus::Settled { winner };
+        Ok(())
+    }
+
+    /// Rules a timeout violation against `party` in a dispute: the absent
+    /// party immediately loses the round and the dispute.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the claim is not disputed.
+    pub fn timeout(&mut self, id: u64, absent: Party) -> Result<()> {
+        let winner = match absent {
+            Party::Proposer => Party::Challenger,
+            Party::Challenger => Party::Proposer,
+        };
+        self.settle(id, winner, 0)
+    }
+
+    fn lock(&mut self, account: &str, amount: f64) -> Result<()> {
+        let available = self.balance(account);
+        if available < amount {
+            return Err(ProtocolError::InsufficientFunds {
+                account: account.to_string(),
+                needed: amount,
+                available,
+            });
+        }
+        *self.accounts.get_mut(account).expect("checked above") -= amount;
+        *self.escrow.entry(account.to_string()).or_insert(0.0) += amount;
+        Ok(())
+    }
+
+    fn release(&mut self, account: &str, amount: f64) {
+        let held = self.escrowed(account);
+        let amount = amount.min(held);
+        if amount > 0.0 {
+            *self.escrow.get_mut(account).expect("held > 0") -= amount;
+            self.fund(account, amount);
+        }
+    }
+
+    fn take_escrow(&mut self, account: &str, amount: f64) {
+        let held = self.escrowed(account);
+        let amount = amount.min(held);
+        if amount > 0.0 {
+            *self.escrow.get_mut(account).expect("held > 0") -= amount;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commitment() -> Digest {
+        tao_merkle::sha256(b"claim")
+    }
+
+    fn meta() -> ClaimMeta {
+        ClaimMeta {
+            device: "sim-a100".into(),
+            kernel: "pairwise".into(),
+            dtype: "f32".into(),
+            challenge_window: 10,
+        }
+    }
+
+    fn coordinator() -> Coordinator {
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        Coordinator::new(econ, (lo + hi) / 2.0).unwrap()
+    }
+
+    #[test]
+    fn happy_path_finalizes_and_pays() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        assert!(matches!(c.claim(id).unwrap().status, ClaimStatus::Pending));
+        assert!(c.advance(5).is_empty(), "window still open");
+        let finalized = c.advance(6);
+        assert_eq!(finalized, vec![id]);
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Finalized
+        ));
+        // Deposit returned plus reward.
+        assert!((c.balance("prop") - (1_000.0 + c.econ_reward())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn challenge_freezes_and_challenger_win_slashes() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("chal", 100.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.open_challenge(id, "chal").unwrap();
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Disputed { .. }
+        ));
+        // Cannot finalize while disputed.
+        assert!(c.advance(100).is_empty());
+        c.settle(id, Party::Challenger, 5).unwrap();
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Settled {
+                winner: Party::Challenger
+            }
+        ));
+        // Challenger got deposit back plus its slash share.
+        assert!(c.balance("chal") > 100.0);
+        // Proposer lost the slash.
+        assert!(c.balance("prop") < 1_000.0);
+        // Committee pool funded.
+        assert!(c.balance("committee-pool") > 0.0);
+    }
+
+    #[test]
+    fn proposer_win_takes_challenger_deposit() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("chal", 100.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.open_challenge(id, "chal").unwrap();
+        c.settle(id, Party::Proposer, 0).unwrap();
+        assert!(c.balance("chal") < 100.0, "spammer must lose its deposit");
+        assert!(
+            c.balance("prop") > 1_000.0,
+            "proposer made whole plus reward"
+        );
+    }
+
+    #[test]
+    fn late_challenge_rejected() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("chal", 100.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.advance(11);
+        assert!(matches!(
+            c.open_challenge(id, "chal"),
+            Err(ProtocolError::BadState(_)) | Err(ProtocolError::WindowClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn insufficient_deposit_rejected() {
+        let mut c = coordinator();
+        c.fund("poor", 1.0);
+        assert!(matches!(
+            c.submit_claim("poor", commitment(), &meta()),
+            Err(ProtocolError::InsufficientFunds { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_loses_dispute() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("chal", 100.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.open_challenge(id, "chal").unwrap();
+        c.timeout(id, Party::Proposer).unwrap();
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Settled {
+                winner: Party::Challenger
+            }
+        ));
+    }
+
+    #[test]
+    fn audit_selection_is_deterministic_and_near_phi() {
+        let mut c = coordinator();
+        c.fund("prop", 100_000.0);
+        let mut selected = 0;
+        let n = 400;
+        for i in 0..n {
+            let id = c
+                .submit_claim(
+                    "prop",
+                    tao_merkle::sha256(format!("c{i}").as_bytes()),
+                    &meta(),
+                )
+                .unwrap();
+            assert_eq!(
+                c.audit_selected(id, 7).unwrap(),
+                c.audit_selected(id, 7).unwrap(),
+                "deterministic per (claim, beacon)"
+            );
+            if c.audit_selected(id, 7).unwrap() {
+                selected += 1;
+            }
+            c.advance(100);
+        }
+        // φ = 0.05: expect roughly 5% selected (generous band).
+        let rate = selected as f64 / n as f64;
+        assert!((0.01..0.12).contains(&rate), "audit rate {rate}");
+    }
+
+    #[test]
+    fn audit_freezes_without_challenger_deposit() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.open_audit(id).unwrap();
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Disputed { .. }
+        ));
+        // A ruled-clean audit pays the committee from fees, not a deposit.
+        c.settle(id, Party::Proposer, 5).unwrap();
+        assert!(c.balance("committee-pool") > 0.0);
+        // Audits cannot reopen a settled claim.
+        assert!(c.open_audit(id).is_err());
+    }
+
+    #[test]
+    fn infeasible_slash_rejected_at_construction() {
+        let econ = EconParams {
+            phi: 0.0,
+            phi_ch: 0.0,
+            ..EconParams::default_market()
+        };
+        assert!(Coordinator::new(econ, 100.0).is_err());
+    }
+
+    #[test]
+    fn gas_ledger_accumulates() {
+        let mut c = coordinator();
+        c.fund("prop", 1_000.0);
+        let before = c.gas.total;
+        let _ = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        assert!(c.gas.total > before);
+    }
+
+    impl Coordinator {
+        fn econ_reward(&self) -> f64 {
+            self.econ.r_p
+        }
+    }
+}

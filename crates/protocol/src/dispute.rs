@@ -1,0 +1,413 @@
+//! The N-way, Merkle-anchored, threshold-guided dispute game (§5.3).
+
+use std::collections::HashMap;
+
+use tao_calib::{error_profile, ThresholdBundle, DEFAULT_EPS};
+use tao_device::Device;
+use tao_graph::{execute_subgraph, extract, partition, Execution, Graph, NodeId};
+use tao_merkle::{Digest, MerkleTree};
+use tao_tensor::Tensor;
+
+use crate::gas::{self, GasMeter};
+use crate::record::{make_record, verify_record};
+use crate::Result;
+
+/// Dispute-game configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DisputeConfig {
+    /// Partition width `N` per round.
+    pub n_way: usize,
+}
+
+impl Default for DisputeConfig {
+    fn default() -> Self {
+        DisputeConfig { n_way: 2 }
+    }
+}
+
+/// Statistics for one dispute round.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundStats {
+    /// Round index `k`.
+    pub round: usize,
+    /// Disputed range at the start of the round.
+    pub range: (usize, usize),
+    /// Number of children posted.
+    pub children: usize,
+    /// Index of the selected (first offending) child.
+    pub chosen: usize,
+    /// Proposer-side work: bytes of records built and posted.
+    pub partition_bytes: u64,
+    /// Challenger-side work: FLOPs re-executed during selection.
+    pub selection_flops: u64,
+    /// Merkle proof verifications this round.
+    pub merkle_checks: u64,
+}
+
+/// Terminal state of the localization game.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DisputeResult {
+    /// Disagreement localized to a single operator.
+    Leaf(NodeId),
+    /// No child exceeded its thresholds: the challenge does not reproduce
+    /// and the challenger forfeits.
+    NoOffendingChild {
+        /// Round at which the search went cold.
+        round: usize,
+    },
+}
+
+/// Full outcome of Phase 2.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DisputeOutcome {
+    /// Terminal state.
+    pub result: DisputeResult,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+    /// Total challenger FLOPs (the paper's DCR numerator).
+    pub challenger_flops: u64,
+    /// Total Merkle proof verifications.
+    pub merkle_checks: u64,
+    /// Coordinator gas consumed by the dispute interaction.
+    pub gas: GasMeter,
+}
+
+impl DisputeOutcome {
+    /// `DCR / forward FLOPs` (the paper's Cost Ratio).
+    pub fn cost_ratio(&self, forward_flops: u64) -> f64 {
+        self.challenger_flops as f64 / forward_flops.max(1) as f64
+    }
+}
+
+/// Runs the dispute localization game.
+///
+/// The proposer's trace supplies the committed per-operator outputs; the
+/// challenger re-executes each candidate child *from the proposer's
+/// committed live-in values* on its own device and selects the first child
+/// whose live-out error percentiles exceed the committed thresholds
+/// (Eq. 15). Structural operators (absent from the bundle) must reproduce
+/// exactly. The game ends at a single operator or when no child offends.
+///
+/// The challenger already re-executed the whole model when it screened the
+/// claim, so its screening trace is reused: children whose proposer
+/// live-outs agree with the challenger's own trace are cleared at zero
+/// re-execution cost, and only suspect children are re-executed from the
+/// proposer's committed boundaries. This keeps the DCR (total challenger
+/// FLOPs) around one forward pass, matching Table 3.
+///
+/// # Errors
+///
+/// Returns an error if record construction/verification fails or a
+/// re-execution hits a kernel error.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dispute(
+    graph: &Graph,
+    graph_tree: &MerkleTree,
+    weight_tree: &MerkleTree,
+    graph_root: &Digest,
+    weight_root: &Digest,
+    proposer_trace: &Execution,
+    inputs: &[Tensor<f32>],
+    challenger: &Device,
+    thresholds: &ThresholdBundle,
+    cfg: DisputeConfig,
+) -> Result<DisputeOutcome> {
+    let mut gas = GasMeter::new();
+    gas.charge("open_challenge", gas::open_challenge());
+    // The challenger's own screening trace (its Phase 2 trigger already
+    // paid for this forward pass, so it is not part of the DCR).
+    let own_trace = tao_graph::execute(graph, inputs, challenger.config(), None)?;
+
+    let mut rounds = Vec::new();
+    let mut total_flops = 0u64;
+    let mut total_checks = 0u64;
+    let (mut start, mut end) = (0usize, graph.len());
+    let mut round = 0usize;
+
+    while end - start > 1 {
+        let slices = partition(start, end, cfg.n_way);
+        // Proposer: build and post one record per child.
+        let mut records = Vec::with_capacity(slices.len());
+        let mut partition_bytes = 0u64;
+        for &(s, e) in &slices {
+            let sub = extract(graph, s, e)?;
+            let rec = make_record(graph, graph_tree, weight_tree, &sub, proposer_trace)?;
+            partition_bytes += rec.byte_size() as u64;
+            records.push(rec);
+        }
+        gas.charge("partition_post", gas::partition_post(records.len()));
+        gas.charge("round_bonds", gas::round_bonds());
+
+        // Challenger: verify records, then scan children in topological
+        // order for the first offending one.
+        let mut merkle_checks = 0u64;
+        for rec in &records {
+            merkle_checks += verify_record(graph, graph_root, weight_root, rec)?;
+        }
+        let mut selection_flops = 0u64;
+        let mut chosen: Option<usize> = None;
+        for (ci, rec) in records.iter().enumerate() {
+            // Cheap screen: compare the proposer's committed live-outs
+            // against the challenger's own screening trace. A child that
+            // passes here is cleared without any re-execution.
+            let mut suspect = false;
+            for &id in &rec.sub.live_out {
+                let claimed = proposer_trace.value(id)?;
+                let own = own_trace.value(id)?;
+                let prof = error_profile(claimed, own, DEFAULT_EPS);
+                let exc = thresholds.exceedance(id, &prof).unwrap_or({
+                    if claimed.data() == own.data() {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                });
+                if exc > 1.0 {
+                    suspect = true;
+                    break;
+                }
+            }
+            if !suspect {
+                continue;
+            }
+            // Confirm by re-executing the suspect child from the
+            // proposer's committed live-in values (the agreed inputs of
+            // Eq. 15); only this costs fresh FLOPs.
+            let mut boundary = HashMap::new();
+            for &id in &rec.sub.live_in {
+                boundary.insert(id, proposer_trace.value(id)?.clone());
+            }
+            let local = execute_subgraph(graph, &rec.sub, &boundary, inputs, challenger.config())?;
+            // Account re-execution FLOPs from the proposer trace's ledger
+            // (same shapes, same operator set).
+            selection_flops += (rec.sub.start..rec.sub.end)
+                .map(|i| proposer_trace.flops[i])
+                .sum::<u64>();
+            let mut offending = false;
+            for &id in &rec.sub.live_out {
+                let claimed = proposer_trace.value(id)?;
+                let recomputed = &local[&id];
+                if thresholds.for_node(id).is_some() {
+                    let prof = error_profile(claimed, recomputed, DEFAULT_EPS);
+                    if thresholds.exceedance(id, &prof).unwrap_or(f64::INFINITY) > 1.0 {
+                        offending = true;
+                        break;
+                    }
+                } else if claimed.data() != recomputed.data() {
+                    // Structural live-out must match bit-for-bit.
+                    offending = true;
+                    break;
+                }
+            }
+            if offending {
+                chosen = Some(ci);
+                break;
+            }
+        }
+        gas.charge("selection_post", gas::selection_post());
+        total_flops += selection_flops;
+        total_checks += merkle_checks;
+
+        let Some(ci) = chosen else {
+            rounds.push(RoundStats {
+                round,
+                range: (start, end),
+                children: records.len(),
+                chosen: usize::MAX,
+                partition_bytes,
+                selection_flops,
+                merkle_checks,
+            });
+            gas.charge("settlement", gas::settlement());
+            return Ok(DisputeOutcome {
+                result: DisputeResult::NoOffendingChild { round },
+                rounds,
+                challenger_flops: total_flops,
+                merkle_checks: total_checks,
+                gas,
+            });
+        };
+        rounds.push(RoundStats {
+            round,
+            range: (start, end),
+            children: records.len(),
+            chosen: ci,
+            partition_bytes,
+            selection_flops,
+            merkle_checks,
+        });
+        (start, end) = slices[ci];
+        round += 1;
+    }
+
+    gas.charge(
+        "leaf_adjudication",
+        gas::leaf_adjudication(3, proof_depth(graph.len())),
+    );
+    gas.charge("settlement", gas::settlement());
+    Ok(DisputeOutcome {
+        result: DisputeResult::Leaf(NodeId(start)),
+        rounds,
+        challenger_flops: total_flops,
+        merkle_checks: total_checks,
+        gas,
+    })
+}
+
+fn proof_depth(n: usize) -> usize {
+    (usize::BITS - n.next_power_of_two().trailing_zeros() as usize as u32) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_calib::{calibrate, DEFAULT_ALPHA};
+    use tao_device::Fleet;
+    use tao_graph::{execute, GraphBuilder, OpKind, Perturbations};
+    use tao_merkle::{graph_tree as build_gt, weight_tree as build_wt};
+
+    fn chain_model(depth: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let mut cur = x;
+        for i in 0..depth {
+            let w = b.parameter(
+                format!("w{i}"),
+                Tensor::<f32>::rand_uniform(&[32, 32], -0.3, 0.3, i as u64),
+            );
+            let m = b.op(format!("mm{i}"), OpKind::MatMul, &[cur, w]);
+            cur = b.op(format!("act{i}"), OpKind::Gelu, &[m]);
+        }
+        let sm = b.op("softmax", OpKind::Softmax, &[cur]);
+        b.finish(vec![sm]).unwrap()
+    }
+
+    fn setup(depth: usize) -> (Graph, ThresholdBundle, Vec<Tensor<f32>>) {
+        let g = chain_model(depth);
+        let samples: Vec<Vec<Tensor<f32>>> = (0..6)
+            .map(|i| vec![Tensor::<f32>::rand_uniform(&[4, 32], -1.0, 1.0, 50 + i)])
+            .collect();
+        let record = calibrate(&g, &samples, &Fleet::standard()).unwrap();
+        let bundle = record.into_thresholds(DEFAULT_ALPHA);
+        let input = vec![Tensor::<f32>::rand_uniform(&[4, 32], -1.0, 1.0, 77)];
+        (g, bundle, input)
+    }
+
+    fn dispute_against(
+        g: &Graph,
+        bundle: &ThresholdBundle,
+        inputs: &[Tensor<f32>],
+        perturb: Option<&Perturbations>,
+        n_way: usize,
+    ) -> DisputeOutcome {
+        let proposer_dev = Device::rtx4090_like();
+        let challenger_dev = Device::h100_like();
+        let trace = execute(g, inputs, proposer_dev.config(), perturb).unwrap();
+        let gt = build_gt(g);
+        let wt = build_wt(g);
+        run_dispute(
+            g,
+            &gt,
+            &wt,
+            &gt.root(),
+            &wt.root(),
+            &trace,
+            inputs,
+            &challenger_dev,
+            bundle,
+            DisputeConfig { n_way },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dispute_localizes_injected_perturbation() {
+        let (g, bundle, inputs) = setup(4);
+        // Perturb a mid-graph GELU output far beyond any tolerance.
+        let target = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "act2")
+            .map(|n| n.id)
+            .unwrap();
+        let ref_exec = execute(&g, &inputs, Device::rtx4090_like().config(), None).unwrap();
+        let shape = ref_exec.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.05));
+        let outcome = dispute_against(&g, &bundle, &inputs, Some(&p), 2);
+        assert_eq!(outcome.result, DisputeResult::Leaf(target));
+        assert!(!outcome.rounds.is_empty());
+        assert!(outcome.merkle_checks > 0);
+        assert!(outcome.challenger_flops > 0);
+    }
+
+    #[test]
+    fn honest_trace_yields_no_offense() {
+        let (g, bundle, inputs) = setup(3);
+        let outcome = dispute_against(&g, &bundle, &inputs, None, 2);
+        assert!(
+            matches!(outcome.result, DisputeResult::NoOffendingChild { .. }),
+            "honest proposer must not be localized: {:?}",
+            outcome.result
+        );
+    }
+
+    #[test]
+    fn rounds_scale_logarithmically_with_n() {
+        let (g, bundle, inputs) = setup(6);
+        let target = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "act3")
+            .map(|n| n.id)
+            .unwrap();
+        let ref_exec = execute(&g, &inputs, Device::rtx4090_like().config(), None).unwrap();
+        let shape = ref_exec.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.05));
+        let r2 = dispute_against(&g, &bundle, &inputs, Some(&p), 2)
+            .rounds
+            .len();
+        let r8 = dispute_against(&g, &bundle, &inputs, Some(&p), 8)
+            .rounds
+            .len();
+        assert!(
+            r8 < r2,
+            "N=8 ({r8} rounds) must need fewer rounds than N=2 ({r2})"
+        );
+        // Both reach the same leaf.
+        assert_eq!(
+            dispute_against(&g, &bundle, &inputs, Some(&p), 8).result,
+            DisputeResult::Leaf(target)
+        );
+    }
+
+    #[test]
+    fn gas_in_paper_band_for_deep_models() {
+        let (g, bundle, inputs) = setup(8);
+        let mid = g.compute_nodes()[g.compute_nodes().len() / 2];
+        let ref_exec = execute(&g, &inputs, Device::rtx4090_like().config(), None).unwrap();
+        let shape = ref_exec.values[mid.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(mid, Tensor::full(&shape, 0.05));
+        let outcome = dispute_against(&g, &bundle, &inputs, Some(&p), 2);
+        let kgas = outcome.gas.kgas();
+        assert!((300.0..3_000.0).contains(&kgas), "kgas {kgas}");
+    }
+
+    #[test]
+    fn cost_ratio_order_of_forward_pass() {
+        let (g, bundle, inputs) = setup(5);
+        let target = g.nodes().iter().find(|n| n.name == "act2").unwrap().id;
+        let ref_exec = execute(&g, &inputs, Device::rtx4090_like().config(), None).unwrap();
+        let shape = ref_exec.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.05));
+        let outcome = dispute_against(&g, &bundle, &inputs, Some(&p), 2);
+        let ratio = outcome.cost_ratio(ref_exec.total_flops());
+        assert!(
+            (0.2..2.0).contains(&ratio),
+            "cost ratio {ratio} out of the paper's ~0.39–1.24 regime"
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Economic soundness and incentives (§5.5, Eq. 16–25).
+
+/// Parameters of the fee-and-deposit mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EconParams {
+    /// Randomized-audit probability `φ`.
+    pub phi: f64,
+    /// Voluntary-challenge probability `φ_ch`.
+    pub phi_ch: f64,
+    /// False-negative rate `ε₁` (fraud missed inside tolerances).
+    pub eps1: f64,
+    /// False-positive rate `ε₂` (honest work wrongly flagged).
+    pub eps2: f64,
+    /// Honest execution cost `C_p`.
+    pub c_p: f64,
+    /// Cheap-cheating cost `C'_p` (e.g. smaller model).
+    pub c_p_cheap: f64,
+    /// Targeted-cheating cost `C''_p` (adversarial perturbation search).
+    pub c_p_targeted: f64,
+    /// Task reward `R_p`.
+    pub r_p: f64,
+    /// Challenger verification cost `C_ch`.
+    pub c_ch: f64,
+    /// Committee member cost `C_a`.
+    pub c_a: f64,
+    /// Challenger share of the slash `α_ch`.
+    pub alpha_ch: f64,
+    /// Committee share of the slash `α_cm`.
+    pub alpha_cm: f64,
+    /// Committee size `n`.
+    pub n_committee: usize,
+    /// Committee fee `F_i` paid when the claim is ruled clean.
+    pub committee_fee: f64,
+    /// Proposer deposit `D_p`.
+    pub d_p: f64,
+    /// Challenger deposit `D_ch`.
+    pub d_ch: f64,
+}
+
+impl EconParams {
+    /// A plausible default parameterization used by the examples and the
+    /// feasibility bench.
+    pub fn default_market() -> Self {
+        EconParams {
+            phi: 0.05,
+            phi_ch: 0.10,
+            eps1: 0.0,
+            eps2: 0.0,
+            c_p: 10.0,
+            c_p_cheap: 2.0,
+            c_p_targeted: 10_000.0,
+            r_p: 15.0,
+            c_ch: 12.0,
+            c_a: 1.0,
+            alpha_ch: 0.5,
+            alpha_cm: 0.3,
+            n_committee: 5,
+            committee_fee: 2.0,
+            d_p: 500.0,
+            d_ch: 50.0,
+        }
+    }
+
+    /// Detection probability `d(φ, φ_ch, ε₁) = (φ + φ_ch)(1 − ε₁)`
+    /// (Eq. 16).
+    pub fn detection_prob(&self) -> f64 {
+        (self.phi + self.phi_ch) * (1.0 - self.eps1)
+    }
+
+    /// Proposer payoff for honest execution (Eq. 17).
+    pub fn u_proposer_honest(&self, s_slash: f64) -> f64 {
+        self.r_p - self.c_p - self.eps2 * s_slash
+    }
+
+    /// Proposer payoff for cheap cheating (Eq. 18).
+    pub fn u_proposer_cheap(&self, s_slash: f64) -> f64 {
+        self.r_p - self.c_p_cheap - self.detection_prob() * s_slash
+    }
+
+    /// Proposer payoff for targeted cheating (Eq. 19); empirically
+    /// `C''_p ≫ R_p`, so this is ≤ 0 in practice.
+    pub fn u_proposer_targeted(&self) -> f64 {
+        self.r_p - self.c_p_targeted
+    }
+
+    /// Voluntary challenger payoff against a guilty proposer (Eq. 21).
+    pub fn u_challenger_guilty(&self, s_slash: f64) -> f64 {
+        (1.0 - self.eps1) * self.alpha_ch * s_slash - self.c_ch
+    }
+
+    /// Voluntary challenger payoff against a clean proposer (Eq. 22).
+    pub fn u_challenger_clean(&self) -> f64 {
+        -self.c_ch - (1.0 - self.eps2) * self.d_ch
+    }
+
+    /// Committee member payoff when guilt is found (Eq. 24).
+    pub fn u_committee_guilty(&self, s_slash: f64) -> f64 {
+        self.alpha_cm * s_slash / self.n_committee as f64 - self.c_a
+    }
+
+    /// Committee member payoff when the claim is ruled clean (Eq. 25).
+    pub fn u_committee_clean(&self) -> f64 {
+        self.committee_fee - self.c_a
+    }
+
+    /// Lower bound `L₁` making honesty dominate cheap cheating (Eq. 20);
+    /// `None` when `d(·) ≤ ε₂` (no slash can deter).
+    pub fn l1(&self) -> Option<f64> {
+        let d = self.detection_prob();
+        if d <= self.eps2 {
+            return None;
+        }
+        Some((self.c_p - self.c_p_cheap) / (d - self.eps2))
+    }
+
+    /// Lower bound `L₂` making honest challenges profitable (Eq. 23).
+    pub fn l2(&self) -> Option<f64> {
+        let denom = self.alpha_ch * (1.0 - self.eps1);
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(self.c_ch / denom)
+    }
+
+    /// Lower bound `L₃` making committee participation sustainable.
+    pub fn l3(&self) -> Option<f64> {
+        if self.alpha_cm <= 0.0 {
+            return None;
+        }
+        Some(self.n_committee as f64 * self.c_a / self.alpha_cm)
+    }
+
+    /// The feasible slash region `(L, D_p]` with `L = max{L₁, L₂, L₃}`;
+    /// `None` when empty.
+    pub fn feasible_slash_region(&self) -> Option<(f64, f64)> {
+        let l = self.l1()?.max(self.l2()?).max(self.l3()?);
+        if l < self.d_p {
+            Some((l, self.d_p))
+        } else {
+            None
+        }
+    }
+
+    /// True when `s_slash` satisfies every incentive constraint.
+    pub fn incentive_compatible(&self, s_slash: f64) -> bool {
+        match self.feasible_slash_region() {
+            Some((lo, hi)) => s_slash > lo && s_slash <= hi,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_prob_formula() {
+        let p = EconParams::default_market();
+        assert!((p.detection_prob() - 0.15).abs() < 1e-12);
+        let lossy = EconParams { eps1: 0.5, ..p };
+        assert!((lossy.detection_prob() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_market_has_nonempty_region() {
+        let p = EconParams::default_market();
+        let (lo, hi) = p.feasible_slash_region().expect("region exists");
+        assert!(lo < hi);
+        // Any slash inside satisfies all three constraints.
+        let s = (lo + hi) / 2.0;
+        assert!(p.incentive_compatible(s));
+        assert!(p.u_proposer_honest(s) > p.u_proposer_cheap(s));
+        assert!(p.u_challenger_guilty(s) > 0.0);
+        assert!(p.u_challenger_clean() < 0.0, "spam must not pay");
+        assert!(p.u_committee_guilty(s) > 0.0);
+        assert!(p.u_committee_clean() > 0.0);
+    }
+
+    #[test]
+    fn targeted_cheating_unprofitable() {
+        let p = EconParams::default_market();
+        assert!(p.u_proposer_targeted() < 0.0);
+    }
+
+    #[test]
+    fn region_empty_when_detection_too_weak() {
+        let p = EconParams {
+            phi: 0.0,
+            phi_ch: 0.0,
+            ..EconParams::default_market()
+        };
+        assert!(p.l1().is_none());
+        assert!(p.feasible_slash_region().is_none());
+        assert!(!p.incentive_compatible(100.0));
+    }
+
+    #[test]
+    fn region_empty_when_deposit_too_small() {
+        let p = EconParams {
+            d_p: 1.0,
+            ..EconParams::default_market()
+        };
+        assert!(p.feasible_slash_region().is_none());
+    }
+
+    #[test]
+    fn l_bounds_move_with_parameters() {
+        let p = EconParams::default_market();
+        let tighter = EconParams { c_ch: 24.0, ..p };
+        assert!(tighter.l2().unwrap() > p.l2().unwrap());
+        let bigger_committee = EconParams {
+            n_committee: 10,
+            ..p
+        };
+        assert!(bigger_committee.l3().unwrap() > p.l3().unwrap());
+    }
+
+    #[test]
+    fn slash_below_region_fails_constraints() {
+        let p = EconParams::default_market();
+        let (lo, _) = p.feasible_slash_region().unwrap();
+        assert!(!p.incentive_compatible(lo * 0.5));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the protocol crate.
+
+use core::fmt;
+
+/// Errors from the coordinator, dispute game, and adjudication.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Referenced claim does not exist.
+    UnknownClaim(u64),
+    /// Action invalid in the claim's current state.
+    BadState(String),
+    /// Account balance insufficient for the required deposit.
+    InsufficientFunds {
+        /// Account name.
+        account: String,
+        /// Required amount.
+        needed: f64,
+        /// Available amount.
+        available: f64,
+    },
+    /// Challenge arrived after the window closed.
+    WindowClosed {
+        /// Claim id.
+        claim: u64,
+        /// Current tick.
+        now: u64,
+        /// Window end tick.
+        deadline: u64,
+    },
+    /// A Merkle record failed verification.
+    BadRecord(String),
+    /// Underlying graph failure.
+    Graph(String),
+    /// Underlying bound-engine failure.
+    Bound(String),
+    /// Committee configuration invalid (e.g. even size or empty).
+    BadCommittee(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownClaim(id) => write!(f, "unknown claim #{id}"),
+            ProtocolError::BadState(m) => write!(f, "invalid state transition: {m}"),
+            ProtocolError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => {
+                write!(f, "{account}: needs {needed}, has {available}")
+            }
+            ProtocolError::WindowClosed {
+                claim,
+                now,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "claim #{claim}: challenge at tick {now} after deadline {deadline}"
+                )
+            }
+            ProtocolError::BadRecord(m) => write!(f, "record verification failed: {m}"),
+            ProtocolError::Graph(m) => write!(f, "graph error: {m}"),
+            ProtocolError::Bound(m) => write!(f, "bound error: {m}"),
+            ProtocolError::BadCommittee(m) => write!(f, "bad committee: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<tao_graph::GraphError> for ProtocolError {
+    fn from(e: tao_graph::GraphError) -> Self {
+        ProtocolError::Graph(e.to_string())
+    }
+}
+
+impl From<tao_bounds::BoundError> for ProtocolError {
+    fn from(e: tao_bounds::BoundError) -> Self {
+        ProtocolError::Bound(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProtocolError::UnknownClaim(7).to_string().contains("#7"));
+        let e = ProtocolError::WindowClosed {
+            claim: 1,
+            now: 20,
+            deadline: 10,
+        };
+        assert!(e.to_string().contains("deadline 10"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # tao-protocol
+//!
+//! The TAO optimistic verification protocol (§2, §5): an authenticated
+//! coordinator with logical-clock challenge windows and escrowed bonds, the
+//! N-way Merkle-anchored threshold-guided dispute game that localizes a
+//! disagreement to a single operator in `O(log_N |V|)` rounds, Phase 3
+//! single-operator adjudication (sound theoretical-bound check or
+//! honest-majority committee vote), the §5.5 economic mechanism, and an
+//! EVM-calibrated gas model reproducing the paper's ~2 Mgas dispute
+//! footprints.
+
+pub mod adjudicate;
+pub mod coordinator;
+pub mod dispute;
+pub mod econ;
+pub mod error;
+pub mod gas;
+pub mod record;
+pub mod temporal;
+pub mod tiebreak;
+
+pub use adjudicate::{
+    adjudicate, committee_vote, leaf_case, route, sample_committee, theoretical_check,
+    theoretical_verdict, AdjudicationPath, LeafCase, LeafVerdict, VoteOutcome,
+};
+pub use coordinator::{Claim, ClaimStatus, Coordinator, Party};
+pub use dispute::{run_dispute, DisputeConfig, DisputeOutcome, DisputeResult, RoundStats};
+pub use econ::EconParams;
+pub use error::ProtocolError;
+pub use gas::GasMeter;
+pub use record::{make_record, verify_record, SubgraphRecord};
+pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};
+pub use tiebreak::{tie_seed, TieBreakRule};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, ProtocolError>;

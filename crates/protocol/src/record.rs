@@ -1,0 +1,208 @@
+//! Subgraph records: the per-child commitments posted during dispute
+//! rounds, with Merkle provenance proofs (§5.2).
+
+use tao_graph::{Execution, Graph, Subgraph};
+use tao_merkle::{
+    tensor_list_hash, verify_graph_leaf, verify_weight_leaf, Digest, InclusionProof, MerkleTree,
+};
+
+use crate::error::ProtocolError;
+use crate::Result;
+
+/// A posted subgraph record: slice indices, interface hashes, and
+/// inclusion proofs binding the slice to the committed graph and weights.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SubgraphRecord {
+    /// The slice with its frontiers.
+    pub sub: Subgraph,
+    /// `h_In`: hash of the live-in tensor list (proposer's values).
+    pub live_in_hash: Digest,
+    /// `h_Out`: hash of the live-out tensor list (proposer's values).
+    pub live_out_hash: Digest,
+    /// Inclusion proofs into the graph tree for every node in the slice.
+    pub op_proofs: Vec<(usize, InclusionProof)>,
+    /// Inclusion proofs into the weight tree for referenced parameters,
+    /// keyed by `(name, leaf index)`.
+    pub param_proofs: Vec<(String, InclusionProof)>,
+}
+
+impl SubgraphRecord {
+    /// Approximate posted size in bytes (for gas calldata accounting).
+    pub fn byte_size(&self) -> usize {
+        let proofs: usize = self
+            .op_proofs
+            .iter()
+            .map(|(_, p)| 8 + p.siblings.len() * 33)
+            .chain(
+                self.param_proofs
+                    .iter()
+                    .map(|(n, p)| n.len() + 8 + p.siblings.len() * 33),
+            )
+            .sum();
+        16 + 64 + proofs
+    }
+}
+
+/// Builds a record for a slice from the proposer's trace (proposer side).
+///
+/// # Errors
+///
+/// Returns an error when a proof index is out of range.
+pub fn make_record(
+    graph: &Graph,
+    graph_tree: &MerkleTree,
+    weight_tree: &MerkleTree,
+    sub: &Subgraph,
+    trace: &Execution,
+) -> Result<SubgraphRecord> {
+    let live_in: Vec<_> = sub
+        .live_in
+        .iter()
+        .map(|&id| trace.value(id))
+        .collect::<core::result::Result<Vec<_>, _>>()?;
+    let live_out: Vec<_> = sub
+        .live_out
+        .iter()
+        .map(|&id| trace.value(id))
+        .collect::<core::result::Result<Vec<_>, _>>()?;
+    let mut op_proofs = Vec::with_capacity(sub.len());
+    for idx in sub.start..sub.end {
+        let proof = graph_tree
+            .prove(idx)
+            .ok_or_else(|| ProtocolError::BadRecord(format!("no graph leaf {idx}")))?;
+        op_proofs.push((idx, proof));
+    }
+    let mut param_proofs = Vec::new();
+    for name in &sub.param_refs {
+        let leaf_index = graph
+            .params()
+            .keys()
+            .position(|k| k == name)
+            .ok_or_else(|| ProtocolError::BadRecord(format!("unknown parameter {name:?}")))?;
+        let proof = weight_tree
+            .prove(leaf_index)
+            .ok_or_else(|| ProtocolError::BadRecord(format!("no weight leaf {leaf_index}")))?;
+        param_proofs.push((name.clone(), proof));
+    }
+    Ok(SubgraphRecord {
+        sub: sub.clone(),
+        live_in_hash: tensor_list_hash(&live_in),
+        live_out_hash: tensor_list_hash(&live_out),
+        op_proofs,
+        param_proofs,
+    })
+}
+
+/// Verifies a record against the committed roots (challenger side).
+///
+/// Returns the number of Merkle proof verifications performed (the
+/// paper's "Merkle checks" metric).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::BadRecord`] on any failed proof.
+pub fn verify_record(
+    graph: &Graph,
+    graph_root: &Digest,
+    weight_root: &Digest,
+    record: &SubgraphRecord,
+) -> Result<u64> {
+    let mut checks = 0u64;
+    for (idx, proof) in &record.op_proofs {
+        let node = graph.node(tao_graph::NodeId(*idx))?;
+        checks += 1;
+        if !verify_graph_leaf(graph_root, node, proof) {
+            return Err(ProtocolError::BadRecord(format!(
+                "graph proof for node {idx} invalid"
+            )));
+        }
+    }
+    for (name, proof) in &record.param_proofs {
+        let tensor = graph.param(name)?;
+        checks += 1;
+        if !verify_weight_leaf(weight_root, name, tensor, proof) {
+            return Err(ProtocolError::BadRecord(format!(
+                "weight proof for {name:?} invalid"
+            )));
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::{execute, extract, GraphBuilder, OpKind};
+    use tao_merkle::{graph_tree as build_gt, weight_tree as build_wt};
+    use tao_tensor::{KernelConfig, Tensor};
+
+    fn setup() -> (Graph, Execution, MerkleTree, MerkleTree) {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter("w", Tensor::<f32>::rand_uniform(&[4, 4], -1.0, 1.0, 1));
+        let m = b.op("m", OpKind::MatMul, &[x, w]);
+        let r = b.op("r", OpKind::Relu, &[m]);
+        let s = b.op("s", OpKind::Softmax, &[r]);
+        let g = b.finish(vec![s]).unwrap();
+        let input = Tensor::<f32>::rand_uniform(&[2, 4], -1.0, 1.0, 2);
+        let exec = execute(&g, &[input], &KernelConfig::reference(), None).unwrap();
+        let gt = build_gt(&g);
+        let wt = build_wt(&g);
+        (g, exec, gt, wt)
+    }
+
+    #[test]
+    fn record_roundtrip_verifies() {
+        let (g, exec, gt, wt) = setup();
+        let sub = extract(&g, 2, 4).unwrap();
+        let rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        let checks = verify_record(&g, &gt.root(), &wt.root(), &rec).unwrap();
+        assert_eq!(
+            checks as usize,
+            rec.op_proofs.len() + rec.param_proofs.len()
+        );
+        assert!(rec.byte_size() > 80);
+    }
+
+    #[test]
+    fn record_with_param_refs() {
+        let (g, exec, gt, wt) = setup();
+        // Slice containing only the matmul references parameter "w".
+        let sub = extract(&g, 2, 3).unwrap();
+        let rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        assert_eq!(rec.param_proofs.len(), 1);
+        assert!(verify_record(&g, &gt.root(), &wt.root(), &rec).is_ok());
+    }
+
+    #[test]
+    fn tampered_root_rejected() {
+        let (g, exec, gt, wt) = setup();
+        let sub = extract(&g, 2, 4).unwrap();
+        let rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        let mut bad_root = gt.root();
+        bad_root[0] ^= 0xff;
+        assert!(verify_record(&g, &bad_root, &wt.root(), &rec).is_err());
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (g, exec, gt, wt) = setup();
+        let sub = extract(&g, 2, 4).unwrap();
+        let mut rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        rec.op_proofs[0].0 = 0; // Claim the slice starts at a different op.
+        assert!(verify_record(&g, &gt.root(), &wt.root(), &rec).is_err());
+    }
+
+    #[test]
+    fn interface_hashes_bind_values() {
+        let (g, exec, gt, wt) = setup();
+        let sub = extract(&g, 3, 4).unwrap();
+        let rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        // A perturbed trace yields a different live-out hash.
+        let mut perturbed = exec.clone();
+        perturbed.values[3].data_mut()[0] += 0.1;
+        let rec2 = make_record(&g, &gt, &wt, &sub, &perturbed).unwrap();
+        assert_ne!(rec.live_out_hash, rec2.live_out_hash);
+        assert_eq!(rec.live_in_hash, rec2.live_in_hash);
+    }
+}

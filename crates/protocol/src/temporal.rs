@@ -1,0 +1,216 @@
+//! Multi-step workloads (§7): temporal commitments over step states with
+//! prefix finality, and time-first bisection to the earliest offending
+//! step.
+//!
+//! Decoding, diffusion sampling and training all produce a sequence of
+//! step states (per-token logits, latents, checkpoints). TAO layers time
+//! over the operator dispute game: commit to a temporal Merkle chain of
+//! step states, bisect *across time* to the earliest offending step, then
+//! dispute *within* that step's operator DAG as usual. Steps before the
+//! earliest offense finalize even while later steps remain contested.
+
+use tao_merkle::{tensor_hash, Digest, InclusionProof, MerkleTree};
+use tao_tensor::Tensor;
+
+/// A committed trajectory of step states.
+#[derive(Debug, Clone)]
+pub struct TemporalCommitment {
+    tree: MerkleTree,
+    hashes: Vec<Digest>,
+}
+
+impl TemporalCommitment {
+    /// Commits a trajectory of step-state tensors.
+    pub fn new(states: &[Tensor<f32>]) -> Self {
+        let hashes: Vec<Digest> = states.iter().map(tensor_hash).collect();
+        let leaves: Vec<Vec<u8>> = hashes.iter().map(|h| h.to_vec()).collect();
+        TemporalCommitment {
+            tree: MerkleTree::from_leaves(&leaves),
+            hashes,
+        }
+    }
+
+    /// The trajectory root committed on the coordinator.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of committed steps.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True for an empty trajectory.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Inclusion proof for one step state.
+    pub fn prove_step(&self, step: usize) -> Option<InclusionProof> {
+        self.tree.prove(step)
+    }
+
+    /// Verifies a revealed step state against the root.
+    pub fn verify_step(root: &Digest, state: &Tensor<f32>, proof: &InclusionProof) -> bool {
+        tao_merkle::verify_inclusion(root, &tensor_hash(state).to_vec(), proof)
+    }
+}
+
+/// Verdict of the time-first search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TemporalVerdict {
+    /// Every step agreed within tolerance: the whole trajectory finalizes.
+    AllAgree,
+    /// Steps `0..step` finalize (prefix finality); `step` goes to the
+    /// operator-level dispute game.
+    OffenseAt {
+        /// Earliest offending step index.
+        step: usize,
+        /// Probe comparisons performed by the bisection.
+        probes: usize,
+    },
+}
+
+/// Finds the earliest step whose states disagree beyond `within`, via
+/// binary search over the *agreement prefix* — `O(log n)` probes instead
+/// of a linear scan, matching the dispute game's round complexity.
+///
+/// `agree(i)` must be monotone (once a step disagrees, the challenger
+/// would keep disputing from there): it returns true when the proposer and
+/// challenger states for step `i` agree within tolerance. The search
+/// relies on the standard optimistic-rollup invariant that disagreement,
+/// once it appears, persists (the challenger recomputes later steps from
+/// the earliest disputed state).
+pub fn earliest_offense(n_steps: usize, mut agree: impl FnMut(usize) -> bool) -> TemporalVerdict {
+    if n_steps == 0 {
+        return TemporalVerdict::AllAgree;
+    }
+    let mut probes = 0;
+    // Invariant: all steps < lo agree; some step in [lo, hi) may offend.
+    let (mut lo, mut hi) = (0usize, n_steps);
+    // First confirm there is any offense at all.
+    probes += 1;
+    if agree(n_steps - 1) {
+        return TemporalVerdict::AllAgree;
+    }
+    while lo < hi - 1 {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if agree(mid - 1) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // `lo` is the earliest step whose state disagrees... verify edge.
+    probes += 1;
+    let step = if lo == 0 || !agree(lo - 1) { lo } else { lo };
+    TemporalVerdict::OffenseAt { step, probes }
+}
+
+/// Convenience: element-wise max-abs agreement predicate for tensor
+/// trajectories.
+pub fn states_agree(a: &Tensor<f32>, b: &Tensor<f32>, tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.data()
+        .iter()
+        .zip(b.data())
+        .all(|(&x, &y)| ((x as f64) - (y as f64)).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory(n: usize) -> Vec<Tensor<f32>> {
+        (0..n)
+            .map(|i| Tensor::<f32>::randn(&[4, 4], i as u64).mul_scalar(0.1))
+            .collect()
+    }
+
+    #[test]
+    fn commitment_roundtrip() {
+        let traj = trajectory(7);
+        let c = TemporalCommitment::new(&traj);
+        assert_eq!(c.len(), 7);
+        for (i, state) in traj.iter().enumerate() {
+            let p = c.prove_step(i).unwrap();
+            assert!(TemporalCommitment::verify_step(&c.root(), state, &p));
+        }
+        // Wrong state fails.
+        let p0 = c.prove_step(0).unwrap();
+        assert!(!TemporalCommitment::verify_step(&c.root(), &traj[1], &p0));
+    }
+
+    #[test]
+    fn tampered_step_changes_root() {
+        let traj = trajectory(5);
+        let c1 = TemporalCommitment::new(&traj);
+        let mut tampered = traj.clone();
+        tampered[3].data_mut()[0] += 1e-3;
+        let c2 = TemporalCommitment::new(&tampered);
+        assert_ne!(c1.root(), c2.root());
+    }
+
+    #[test]
+    fn bisection_finds_earliest_offense() {
+        // Disagreement starts at step 6 of 20 and persists.
+        for offense in [0usize, 1, 6, 19] {
+            let verdict = earliest_offense(20, |i| i < offense);
+            assert_eq!(
+                verdict,
+                match verdict {
+                    TemporalVerdict::OffenseAt { probes, .. } => TemporalVerdict::OffenseAt {
+                        step: offense,
+                        probes
+                    },
+                    v => v,
+                },
+                "offense at {offense}"
+            );
+            if let TemporalVerdict::OffenseAt { probes, .. } = verdict {
+                assert!(probes <= 7, "expected O(log 20) probes, got {probes}");
+            } else {
+                panic!("expected offense at {offense}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_agree_short_circuits() {
+        let verdict = earliest_offense(100, |_| true);
+        assert_eq!(verdict, TemporalVerdict::AllAgree);
+        assert_eq!(earliest_offense(0, |_| false), TemporalVerdict::AllAgree);
+    }
+
+    #[test]
+    fn prefix_finality_semantics() {
+        let proposer = trajectory(8);
+        let mut challenger = proposer.clone();
+        // Challenger disagrees from step 5 on.
+        for s in challenger.iter_mut().skip(5) {
+            *s = s.add_scalar(0.01);
+        }
+        let verdict = earliest_offense(8, |i| states_agree(&proposer[i], &challenger[i], 1e-6));
+        let TemporalVerdict::OffenseAt { step, .. } = verdict else {
+            panic!("expected offense");
+        };
+        assert_eq!(step, 5);
+        // Steps before 5 are final: identical states.
+        for i in 0..5 {
+            assert!(states_agree(&proposer[i], &challenger[i], 0.0));
+        }
+    }
+
+    #[test]
+    fn states_agree_checks_shape_and_tol() {
+        let a = Tensor::<f32>::ones(&[2]);
+        let b = Tensor::<f32>::ones(&[3]);
+        assert!(!states_agree(&a, &b, 1.0));
+        let c = Tensor::<f32>::from_vec(vec![1.0, 1.0 + 1e-4], &[2]).unwrap();
+        assert!(states_agree(&a, &c, 1e-3));
+        assert!(!states_agree(&a, &c, 1e-6));
+    }
+}

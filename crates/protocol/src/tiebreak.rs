@@ -1,0 +1,124 @@
+//! Deterministic, pre-committed tie-break rules for discrete decisions
+//! (§7): when competing candidates' logits fall within the accepted
+//! tolerance, honest executors must still converge on the *same* token or
+//! class, otherwise continuous numerical drift becomes discrete step-level
+//! divergence in multi-step generation.
+
+use tao_merkle::{Digest, Sha256};
+
+/// A committed tie-break rule.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TieBreakRule {
+    /// Among candidates within `margin` of the maximum logit, pick the
+    /// lowest index (lexicographic).
+    Lexicographic {
+        /// Committed tolerance margin.
+        margin: f64,
+    },
+    /// Among candidates within `margin`, pick by a hash seeded from
+    /// committed public data (input hash, step index) — verifiable and
+    /// deterministic, but not index-biased.
+    HashSeeded {
+        /// Committed tolerance margin.
+        margin: f64,
+    },
+}
+
+impl TieBreakRule {
+    /// Resolves the argmax under the rule. `seed` is derived from
+    /// committed public data (ignored by the lexicographic rule).
+    pub fn select(&self, logits: &[f32], seed: &Digest) -> Option<usize> {
+        if logits.is_empty() {
+            return None;
+        }
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let (margin, hashed) = match *self {
+            TieBreakRule::Lexicographic { margin } => (margin, false),
+            TieBreakRule::HashSeeded { margin } => (margin, true),
+        };
+        let near: Vec<usize> = logits
+            .iter()
+            .enumerate()
+            .filter(|(_, &z)| (max as f64 - z as f64) <= margin)
+            .map(|(i, _)| i)
+            .collect();
+        if near.len() == 1 || !hashed {
+            return near.first().copied();
+        }
+        // Verifiable hash-seeded pick among the near-ties.
+        let mut h = Sha256::new();
+        h.update(seed);
+        for &i in &near {
+            h.update(&(i as u64).to_le_bytes());
+        }
+        let digest = h.finalize();
+        let pick =
+            u64::from_le_bytes(digest[..8].try_into().expect("8 bytes")) as usize % near.len();
+        Some(near[pick])
+    }
+}
+
+/// Seed for the hash rule from committed public data.
+pub fn tie_seed(input_hash: &Digest, step: u64) -> Digest {
+    let mut h = Sha256::new();
+    h.update(input_hash);
+    h.update(&step.to_le_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_merkle::sha256;
+
+    #[test]
+    fn clear_winner_unaffected() {
+        let logits = [0.1f32, 5.0, 0.2];
+        let seed = sha256(b"x");
+        for rule in [
+            TieBreakRule::Lexicographic { margin: 1e-4 },
+            TieBreakRule::HashSeeded { margin: 1e-4 },
+        ] {
+            assert_eq!(rule.select(&logits, &seed), Some(1));
+        }
+    }
+
+    #[test]
+    fn lexicographic_picks_lowest_index_among_ties() {
+        let logits = [1.0f32, 1.0 + 1e-6, 0.0];
+        let rule = TieBreakRule::Lexicographic { margin: 1e-4 };
+        assert_eq!(rule.select(&logits, &sha256(b"s")), Some(0));
+    }
+
+    #[test]
+    fn hash_seeded_is_deterministic_and_seed_sensitive() {
+        let logits = [1.0f32, 1.0, 1.0, -5.0];
+        let rule = TieBreakRule::HashSeeded { margin: 1e-3 };
+        let s1 = tie_seed(&sha256(b"input"), 3);
+        let s2 = tie_seed(&sha256(b"input"), 4);
+        let a = rule.select(&logits, &s1).unwrap();
+        let b = rule.select(&logits, &s1).unwrap();
+        assert_eq!(a, b, "same committed data, same pick");
+        assert!(a < 3, "picks among the near-ties only");
+        // Different steps may pick differently (not guaranteed, but the
+        // seeds must differ).
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn converges_across_tolerance_level_drift() {
+        // Two honest executions whose logits differ within tolerance must
+        // select the same token.
+        let a = [0.5f32, 0.999_999, 1.0];
+        let b = [0.5f32, 1.0, 0.999_999]; // Cross-device drift swaps the top-2.
+        let rule = TieBreakRule::Lexicographic { margin: 1e-3 };
+        let seed = sha256(b"ctx");
+        assert_eq!(rule.select(&a, &seed), rule.select(&b, &seed));
+    }
+
+    #[test]
+    fn empty_logits() {
+        let rule = TieBreakRule::Lexicographic { margin: 1e-3 };
+        assert_eq!(rule.select(&[], &sha256(b"s")), None);
+    }
+}

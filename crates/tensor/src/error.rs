@@ -1,0 +1,114 @@
+//! Error types for tensor operations.
+
+use core::fmt;
+
+/// Errors produced by tensor construction and operator kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// Two operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+        /// Operation that rejected the shapes.
+        op: &'static str,
+    },
+    /// A dimension index is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// An index is out of range for the dimension extent.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Dimension extent.
+        extent: usize,
+    },
+    /// The operation requires a minimum rank that the tensor lacks.
+    RankMismatch {
+        /// Required rank (exact or minimum, see `op` context).
+        expected: usize,
+        /// Actual rank.
+        got: usize,
+        /// Operation that rejected the rank.
+        op: &'static str,
+    },
+    /// A generic invalid-argument condition with a human-readable reason.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange { index, extent } => {
+                write!(f, "index {index} out of range for extent {extent}")
+            }
+            TensorError::RankMismatch { expected, got, op } => {
+                write!(f, "{op}: expected rank {expected}, got {got}")
+            }
+            TensorError::InvalidArgument(reason) => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 2],
+            rhs: vec![3],
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 2]"));
+    }
+
+    #[test]
+    fn display_axis_out_of_range() {
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

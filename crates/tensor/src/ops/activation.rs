@@ -1,0 +1,179 @@
+//! Activation functions and transcendental elementwise kernels.
+//!
+//! Transcendental kernels dispatch through the [`crate::MathLib`] selected by the
+//! caller's [`KernelConfig`], so two simulated devices produce genuinely
+//! different last-bit results for the same input — exactly the intrinsic
+//! ULP drift the TAO paper calibrates against.
+
+use crate::accum::KernelConfig;
+use crate::element::Element;
+use crate::math::MathElement;
+use crate::tensor::Tensor;
+
+/// `sqrt(2/pi)` constant used by the tanh-based GELU approximation.
+const GELU_C: f64 = 0.797_884_560_802_865_4;
+
+impl<T: MathElement> Tensor<T> {
+    /// Rectified linear unit `max(x, 0)`.
+    pub fn relu(&self) -> Tensor<T> {
+        self.map(|x| x.maximum(T::ZERO))
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
+    ///
+    /// `0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))`.
+    pub fn gelu(&self, cfg: &KernelConfig) -> Tensor<T> {
+        let c = T::from_f64(GELU_C);
+        let k = T::from_f64(0.044_715);
+        let half = T::from_f64(0.5);
+        self.map(|x| {
+            let inner = c * (x + k * x * x * x);
+            half * x * (T::ONE + inner.tanh_with(cfg.math))
+        })
+    }
+
+    /// Sigmoid linear unit `x * sigmoid(x)` (a.k.a. swish).
+    pub fn silu(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x * x.sigmoid_with(cfg.math))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x.sigmoid_with(cfg.math))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x.exp_with(cfg.math))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x.ln_with(cfg.math))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x.tanh_with(cfg.math))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor<T> {
+        self.map(|x| x.sqrt())
+    }
+
+    /// Elementwise reciprocal square root.
+    pub fn rsqrt(&self, cfg: &KernelConfig) -> Tensor<T> {
+        self.map(|x| x.rsqrt_with(cfg.math))
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&self) -> Tensor<T> {
+        self.map(|x| Element::sin(x))
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&self) -> Tensor<T> {
+        self.map(|x| Element::cos(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::MathLib;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::reference()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::<f32>::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.relu().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        // Reference values from the tanh approximation.
+        let t = Tensor::<f32>::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let g = t.gelu(&cfg());
+        assert_eq!(g.data()[0], 0.0);
+        assert!((g.data()[1] - 0.841_192).abs() < 1e-4);
+        assert!((g.data()[2] + 0.158_808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn silu_at_zero_and_large() {
+        let t = Tensor::<f32>::from_vec(vec![0.0, 10.0], &[2]).unwrap();
+        let s = t.silu(&cfg());
+        assert_eq!(s.data()[0], 0.0);
+        assert!((s.data()[1] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_symmetric() {
+        let t = Tensor::<f32>::from_vec(vec![-3.0, 3.0], &[2]).unwrap();
+        let s = t.sigmoid(&cfg());
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let t = Tensor::<f32>::from_vec(vec![0.5, 1.0, 2.0], &[3]).unwrap();
+        let r = t.exp(&cfg()).ln(&cfg());
+        for (a, b) in r.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn intrinsic_family_changes_bits() {
+        let t = Tensor::<f32>::rand_uniform(&[256], -4.0, 4.0, 3);
+        let a = t.exp(&KernelConfig {
+            math: MathLib::VariantA,
+            ..cfg()
+        });
+        let b = t.exp(&KernelConfig {
+            math: MathLib::VariantB,
+            ..cfg()
+        });
+        assert_ne!(a.data(), b.data());
+        // But both stay within a few ULP of the reference.
+        let r = t.exp(&cfg());
+        for i in 0..t.len() {
+            let rel = ((a.data()[i] - r.data()[i]) / r.data()[i]).abs();
+            assert!(rel < 1e-5, "variantA exp rel err {rel}");
+            let rel = ((b.data()[i] - r.data()[i]) / r.data()[i]).abs();
+            assert!(rel < 1e-5, "variantB exp rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn sqrt_rsqrt_consistent() {
+        let t = Tensor::<f32>::from_vec(vec![4.0, 9.0], &[2]).unwrap();
+        assert_eq!(t.sqrt().data(), &[2.0, 3.0]);
+        let r = t.rsqrt(&cfg());
+        assert!((r.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sin_cos_pythagorean() {
+        let t = Tensor::<f32>::rand_uniform(&[32], -3.0, 3.0, 5);
+        let s = t.sin();
+        let c = t.cos();
+        for i in 0..t.len() {
+            let v = s.data()[i] * s.data()[i] + c.data()[i] * c.data()[i];
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tanh_bounded() {
+        let t = Tensor::<f32>::rand_uniform(&[64], -20.0, 20.0, 9);
+        for lib in [MathLib::Reference, MathLib::VariantA, MathLib::VariantB] {
+            let out = t.tanh(&KernelConfig { math: lib, ..cfg() });
+            assert!(out.data().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        }
+    }
+}

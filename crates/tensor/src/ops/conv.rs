@@ -1,0 +1,248 @@
+//! 2-D convolution over NCHW tensors.
+
+use crate::accum::KernelConfig;
+use crate::element::Element;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Convolution hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dParams {
+    /// Stride along height and width.
+    pub stride: usize,
+    /// Zero padding along height and width.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// Output spatial extent for an input extent and kernel extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> Option<usize> {
+        (input + 2 * self.padding)
+            .checked_sub(kernel)
+            .map(|v| v / self.stride + 1)
+    }
+}
+
+impl<T: Element> Tensor<T> {
+    /// 2-D convolution: `self: [n, c_in, h, w]`, `weight: [c_out, c_in, kh, kw]`,
+    /// optional `bias: [c_out]`.
+    ///
+    /// Each output element is a length-`c_in*kh*kw` dot product gathered in
+    /// canonical (channel, row, column) order and evaluated under `cfg`'s
+    /// accumulation order — the same reduction-order degree of freedom GPU
+    /// convolution kernels exercise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D operands, channel mismatches, or kernels
+    /// larger than the padded input.
+    pub fn conv2d(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        params: Conv2dParams,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: self.rank(),
+                op: "conv2d",
+            });
+        }
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: weight.rank(),
+                op: "conv2d weight",
+            });
+        }
+        let (n, c_in, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
+        let (c_out, wc_in, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        if wc_in != c_in {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: weight.dims().to_vec(),
+                op: "conv2d channels",
+            });
+        }
+        if let Some(b) = bias {
+            if b.dims() != [c_out] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: vec![c_out],
+                    rhs: b.dims().to_vec(),
+                    op: "conv2d bias",
+                });
+            }
+        }
+        let oh = params.out_extent(h, kh).ok_or_else(|| {
+            TensorError::InvalidArgument("conv2d: kernel taller than input".into())
+        })?;
+        let ow = params.out_extent(w, kw).ok_or_else(|| {
+            TensorError::InvalidArgument("conv2d: kernel wider than input".into())
+        })?;
+        let patch = c_in * kh * kw;
+        let mut col = vec![T::ZERO; patch];
+        let mut out = Vec::with_capacity(n * c_out * oh * ow);
+        let pad = params.padding as isize;
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let wrow = &weight.data()[oc * patch..(oc + 1) * patch];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Gather the receptive field in canonical order,
+                        // substituting zeros for padding.
+                        let mut p = 0;
+                        for ic in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride + ky) as isize - pad;
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride + kx) as isize - pad;
+                                    col[p] =
+                                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                        {
+                                            T::ZERO
+                                        } else {
+                                            self.data()[((ni * c_in + ic) * h + iy as usize) * w
+                                                + ix as usize]
+                                        };
+                                    p += 1;
+                                }
+                            }
+                        }
+                        let mut v = cfg.dot(&col, wrow);
+                        if let Some(b) = bias {
+                            v += b.data()[oc];
+                        }
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::reference()
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let x = Tensor::<f32>::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let w = Tensor::<f32>::ones(&[1, 1, 1, 1]);
+        let y = x.conv2d(&w, None, Conv2dParams::default(), &cfg()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn box_filter_3x3() {
+        let x = Tensor::<f32>::ones(&[1, 1, 3, 3]);
+        let w = Tensor::<f32>::ones(&[1, 1, 3, 3]);
+        let y = x.conv2d(&w, None, Conv2dParams::default(), &cfg()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn padding_same_spatial_size() {
+        let x = Tensor::<f32>::ones(&[1, 1, 4, 4]);
+        let w = Tensor::<f32>::ones(&[1, 1, 3, 3]);
+        let y = x
+            .conv2d(
+                &w,
+                None,
+                Conv2dParams {
+                    stride: 1,
+                    padding: 1,
+                },
+                &cfg(),
+            )
+            .unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        // Corner sees a 2x2 window of ones.
+        assert_eq!(y.at(&[0, 0, 0, 0]).unwrap(), 4.0);
+        // Center sees a full 3x3 window.
+        assert_eq!(y.at(&[0, 0, 1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let x = Tensor::<f32>::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let w = Tensor::<f32>::ones(&[1, 1, 2, 2]);
+        let y = x
+            .conv2d(
+                &w,
+                None,
+                Conv2dParams {
+                    stride: 2,
+                    padding: 0,
+                },
+                &cfg(),
+            )
+            .unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[10.0, 18.0, 42.0, 50.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        let x = Tensor::<f32>::ones(&[1, 3, 2, 2]);
+        let w = Tensor::<f32>::ones(&[2, 3, 2, 2]);
+        let b = Tensor::<f32>::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let y = x
+            .conv2d(&w, Some(&b), Conv2dParams::default(), &cfg())
+            .unwrap();
+        assert_eq!(y.dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[12.5, 11.5]);
+    }
+
+    #[test]
+    fn batch_dimension_independent() {
+        let x0 = Tensor::<f32>::ones(&[1, 1, 2, 2]);
+        let x1 = Tensor::<f32>::full(&[1, 1, 2, 2], 2.0);
+        let x = Tensor::cat(&[&x0, &x1], 0).unwrap();
+        let w = Tensor::<f32>::ones(&[1, 1, 2, 2]);
+        let y = x.conv2d(&w, None, Conv2dParams::default(), &cfg()).unwrap();
+        assert_eq!(y.dims(), &[2, 1, 1, 1]);
+        assert_eq!(y.data(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        let w = Tensor::<f32>::zeros(&[1, 3, 3, 3]);
+        assert!(x.conv2d(&w, None, Conv2dParams::default(), &cfg()).is_err());
+        let v = Tensor::<f32>::zeros(&[4, 4]);
+        assert!(v.conv2d(&w, None, Conv2dParams::default(), &cfg()).is_err());
+        let w_big = Tensor::<f32>::zeros(&[1, 2, 5, 5]);
+        assert!(x
+            .conv2d(&w_big, None, Conv2dParams::default(), &cfg())
+            .is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Elementwise binary and unary arithmetic with broadcasting.
+
+use crate::element::Element;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Applies a binary function elementwise with NumPy-style broadcasting.
+///
+/// # Errors
+///
+/// Returns an error when the shapes are not broadcast-compatible.
+pub fn zip_broadcast<T: Element>(
+    a: &Tensor<T>,
+    b: &Tensor<T>,
+    f: impl Fn(T, T) -> T,
+) -> Result<Tensor<T>> {
+    let out_shape: Shape = a.shape().broadcast(b.shape())?;
+    if a.shape() == &out_shape && b.shape() == &out_shape {
+        // Fast path: identical shapes need no index arithmetic.
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Tensor::from_vec(data, out_shape.dims());
+    }
+    let ab = a.broadcast_to(&out_shape)?;
+    let bb = b.broadcast_to(&out_shape)?;
+    let data = ab
+        .data()
+        .iter()
+        .zip(bb.data())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_vec(data, out_shape.dims())
+}
+
+impl<T: Element> Tensor<T> {
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn add(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x + y)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn sub(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x - y)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn mul(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x * y)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn div(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x / y)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn maximum(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x.maximum(y))
+    }
+
+    /// Elementwise minimum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn minimum(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x.minimum(y))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Tensor<T> {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor<T> {
+        self.map(|x| x.abs())
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: T) -> Tensor<T> {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: T) -> Tensor<T> {
+        self.map(|x| x * s)
+    }
+
+    /// Raises every element to a scalar power.
+    pub fn pow_scalar(&self, p: T) -> Tensor<T> {
+        self.map(|x| x.powf(p))
+    }
+
+    /// Elementwise power with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes are not broadcast-compatible.
+    pub fn pow(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
+        zip_broadcast(self, other, |x, y| x.powf(y))
+    }
+
+    /// Fills elements where `mask != 0` with `value` (masked fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the mask shape is not broadcastable to `self`.
+    pub fn masked_fill(&self, mask: &Tensor<T>, value: T) -> Result<Tensor<T>> {
+        let m = mask.broadcast_to(self.shape())?;
+        let data = self
+            .data()
+            .iter()
+            .zip(m.data())
+            .map(|(&x, &b)| if b != T::ZERO { value } else { x })
+            .collect();
+        Tensor::from_vec(data, self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = Tensor::<f32>::arange(6).reshape(&[2, 3]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn sub_mul_div() {
+        let a = Tensor::<f32>::from_vec(vec![6.0, 8.0], &[2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.sub(&b).unwrap().data(), &[4.0, 4.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[12.0, 32.0]);
+        assert_eq!(a.div(&b).unwrap().data(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = Tensor::<f32>::zeros(&[2, 3]);
+        let b = Tensor::<f32>::zeros(&[2, 2]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, -1.0]);
+        assert_eq!(a.mul_scalar(3.0).data(), &[3.0, -6.0]);
+        assert_eq!(a.neg().data(), &[-1.0, 2.0]);
+        assert_eq!(a.abs().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pow_scalar_squares() {
+        let a = Tensor::<f32>::from_vec(vec![2.0, 3.0], &[2]).unwrap();
+        assert_eq!(a.pow_scalar(2.0).data(), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn max_min_elementwise() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 5.0], &[2]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![3.0, 2.0], &[2]).unwrap();
+        assert_eq!(a.maximum(&b).unwrap().data(), &[3.0, 5.0]);
+        assert_eq!(a.minimum(&b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn masked_fill_replaces() {
+        let a = Tensor::<f32>::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let m = Tensor::<f32>::from_vec(vec![0.0, 1.0, 0.0], &[3]).unwrap();
+        let f = a.masked_fill(&m, -9.0).unwrap();
+        assert_eq!(f.data(), &[1.0, -9.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_column_times_row() {
+        let col = Tensor::<f32>::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let row = Tensor::<f32>::from_vec(vec![3.0, 4.0, 5.0], &[1, 3]).unwrap();
+        let prod = col.mul(&row).unwrap();
+        assert_eq!(prod.dims(), &[2, 3]);
+        assert_eq!(prod.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+}

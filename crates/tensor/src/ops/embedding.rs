@@ -1,0 +1,50 @@
+//! Embedding lookup (pure data movement, no floating-point error).
+
+use crate::element::Element;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl<T: Element> Tensor<T> {
+    /// Embedding lookup: `self` is a `[vocab, dim]` table; `ids` selects
+    /// rows, producing `[ids.len(), dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-2D table or out-of-vocabulary ids.
+    pub fn embedding(&self, ids: &[usize]) -> Result<Tensor<T>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: self.rank(),
+                op: "embedding",
+            });
+        }
+        self.index_select0(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_rows() {
+        let table = Tensor::<f32>::arange(8).reshape(&[4, 2]).unwrap();
+        let e = table.embedding(&[3, 0, 3]).unwrap();
+        assert_eq!(e.dims(), &[3, 2]);
+        assert_eq!(e.data(), &[6.0, 7.0, 0.0, 1.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn out_of_vocab_errors() {
+        let table = Tensor::<f32>::zeros(&[4, 2]);
+        assert!(table.embedding(&[4]).is_err());
+    }
+
+    #[test]
+    fn non_2d_table_errors() {
+        let table = Tensor::<f32>::zeros(&[4]);
+        assert!(table.embedding(&[0]).is_err());
+    }
+}

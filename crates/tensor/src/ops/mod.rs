@@ -1,0 +1,16 @@
+//! Operator kernels grouped by family.
+//!
+//! Every kernel that performs a reduction or can be contracted takes a
+//! [`crate::KernelConfig`], making its IEEE-754 rounding order an explicit
+//! input rather than an accident of the implementation. The kernels are the
+//! single source of truth for *how* each operator computes, and the bound
+//! templates in `tao-bounds` mirror their sub-step structure.
+
+pub mod activation;
+pub mod conv;
+pub mod elementwise;
+pub mod embedding;
+pub mod linalg;
+pub mod norm;
+pub mod pool;
+pub mod reduce;

@@ -1,0 +1,381 @@
+//! Softmax and normalization layers.
+//!
+//! Each kernel follows the exact sub-step decomposition the bound templates
+//! in `tao-bounds` model — e.g. softmax is computed as
+//! `m = max(x); z = x - m; e = exp(z); S = Σe; y = e / S`, matching §3.1 of
+//! the paper.
+
+use crate::accum::KernelConfig;
+use crate::error::TensorError;
+use crate::math::MathElement;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl<T: MathElement> Tensor<T> {
+    /// Softmax along the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors.
+    pub fn softmax_last(&self, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: 0,
+                op: "softmax",
+            });
+        }
+        let d = self.dims()[self.rank() - 1];
+        if d == 0 {
+            return Err(TensorError::InvalidArgument(
+                "softmax over empty axis".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(self.len());
+        let mut e = vec![T::ZERO; d];
+        for lane in self.data().chunks(d) {
+            let m = lane.iter().copied().fold(lane[0], |a, b| a.maximum(b));
+            for (i, &x) in lane.iter().enumerate() {
+                e[i] = (x - m).exp_with(cfg.math);
+            }
+            let s = cfg.sum(&e);
+            for &ei in &e {
+                out.push(ei / s);
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Layer normalization over the last axis with affine parameters.
+    ///
+    /// `y = (x - mean) / sqrt(var + eps) * gamma + beta` where mean/var are
+    /// per-lane reductions under `cfg`'s accumulation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 input or parameter shape mismatches.
+    pub fn layer_norm(
+        &self,
+        gamma: &Tensor<T>,
+        beta: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: 0,
+                op: "layer_norm",
+            });
+        }
+        let d = self.dims()[self.rank() - 1];
+        if gamma.dims() != [d] || beta.dims() != [d] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![d],
+                rhs: gamma.dims().to_vec(),
+                op: "layer_norm params",
+            });
+        }
+        let nd = T::from_f64(d as f64);
+        let epsd = T::from_f64(eps);
+        let mut out = Vec::with_capacity(self.len());
+        let mut centered = vec![T::ZERO; d];
+        let mut sq = vec![T::ZERO; d];
+        for lane in self.data().chunks(d) {
+            let mean = cfg.sum(lane) / nd;
+            for (i, &x) in lane.iter().enumerate() {
+                centered[i] = x - mean;
+                sq[i] = centered[i] * centered[i];
+            }
+            let var = cfg.sum(&sq) / nd;
+            let inv = (var + epsd).rsqrt_with(cfg.math);
+            for i in 0..d {
+                out.push(centered[i] * inv * gamma.data()[i] + beta.data()[i]);
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// RMS normalization over the last axis (no mean subtraction), as used
+    /// by Qwen/LLaMA-family models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 input or a parameter shape mismatch.
+    pub fn rms_norm(&self, gamma: &Tensor<T>, eps: f64, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: 0,
+                op: "rms_norm",
+            });
+        }
+        let d = self.dims()[self.rank() - 1];
+        if gamma.dims() != [d] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![d],
+                rhs: gamma.dims().to_vec(),
+                op: "rms_norm params",
+            });
+        }
+        let nd = T::from_f64(d as f64);
+        let epsd = T::from_f64(eps);
+        let mut out = Vec::with_capacity(self.len());
+        let mut sq = vec![T::ZERO; d];
+        for lane in self.data().chunks(d) {
+            for (i, &x) in lane.iter().enumerate() {
+                sq[i] = x * x;
+            }
+            let ms = cfg.sum(&sq) / nd;
+            let inv = (ms + epsd).rsqrt_with(cfg.math);
+            for (i, &x) in lane.iter().enumerate() {
+                out.push(x * inv * gamma.data()[i]);
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Inference-mode batch normalization over NCHW input using running
+    /// statistics: `y = (x - mean_c) / sqrt(var_c + eps) * gamma_c + beta_c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D input or per-channel parameter
+    /// mismatches.
+    pub fn batch_norm2d(
+        &self,
+        gamma: &Tensor<T>,
+        beta: &Tensor<T>,
+        running_mean: &Tensor<T>,
+        running_var: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: self.rank(),
+                op: "batch_norm2d",
+            });
+        }
+        let c = self.dims()[1];
+        for (p, name) in [
+            (gamma, "gamma"),
+            (beta, "beta"),
+            (running_mean, "running_mean"),
+            (running_var, "running_var"),
+        ] {
+            if p.dims() != [c] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "batch_norm2d: {name} must have shape [{c}], got {:?}",
+                    p.dims()
+                )));
+            }
+        }
+        let (n, h, w) = (self.dims()[0], self.dims()[2], self.dims()[3]);
+        let hw = h * w;
+        let epsd = T::from_f64(eps);
+        let mut out = Vec::with_capacity(self.len());
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv = (running_var.data()[ci] + epsd).rsqrt_with(cfg.math);
+                let g = gamma.data()[ci];
+                let b = beta.data()[ci];
+                let m = running_mean.data()[ci];
+                let base = (ni * c + ci) * hw;
+                for &x in &self.data()[base..base + hw] {
+                    out.push((x - m) * inv * g + b);
+                }
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Group normalization over NCHW input with `groups` channel groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `groups` does not divide the channel count or
+    /// parameter shapes mismatch.
+    pub fn group_norm(
+        &self,
+        groups: usize,
+        gamma: &Tensor<T>,
+        beta: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: self.rank(),
+                op: "group_norm",
+            });
+        }
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
+        if groups == 0 || c % groups != 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "group_norm: {groups} groups do not divide {c} channels"
+            )));
+        }
+        if gamma.dims() != [c] || beta.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![c],
+                rhs: gamma.dims().to_vec(),
+                op: "group_norm params",
+            });
+        }
+        let cg = c / groups;
+        let group_len = cg * h * w;
+        let nd = T::from_f64(group_len as f64);
+        let epsd = T::from_f64(eps);
+        let mut out = vec![T::ZERO; self.len()];
+        let mut sq = vec![T::ZERO; group_len];
+        for ni in 0..n {
+            for g in 0..groups {
+                let base = (ni * c + g * cg) * h * w;
+                let lane = &self.data()[base..base + group_len];
+                let mean = cfg.sum(lane) / nd;
+                for (i, &x) in lane.iter().enumerate() {
+                    let cen = x - mean;
+                    sq[i] = cen * cen;
+                }
+                let var = cfg.sum(&sq) / nd;
+                let inv = (var + epsd).rsqrt_with(cfg.math);
+                for i in 0..group_len {
+                    let ch = g * cg + i / (h * w);
+                    out[base + i] = (lane[i] - mean) * inv * gamma.data()[ch] + beta.data()[ch];
+                }
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::reference()
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::<f32>::rand_uniform(&[4, 7], -5.0, 5.0, 1);
+        let s = t.softmax_last(&cfg()).unwrap();
+        for lane in s.data().chunks(7) {
+            let total: f32 = lane.iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+            assert!(lane.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::<f32>::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let shifted = t.add_scalar(100.0);
+        let a = t.softmax_last(&cfg()).unwrap();
+        let b = shifted.softmax_last(&cfg()).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::<f32>::from_vec(vec![1000.0, 1001.0], &[2]).unwrap();
+        let s = t.softmax_last(&cfg()).unwrap();
+        assert!(s.all_finite());
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let t = Tensor::<f32>::rand_uniform(&[3, 64], -2.0, 5.0, 2);
+        let gamma = Tensor::<f32>::ones(&[64]);
+        let beta = Tensor::<f32>::zeros(&[64]);
+        let y = t.layer_norm(&gamma, &beta, 1e-5, &cfg()).unwrap();
+        for lane in y.data().chunks(64) {
+            let mean: f32 = lane.iter().sum::<f32>() / 64.0;
+            let var: f32 = lane.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine_applies() {
+        let t = Tensor::<f32>::rand_uniform(&[2, 8], -1.0, 1.0, 3);
+        let gamma = Tensor::<f32>::full(&[8], 2.0);
+        let beta = Tensor::<f32>::full(&[8], 1.0);
+        let base = t
+            .layer_norm(&Tensor::ones(&[8]), &Tensor::zeros(&[8]), 1e-5, &cfg())
+            .unwrap();
+        let y = t.layer_norm(&gamma, &beta, 1e-5, &cfg()).unwrap();
+        for (b, v) in base.data().iter().zip(y.data()) {
+            assert!((v - (2.0 * b + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let t = Tensor::<f32>::rand_uniform(&[2, 32], 0.5, 2.0, 4);
+        let gamma = Tensor::<f32>::ones(&[32]);
+        let y = t.rms_norm(&gamma, 1e-6, &cfg()).unwrap();
+        for lane in y.data().chunks(32) {
+            let ms: f32 = lane.iter().map(|&x| x * x).sum::<f32>() / 32.0;
+            assert!((ms - 1.0).abs() < 1e-3, "ms {ms}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_normalizes_with_running_stats() {
+        let x = Tensor::<f32>::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap();
+        let y = x
+            .batch_norm2d(
+                &Tensor::ones(&[1]),
+                &Tensor::zeros(&[1]),
+                &Tensor::from_vec(vec![5.0], &[1]).unwrap(),
+                &Tensor::from_vec(vec![4.0], &[1]).unwrap(),
+                0.0,
+                &cfg(),
+            )
+            .unwrap();
+        assert_eq!(y.data(), &[-1.5, -0.5, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn group_norm_per_group_stats() {
+        let x = Tensor::<f32>::rand_uniform(&[1, 4, 3, 3], -3.0, 3.0, 5);
+        let y = x
+            .group_norm(2, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 1e-5, &cfg())
+            .unwrap();
+        // Each group of 2 channels should have near-zero mean.
+        let group_len = 2 * 9;
+        for g in 0..2 {
+            let lane = &y.data()[g * group_len..(g + 1) * group_len];
+            let mean: f32 = lane.iter().sum::<f32>() / group_len as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+        assert!(x
+            .group_norm(3, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 1e-5, &cfg())
+            .is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let t = Tensor::<f32>::zeros(&[2, 4]);
+        assert!(t
+            .layer_norm(&Tensor::ones(&[3]), &Tensor::zeros(&[4]), 1e-5, &cfg())
+            .is_err());
+        assert!(t.rms_norm(&Tensor::ones(&[5]), 1e-6, &cfg()).is_err());
+        let s = Tensor::<f32>::scalar(1.0);
+        assert!(s.softmax_last(&cfg()).is_err());
+    }
+}

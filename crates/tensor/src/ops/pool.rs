@@ -1,0 +1,210 @@
+//! Pooling and spatial resampling over NCHW tensors.
+
+use crate::accum::KernelConfig;
+use crate::element::Element;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl<T: Element> Tensor<T> {
+    /// Max pooling with a square window and stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D input or windows larger than the input.
+    pub fn max_pool2d(&self, kernel: usize, stride: usize) -> Result<Tensor<T>> {
+        let (n, c, h, w) = self.nchw("max_pool2d")?;
+        if kernel == 0 || stride == 0 || kernel > h || kernel > w {
+            return Err(TensorError::InvalidArgument(format!(
+                "max_pool2d: kernel {kernel}/stride {stride} invalid for {h}x{w}"
+            )));
+        }
+        let oh = (h - kernel) / stride + 1;
+        let ow = (w - kernel) / stride + 1;
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut m = self.data()[base + oy * stride * w + ox * stride];
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                let v =
+                                    self.data()[base + (oy * stride + ky) * w + ox * stride + kx];
+                                m = m.maximum(v);
+                            }
+                        }
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Average pooling with a square window and stride; the window sum uses
+    /// `cfg`'s accumulation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D input or windows larger than the input.
+    pub fn avg_pool2d(
+        &self,
+        kernel: usize,
+        stride: usize,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        let (n, c, h, w) = self.nchw("avg_pool2d")?;
+        if kernel == 0 || stride == 0 || kernel > h || kernel > w {
+            return Err(TensorError::InvalidArgument(format!(
+                "avg_pool2d: kernel {kernel}/stride {stride} invalid for {h}x{w}"
+            )));
+        }
+        let oh = (h - kernel) / stride + 1;
+        let ow = (w - kernel) / stride + 1;
+        let norm = T::from_f64((kernel * kernel) as f64);
+        let mut window = vec![T::ZERO; kernel * kernel];
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut p = 0;
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                window[p] =
+                                    self.data()[base + (oy * stride + ky) * w + ox * stride + kx];
+                                p += 1;
+                            }
+                        }
+                        out.push(cfg.sum(&window) / norm);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Adaptive average pooling to `1x1` (global average per channel).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D input.
+    pub fn adaptive_avg_pool2d_1x1(&self, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        let (n, c, h, w) = self.nchw("adaptive_avg_pool2d")?;
+        let hw = h * w;
+        let norm = T::from_f64(hw as f64);
+        let mut out = Vec::with_capacity(n * c);
+        for chan in self.data().chunks(hw) {
+            out.push(cfg.sum(chan) / norm);
+        }
+        let _ = (n, c);
+        Tensor::from_vec(out, &[self.dims()[0], self.dims()[1], 1, 1])
+    }
+
+    /// Nearest-neighbour upsampling by an integer factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-4D input or a zero factor.
+    pub fn upsample_nearest2x(&self, factor: usize) -> Result<Tensor<T>> {
+        let (n, c, h, w) = self.nchw("upsample_nearest")?;
+        if factor == 0 {
+            return Err(TensorError::InvalidArgument(
+                "upsample factor must be > 0".into(),
+            ));
+        }
+        let (oh, ow) = (h * factor, w * factor);
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        out.push(self.data()[base + (oy / factor) * w + ox / factor]);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn nchw(&self, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: self.rank(),
+                op,
+            });
+        }
+        Ok((
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::reference()
+    }
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let x = Tensor::<f32>::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let y = x.max_pool2d(2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_stride() {
+        let x = Tensor::<f32>::arange(9).reshape(&[1, 1, 3, 3]).unwrap();
+        let y = x.max_pool2d(2, 1).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn avg_pool_window_means() {
+        let x = Tensor::<f32>::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let y = x.avg_pool2d(2, 2, &cfg()).unwrap();
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn global_average_pool() {
+        let x = Tensor::<f32>::arange(8).reshape(&[1, 2, 2, 2]).unwrap();
+        let y = x.adaptive_avg_pool2d_1x1(&cfg()).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn upsample_doubles_pixels() {
+        let x = Tensor::<f32>::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = x.upsample_nearest2x(2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(
+            y.data(),
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 3.0, 3.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn pooling_shape_errors() {
+        let x = Tensor::<f32>::zeros(&[4, 4]);
+        assert!(x.max_pool2d(2, 2).is_err());
+        let y = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        assert!(y.max_pool2d(3, 1).is_err());
+        assert!(y.avg_pool2d(0, 1, &cfg()).is_err());
+        assert!(y.upsample_nearest2x(0).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Shape arithmetic: volumes, row-major strides, broadcasting, index math.
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// A tensor shape (dimension extents, row-major).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                got: index.len(),
+                op: "offset",
+            });
+        }
+        let strides = self.strides();
+        let mut off = 0;
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfRange {
+                    index: i,
+                    extent: d,
+                });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Multi-index of a flat row-major offset.
+    pub fn unravel(&self, mut flat: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for axis in (0..self.rank()).rev() {
+            let d = self.0[axis].max(1);
+            idx[axis] = flat % d;
+            flat /= d;
+        }
+        idx
+    }
+
+    /// Normalizes a possibly negative axis (`-1` = last) into `0..rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] when out of range.
+    pub fn normalize_axis(&self, axis: isize) -> Result<usize> {
+        let rank = self.rank() as isize;
+        let a = if axis < 0 { axis + rank } else { axis };
+        if a < 0 || a >= rank {
+            Err(TensorError::AxisOutOfRange {
+                axis: axis.unsigned_abs(),
+                rank: self.rank(),
+            })
+        } else {
+            Ok(a as usize)
+        }
+    }
+
+    /// Broadcasts two shapes following NumPy/PyTorch semantics.
+    ///
+    /// Trailing dimensions are aligned; each pair must be equal or one of
+    /// them must be `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes are not
+    /// broadcast-compatible.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            out[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: self.0.clone(),
+                    rhs: other.0.clone(),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Returns true if `self` can broadcast *to* `target` (not merely with).
+    pub fn broadcastable_to(&self, target: &Shape) -> bool {
+        if self.rank() > target.rank() {
+            return false;
+        }
+        let pad = target.rank() - self.rank();
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| d == target.0[i + pad] || d == 1)
+    }
+
+    /// Dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Iterator over all multi-indices of a shape in row-major order.
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    /// Creates an iterator over every multi-index of `shape`.
+    pub fn new(shape: &Shape) -> Self {
+        let start = if shape.volume() == 0 {
+            None
+        } else {
+            Some(vec![0; shape.rank()])
+        };
+        IndexIter {
+            shape: shape.0.clone(),
+            next: start,
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer.
+        let mut nxt = current.clone();
+        let mut axis = self.shape.len();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            nxt[axis] += 1;
+            if nxt[axis] < self.shape[axis] {
+                self.next = Some(nxt);
+                break;
+            }
+            nxt[axis] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_and_unravel_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        for flat in 0..s.volume() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.offset(&[0, 2]),
+            Err(TensorError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(&[3, 1]);
+        let b = Shape::new(&[1, 4]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[3, 4]));
+        let c = Shape::new(&[2, 3, 4]);
+        let d = Shape::new(&[4]);
+        assert_eq!(c.broadcast(&d).unwrap(), Shape::new(&[2, 3, 4]));
+        let e = Shape::new(&[2]);
+        assert!(c.broadcast(&e).is_err());
+    }
+
+    #[test]
+    fn broadcastable_to_checks_direction() {
+        assert!(Shape::new(&[1, 4]).broadcastable_to(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[3, 4]).broadcastable_to(&Shape::new(&[1, 4])));
+        assert!(Shape::new(&[4]).broadcastable_to(&Shape::new(&[2, 3, 4])));
+    }
+
+    #[test]
+    fn normalize_axis_handles_negative() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.normalize_axis(-1).unwrap(), 2);
+        assert_eq!(s.normalize_axis(0).unwrap(), 0);
+        assert!(s.normalize_axis(3).is_err());
+        assert!(s.normalize_axis(-4).is_err());
+    }
+
+    #[test]
+    fn index_iter_covers_all() {
+        let s = Shape::new(&[2, 3]);
+        let all: Vec<_> = IndexIter::new(&s).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn index_iter_empty_shape() {
+        let s = Shape::new(&[0, 3]);
+        assert_eq!(IndexIter::new(&s).count(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Calibration tool: run the offline cross-device sweep for a model,
+//! inspect per-operator envelopes and stability, and export the committed
+//! threshold bundle as JSON.
+//!
+//! Run with `cargo run --release -p tao-examples --example calibration_tool`.
+
+use tao_calib::{calibrate, stability_table, DEFAULT_ALPHA, DEFAULT_WINDOW, PERCENTILE_GRID};
+use tao_device::Fleet;
+use tao_merkle::MerkleTree;
+use tao_models::{data, qwen, QwenConfig};
+
+fn main() {
+    println!("TAO calibration tool\n");
+    let cfg = QwenConfig::small();
+    let model = qwen::build(cfg, 9);
+    let fleet = Fleet::standard();
+    println!(
+        "model: {} ({} ops); fleet: {:?}",
+        model.name,
+        model.num_ops(),
+        fleet.devices().iter().map(|d| d.name()).collect::<Vec<_>>()
+    );
+
+    let samples = data::token_dataset(20, cfg.seq, cfg.vocab, 800);
+    let record = calibrate(&model.graph, &samples, &fleet).expect("calibration");
+    println!(
+        "calibrated {} compute operators over {} samples",
+        record.nodes.len(),
+        samples.len()
+    );
+
+    // Show the five loosest operators by p99 absolute envelope.
+    let p99 = PERCENTILE_GRID
+        .iter()
+        .position(|&p| p == 99.0)
+        .expect("grid has 99");
+    let mut by_p99: Vec<_> = record
+        .nodes
+        .iter()
+        .zip(&record.mnemonics)
+        .zip(&record.envelopes)
+        .map(|((id, m), env)| (*id, m.clone(), env.abs[p99]))
+        .collect();
+    by_p99.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    println!("\nloosest operators (p99 abs envelope):");
+    for (id, mnemonic, v) in by_p99.iter().take(5) {
+        println!("  {id} {mnemonic:<12} {v:.3e}");
+    }
+
+    // Stability diagnostics.
+    println!("\nstability (p50 sequences, W = {DEFAULT_WINDOW}):");
+    for row in stability_table(&record, &[50.0], DEFAULT_WINDOW) {
+        println!(
+            "  SupNorm {:.3}/{:.3}  Jackknife {:.3}/{:.3}  TailAdj {:.3}/{:.3}  RollSD {:.3}/{:.3}",
+            row.sup_norm.0,
+            row.sup_norm.1,
+            row.jackknife.0,
+            row.jackknife.1,
+            row.tail_adj.0,
+            row.tail_adj.1,
+            row.roll_sd.0,
+            row.roll_sd.1
+        );
+    }
+
+    // Inflate, commit and export.
+    let bundle = record.into_thresholds(DEFAULT_ALPHA);
+    let leaves = bundle.to_leaves();
+    let root = MerkleTree::from_leaves(&leaves).root();
+    println!("\nthreshold root r_e = {}", tao_merkle::to_hex(&root));
+    let json = serde_json::to_string_pretty(&bundle).expect("serializable");
+    let path = std::env::temp_dir().join("tao_thresholds.json");
+    std::fs::write(&path, &json).expect("writable temp dir");
+    println!(
+        "exported {} bytes of committed thresholds to {}",
+        json.len(),
+        path.display()
+    );
+}

@@ -1,0 +1,87 @@
+//! Dispute walkthrough: a malicious proposer perturbs a mid-graph
+//! operator; the challenger localizes it round by round and the leaf is
+//! adjudicated.
+//!
+//! Run with `cargo run --release -p tao-examples --example dispute_walkthrough`.
+
+use tao::{default_coordinator, deploy, run_session, ProposerBehavior, SessionConfig};
+use tao_device::{Device, Fleet};
+use tao_graph::{execute, Perturbations};
+use tao_models::{data, qwen, QwenConfig};
+use tao_protocol::DisputeResult;
+use tao_tensor::Tensor;
+
+fn main() {
+    println!("TAO dispute walkthrough\n");
+    let cfg = QwenConfig::small();
+    let model = qwen::build(cfg, 3);
+    let samples = data::token_dataset(24, cfg.seq, cfg.vocab, 500);
+    let deployment = deploy(model, Fleet::standard(), &samples, 3.0).expect("deployment");
+    let inputs = vec![qwen::sample_ids(cfg, 7)];
+
+    // The adversary: perturb a mid-graph SwiGLU output.
+    let graph = &deployment.model.graph;
+    let target = graph
+        .nodes()
+        .iter()
+        .find(|n| n.name.contains("layers1.mlp.glu"))
+        .map(|n| n.id)
+        .expect("mlp node exists");
+    let honest = execute(graph, &inputs, Device::rtx4090_like().config(), None).expect("forward");
+    let shape = honest.values[target.0].dims().to_vec();
+    let mut perturb = Perturbations::new();
+    perturb.insert(target, Tensor::<f32>::randn(&shape, 99).mul_scalar(0.03));
+    println!(
+        "adversary perturbs node {target} ({})",
+        graph.node(target).expect("exists").name
+    );
+
+    let mut coordinator = default_coordinator().expect("economics feasible");
+    let session = SessionConfig {
+        n_way: 4,
+        ..SessionConfig::default()
+    };
+    let report = run_session(
+        &deployment,
+        &mut coordinator,
+        &session,
+        &inputs,
+        &ProposerBehavior::Malicious(perturb),
+    )
+    .expect("session runs");
+
+    assert!(report.challenged, "perturbation must trip the screening");
+    let dispute = report.dispute.as_ref().expect("dispute ran");
+    println!(
+        "\nchallenger flagged the claim; dispute game (N = {}):",
+        session.n_way
+    );
+    for r in &dispute.rounds {
+        println!(
+            "  round {}: range [{}, {}) -> child {} ({} Merkle checks, {:.2} MFLOP re-executed)",
+            r.round,
+            r.range.0,
+            r.range.1,
+            r.chosen,
+            r.merkle_checks,
+            r.selection_flops as f64 / 1e6
+        );
+    }
+    match dispute.result {
+        DisputeResult::Leaf(leaf) => {
+            println!(
+                "\nlocalized to operator {leaf} ({}) — the perturbed node: {}",
+                graph.node(leaf).expect("exists").name,
+                leaf == target
+            );
+        }
+        DisputeResult::NoOffendingChild { round } => {
+            println!("\nsearch went cold at round {round} (unexpected here)");
+        }
+    }
+    let (path, verdict) = report.verdict.expect("leaf adjudicated");
+    println!("adjudication path: {path:?}; verdict: {verdict:?}");
+    println!("dispute gas: {:.1} kgas", dispute.gas.kgas());
+    println!("final status: {:?}", report.final_status);
+    assert!(!report.proposer_prevailed(), "fraud must be slashed");
+}

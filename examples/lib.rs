@@ -1,0 +1,2 @@
+//! Runnable examples for the TAO workspace live under `examples/*.rs`;
+//! this stub only anchors the package.

@@ -1,0 +1,102 @@
+//! Inference-marketplace simulation: a stream of jobs served by a mix of
+//! honest and cheating proposers, with voluntary challengers and
+//! randomized audits enforcing the §5.5 economics.
+//!
+//! Run with `cargo run --release -p tao-examples --example marketplace_sim`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use tao::{deploy, run_session, ProposerBehavior, SessionConfig};
+use tao_device::{Device, Fleet};
+use tao_graph::{execute, Perturbations};
+use tao_models::{data, resnet, ResNetConfig};
+use tao_protocol::{Coordinator, EconParams};
+use tao_tensor::Tensor;
+
+fn main() {
+    println!("TAO marketplace simulation\n");
+    let cfg = ResNetConfig::small();
+    let model = resnet::build(cfg, 2);
+    let samples = data::image_dataset(24, cfg.in_channels, cfg.image, cfg.classes, 600);
+    let deployment = deploy(model, Fleet::standard(), &samples, 3.0).expect("deployment");
+
+    let econ = EconParams::default_market();
+    let (lo, hi) = econ.feasible_slash_region().expect("nonempty region");
+    let slash = (lo + hi) / 2.0;
+    println!("economics: feasible S_slash region ({lo:.1}, {hi:.1}], using {slash:.1}");
+    let mut coordinator = Coordinator::new(econ, slash).expect("feasible");
+    coordinator.fund("proposer", 50_000.0);
+    coordinator.fund("challenger", 5_000.0);
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let jobs = 12;
+    let mut caught = 0;
+    let mut cheated = 0;
+    let mut finalized = 0;
+    for job in 0..jobs {
+        let inputs = vec![data::class_image(
+            cfg.in_channels,
+            cfg.image,
+            job % cfg.classes,
+            7_000 + job as u64,
+        )];
+        // 1-in-3 jobs are served by a cheat that perturbs a random op.
+        let cheat = rng.gen_ratio(1, 3);
+        let behavior = if cheat {
+            cheated += 1;
+            let nodes = deployment.model.graph.compute_nodes();
+            let victim = nodes[rng.gen_range(0..nodes.len())];
+            let honest = execute(
+                &deployment.model.graph,
+                &inputs,
+                Device::rtx4090_like().config(),
+                None,
+            )
+            .expect("forward");
+            let shape = honest.values[victim.0].dims().to_vec();
+            // Non-uniform cheat: a uniform constant upstream of a softmax
+            // would be absorbed by shift invariance and change nothing.
+            let delta = Tensor::<f32>::randn(&shape, 8_000 + job as u64).mul_scalar(0.05);
+            let mut p = Perturbations::new();
+            p.insert(victim, delta);
+            ProposerBehavior::Malicious(p)
+        } else {
+            ProposerBehavior::Honest
+        };
+        let report = run_session(
+            &deployment,
+            &mut coordinator,
+            &SessionConfig::default(),
+            &inputs,
+            &behavior,
+        )
+        .expect("session");
+        let outcome = if report.proposer_prevailed() {
+            finalized += 1;
+            "finalized"
+        } else {
+            caught += 1;
+            "SLASHED"
+        };
+        println!(
+            "job {job:2}: {}  -> {outcome}",
+            if cheat {
+                "cheating proposer"
+            } else {
+                "honest proposer  "
+            }
+        );
+    }
+    println!("\n{jobs} jobs: {finalized} finalized, {caught}/{cheated} cheats caught");
+    println!(
+        "balances: proposer {:.1}, challenger {:.1}, committee pool {:.1}",
+        coordinator.balance("proposer"),
+        coordinator.balance("challenger"),
+        coordinator.balance("committee-pool"),
+    );
+    println!(
+        "coordinator gas ledger: {:.1} kgas across all interactions",
+        coordinator.gas.kgas()
+    );
+    assert_eq!(caught, cheated, "every cheat must be caught");
+}

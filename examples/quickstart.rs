@@ -1,0 +1,68 @@
+//! Quickstart: deploy a model, serve an honest inference, and watch it
+//! finalize through the optimistic protocol.
+//!
+//! Run with `cargo run --release -p tao-examples --example quickstart`.
+
+use tao::{default_coordinator, deploy, run_session, ProposerBehavior, SessionConfig};
+use tao_device::Fleet;
+use tao_merkle::to_hex;
+use tao_models::{bert, data, BertConfig};
+
+fn main() {
+    println!("TAO quickstart: tolerance-aware optimistic verification\n");
+
+    // Phase 0: trace the model, calibrate empirical thresholds across the
+    // device fleet, and commit weights/graph/thresholds.
+    let cfg = BertConfig::small();
+    let model = bert::build(cfg, 1);
+    println!(
+        "traced model: {} ({} operators)",
+        model.name,
+        model.num_ops()
+    );
+    // Calibration coverage matters: the screening compares percentile
+    // profiles of a short logits lane, so give the envelope enough samples.
+    let samples = data::token_dataset(32, cfg.seq, cfg.vocab, 100);
+    let deployment = deploy(model, Fleet::standard(), &samples, 3.0).expect("calibration succeeds");
+    println!(
+        "weight root    r_w = {}",
+        to_hex(&deployment.commitment.weight_root)
+    );
+    println!(
+        "graph root     r_g = {}",
+        to_hex(&deployment.commitment.graph_root)
+    );
+    println!(
+        "threshold root r_e = {}",
+        to_hex(&deployment.commitment.threshold_root)
+    );
+
+    // Phase 1: an honest proposer serves a user request.
+    let mut coordinator = default_coordinator().expect("default economics feasible");
+    let inputs = vec![bert::sample_ids(cfg, 42)];
+    let report = run_session(
+        &deployment,
+        &mut coordinator,
+        &SessionConfig::default(),
+        &inputs,
+        &ProposerBehavior::Honest,
+    )
+    .expect("session runs");
+
+    println!(
+        "\nclaim #{} posted; challenged: {}",
+        report.claim_id, report.challenged
+    );
+    println!("final status: {:?}", report.final_status);
+    let lane = report.output.data();
+    let pred = lane
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("nonempty logits");
+    println!("predicted class: {pred}");
+    assert!(report.proposer_prevailed());
+    println!("\nThe honest result finalized after the challenge window — no dispute,");
+    println!("no determinism constraints, native kernels on every device.");
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live under `tests/tests/*.rs`; this stub
+//! only anchors the package.
