@@ -1,7 +1,7 @@
 //! Adam optimizer state for per-operator perturbation tensors.
 
 /// Adam hyperparameters; the paper uses `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamParams {
     /// First-moment decay `β₁`.
     pub beta1: f64,

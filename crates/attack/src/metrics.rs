@@ -50,7 +50,7 @@ pub fn bucket_targets(logits: &[f32], seed: u64) -> Vec<(usize, usize)> {
 }
 
 /// Aggregated outcomes for one bucket (one cell of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BucketStats {
     /// Attacks attempted.
     pub attempts: usize,
@@ -106,7 +106,7 @@ impl BucketStats {
 }
 
 /// A full Table 2 row: per-bucket stats for one `(bound, α)` setting.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AttackTableRow {
     /// Per-bucket aggregates.
     pub buckets: [BucketStats; 5],

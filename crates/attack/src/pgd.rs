@@ -12,7 +12,7 @@ use crate::error::AttackError;
 use crate::Result;
 
 /// Which admissible set the attack projects onto.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProjectionKind {
     /// Order-statistics projection onto the empirical cap curves (Eq. 12).
     Empirical,
@@ -23,7 +23,7 @@ pub enum ProjectionKind {
 }
 
 /// Attack configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackConfig {
     /// Feasible-set family.
     pub kind: ProjectionKind,
@@ -56,7 +56,7 @@ impl AttackConfig {
 }
 
 /// Outcome of one attack run against one `(input, target-class)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackResult {
     /// True when the prediction flipped to the target while admissible.
     pub success: bool,

@@ -3,7 +3,7 @@
 use tao_tensor::Tensor;
 
 /// Outcome of an element-wise bound check.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckReport {
     /// True when every element respects its bound.
     pub passed: bool,

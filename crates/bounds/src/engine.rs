@@ -20,7 +20,7 @@ use crate::gamma::{BoundMode, U32};
 use crate::Result;
 
 /// Computes element-wise theoretical bounds `τ_theo` for traced operators.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundEngine {
     /// Accumulation-factor flavour (deterministic or probabilistic).
     pub mode: BoundMode,

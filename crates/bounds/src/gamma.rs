@@ -17,7 +17,7 @@ pub const U64: f64 = 1.110_223_024_625_156_5e-16;
 pub const DEFAULT_LAMBDA: f64 = 4.0;
 
 /// Which theoretical accumulation factor to use.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BoundMode {
     /// Worst-case `γ_k = ku/(1-ku)`.
     Deterministic,

@@ -8,9 +8,7 @@ use tao_graph::{execute, Graph, NodeId};
 use tao_tensor::Tensor;
 
 use crate::error::CalibError;
-use crate::profile::{
-    error_profile, OperatorThreshold, PercentilePair, ThresholdBundle, DEFAULT_EPS,
-};
+use crate::profile::{OperatorThreshold, PercentilePair, ThresholdBundle, DEFAULT_EPS};
 use crate::Result;
 
 /// Raw calibration output: per-operator envelopes, per-sample sequences
@@ -103,58 +101,63 @@ pub fn calibrate(
         .unwrap_or(1)
         .min(8);
     let chunk = samples.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (ti, sample_chunk) in samples.chunks(chunk).enumerate() {
-            let shared = &shared;
-            let errors = &errors;
-            let compute_nodes = &compute_nodes;
-            scope.spawn(move |_| {
-                for (si, sample) in sample_chunk.iter().enumerate() {
-                    let s = ti * chunk + si;
-                    // Execute on every device.
-                    let mut traces = Vec::with_capacity(fleet.len());
-                    for dev in fleet.devices() {
-                        match execute(graph, sample, dev.config(), None) {
-                            Ok(t) => traces.push(t),
-                            Err(e) => {
-                                errors.lock().push(CalibError::Graph(e.to_string()));
-                                return;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for (ti, sample_chunk) in samples.chunks(chunk).enumerate() {
+                let shared = &shared;
+                let errors = &errors;
+                let compute_nodes = &compute_nodes;
+                scope.spawn(move || {
+                    for (si, sample) in sample_chunk.iter().enumerate() {
+                        let s = ti * chunk + si;
+                        // Execute on every device.
+                        let mut traces = Vec::with_capacity(fleet.len());
+                        for dev in fleet.devices() {
+                            match execute(graph, sample, dev.config(), None) {
+                                Ok(t) => traces.push(t),
+                                Err(e) => {
+                                    errors.lock().push(CalibError::Graph(e.to_string()));
+                                    return;
+                                }
+                            }
+                        }
+                        // Per-sample envelope across ordered device pairs.
+                        let mut local: Vec<PercentilePair> =
+                            vec![PercentilePair::zero(); compute_nodes.len()];
+                        let mut local_abs: Vec<(f64, u64)> = vec![(0.0, 0); compute_nodes.len()];
+                        for j in 0..traces.len() {
+                            for k in j + 1..traces.len() {
+                                for (ci, &node) in compute_nodes.iter().enumerate() {
+                                    let a = &traces[j].values[node.0];
+                                    let b = &traces[k].values[node.0];
+                                    let (abs, rel) =
+                                        crate::profile::elementwise_errors(a, b, DEFAULT_EPS);
+                                    let prof = PercentilePair {
+                                        abs: crate::percentile::grid_profile(&abs),
+                                        rel: crate::percentile::grid_profile(&rel),
+                                    };
+                                    local[ci].envelope(&prof);
+                                    local_abs[ci].0 += abs.iter().sum::<f64>();
+                                    local_abs[ci].1 += abs.len() as u64;
+                                }
+                            }
+                        }
+                        let mut guard = shared.lock();
+                        for (ci, &node) in compute_nodes.iter().enumerate() {
+                            guard.envelopes[ci].envelope(&local[ci]);
+                            if let Some(seq) = guard.sequences.get_mut(&node) {
+                                seq[s] = local[ci].clone();
+                            }
+                            if let Some(acc) = guard.sum_abs.get_mut(&node) {
+                                acc.0 += local_abs[ci].0;
+                                acc.1 += local_abs[ci].1;
                             }
                         }
                     }
-                    // Per-sample envelope across ordered device pairs.
-                    let mut local: Vec<PercentilePair> =
-                        vec![PercentilePair::zero(); compute_nodes.len()];
-                    let mut local_abs: Vec<(f64, u64)> = vec![(0.0, 0); compute_nodes.len()];
-                    for j in 0..traces.len() {
-                        for k in j + 1..traces.len() {
-                            for (ci, &node) in compute_nodes.iter().enumerate() {
-                                let a = &traces[j].values[node.0];
-                                let b = &traces[k].values[node.0];
-                                let prof = error_profile(a, b, DEFAULT_EPS);
-                                local[ci].envelope(&prof);
-                                let (abs, _) =
-                                    crate::profile::elementwise_errors(a, b, DEFAULT_EPS);
-                                local_abs[ci].0 += abs.iter().sum::<f64>();
-                                local_abs[ci].1 += abs.len() as u64;
-                            }
-                        }
-                    }
-                    let mut guard = shared.lock();
-                    for (ci, &node) in compute_nodes.iter().enumerate() {
-                        guard.envelopes[ci].envelope(&local[ci]);
-                        if let Some(seq) = guard.sequences.get_mut(&node) {
-                            seq[s] = local[ci].clone();
-                        }
-                        if let Some(acc) = guard.sum_abs.get_mut(&node) {
-                            acc.0 += local_abs[ci].0;
-                            acc.1 += local_abs[ci].1;
-                        }
-                    }
-                }
-            });
-        }
-    })
+                });
+            }
+        })
+    }))
     .map_err(|_| CalibError::Worker)?;
 
     let errs = errors.into_inner();
@@ -179,6 +182,7 @@ pub fn calibrate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::error_profile;
     use crate::profile::DEFAULT_ALPHA;
     use tao_graph::{GraphBuilder, OpKind};
 

@@ -6,7 +6,7 @@ use crate::profile::PercentilePair;
 
 /// Piecewise-linear nondecreasing cap curve through `(0, 0)`, the committed
 /// `(p_k, τ_abs(p_k))` pairs, and `(1, τ_abs(1))`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapCurve {
     // Knots (rank in [0,1], cap), strictly increasing in rank and
     // nondecreasing in cap.

@@ -13,6 +13,8 @@ pub enum CalibError {
     Graph(String),
     /// A calibration worker thread panicked.
     Worker,
+    /// A committed threshold artifact failed to encode or decode.
+    Json(String),
 }
 
 impl fmt::Display for CalibError {
@@ -24,6 +26,7 @@ impl fmt::Display for CalibError {
             CalibError::NoSamples => write!(f, "calibration needs at least one sample"),
             CalibError::Graph(m) => write!(f, "graph execution failed: {m}"),
             CalibError::Worker => write!(f, "calibration worker panicked"),
+            CalibError::Json(m) => write!(f, "threshold JSON codec failed: {m}"),
         }
     }
 }

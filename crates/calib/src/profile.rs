@@ -12,7 +12,7 @@ pub const DEFAULT_EPS: f64 = 1e-12;
 pub const DEFAULT_ALPHA: f64 = 3.0;
 
 /// Absolute and relative percentile-value vectors over the committed grid.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PercentilePair {
     /// Absolute-error percentiles `P_abs(p)`.
     pub abs: Vec<f64>,
@@ -75,7 +75,7 @@ pub fn error_profile(a: &Tensor<f32>, b: &Tensor<f32>, eps: f64) -> PercentilePa
 }
 
 /// Calibrated thresholds for one operator: the α-inflated max-envelope.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatorThreshold {
     /// Operator node id in the canonical order.
     pub node: NodeId,
@@ -91,7 +91,7 @@ pub struct OperatorThreshold {
 /// The committed threshold bundle: grid, safety factor, and per-operator
 /// thresholds in canonical node order. Serialized into the `r_e` Merkle
 /// commitment and fixed for the lifetime of a deployment.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdBundle {
     /// The percentile grid `P`.
     pub grid: Vec<f64>,
@@ -107,22 +107,30 @@ impl ThresholdBundle {
         self.operators.iter().find(|o| o.node == node)
     }
 
-    /// Serializes each operator entry to a Merkle leaf (canonical JSON).
+    /// Serializes each operator entry to a Merkle leaf (canonical JSON; see
+    /// [`crate::json`]).
     pub fn to_leaves(&self) -> Vec<Vec<u8>> {
-        self.operators
-            .iter()
-            .map(|o| serde_json::to_vec(o).expect("threshold serialization is infallible"))
-            .collect()
+        self.operators.iter().map(crate::json::threshold_to_json).collect()
     }
 
     /// The maximum observed-vs-threshold ratio `p^max_i` of Eq. 15 for an
     /// observed error pair against this bundle's entry for `node`.
     ///
-    /// Ratios ignore grid points whose threshold is zero unless the
-    /// observation is also nonzero there (in which case the ratio is
-    /// infinite: any deviation on an exact operator is offending).
+    /// An operator whose whole profile is zero is *exact* (structural or
+    /// bit-reproducible): any nonzero observation is infinitely offending.
+    /// For a tolerance-calibrated operator, individual zero grid points
+    /// (typically the low-percentile end, where calibration happened to see
+    /// exact agreement) are vacuous constraints and are skipped — a nonzero
+    /// minimum error on a fresh honest input is not evidence of fraud, and
+    /// the nonzero upper grid points still bind.
     pub fn exceedance(&self, node: NodeId, observed: &PercentilePair) -> Option<f64> {
         let entry = self.for_node(node)?;
+        let exact = entry
+            .thresholds
+            .abs
+            .iter()
+            .chain(&entry.thresholds.rel)
+            .all(|&t| t == 0.0);
         let mut worst: f64 = 0.0;
         for (obs, thr) in observed
             .abs
@@ -132,7 +140,7 @@ impl ThresholdBundle {
         {
             let r = if *thr > 0.0 {
                 obs / thr
-            } else if *obs > 0.0 {
+            } else if exact && *obs > 0.0 {
                 f64::INFINITY
             } else {
                 0.0
@@ -251,7 +259,7 @@ mod tests {
         };
         let leaves = bundle.to_leaves();
         assert_eq!(leaves.len(), 1);
-        let back: OperatorThreshold = serde_json::from_slice(&leaves[0]).unwrap();
+        let back: OperatorThreshold = crate::json::threshold_from_json(&leaves[0]).unwrap();
         assert_eq!(back, bundle.operators[0]);
     }
 }

@@ -10,7 +10,7 @@ pub const STAB_EPS: f64 = 1e-18;
 pub const DEFAULT_WINDOW: usize = 10;
 
 /// The four per-(operator, percentile) diagnostics of Appendix B.1.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StabilityMetrics {
     /// (D1) Short-horizon relative drift of the running median.
     pub sup_norm: f64,
@@ -91,7 +91,7 @@ pub fn diagnostics(seq: &[f64], w: usize) -> StabilityMetrics {
 }
 
 /// One row of the Table 1 reproduction: metric summaries at one percentile.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StabilityRow {
     /// The percentile `p` whose per-sample sequence was diagnosed.
     pub p: f64,

@@ -12,7 +12,7 @@ use crate::deploy::Deployment;
 use crate::Result;
 
 /// A verifiable receipt the proposer hands the user alongside the output.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Receipt {
     /// The claim commitment `C0` as posted on the coordinator.
     pub commitment: Digest,
@@ -61,7 +61,7 @@ pub fn verify_receipt(
 }
 
 /// Outcome of the user-side output screening.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScreeningReport {
     /// The Eq. 15 exceedance of the returned output versus a local
     /// re-execution.

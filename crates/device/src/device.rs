@@ -3,7 +3,7 @@
 use tao_tensor::{AccumMode, KernelConfig, MathLib};
 
 /// Broad device family, used in commitments' `meta` field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// Consumer / workstation class (RTX-like).
     Consumer,
@@ -19,7 +19,7 @@ pub enum DeviceClass {
 /// Profiles mirror the paper's calibration fleet. Each differs from the
 /// others in at least one of: reduction order (thread-sequential vs. warp
 /// pairwise tree vs. block-tiled), FMA contraction, and intrinsic family.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     name: String,
     class: DeviceClass,

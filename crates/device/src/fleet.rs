@@ -7,7 +7,7 @@ use crate::device::Device;
 /// Calibration (in `tao-calib`) sweeps all ordered device *pairs* of a
 /// fleet; committee sampling (in `tao-protocol`) draws adjudicators from a
 /// fleet.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fleet {
     devices: Vec<Device>,
 }

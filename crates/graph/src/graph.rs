@@ -10,7 +10,7 @@ use crate::Result;
 
 /// Identifier of a node in its graph's canonical topological order.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct NodeId(pub usize);
 
@@ -21,7 +21,7 @@ impl core::fmt::Display for NodeId {
 }
 
 /// One operator node: kind plus data-dependency edges.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Position in the canonical topological order.
     pub id: NodeId,
@@ -40,7 +40,7 @@ pub struct Node {
 /// (`input.0 < id.0`), which the constructor validates. The canonical order
 /// is what the dispute game's partition policy and the calibration's
 /// "normalized node position" refer to.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     nodes: Vec<Node>,
     params: BTreeMap<String, Tensor<f32>>,

@@ -13,7 +13,7 @@ use tao_tensor::Shape;
 /// Attributes that affect semantics (stride, eps, axes…) are part of the
 /// kind, so the operator *signature* used in Merkle commitments covers
 /// them: changing an attribute changes the graph root.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpKind {
     /// Graph input placeholder (position in the input list).
     Input(usize),

@@ -19,7 +19,7 @@ use crate::Result;
 /// inside consume (`In(S)` in the paper, excluding parameters, which are
 /// covered by the weight commitment instead). `live_out` lists nodes inside
 /// the slice consumed outside it or declared as graph outputs (`Out(S)`).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subgraph {
     /// Inclusive start index in the canonical order.
     pub start: usize,

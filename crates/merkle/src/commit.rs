@@ -9,7 +9,7 @@ use crate::tree::{verify_inclusion, InclusionProof, MerkleTree};
 
 /// Execution metadata bound into a claim commitment (the paper's "meta":
 /// device type, kernel versions, dtypes, and the challenge window Δ).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClaimMeta {
     /// Executing device name.
     pub device: String,
@@ -35,7 +35,7 @@ impl ClaimMeta {
 
 /// The Phase 0 model commitment: weight root `r_w`, graph root `r_g`, and
 /// the threshold root `r_e` for the calibrated empirical profiles.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelCommitment {
     /// Merkle root over the sorted parameter tensors.
     pub weight_root: Digest,

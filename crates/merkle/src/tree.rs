@@ -19,7 +19,7 @@ pub struct MerkleTree {
 }
 
 /// An inclusion proof: the leaf index plus sibling digests bottom-up.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InclusionProof {
     /// Index of the proven leaf.
     pub index: usize,

@@ -10,7 +10,7 @@ use crate::common::{xavier, Model};
 use crate::transformer::{gelu_ffn, layer_norm, self_attention, AttnDims};
 
 /// BERT-style configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BertConfig {
     /// Vocabulary size.
     pub vocab: usize,

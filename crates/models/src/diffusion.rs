@@ -10,7 +10,7 @@ use tao_tensor::{KernelConfig, Tensor};
 use crate::common::{kaiming, xavier, Model};
 
 /// UNet configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiffusionConfig {
     /// Latent channels.
     pub latent_channels: usize,

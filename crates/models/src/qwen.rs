@@ -8,7 +8,7 @@ use crate::common::{xavier, Model};
 use crate::transformer::{causal_mask_tensor, rms_norm, self_attention, swiglu_ffn, AttnDims};
 
 /// Qwen-style configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QwenConfig {
     /// Vocabulary size.
     pub vocab: usize,

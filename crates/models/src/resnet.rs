@@ -12,7 +12,7 @@ use tao_tensor::Tensor;
 use crate::common::{kaiming, Model};
 
 /// ResNet-style configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResNetConfig {
     /// Input image extent (square).
     pub image: usize,

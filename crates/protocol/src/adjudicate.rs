@@ -12,7 +12,7 @@ use crate::error::ProtocolError;
 use crate::Result;
 
 /// Which Phase 3 path the routing policy selects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdjudicationPath {
     /// The claimed output broke the theoretical cap: cheap sound check.
     Theoretical,
@@ -21,7 +21,7 @@ pub enum AdjudicationPath {
 }
 
 /// Leaf verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafVerdict {
     /// The proposer's leaf output is accepted.
     Accepted,
@@ -30,7 +30,7 @@ pub enum LeafVerdict {
 }
 
 /// Outcome of a committee vote.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoteOutcome {
     /// Per-member votes (`true` = within thresholds).
     pub votes: Vec<bool>,

@@ -16,7 +16,7 @@ use crate::gas::{self, GasMeter};
 use crate::Result;
 
 /// A protocol party.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Party {
     /// The compute provider that posted the claim.
     Proposer,
@@ -25,7 +25,7 @@ pub enum Party {
 }
 
 /// Lifecycle of a claim.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClaimStatus {
     /// Inside the challenge window.
     Pending,
@@ -44,7 +44,7 @@ pub enum ClaimStatus {
 }
 
 /// A posted claim.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Claim {
     /// Claim id.
     pub id: u64,

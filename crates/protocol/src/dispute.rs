@@ -13,7 +13,7 @@ use crate::record::{make_record, verify_record};
 use crate::Result;
 
 /// Dispute-game configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DisputeConfig {
     /// Partition width `N` per round.
     pub n_way: usize,
@@ -26,7 +26,7 @@ impl Default for DisputeConfig {
 }
 
 /// Statistics for one dispute round.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundStats {
     /// Round index `k`.
     pub round: usize,
@@ -45,7 +45,7 @@ pub struct RoundStats {
 }
 
 /// Terminal state of the localization game.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DisputeResult {
     /// Disagreement localized to a single operator.
     Leaf(NodeId),
@@ -58,7 +58,7 @@ pub enum DisputeResult {
 }
 
 /// Full outcome of Phase 2.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DisputeOutcome {
     /// Terminal state.
     pub result: DisputeResult,

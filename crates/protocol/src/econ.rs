@@ -1,7 +1,7 @@
 //! Economic soundness and incentives (§5.5, Eq. 16–25).
 
 /// Parameters of the fee-and-deposit mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EconParams {
     /// Randomized-audit probability `φ`.
     pub phi: f64,

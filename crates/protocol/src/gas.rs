@@ -23,7 +23,7 @@ pub const G_HASH_WORD: u64 = 60;
 pub const CHILD_RECORD_BYTES: u64 = 900;
 
 /// A metered ledger of gas spent, by action.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GasMeter {
     /// Total gas consumed.
     pub total: u64,

@@ -11,7 +11,7 @@ use crate::Result;
 
 /// A posted subgraph record: slice indices, interface hashes, and
 /// inclusion proofs binding the slice to the committed graph and weights.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubgraphRecord {
     /// The slice with its frontiers.
     pub sub: Subgraph,

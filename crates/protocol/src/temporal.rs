@@ -57,7 +57,7 @@ impl TemporalCommitment {
 }
 
 /// Verdict of the time-first search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TemporalVerdict {
     /// Every step agreed within tolerance: the whole trajectory finalizes.
     AllAgree,

@@ -7,7 +7,7 @@
 use tao_merkle::{Digest, Sha256};
 
 /// A committed tie-break rule.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TieBreakRule {
     /// Among candidates within `margin` of the maximum logit, pick the
     /// lowest index (lexicographic).

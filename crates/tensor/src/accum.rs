@@ -15,7 +15,7 @@ use crate::element::Element;
 use crate::math::MathLib;
 
 /// Order in which a reduction over `n` terms is evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccumMode {
     /// Strict left-to-right summation (`(((x0 + x1) + x2) + ...)`).
     ///
@@ -158,7 +158,7 @@ fn pairwise_dot<T: Element>(a: &[T], b: &[T], fma: bool) -> T {
 ///
 /// A [`KernelConfig`] is the tensor-level description of "how this device's
 /// kernels round"; `tao-device` wraps named device profiles around it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct KernelConfig {
     /// Reduction evaluation order.
     pub accum: AccumMode,

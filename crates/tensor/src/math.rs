@@ -11,7 +11,7 @@
 use crate::element::Element;
 
 /// A coherent family of transcendental implementations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MathLib {
     /// Highest-accuracy implementations (libm / double-rounded).
     Reference,

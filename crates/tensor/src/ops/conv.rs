@@ -7,7 +7,7 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 /// Convolution hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dParams {
     /// Stride along height and width.
     pub stride: usize,

@@ -4,7 +4,7 @@ use crate::error::TensorError;
 use crate::Result;
 
 /// A tensor shape (dimension extents, row-major).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(pub Vec<usize>);
 
 impl Shape {

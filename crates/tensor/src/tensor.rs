@@ -15,7 +15,7 @@ use rand::SeedableRng;
 /// memory-access order — and therefore its IEEE-754 rounding order — fully
 /// explicit, which is a prerequisite for the bound templates in
 /// `tao-bounds`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor<T: Element> {
     data: Vec<T>,
     shape: Shape,

@@ -68,7 +68,7 @@ fn main() {
     let leaves = bundle.to_leaves();
     let root = MerkleTree::from_leaves(&leaves).root();
     println!("\nthreshold root r_e = {}", tao_merkle::to_hex(&root));
-    let json = serde_json::to_string_pretty(&bundle).expect("serializable");
+    let json = tao_calib::bundle_to_json_pretty(&bundle);
     let path = std::env::temp_dir().join("tao_thresholds.json");
     std::fs::write(&path, &json).expect("writable temp dir");
     println!(

@@ -31,7 +31,7 @@ fn quantization_like_weight_change_detected() {
     // Simulate undeclared quantization: round every weight to 2^-8 grid.
     let m = bert::build(BertConfig::small(), 2);
     let original = commit_model(&m.graph, &[b"t".to_vec()]);
-    let mut quantized = bert::build(BertConfig::small(), 2);
+    let quantized = bert::build(BertConfig::small(), 2);
     // Rebuild with quantized weights through a fresh builder.
     let names: Vec<String> = quantized.graph.params().keys().cloned().collect();
     let mut any_changed = false;

@@ -38,7 +38,10 @@ fn bert_honest_and_malicious_sessions() {
         ..BertConfig::small()
     };
     let model = bert::build(cfg, 1);
-    let samples = data::token_dataset(6, cfg.seq, cfg.vocab, 10);
+    // 16 samples: max-envelope thresholds are max-statistics, and at the
+    // 6-sample scale the relative-error tail of an honest sibling operator
+    // can exceed its own tau on a fresh input, mislocalizing the dispute.
+    let samples = data::token_dataset(16, cfg.seq, cfg.vocab, 10);
     let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
     let inputs = vec![bert::sample_ids(cfg, 123)];
     let mut coord = default_coordinator().unwrap();
@@ -82,7 +85,8 @@ fn qwen_dispute_localizes_across_partition_widths() {
         ..QwenConfig::small()
     };
     let model = qwen::build(cfg, 2);
-    let samples = data::token_dataset(6, cfg.seq, cfg.vocab, 20);
+    // 16 samples for envelope coverage; see bert_honest_and_malicious_sessions.
+    let samples = data::token_dataset(16, cfg.seq, cfg.vocab, 20);
     let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
     let inputs = vec![qwen::sample_ids(cfg, 55)];
     let (target, p) = perturbation_at(&deployment, &inputs, 9, 0.05);

@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API shape TAO's `benches/` use:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups with [`Throughput`] and [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Instead of upstream's statistical analysis it times `sample_size`
+//! batches with `std::time::Instant` and reports min/mean per iteration —
+//! enough to compare kernels locally; not a rigorous estimator. When the
+//! binary is invoked with `--test` (as `cargo test --benches` does), each
+//! benchmark body runs exactly once so benches stay cheap smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark body; handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration (reported in binary multiples upstream).
+    Bytes(u64),
+    /// Bytes per iteration, decimal multiples.
+    BytesDecimal(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver; a stub of upstream's `Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` as a standalone benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(id, None, self.sample_size, self.test_mode, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `routine` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            routine,
+        );
+        self
+    }
+
+    /// Runs `routine` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub only closes
+    /// the scope).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut routine: F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    // One untimed warm-up, then `sample_size` timed single-iteration samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        routine(&mut b);
+        samples.push(b.elapsed);
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / sample_size.max(1) as u32;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                let gib = n as f64 / (1u64 << 30) as f64;
+                format!("  {:.3} GiB/s", gib / mean.as_secs_f64().max(1e-12))
+            }
+            Throughput::Elements(n) => {
+                format!("  {:.3e} elem/s", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "bench {id:<48} min {:>12?}  mean {:>12?}{rate}",
+        min, mean
+    );
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms:
+/// `criterion_group!(name, target, ...)` and the
+/// `criterion_group! { name = ...; config = ...; targets = ... }` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            calls += 1;
+        });
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("plain", |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset of the DSL that TAO's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! * range strategies (`0usize..50`, `-100.0f32..100.0`, ...) and
+//!   [`strategy::Just`],
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from upstream, deliberately accepted for an offline stub:
+//! cases are sampled from a deterministic per-test stream (seeded by the
+//! test name, stable across runs and machines), there is **no shrinking**
+//! of failing inputs, and the default case count is 64 rather than 256.
+
+/// Runner configuration ([`ProptestConfig`](test_runner::ProptestConfig))
+/// and case execution.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic sampling source handed to strategies.
+pub mod rng {
+    /// SplitMix64 stream; seeded per (test-name, case-index) pair.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Stream for one case of one named test.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// How many draws a filter may reject before the test aborts.
+    const FILTER_MAX_RETRIES: usize = 10_000;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy here is just a deterministic sampler over a [`TestRng`].
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Rejects values failing `pred`, retrying with fresh draws.
+        /// `whence` labels the filter in the abort message.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Feeds generated values into `f` to obtain a dependent strategy,
+        /// then samples from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_MAX_RETRIES {
+                let v = self.source.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}) rejected {} consecutive draws",
+                self.whence, FILTER_MAX_RETRIES
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Collection strategies ([`vec`](collection::vec)).
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`]: an exact size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let Range { start, end } = self.size.0;
+            assert!(start < end, "cannot sample empty size range");
+            let len = start + rng.below(end - start);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub fn __run_cases<F>(config: test_runner::ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut rng::TestRng) -> Result<(), String>,
+{
+    for i in 0..config.cases {
+        let mut rng = rng::TestRng::for_case(name, i as u64);
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest `{name}` failed at case {i}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(pat in strategy, ...) { .. }`
+/// items carrying arbitrary attributes (`#[test]`, doc comments, ...).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::__run_cases(config, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                let __proptest_body: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                __proptest_body
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside [`proptest!`], failing the current case (with
+/// an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside [`proptest!`]; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside [`proptest!`]; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`\n  both: `{:?}`", l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`\n  both: `{:?}`: {}",
+                l, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(n in 1usize..9, x in -2.0f64..2.0) {
+            prop_assert!(n >= 1 && n < 9);
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u64..10, 2..5)
+                .prop_filter("nonempty", |v| !v.is_empty())
+                .prop_map(|v| v.len()),
+        ) {
+            prop_assert!((2..5).contains(&v));
+        }
+
+        #[test]
+        fn flat_map_binds(t in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u32..5, n))) {
+            prop_assert!(!t.is_empty() && t.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_is_honored(s in 0u64..100) {
+            prop_assert!(s < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::__run_cases(
+            crate::test_runner::ProptestConfig::with_cases(4),
+            "always_fails",
+            |_| Err("nope".into()),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The TAO build environment is fully offline, so the workspace vendors the
+//! *exact* API slice it consumes instead of pulling the real crate:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the generator traits,
+//! * [`Rng::gen_range`] over integer and float [`Range`]s,
+//! * [`Rng::gen_ratio`],
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Streams are deterministic for a given seed, which is all TAO's
+//! reproducibility story needs; no claim of statistical equivalence with the
+//! upstream crate is made. Integer sampling uses a simple modulo reduction,
+//! whose bias is negligible for the small spans used here.
+
+use std::ops::Range;
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`RngCore::next_u64`] by
+    /// default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be deterministically constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single seed word.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that support drawing one uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one sample from `self` using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        // Guard against `start + span * unit` rounding up to `end`.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = self.start + (self.end - self.start) * unit;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from `range` (half-open).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0, "gen_ratio denominator must be positive");
+        assert!(numerator <= denominator, "gen_ratio needs p <= 1");
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`shuffle`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice extension trait providing an in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place using `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let u: usize = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f: f64 = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let g: f32 = rng.gen_range(0.5f32..0.75);
+            assert!((0.5..0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ratio_is_sane() {
+        let mut rng = Counter(1);
+        assert!((0..100).map(|_| rng.gen_ratio(1, 1)).all(|b| b));
+        assert!((0..100).map(|_| rng.gen_ratio(0, 3)).all(|b| !b));
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle should permute");
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha8Rng`] on top of the vendored `rand` traits.
+//!
+//! This *is* a genuine ChaCha8 keystream generator (the full quarter-round
+//! schedule, 8 rounds), but the `seed_from_u64` key-expansion uses SplitMix64
+//! rather than upstream's scheme, so streams are deterministic per seed yet
+//! **not** byte-identical to the real crate. TAO only relies on seeded
+//! determinism, never on upstream-exact streams.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha stream cipher based generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; 16], out: &mut [u32; 16]) {
+    let mut s = *input;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    for (o, (w, i)) in out.iter_mut().zip(s.iter().zip(input.iter())) {
+        *o = w.wrapping_add(*i);
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        chacha_block(&self.state, &mut self.buf);
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let w = splitmix64(&mut sm);
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // Counter starts at zero; nonce fixed to zero.
+        ChaCha8Rng {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 4096;
+        let ones: u32 = (0..n).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = ones as f64 / n as f64;
+        assert!((mean - 32.0).abs() < 1.0, "bit balance off: {mean}");
+    }
+}
