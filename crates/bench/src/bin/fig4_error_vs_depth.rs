@@ -9,7 +9,7 @@ fn report(w: &Workload) {
     let record = &w.deployment.calibration;
     let n_ops = w.model().graph.len() as f64;
     // Bin operators into ten normalized-depth deciles and average.
-    let mut bins = vec![(0.0f64, 0u64); 10];
+    let mut bins = [(0.0f64, 0u64); 10];
     for &node in &record.nodes {
         let pos = node.0 as f64 / n_ops;
         let bin = ((pos * 10.0) as usize).min(9);

@@ -71,6 +71,8 @@ fn main() {
     println!(
         "\nExpected shape: dispute steps ~= log2(|V|); gas ~2 Mgas regime scaling\n\
          with steps; cost ratio spans roughly [0.4, 1.25] of a forward pass,\n\
-         varying with where compute is concentrated along the canonical order."
+         varying with where compute is concentrated along the canonical order.\n\
+         The DCR counts only child re-executions: the challenger's screening\n\
+         trace is reused by the dispute, never recomputed."
     );
 }

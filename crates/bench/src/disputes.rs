@@ -4,16 +4,23 @@ use std::time::Instant;
 
 use tao_device::Device;
 use tao_graph::{execute, NodeId, Perturbations};
-use tao_protocol::{run_dispute, DisputeConfig, DisputeOutcome};
+use tao_protocol::{
+    run_dispute, screen_claim, ChallengerView, ClaimCheck, DisputeConfig, DisputeOutcome,
+};
 use tao_tensor::Tensor;
 
 use crate::Workload;
 
-/// A dispute run with wall-clock timing.
+/// A dispute run with wall-clock timing, split into the challenger's
+/// screening pass (paid once, before the game) and the localization game
+/// itself (which reuses the screening trace).
 pub struct TimedDispute {
     /// Protocol outcome.
     pub outcome: DisputeOutcome,
-    /// Wall-clock seconds for the full localization game.
+    /// Wall-clock seconds of the challenger's screening forward pass.
+    pub screen_seconds: f64,
+    /// Wall-clock seconds for the localization game (trace reused; no
+    /// challenger forward pass inside).
     pub seconds: f64,
     /// Forward FLOPs of the proposer execution (Cost Ratio denominator).
     pub forward_flops: u64,
@@ -32,7 +39,9 @@ pub fn spread_targets(w: &Workload, count: usize) -> Vec<NodeId> {
 }
 
 /// Runs one dispute against a proposer that perturbed `target` by
-/// `magnitude` (uniform additive), with partition width `n_way`.
+/// `magnitude` (uniform additive), with partition width `n_way`. The
+/// challenger screens first (as in the real protocol) and the dispute
+/// reuses that screening trace.
 pub fn run_perturbed_dispute(
     w: &Workload,
     input: &[Tensor<f32>],
@@ -48,22 +57,40 @@ pub fn run_perturbed_dispute(
     let mut p = Perturbations::new();
     p.insert(target, Tensor::full(&shape, magnitude));
     let trace = execute(graph, input, proposer.config(), Some(&p)).expect("perturbed forward");
+    let claimed_output = trace
+        .value(w.deployment.model.logits)
+        .expect("logits traced");
+    let screen_start = Instant::now();
+    let screening = screen_claim(
+        graph,
+        w.deployment.model.logits,
+        &w.deployment.thresholds,
+        ClaimCheck {
+            inputs: input,
+            claimed_output,
+        },
+        &challenger,
+    )
+    .expect("screening");
+    let screen_seconds = screen_start.elapsed().as_secs_f64();
     let start = Instant::now();
     let outcome = run_dispute(
         graph,
-        &w.deployment.graph_tree,
-        &w.deployment.weight_tree,
-        &w.deployment.commitment.graph_root,
-        &w.deployment.commitment.weight_root,
+        w.deployment.dispute_anchors(),
         &trace,
         input,
-        &challenger,
+        ChallengerView::with_screening(&challenger, &screening.trace),
         &w.deployment.thresholds,
         DisputeConfig { n_way },
     )
     .expect("dispute");
+    assert_eq!(
+        outcome.challenger_forward_passes, 0,
+        "bench disputes must reuse the screening trace"
+    );
     TimedDispute {
         outcome,
+        screen_seconds,
         seconds: start.elapsed().as_secs_f64(),
         forward_flops: honest.total_flops(),
     }
@@ -83,6 +110,8 @@ mod tests {
         assert!(matches!(d.outcome.result, DisputeResult::Leaf(_)));
         assert!(d.forward_flops > 0);
         assert!(d.seconds >= 0.0);
+        assert!(d.screen_seconds > 0.0);
+        assert_eq!(d.outcome.challenger_forward_passes, 0);
     }
 
     #[test]

@@ -583,12 +583,18 @@ mod tests {
         let g = b.finish(vec![s]).unwrap();
         let input = Tensor::<f32>::rand_uniform(&[8, 64], -1.0, 1.0, 4);
 
-        let reference = execute(&g, &[input.clone()], &KernelConfig::reference(), None).unwrap();
+        let reference = execute(
+            &g,
+            std::slice::from_ref(&input),
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap();
         let engine = BoundEngine::paper_default();
         let bounds = engine.co_execute(&g, &reference).unwrap();
 
         for dev in Device::standard_fleet() {
-            let other = execute(&g, &[input.clone()], dev.config(), None).unwrap();
+            let other = execute(&g, std::slice::from_ref(&input), dev.config(), None).unwrap();
             for node in [m, s] {
                 let tau = &bounds[node.0];
                 let a = &reference.values[node.0];
@@ -652,12 +658,18 @@ mod tests {
         let rn = b.op("rn", OpKind::RmsNorm { eps: 1e-6 }, &[ln, gm]);
         let g = b.finish(vec![rn]).unwrap();
         let input = Tensor::<f32>::rand_uniform(&[4, 32], -2.0, 2.0, 9);
-        let reference = execute(&g, &[input.clone()], &KernelConfig::reference(), None).unwrap();
+        let reference = execute(
+            &g,
+            std::slice::from_ref(&input),
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap();
         let bounds = BoundEngine::paper_default()
             .co_execute(&g, &reference)
             .unwrap();
         for dev in Device::standard_fleet() {
-            let other = execute(&g, &[input.clone()], dev.config(), None).unwrap();
+            let other = execute(&g, std::slice::from_ref(&input), dev.config(), None).unwrap();
             for node in [ln, rn] {
                 for i in 0..reference.values[node.0].len() {
                     let d = (reference.values[node.0].data()[i] as f64

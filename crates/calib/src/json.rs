@@ -34,7 +34,9 @@ pub fn threshold_from_json(bytes: &[u8]) -> crate::Result<OperatorThreshold> {
         .map_err(|_| CalibError::Json("leaf is not UTF-8".to_string()))?;
     let (value, rest) = Value::parse(text.trim())?;
     if !rest.trim().is_empty() {
-        return Err(CalibError::Json("trailing bytes after JSON value".to_string()));
+        return Err(CalibError::Json(
+            "trailing bytes after JSON value".to_string(),
+        ));
     }
     let node = value.field("node")?.as_usize()?;
     let mnemonic = value.field("mnemonic")?.as_str()?.to_string();
@@ -93,7 +95,10 @@ fn write_f64(out: &mut String, v: f64) {
     // A non-finite value would serialize as `NaN`/`inf`, which the parser
     // rejects — committing unreadable leaf bytes into `r_e` for the
     // deployment's lifetime. Fail loudly instead, in every build profile.
-    assert!(v.is_finite(), "committed thresholds must be finite, got {v}");
+    assert!(
+        v.is_finite(),
+        "committed thresholds must be finite, got {v}"
+    );
     out.push_str(&format!("{v:?}"));
 }
 
@@ -217,7 +222,7 @@ impl Value {
         // would admit out-of-range values that saturate on cast).
         const MAX_EXACT: f64 = 9_007_199_254_740_992.0;
         let v = self.as_f64()?;
-        if v.fract() != 0.0 || v < 0.0 || v >= MAX_EXACT {
+        if v.fract() != 0.0 || !(0.0..MAX_EXACT).contains(&v) {
             return Err(err(format!("expected unsigned integer, got {v}")));
         }
         Ok(v as usize)
@@ -255,12 +260,12 @@ fn parse_string(s: &str) -> crate::Result<(String, &str)> {
                 Some('r') => out.push('\r'),
                 Some('t') => out.push('\t'),
                 Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next().map(|(_, h)| h)).collect();
+                    let hex: String = (0..4)
+                        .filter_map(|_| chars.next().map(|(_, h)| h))
+                        .collect();
                     let code = u32::from_str_radix(&hex, 16)
                         .map_err(|_| err(format!("bad \\u escape: {hex:?}")))?;
-                    out.push(
-                        char::from_u32(code).ok_or_else(|| err("invalid \\u code point"))?,
-                    );
+                    out.push(char::from_u32(code).ok_or_else(|| err("invalid \\u code point"))?);
                 }
                 other => return Err(err(format!("bad escape: {other:?}"))),
             },

@@ -110,7 +110,10 @@ impl ThresholdBundle {
     /// Serializes each operator entry to a Merkle leaf (canonical JSON; see
     /// [`crate::json`]).
     pub fn to_leaves(&self) -> Vec<Vec<u8>> {
-        self.operators.iter().map(crate::json::threshold_to_json).collect()
+        self.operators
+            .iter()
+            .map(crate::json::threshold_to_json)
+            .collect()
     }
 
     /// The maximum observed-vs-threshold ratio `p^max_i` of Eq. 15 for an

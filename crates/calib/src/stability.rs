@@ -190,7 +190,7 @@ mod tests {
         // Short sequence so one point can move the median visibly.
         let mut seq = vec![1.0; 5];
         seq[2] = 100.0;
-        let clean = diagnostics(&vec![1.0; 5], 3).jackknife;
+        let clean = diagnostics(&[1.0; 5], 3).jackknife;
         let dirty = diagnostics(&seq, 3).jackknife;
         assert!(dirty >= clean);
     }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tao demo [model]          end-to-end honest + malicious session
+//! tao sessions [model]      run a mixed batch concurrently on the scheduler
 //! tao calibrate [model]     run the cross-device calibration and print thresholds
 //! tao commit [model]        print the Phase 0 Merkle roots
 //! tao econ                  print the economic feasibility region
@@ -10,7 +11,10 @@
 //!
 //! Models: `bert` (default), `qwen`, `resnet`.
 
-use tao::{default_coordinator, deploy, run_session, Deployment, ProposerBehavior, SessionConfig};
+use tao::{
+    default_coordinator, deploy, Deployment, ProposerBehavior, Scheduler, SessionBuilder,
+    SharedCoordinator,
+};
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
 use tao_merkle::to_hex;
@@ -20,7 +24,7 @@ use tao_tensor::Tensor;
 fn usage() -> ! {
     eprintln!(
         "usage: tao <command> [model]\n\
-         commands: demo | calibrate | commit | econ | models\n\
+         commands: demo | sessions | calibrate | commit | econ | models\n\
          models:   bert (default) | qwen | resnet"
     );
     std::process::exit(2)
@@ -59,45 +63,45 @@ fn build_deployment(model: &str) -> (Deployment, Vec<Tensor<f32>>) {
     }
 }
 
-fn cmd_demo(model: &str) {
-    let (deployment, inputs) = build_deployment(model);
-    let mut coordinator = default_coordinator().expect("economics feasible");
-
-    println!("-- honest session --");
-    let honest = run_session(
-        &deployment,
-        &mut coordinator,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Honest,
-    )
-    .expect("session runs");
-    println!(
-        "challenged: {}; status: {:?}",
-        honest.challenged, honest.final_status
-    );
-
-    println!("\n-- malicious session --");
+fn mid_node_perturbation(
+    deployment: &Deployment,
+    inputs: &[Tensor<f32>],
+    seed: u64,
+) -> Perturbations {
     let nodes = deployment.model.graph.compute_nodes();
     let target = nodes[nodes.len() / 2];
     let trace = execute(
         &deployment.model.graph,
-        &inputs,
+        inputs,
         Device::rtx4090_like().config(),
         None,
     )
     .expect("forward");
     let shape = trace.values[target.0].dims().to_vec();
     let mut p = Perturbations::new();
-    p.insert(target, Tensor::<f32>::randn(&shape, 7).mul_scalar(0.05));
-    let evil = run_session(
-        &deployment,
-        &mut coordinator,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Malicious(p),
-    )
-    .expect("session runs");
+    p.insert(target, Tensor::<f32>::randn(&shape, seed).mul_scalar(0.05));
+    p
+}
+
+fn cmd_demo(model: &str) {
+    let (deployment, inputs) = build_deployment(model);
+    let coordinator = SharedCoordinator::new(default_coordinator().expect("economics feasible"));
+
+    println!("-- honest session --");
+    let honest = SessionBuilder::new(&deployment, inputs.clone())
+        .run(&coordinator)
+        .expect("session runs");
+    println!(
+        "challenged: {}; status: {:?}",
+        honest.challenged, honest.final_status
+    );
+
+    println!("\n-- malicious session --");
+    let p = mid_node_perturbation(&deployment, &inputs, 7);
+    let evil = SessionBuilder::new(&deployment, inputs)
+        .behavior(ProposerBehavior::Malicious(p))
+        .run(&coordinator)
+        .expect("session runs");
     println!(
         "challenged: {}; status: {:?}",
         evil.challenged, evil.final_status
@@ -114,6 +118,43 @@ fn cmd_demo(model: &str) {
     if let Some((path, verdict)) = evil.verdict {
         println!("adjudication: {path:?} -> {verdict:?}");
     }
+}
+
+fn cmd_sessions(model: &str) {
+    let (deployment, inputs) = build_deployment(model);
+    let coordinator = SharedCoordinator::new(default_coordinator().expect("economics feasible"));
+    let jobs = 6;
+    println!("running {jobs} sessions concurrently (1 cheat) on the scheduler...");
+    let builders: Vec<SessionBuilder> = (0..jobs)
+        .map(|i| {
+            let b = SessionBuilder::new(&deployment, inputs.clone());
+            if i == jobs / 2 {
+                b.behavior(ProposerBehavior::Malicious(mid_node_perturbation(
+                    &deployment,
+                    &inputs,
+                    40 + i as u64,
+                )))
+            } else {
+                b
+            }
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let reports = Scheduler::new()
+        .run(&coordinator, builders)
+        .expect("sessions run");
+    let secs = start.elapsed().as_secs_f64();
+    for r in &reports {
+        println!(
+            "claim #{}: challenged {}; exceedance {:.3}; status {:?}",
+            r.claim_id, r.challenged, r.exceedance, r.final_status
+        );
+    }
+    println!(
+        "\n{jobs} sessions in {secs:.2}s; proposer balance {:.1}, challenger balance {:.1}",
+        coordinator.balance("proposer"),
+        coordinator.balance("challenger"),
+    );
 }
 
 fn cmd_calibrate(model: &str) {
@@ -192,6 +233,7 @@ fn main() {
     let model = args.get(2).map(String::as_str).unwrap_or("bert");
     match cmd {
         "demo" => cmd_demo(model),
+        "sessions" => cmd_sessions(model),
         "calibrate" => cmd_calibrate(model),
         "commit" => cmd_commit(model),
         "econ" => cmd_econ(),

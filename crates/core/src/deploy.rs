@@ -1,18 +1,23 @@
 //! Phase 0: model deployment — calibration and commitments.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use tao_calib::{calibrate, CalibrationRecord, ThresholdBundle};
 use tao_device::Fleet;
 use tao_merkle::{commit_model, graph_tree, weight_tree, MerkleTree, ModelCommitment};
 use tao_models::Model;
+use tao_protocol::DisputeAnchors;
 use tao_tensor::Tensor;
 
 use crate::error::TaoError;
 use crate::Result;
 
-/// A deployed model: the traced graph plus everything the protocol needs —
-/// calibrated thresholds, Merkle trees and the on-coordinator commitment.
-#[derive(Debug, Clone)]
-pub struct Deployment {
+/// The Phase 0 artifacts of a deployed model: the traced graph plus
+/// everything the protocol needs — calibrated thresholds, Merkle trees and
+/// the on-coordinator commitment.
+#[derive(Debug)]
+pub struct DeploymentArtifacts {
     /// The traced model.
     pub model: Model,
     /// The calibration fleet.
@@ -27,6 +32,52 @@ pub struct Deployment {
     pub graph_tree: MerkleTree,
     /// The Phase 0 commitment `(r_w, r_g, r_e)`.
     pub commitment: ModelCommitment,
+}
+
+/// A shared handle to a deployed model.
+///
+/// Deployments are immutable once committed, so the handle is an `Arc`
+/// around [`DeploymentArtifacts`]: cloning is a reference-count bump, and
+/// any number of concurrent sessions (see [`crate::Scheduler`]) can hold
+/// the same deployment without copying model weights or Merkle trees. The
+/// artifacts are reachable through `Deref`, so `deployment.model`,
+/// `deployment.thresholds` etc. read as direct field accesses.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    inner: Arc<DeploymentArtifacts>,
+}
+
+impl Deployment {
+    /// Wraps already-built artifacts into a shareable handle.
+    pub fn new(artifacts: DeploymentArtifacts) -> Self {
+        Deployment {
+            inner: Arc::new(artifacts),
+        }
+    }
+
+    /// Borrowed view of the underlying artifacts.
+    pub fn artifacts(&self) -> &DeploymentArtifacts {
+        &self.inner
+    }
+
+    /// The dispute anchors (Merkle trees + committed roots) of this
+    /// deployment, in the shape [`tao_protocol::run_dispute`] consumes.
+    pub fn dispute_anchors(&self) -> DisputeAnchors<'_> {
+        DisputeAnchors {
+            graph_tree: &self.inner.graph_tree,
+            weight_tree: &self.inner.weight_tree,
+            graph_root: &self.inner.commitment.graph_root,
+            weight_root: &self.inner.commitment.weight_root,
+        }
+    }
+}
+
+impl Deref for Deployment {
+    type Target = DeploymentArtifacts;
+
+    fn deref(&self) -> &DeploymentArtifacts {
+        &self.inner
+    }
 }
 
 /// Runs Phase 0: offline cross-device calibration over `samples`, α
@@ -51,7 +102,7 @@ pub fn deploy(
     let wt = weight_tree(&model.graph);
     let gt = graph_tree(&model.graph);
     let commitment = commit_model(&model.graph, &thresholds.to_leaves());
-    Ok(Deployment {
+    Ok(Deployment::new(DeploymentArtifacts {
         model,
         fleet,
         thresholds,
@@ -59,7 +110,7 @@ pub fn deploy(
         weight_tree: wt,
         graph_tree: gt,
         commitment,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -81,6 +132,22 @@ mod tests {
         assert_eq!(d.commitment.graph_root, d.graph_tree.root());
         assert_eq!(d.thresholds.alpha, DEFAULT_ALPHA);
         assert!(!d.thresholds.operators.is_empty());
+    }
+
+    #[test]
+    fn deployment_clones_share_artifacts() {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = tao_models::data::token_dataset(2, cfg.seq, cfg.vocab, 10);
+        let d = deploy(model, Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+        let d2 = d.clone();
+        // Same allocation, not a deep copy.
+        assert!(std::ptr::eq(d.artifacts(), d2.artifacts()));
+        let anchors = d2.dispute_anchors();
+        assert_eq!(*anchors.graph_root, d.commitment.graph_root);
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! substrates, the dual error models, calibration, commitments, the
 //! dispute protocol and the attack suite.
 //!
+//! The runtime is organized around *session handles*: a [`Deployment`] is
+//! a cheaply cloneable `Arc` over the Phase 0 artifacts, a
+//! [`SessionBuilder`] configures one verification session over it, and the
+//! resulting [`Session`] is driven phase by phase (`submit` → `screen` →
+//! `dispute` → `settle`) or in one shot via [`SessionBuilder::run`]. Many
+//! sessions run concurrently over one coordinator with the [`Scheduler`].
+//!
 //! # Quickstart
 //!
 //! ```
-//! use tao::{deploy, default_coordinator, run_session, ProposerBehavior, SessionConfig};
+//! use tao::{deploy, default_coordinator, SessionBuilder, SharedCoordinator};
 //! use tao_device::Fleet;
 //! use tao_models::{bert, data, BertConfig};
 //!
@@ -19,29 +26,26 @@
 //! let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
 //!
 //! // Phases 1-3: an honest run finalizes unchallenged.
-//! let mut coordinator = default_coordinator().unwrap();
+//! let coordinator = SharedCoordinator::new(default_coordinator().unwrap());
 //! let inputs = vec![bert::sample_ids(cfg, 42)];
-//! let report = run_session(
-//!     &deployment,
-//!     &mut coordinator,
-//!     &SessionConfig::default(),
-//!     &inputs,
-//!     &ProposerBehavior::Honest,
-//! )
-//! .unwrap();
+//! let report = SessionBuilder::new(&deployment, inputs)
+//!     .run(&coordinator)
+//!     .unwrap();
 //! assert!(report.proposer_prevailed());
 //! ```
 
 pub mod deploy;
 pub mod error;
+pub mod schedule;
 pub mod session;
 pub mod verify;
 
-pub use deploy::{deploy, Deployment};
+pub use deploy::{deploy, Deployment, DeploymentArtifacts};
 pub use error::TaoError;
+pub use schedule::Scheduler;
 pub use session::{
-    challenger_flags, default_coordinator, run_session, ProposerBehavior, SessionConfig,
-    SessionReport,
+    default_coordinator, PendingSession, ProposerBehavior, Session, SessionBuilder, SessionConfig,
+    SessionReport, SharedCoordinator,
 };
 pub use verify::{make_receipt, screen_output, verify_receipt, Receipt, ScreeningReport};
 

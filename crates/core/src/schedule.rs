@@ -1,0 +1,157 @@
+//! Concurrent session scheduling over one shared deployment and
+//! coordinator.
+//!
+//! The scheduler alternates parallel compute phases with short serial
+//! coordinator phases so that concurrent execution is *observationally
+//! equivalent* to running the same sessions one after another:
+//!
+//! 1. **Prepare** (parallel): every proposer forward pass runs on a scoped
+//!    worker thread — no coordinator interaction.
+//! 2. **Submit** (serial, in session order): claims are posted one by one,
+//!    so claim ids are assigned deterministically (session `i` gets the
+//!    `i`-th id the coordinator hands out).
+//! 3. **Screen + dispute** (parallel): challenger screening, dispute
+//!    localization and leaf adjudication run concurrently; the coordinator
+//!    is locked only for the brief `open_challenge` call. No session
+//!    advances the clock here, so no claim's challenge window can close
+//!    under a slower session.
+//! 4. **Settle** (serial, in session order): disputed claims settle,
+//!    unchallenged claims' windows elapse, and reports are collected.
+//!
+//! Bond arithmetic on the coordinator is a sum of per-event deltas, so the
+//! final balances, claim statuses and per-session reports match a serial
+//! run exactly (see `tests/tests/scheduler.rs` for the equivalence test).
+//! The one behavioral difference is peak escrow: all proposer deposits are
+//! locked at once during phase 2, so accounts must be funded for the sum
+//! of concurrent deposits rather than one at a time.
+
+use tao_protocol::par::{parallel_map, MAX_PAR_THREADS};
+
+use crate::session::{SessionBuilder, SessionReport, SharedCoordinator};
+use crate::Result;
+
+/// Runs batches of verification sessions concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    threads: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler sized to the host's available parallelism (capped at
+    /// 8 workers).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(MAX_PAR_THREADS);
+        Scheduler { threads }
+    }
+
+    /// A scheduler with an explicit worker count (at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Scheduler {
+            threads: threads.clamp(1, MAX_PAR_THREADS),
+        }
+    }
+
+    /// Runs every session to completion and returns their reports in
+    /// session order. Claim ids are assigned deterministically: session
+    /// `i` receives the `i`-th claim id the coordinator allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error (by session order) any phase produced;
+    /// later sessions' claims may be left pending on the coordinator in
+    /// that case.
+    pub fn run(
+        &self,
+        coordinator: &SharedCoordinator,
+        sessions: Vec<SessionBuilder>,
+    ) -> Result<Vec<SessionReport>> {
+        // Phase 1 (parallel): proposer forward passes + commitments.
+        let prepared = parallel_map(sessions, self.threads, SessionBuilder::prepare);
+        // Phase 2 (serial, in order): deterministic claim-id assignment.
+        let mut submitted = Vec::with_capacity(prepared.len());
+        for pending in prepared {
+            submitted.push(pending?.submit(coordinator)?);
+        }
+        // Phase 3 (parallel): screening, disputes and leaf adjudication.
+        let resolved = parallel_map(submitted, self.threads, |mut session| -> Result<_> {
+            if session.screen()? {
+                session.dispute(coordinator)?;
+            }
+            Ok(session)
+        });
+        // Phase 4 (serial, in order): settlement and reports.
+        let mut reports = Vec::with_capacity(resolved.len());
+        for session in resolved {
+            reports.push(session?.settle(coordinator)?);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy;
+    use crate::session::{default_coordinator, ProposerBehavior};
+    use tao_calib::DEFAULT_ALPHA;
+    use tao_device::Fleet;
+    use tao_graph::{execute, Perturbations};
+    use tao_models::{bert, data, BertConfig};
+    use tao_protocol::ClaimStatus;
+    use tao_tensor::Tensor;
+
+    #[test]
+    fn scheduler_runs_mixed_sessions_with_deterministic_ids() {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = data::token_dataset(6, cfg.seq, cfg.vocab, 100);
+        let d = deploy(model, Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+        let coord = SharedCoordinator::new(default_coordinator().unwrap());
+
+        let target = d.model.graph.compute_nodes()[2];
+        let honest_exec = execute(
+            &d.model.graph,
+            &[bert::sample_ids(cfg, 1)],
+            tao_device::Device::rtx4090_like().config(),
+            None,
+        )
+        .unwrap();
+        let shape = honest_exec.values[target.0].dims().to_vec();
+        let builders: Vec<SessionBuilder> = (0..4)
+            .map(|i| {
+                let b = SessionBuilder::new(&d, vec![bert::sample_ids(cfg, 100 + i)]);
+                if i == 1 {
+                    let mut p = Perturbations::new();
+                    p.insert(target, Tensor::full(&shape, 0.05));
+                    b.behavior(ProposerBehavior::Malicious(p))
+                } else {
+                    b
+                }
+            })
+            .collect();
+        let reports = Scheduler::with_threads(3).run(&coord, builders).unwrap();
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.claim_id, i as u64, "claim ids assigned in session order");
+            if i == 1 {
+                assert!(r.challenged);
+                assert!(!r.proposer_prevailed());
+            } else {
+                assert!(!r.challenged);
+                assert!(matches!(r.final_status, ClaimStatus::Finalized));
+            }
+        }
+    }
+}

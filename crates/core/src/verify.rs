@@ -2,10 +2,9 @@
 //! check *without* playing the dispute game — commitment binding, output
 //! screening, and receipt construction.
 
-use tao_calib::{error_profile, DEFAULT_EPS};
 use tao_device::Device;
-use tao_graph::execute;
-use tao_merkle::{claim_commitment, tensor_hash, ClaimMeta, Digest};
+use tao_merkle::{claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest};
+use tao_protocol::{screen_claim, ClaimCheck};
 use tao_tensor::Tensor;
 
 use crate::deploy::Deployment;
@@ -18,20 +17,21 @@ pub struct Receipt {
     pub commitment: Digest,
     /// Execution metadata bound into the commitment.
     pub meta: ClaimMeta,
-    /// Hash of the input the proposer claims to have served.
+    /// Domain-separated hash of the full ordered input list the proposer
+    /// claims to have served.
     pub input_hash: Digest,
     /// Hash of the returned output.
     pub output_hash: Digest,
 }
 
-/// Builds a receipt for a served request.
+/// Builds a receipt for a served request, binding every input tensor.
 pub fn make_receipt(
     deployment: &Deployment,
-    input: &Tensor<f32>,
+    inputs: &[Tensor<f32>],
     output: &Tensor<f32>,
     meta: ClaimMeta,
 ) -> Receipt {
-    let input_hash = tensor_hash(input);
+    let input_hash = inputs_hash(inputs);
     let output_hash = tensor_hash(output);
     let commitment = claim_commitment(&deployment.commitment, &input_hash, &output_hash, &meta);
     Receipt {
@@ -42,15 +42,15 @@ pub fn make_receipt(
     }
 }
 
-/// Checks that a receipt binds the given input/output to the deployment's
+/// Checks that a receipt binds the given inputs/output to the deployment's
 /// committed model: recomputes `C0` from first principles and compares.
 pub fn verify_receipt(
     deployment: &Deployment,
     receipt: &Receipt,
-    input: &Tensor<f32>,
+    inputs: &[Tensor<f32>],
     output: &Tensor<f32>,
 ) -> bool {
-    tensor_hash(input) == receipt.input_hash
+    inputs_hash(inputs) == receipt.input_hash
         && tensor_hash(output) == receipt.output_hash
         && claim_commitment(
             &deployment.commitment,
@@ -76,23 +76,27 @@ pub struct ScreeningReport {
 ///
 /// # Errors
 ///
-/// Returns an error when local re-execution fails.
+/// Returns an error when local re-execution fails or the output operator
+/// has no committed threshold (a deployment bug, not fraud).
 pub fn screen_output(
     deployment: &Deployment,
     inputs: &[Tensor<f32>],
     claimed_output: &Tensor<f32>,
     device: &Device,
 ) -> Result<ScreeningReport> {
-    let logits = deployment.model.logits;
-    let own = execute(&deployment.model.graph, inputs, device.config(), None)?;
-    let prof = error_profile(claimed_output, own.value(logits)?, DEFAULT_EPS);
-    let exceedance = deployment
-        .thresholds
-        .exceedance(logits, &prof)
-        .unwrap_or(f64::INFINITY);
+    let screening = screen_claim(
+        &deployment.model.graph,
+        deployment.model.logits,
+        &deployment.thresholds,
+        ClaimCheck {
+            inputs,
+            claimed_output,
+        },
+        device,
+    )?;
     Ok(ScreeningReport {
-        exceedance,
-        should_challenge: exceedance > 1.0,
+        exceedance: screening.exceedance,
+        should_challenge: screening.flagged,
     })
 }
 
@@ -101,6 +105,7 @@ mod tests {
     use super::*;
     use crate::deploy::deploy;
     use tao_device::Fleet;
+    use tao_graph::execute;
     use tao_models::{bert, data, BertConfig};
 
     fn setup() -> (Deployment, Vec<Tensor<f32>>, Tensor<f32>) {
@@ -129,28 +134,31 @@ mod tests {
     #[test]
     fn receipt_roundtrip() {
         let (d, inputs, output) = setup();
-        let r = make_receipt(&d, &inputs[0], &output, meta());
-        assert!(verify_receipt(&d, &r, &inputs[0], &output));
+        let r = make_receipt(&d, &inputs, &output, meta());
+        assert!(verify_receipt(&d, &r, &inputs, &output));
     }
 
     #[test]
     fn receipt_rejects_swapped_output() {
         let (d, inputs, output) = setup();
-        let r = make_receipt(&d, &inputs[0], &output, meta());
+        let r = make_receipt(&d, &inputs, &output, meta());
         let mut other = output.clone();
         other.data_mut()[0] += 1e-3;
-        assert!(!verify_receipt(&d, &r, &inputs[0], &other));
+        assert!(!verify_receipt(&d, &r, &inputs, &other));
         // And a swapped input.
-        let other_input = inputs[0].add_scalar(1.0);
-        assert!(!verify_receipt(&d, &r, &other_input, &output));
+        let other_inputs = vec![inputs[0].add_scalar(1.0)];
+        assert!(!verify_receipt(&d, &r, &other_inputs, &output));
+        // And a different input arity.
+        let padded: Vec<Tensor<f32>> = vec![inputs[0].clone(), inputs[0].clone()];
+        assert!(!verify_receipt(&d, &r, &padded, &output));
     }
 
     #[test]
     fn receipt_rejects_forged_meta() {
         let (d, inputs, output) = setup();
-        let mut r = make_receipt(&d, &inputs[0], &output, meta());
+        let mut r = make_receipt(&d, &inputs, &output, meta());
         r.meta.challenge_window = 1; // Shortened window forgery.
-        assert!(!verify_receipt(&d, &r, &inputs[0], &output));
+        assert!(!verify_receipt(&d, &r, &inputs, &output));
     }
 
     #[test]

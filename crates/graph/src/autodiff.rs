@@ -422,6 +422,7 @@ fn vjp(
             let mut gw = vec![0.0f32; wt.len()];
             let mut gb = vec![0.0f32; c_out];
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)] // oc also builds flat offsets
                 for oc in 0..c_out {
                     for oy in 0..oh {
                         for ox in 0..ow {
@@ -567,7 +568,7 @@ fn vjp(
             for ni in 0..n {
                 for ci in 0..c {
                     let g = gout.data()[ni * c + ci] / hw;
-                    gx.extend(std::iter::repeat(g).take(h * w));
+                    gx.extend(std::iter::repeat_n(g, h * w));
                 }
             }
             vec![Some(Tensor::from_vec(gx, x.dims())?)]
@@ -681,14 +682,14 @@ mod tests {
         let s = b.op("loss", OpKind::SumAll, &[y]);
         let g = b.finish(vec![s]).unwrap();
 
-        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let exec = execute(&g, std::slice::from_ref(&input), &cfg, None).unwrap();
         let mut seeds = HashMap::new();
         seeds.insert(s, Tensor::scalar(1.0f32));
-        let grads = backward(&g, &exec, &[input.clone()], &seeds).unwrap();
+        let grads = backward(&g, &exec, std::slice::from_ref(&input), &seeds).unwrap();
         let gx = grads[x.0].as_ref().expect("input grad");
 
         let f = |inp: &Tensor<f32>| -> f64 {
-            let e = execute(&g, &[inp.clone()], &cfg, None).unwrap();
+            let e = execute(&g, std::slice::from_ref(inp), &cfg, None).unwrap();
             e.outputs(&g)[0].data()[0] as f64
         };
         let h = 1e-3f32;
@@ -921,7 +922,7 @@ mod tests {
         let s = b.op("s", OpKind::SumAll, &[r]);
         let g = b.finish(vec![s]).unwrap();
         let input = Tensor::<f32>::rand_uniform(&[4], -1.0, 1.0, 20);
-        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let exec = execute(&g, std::slice::from_ref(&input), &cfg, None).unwrap();
         let mut seeds = HashMap::new();
         seeds.insert(s, Tensor::scalar(1.0f32));
         let grads = backward(&g, &exec, &[input], &seeds).unwrap();
@@ -937,7 +938,7 @@ mod tests {
         let x = b.input(0, "x");
         let g = b.finish(vec![x]).unwrap();
         let input = Tensor::<f32>::zeros(&[3]);
-        let exec = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let exec = execute(&g, std::slice::from_ref(&input), &cfg, None).unwrap();
         let mut seeds = HashMap::new();
         seeds.insert(x, Tensor::<f32>::zeros(&[2]));
         assert!(backward(&g, &exec, &[input], &seeds).is_err());

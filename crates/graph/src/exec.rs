@@ -388,7 +388,13 @@ mod tests {
         let input = Tensor::from_vec(vec![1.0], &[1]).unwrap();
         let mut p = Perturbations::new();
         p.insert(y, Tensor::from_vec(vec![0.5], &[1]).unwrap());
-        let honest = execute(&g, &[input.clone()], &KernelConfig::reference(), None).unwrap();
+        let honest = execute(
+            &g,
+            std::slice::from_ref(&input),
+            &KernelConfig::reference(),
+            None,
+        )
+        .unwrap();
         let evil = execute(&g, &[input], &KernelConfig::reference(), Some(&p)).unwrap();
         assert_eq!(honest.outputs(&g)[0].data(), &[2.0]);
         assert_eq!(evil.outputs(&g)[0].data(), &[2.5]);

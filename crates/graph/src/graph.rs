@@ -9,9 +9,7 @@ use crate::op::OpKind;
 use crate::Result;
 
 /// Identifier of a node in its graph's canonical topological order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 impl core::fmt::Display for NodeId {

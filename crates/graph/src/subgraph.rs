@@ -264,7 +264,7 @@ mod tests {
         let g = chain();
         let input = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]).unwrap();
         let cfg = KernelConfig::reference();
-        let full = execute(&g, &[input.clone()], &cfg, None).unwrap();
+        let full = execute(&g, std::slice::from_ref(&input), &cfg, None).unwrap();
         let sub = extract(&g, 2, 4).unwrap();
         let mut boundary = HashMap::new();
         for &id in &sub.live_in {

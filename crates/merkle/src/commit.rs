@@ -89,6 +89,22 @@ pub fn tensor_list_hash(ts: &[&Tensor<f32>]) -> Digest {
     h.finalize()
 }
 
+/// Domain-separated hash of a claim's full ordered input list:
+/// `H("tao.v1.inputs" || k || H(x_1) || … || H(x_k))`.
+///
+/// This is the `H(x)` bound into [`claim_commitment`] — the domain tag and
+/// explicit length keep it injective against both single-tensor hashes and
+/// list hashes of other arities, so multi-input claims are fully bound.
+pub fn inputs_hash(inputs: &[Tensor<f32>]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"tao.v1.inputs");
+    h.update(&(inputs.len() as u64).to_le_bytes());
+    for t in inputs {
+        h.update(&tensor_hash(t));
+    }
+    h.finalize()
+}
+
 /// The Phase 1 claim commitment
 /// `C0 = H(r_w || r_g || H(x) || H(y) || meta)`.
 pub fn claim_commitment(
@@ -191,6 +207,29 @@ mod tests {
         m2.challenge_window = 99;
         let c2 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &m2);
         assert_ne!(c0, c2);
+    }
+
+    #[test]
+    fn inputs_hash_binds_every_tensor_and_arity() {
+        let a = Tensor::<f32>::ones(&[2, 2]);
+        let b = Tensor::<f32>::zeros(&[2, 2]);
+        // Every position is bound.
+        assert_ne!(
+            inputs_hash(&[a.clone(), b.clone()]),
+            inputs_hash(&[a.clone(), a.clone()])
+        );
+        // Order is bound.
+        assert_ne!(
+            inputs_hash(&[a.clone(), b.clone()]),
+            inputs_hash(&[b.clone(), a.clone()])
+        );
+        // Arity is bound: a singleton list is not the bare tensor hash and
+        // not the undomained list hash.
+        assert_ne!(inputs_hash(std::slice::from_ref(&a)), tensor_hash(&a));
+        assert_ne!(
+            inputs_hash(std::slice::from_ref(&a)),
+            tensor_list_hash(&[&a])
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod tree;
 
 pub use canon::{canon_param, canon_signature, canon_tensor};
 pub use commit::{
-    claim_commitment, commit_model, graph_tree, tensor_hash, tensor_list_hash, verify_graph_leaf,
-    verify_weight_leaf, weight_tree, ClaimMeta, ModelCommitment,
+    claim_commitment, commit_model, graph_tree, inputs_hash, tensor_hash, tensor_list_hash,
+    verify_graph_leaf, verify_weight_leaf, weight_tree, ClaimMeta, ModelCommitment,
 };
 pub use sha256::{sha256, to_hex, Digest, Sha256};
 pub use tree::{verify_inclusion, verify_inclusion_digest, InclusionProof, MerkleTree};

@@ -128,7 +128,7 @@ pub fn verify_inclusion_digest(root: &Digest, leaf_digest: Digest, proof: &Inclu
     for sib in &proof.siblings {
         match sib {
             Some(s) => {
-                acc = if idx % 2 == 0 {
+                acc = if idx.is_multiple_of(2) {
                     hash_pair(&acc, s)
                 } else {
                     hash_pair(s, &acc)

@@ -139,7 +139,7 @@ pub fn committee_vote(
     committee: &[Device],
     dishonest: &[bool],
 ) -> Result<VoteOutcome> {
-    if committee.is_empty() || committee.len() % 2 == 0 {
+    if committee.is_empty() || committee.len().is_multiple_of(2) {
         return Err(ProtocolError::BadCommittee(format!(
             "need an odd, nonzero committee, got {}",
             committee.len()
@@ -176,7 +176,7 @@ pub fn sample_committee(pool: &[Device], n: usize, seed: u64) -> Vec<Device> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut n = n.min(pool.len()).max(1);
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         n -= 1; // Round even requests down to odd.
     }
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -262,7 +262,7 @@ mod tests {
         let case = leaf_case(&g, leaf, &trace, &inputs);
         let engine = BoundEngine::paper_default();
         assert_eq!(route(&case, &engine).unwrap(), AdjudicationPath::Committee);
-        let committee = sample_committee(&Fleet::standard().devices().to_vec(), 3, 1);
+        let committee = sample_committee(Fleet::standard().devices(), 3, 1);
         let (_, verdict) = adjudicate(&case, &engine, &bundle, &committee).unwrap();
         assert_eq!(verdict, LeafVerdict::Accepted);
     }
@@ -299,7 +299,7 @@ mod tests {
         p.insert(leaf, Tensor::full(&shape, 3e-5));
         let trace = execute(&g, &inputs, Device::a100_like().config(), Some(&p)).unwrap();
         let case = leaf_case(&g, leaf, &trace, &inputs);
-        let committee = sample_committee(&Fleet::standard().devices().to_vec(), 3, 2);
+        let committee = sample_committee(Fleet::standard().devices(), 3, 2);
         let outcome = committee_vote(&case, &bundle, &committee, &[false; 3]).unwrap();
         assert_eq!(outcome.verdict, LeafVerdict::Fraud);
     }
@@ -310,7 +310,7 @@ mod tests {
         let leaf = NodeId(2);
         let trace = execute(&g, &inputs, Device::a100_like().config(), None).unwrap();
         let case = leaf_case(&g, leaf, &trace, &inputs);
-        let committee = sample_committee(&Fleet::standard().devices().to_vec(), 3, 3);
+        let committee = sample_committee(Fleet::standard().devices(), 3, 3);
         // One liar cannot flip an honest-majority acceptance.
         let outcome = committee_vote(&case, &bundle, &committee, &[true, false, false]).unwrap();
         assert_eq!(outcome.verdict, LeafVerdict::Accepted);

@@ -25,6 +25,60 @@ impl Default for DisputeConfig {
     }
 }
 
+/// The Phase 0 commitment artifacts a dispute is anchored to: the Merkle
+/// trees the proposer proves records against and the on-coordinator roots
+/// the challenger verifies them with.
+#[derive(Debug, Clone, Copy)]
+pub struct DisputeAnchors<'a> {
+    /// Graph-structure Merkle tree `T_g`.
+    pub graph_tree: &'a MerkleTree,
+    /// Weight Merkle tree `T_w`.
+    pub weight_tree: &'a MerkleTree,
+    /// Committed graph root `r_g`.
+    pub graph_root: &'a Digest,
+    /// Committed weight root `r_w`.
+    pub weight_root: &'a Digest,
+}
+
+/// The challenger's side of a dispute: its device, plus (optionally) the
+/// execution trace it already produced when it screened the claim.
+///
+/// Screening necessarily runs a full forward pass on the challenger's
+/// device; carrying that trace into the dispute lets the game clear
+/// agreeing children at zero re-execution cost without paying the pass a
+/// second time. When no trace is supplied (e.g. the challenge is driven by
+/// a fresh auditor), [`run_dispute`] computes one and reports it in
+/// [`DisputeOutcome::challenger_forward_passes`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChallengerView<'a> {
+    device: &'a Device,
+    screening: Option<&'a Execution>,
+}
+
+impl<'a> ChallengerView<'a> {
+    /// A challenger that has not yet executed the model; the dispute will
+    /// run (and account) one full forward pass.
+    pub fn fresh(device: &'a Device) -> Self {
+        ChallengerView {
+            device,
+            screening: None,
+        }
+    }
+
+    /// A challenger reusing the trace it computed during screening.
+    pub fn with_screening(device: &'a Device, trace: &'a Execution) -> Self {
+        ChallengerView {
+            device,
+            screening: Some(trace),
+        }
+    }
+
+    /// The challenger's device.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+}
+
 /// Statistics for one dispute round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundStats {
@@ -68,6 +122,11 @@ pub struct DisputeOutcome {
     pub challenger_flops: u64,
     /// Total Merkle proof verifications.
     pub merkle_checks: u64,
+    /// Full challenger forward passes executed *inside* the dispute: 0 when
+    /// the screening trace was reused via
+    /// [`ChallengerView::with_screening`], 1 when the game had to recompute
+    /// it for a [`ChallengerView::fresh`] challenger.
+    pub challenger_forward_passes: u64,
     /// Coordinator gas consumed by the dispute interaction.
     pub gas: GasMeter,
 }
@@ -89,34 +148,41 @@ impl DisputeOutcome {
 /// exactly. The game ends at a single operator or when no child offends.
 ///
 /// The challenger already re-executed the whole model when it screened the
-/// claim, so its screening trace is reused: children whose proposer
-/// live-outs agree with the challenger's own trace are cleared at zero
-/// re-execution cost, and only suspect children are re-executed from the
-/// proposer's committed boundaries. This keeps the DCR (total challenger
-/// FLOPs) around one forward pass, matching Table 3.
+/// claim, so its screening trace is reused when supplied via
+/// [`ChallengerView::with_screening`]: children whose proposer live-outs
+/// agree with the challenger's own trace are cleared at zero re-execution
+/// cost, and only suspect children are re-executed from the proposer's
+/// committed boundaries. This keeps the DCR (total challenger FLOPs)
+/// around one forward pass, matching Table 3.
 ///
 /// # Errors
 ///
 /// Returns an error if record construction/verification fails or a
 /// re-execution hits a kernel error.
-#[allow(clippy::too_many_arguments)]
 pub fn run_dispute(
     graph: &Graph,
-    graph_tree: &MerkleTree,
-    weight_tree: &MerkleTree,
-    graph_root: &Digest,
-    weight_root: &Digest,
+    anchors: DisputeAnchors<'_>,
     proposer_trace: &Execution,
     inputs: &[Tensor<f32>],
-    challenger: &Device,
+    challenger: ChallengerView<'_>,
     thresholds: &ThresholdBundle,
     cfg: DisputeConfig,
 ) -> Result<DisputeOutcome> {
     let mut gas = GasMeter::new();
     gas.charge("open_challenge", gas::open_challenge());
-    // The challenger's own screening trace (its Phase 2 trigger already
-    // paid for this forward pass, so it is not part of the DCR).
-    let own_trace = tao_graph::execute(graph, inputs, challenger.config(), None)?;
+    // The challenger's own full-model trace: reused from screening when
+    // available (the Phase 2 trigger already paid for that forward pass,
+    // so it is not part of the DCR), recomputed only for a fresh view.
+    let mut challenger_forward_passes = 0u64;
+    let recomputed;
+    let own_trace: &Execution = match challenger.screening {
+        Some(trace) => trace,
+        None => {
+            challenger_forward_passes += 1;
+            recomputed = tao_graph::execute(graph, inputs, challenger.device.config(), None)?;
+            &recomputed
+        }
+    };
 
     let mut rounds = Vec::new();
     let mut total_flops = 0u64;
@@ -131,7 +197,13 @@ pub fn run_dispute(
         let mut partition_bytes = 0u64;
         for &(s, e) in &slices {
             let sub = extract(graph, s, e)?;
-            let rec = make_record(graph, graph_tree, weight_tree, &sub, proposer_trace)?;
+            let rec = make_record(
+                graph,
+                anchors.graph_tree,
+                anchors.weight_tree,
+                &sub,
+                proposer_trace,
+            )?;
             partition_bytes += rec.byte_size() as u64;
             records.push(rec);
         }
@@ -142,7 +214,7 @@ pub fn run_dispute(
         // order for the first offending one.
         let mut merkle_checks = 0u64;
         for rec in &records {
-            merkle_checks += verify_record(graph, graph_root, weight_root, rec)?;
+            merkle_checks += verify_record(graph, anchors.graph_root, anchors.weight_root, rec)?;
         }
         let mut selection_flops = 0u64;
         let mut chosen: Option<usize> = None;
@@ -177,7 +249,13 @@ pub fn run_dispute(
             for &id in &rec.sub.live_in {
                 boundary.insert(id, proposer_trace.value(id)?.clone());
             }
-            let local = execute_subgraph(graph, &rec.sub, &boundary, inputs, challenger.config())?;
+            let local = execute_subgraph(
+                graph,
+                &rec.sub,
+                &boundary,
+                inputs,
+                challenger.device.config(),
+            )?;
             // Account re-execution FLOPs from the proposer trace's ledger
             // (same shapes, same operator set).
             selection_flops += (rec.sub.start..rec.sub.end)
@@ -224,6 +302,7 @@ pub fn run_dispute(
                 rounds,
                 challenger_flops: total_flops,
                 merkle_checks: total_checks,
+                challenger_forward_passes,
                 gas,
             });
         };
@@ -250,6 +329,7 @@ pub fn run_dispute(
         rounds,
         challenger_flops: total_flops,
         merkle_checks: total_checks,
+        challenger_forward_passes,
         gas,
     })
 }
@@ -307,13 +387,15 @@ mod tests {
         let wt = build_wt(g);
         run_dispute(
             g,
-            &gt,
-            &wt,
-            &gt.root(),
-            &wt.root(),
+            DisputeAnchors {
+                graph_tree: &gt,
+                weight_tree: &wt,
+                graph_root: &gt.root(),
+                weight_root: &wt.root(),
+            },
             &trace,
             inputs,
-            &challenger_dev,
+            ChallengerView::fresh(&challenger_dev),
             bundle,
             DisputeConfig { n_way },
         )
@@ -339,6 +421,54 @@ mod tests {
         assert!(!outcome.rounds.is_empty());
         assert!(outcome.merkle_checks > 0);
         assert!(outcome.challenger_flops > 0);
+    }
+
+    #[test]
+    fn screening_trace_reuse_skips_the_forward_pass() {
+        let (g, bundle, inputs) = setup(4);
+        let target = g.nodes().iter().find(|n| n.name == "act1").unwrap().id;
+        let ref_exec = execute(&g, &inputs, Device::rtx4090_like().config(), None).unwrap();
+        let shape = ref_exec.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.05));
+        let trace = execute(&g, &inputs, Device::rtx4090_like().config(), Some(&p)).unwrap();
+        let challenger_dev = Device::h100_like();
+        let screening = execute(&g, &inputs, challenger_dev.config(), None).unwrap();
+        let gt = build_gt(&g);
+        let wt = build_wt(&g);
+        let anchors = DisputeAnchors {
+            graph_tree: &gt,
+            weight_tree: &wt,
+            graph_root: &gt.root(),
+            weight_root: &wt.root(),
+        };
+        let reused = run_dispute(
+            &g,
+            anchors,
+            &trace,
+            &inputs,
+            ChallengerView::with_screening(&challenger_dev, &screening),
+            &bundle,
+            DisputeConfig { n_way: 2 },
+        )
+        .unwrap();
+        assert_eq!(reused.challenger_forward_passes, 0, "trace must be reused");
+        let fresh = run_dispute(
+            &g,
+            anchors,
+            &trace,
+            &inputs,
+            ChallengerView::fresh(&challenger_dev),
+            &bundle,
+            DisputeConfig { n_way: 2 },
+        )
+        .unwrap();
+        assert_eq!(fresh.challenger_forward_passes, 1);
+        // The screening trace is exactly what a fresh challenger would
+        // recompute, so the localization is identical.
+        assert_eq!(reused.result, fresh.result);
+        assert_eq!(reused.result, DisputeResult::Leaf(target));
+        assert_eq!(reused.challenger_flops, fresh.challenger_flops);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub enum ProtocolError {
     Bound(String),
     /// Committee configuration invalid (e.g. even size or empty).
     BadCommittee(String),
+    /// No committed threshold exists for an operator that requires one.
+    ///
+    /// Screening and dispute selection compare error profiles against the
+    /// committed per-operator thresholds; asking for a node the bundle
+    /// never calibrated is a structural bug in the deployment (or a claim
+    /// over the wrong graph), not evidence of fraud, so it surfaces as an
+    /// error instead of an infinite exceedance.
+    MissingThreshold(tao_graph::NodeId),
 }
 
 impl fmt::Display for ProtocolError {
@@ -63,6 +71,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Graph(m) => write!(f, "graph error: {m}"),
             ProtocolError::Bound(m) => write!(f, "bound error: {m}"),
             ProtocolError::BadCommittee(m) => write!(f, "bad committee: {m}"),
+            ProtocolError::MissingThreshold(node) => {
+                write!(f, "no committed threshold for operator {node}")
+            }
         }
     }
 }

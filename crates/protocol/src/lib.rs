@@ -15,7 +15,9 @@ pub mod dispute;
 pub mod econ;
 pub mod error;
 pub mod gas;
+pub mod par;
 pub mod record;
+pub mod screen;
 pub mod temporal;
 pub mod tiebreak;
 
@@ -24,11 +26,16 @@ pub use adjudicate::{
     theoretical_verdict, AdjudicationPath, LeafCase, LeafVerdict, VoteOutcome,
 };
 pub use coordinator::{Claim, ClaimStatus, Coordinator, Party};
-pub use dispute::{run_dispute, DisputeConfig, DisputeOutcome, DisputeResult, RoundStats};
+pub use dispute::{
+    run_dispute, ChallengerView, DisputeAnchors, DisputeConfig, DisputeOutcome, DisputeResult,
+    RoundStats,
+};
 pub use econ::EconParams;
 pub use error::ProtocolError;
 pub use gas::GasMeter;
+pub use par::parallel_map;
 pub use record::{make_record, verify_record, SubgraphRecord};
+pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};
 pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};
 pub use tiebreak::{tie_seed, TieBreakRule};
 

@@ -52,7 +52,7 @@ impl TemporalCommitment {
 
     /// Verifies a revealed step state against the root.
     pub fn verify_step(root: &Digest, state: &Tensor<f32>, proof: &InclusionProof) -> bool {
-        tao_merkle::verify_inclusion(root, &tensor_hash(state).to_vec(), proof)
+        tao_merkle::verify_inclusion(root, tensor_hash(state).as_ref(), proof)
     }
 }
 
@@ -102,10 +102,14 @@ pub fn earliest_offense(n_steps: usize, mut agree: impl FnMut(usize) -> bool) ->
             hi = mid;
         }
     }
-    // `lo` is the earliest step whose state disagrees... verify edge.
+    // `lo` is the earliest step whose state disagrees; probe the edge as
+    // the evidence the challenger would post. Under the monotone-agreement
+    // contract the edge must agree, so the probe cannot change the answer.
     probes += 1;
-    let step = if lo == 0 || !agree(lo - 1) { lo } else { lo };
-    TemporalVerdict::OffenseAt { step, probes }
+    if lo > 0 {
+        debug_assert!(agree(lo - 1), "agreement predicate is not monotone");
+    }
+    TemporalVerdict::OffenseAt { step: lo, probes }
 }
 
 /// Convenience: element-wise max-abs agreement predicate for tensor

@@ -172,6 +172,9 @@ impl MathElement for f32 {
 
 /// Cephes `expf`: base-e range reduction with a degree-5 minimax polynomial
 /// and FMA-contracted Horner evaluation.
+// The decimal literals are Cephes' exact Cody–Waite split constants; keep
+// them verbatim (LOG2EF deliberately *is* log2(e) rounded to f32).
+#[allow(clippy::excessive_precision, clippy::approx_constant)]
 fn exp_cephes(x: f32) -> f32 {
     const LOG2EF: f32 = 1.442_695_04;
     const C1: f32 = 0.693_359_375;
@@ -200,6 +203,8 @@ fn exp_cephes(x: f32) -> f32 {
 
 /// Base-2 `expf`: `exp(x) = 2^n * 2^f` with a degree-6 Taylor kernel for
 /// `2^f` evaluated without FMA contraction.
+// LN2_HI below is the exact high part of the Cody–Waite ln2 split.
+#[allow(clippy::excessive_precision)]
 fn exp_base2(x: f32) -> f32 {
     const LOG2E: f32 = core::f32::consts::LOG2_E;
     if x > 88.0 {

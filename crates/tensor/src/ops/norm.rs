@@ -89,8 +89,8 @@ impl<T: MathElement> Tensor<T> {
             }
             let var = cfg.sum(&sq) / nd;
             let inv = (var + epsd).rsqrt_with(cfg.math);
-            for i in 0..d {
-                out.push(centered[i] * inv * gamma.data()[i] + beta.data()[i]);
+            for ((&c, &g), &b) in centered.iter().zip(gamma.data()).zip(beta.data()) {
+                out.push(c * inv * g + b);
             }
         }
         Tensor::from_vec(out, self.dims())

@@ -115,7 +115,7 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![0usize; rank];
-        for i in 0..rank {
+        for (i, slot) in out.iter_mut().enumerate() {
             let a = if i < rank - self.rank() {
                 1
             } else {
@@ -126,7 +126,7 @@ impl Shape {
             } else {
                 other.0[i - (rank - other.rank())]
             };
-            out[i] = if a == b {
+            *slot = if a == b {
                 a
             } else if a == 1 {
                 b

@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release -p tao-examples --example dispute_walkthrough`.
 
-use tao::{default_coordinator, deploy, run_session, ProposerBehavior, SessionConfig};
+use tao::{
+    default_coordinator, deploy, ProposerBehavior, SessionBuilder, SessionConfig, SharedCoordinator,
+};
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
 use tao_models::{data, qwen, QwenConfig};
@@ -36,26 +38,35 @@ fn main() {
         graph.node(target).expect("exists").name
     );
 
-    let mut coordinator = default_coordinator().expect("economics feasible");
-    let session = SessionConfig {
-        n_way: 4,
-        ..SessionConfig::default()
-    };
-    let report = run_session(
-        &deployment,
-        &mut coordinator,
-        &session,
-        &inputs,
-        &ProposerBehavior::Malicious(perturb),
-    )
-    .expect("session runs");
+    // Drive the session phase by phase instead of one-shot `run()`, to
+    // watch each protocol step land on the coordinator.
+    let coordinator = SharedCoordinator::new(default_coordinator().expect("economics feasible"));
+    let n_way = 4;
+    let mut session = SessionBuilder::new(&deployment, inputs)
+        .config(SessionConfig {
+            n_way,
+            ..SessionConfig::default()
+        })
+        .behavior(ProposerBehavior::Malicious(perturb))
+        .submit(&coordinator)
+        .expect("claim posts");
+    println!("claim #{} posted", session.claim_id());
 
-    assert!(report.challenged, "perturbation must trip the screening");
-    let dispute = report.dispute.as_ref().expect("dispute ran");
+    let flagged = session.screen().expect("screening runs");
+    assert!(flagged, "perturbation must trip the screening");
     println!(
-        "\nchallenger flagged the claim; dispute game (N = {}):",
-        session.n_way
+        "screening exceedance {:.2} -> challenge",
+        session.screening().expect("screened").exceedance
     );
+
+    session.dispute(&coordinator).expect("dispute runs");
+    let report = session.settle(&coordinator).expect("settlement");
+    let dispute = report.dispute.as_ref().expect("dispute ran");
+    assert_eq!(
+        dispute.challenger_forward_passes, 0,
+        "the dispute reuses the screening trace"
+    );
+    println!("\ndispute game (N = {n_way}), screening trace reused:");
     for r in &dispute.rounds {
         println!(
             "  round {}: range [{}, {}) -> child {} ({} Merkle checks, {:.2} MFLOP re-executed)",

@@ -1,12 +1,14 @@
 //! Inference-marketplace simulation: a stream of jobs served by a mix of
-//! honest and cheating proposers, with voluntary challengers and
-//! randomized audits enforcing the §5.5 economics.
+//! honest and cheating proposers, with voluntary challengers enforcing the
+//! §5.5 economics. The whole batch runs *concurrently* on the session
+//! scheduler over one shared deployment and coordinator — claim ids and
+//! settlement outcomes are identical to a serial run.
 //!
 //! Run with `cargo run --release -p tao-examples --example marketplace_sim`.
 
 use rand::Rng;
 use rand::SeedableRng;
-use tao::{deploy, run_session, ProposerBehavior, SessionConfig};
+use tao::{deploy, ProposerBehavior, Scheduler, SessionBuilder, SharedCoordinator};
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
 use tao_models::{data, resnet, ResNetConfig};
@@ -17,22 +19,32 @@ fn main() {
     println!("TAO marketplace simulation\n");
     let cfg = ResNetConfig::small();
     let model = resnet::build(cfg, 2);
-    let samples = data::image_dataset(24, cfg.in_channels, cfg.image, cfg.classes, 600);
-    let deployment = deploy(model, Fleet::standard(), &samples, 3.0).expect("deployment");
+    // 48 calibration samples and alpha = 5: max-envelope thresholds are
+    // max-statistics, and at smaller sample counts / tighter alpha an
+    // honest operator's fresh-input tail can exceed its own tau, which
+    // makes dispute round 0 descend into an honest child and lets the real
+    // cheat walk (see ROADMAP "Threshold coverage at small calibration
+    // scale"). Fraud here sits orders of magnitude above tau either way.
+    let samples = data::image_dataset(48, cfg.in_channels, cfg.image, cfg.classes, 600);
+    let deployment = deploy(model, Fleet::standard(), &samples, 5.0).expect("deployment");
 
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().expect("nonempty region");
     let slash = (lo + hi) / 2.0;
     println!("economics: feasible S_slash region ({lo:.1}, {hi:.1}], using {slash:.1}");
     let mut coordinator = Coordinator::new(econ, slash).expect("feasible");
+    // Concurrent sessions escrow all their deposits at once, so accounts
+    // are funded for the whole batch up front.
     coordinator.fund("proposer", 50_000.0);
     coordinator.fund("challenger", 5_000.0);
+    let coordinator = SharedCoordinator::new(coordinator);
 
+    // Draw the job stream first (same RNG sequence as the old serial
+    // loop), then hand the whole batch to the scheduler.
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
     let jobs = 12;
-    let mut caught = 0;
-    let mut cheated = 0;
-    let mut finalized = 0;
+    let mut cheats = Vec::new();
+    let mut builders = Vec::new();
     for job in 0..jobs {
         let inputs = vec![data::class_image(
             cfg.in_channels,
@@ -43,7 +55,6 @@ fn main() {
         // 1-in-3 jobs are served by a cheat that perturbs a random op.
         let cheat = rng.gen_ratio(1, 3);
         let behavior = if cheat {
-            cheated += 1;
             let nodes = deployment.model.graph.compute_nodes();
             let victim = nodes[rng.gen_range(0..nodes.len())];
             let honest = execute(
@@ -63,14 +74,21 @@ fn main() {
         } else {
             ProposerBehavior::Honest
         };
-        let report = run_session(
-            &deployment,
-            &mut coordinator,
-            &SessionConfig::default(),
-            &inputs,
-            &behavior,
-        )
-        .expect("session");
+        cheats.push(cheat);
+        builders.push(SessionBuilder::new(&deployment, inputs).behavior(behavior));
+    }
+
+    let start = std::time::Instant::now();
+    let reports = Scheduler::new()
+        .run(&coordinator, builders)
+        .expect("sessions run");
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut caught = 0;
+    let mut finalized = 0;
+    let cheated = cheats.iter().filter(|&&c| c).count();
+    for (job, (report, &cheat)) in reports.iter().zip(&cheats).enumerate() {
+        assert_eq!(report.claim_id, job as u64, "deterministic claim ids");
         let outcome = if report.proposer_prevailed() {
             finalized += 1;
             "finalized"
@@ -87,7 +105,10 @@ fn main() {
             }
         );
     }
-    println!("\n{jobs} jobs: {finalized} finalized, {caught}/{cheated} cheats caught");
+    println!(
+        "\n{jobs} jobs in {secs:.2}s on the scheduler: {finalized} finalized, \
+         {caught}/{cheated} cheats caught"
+    );
     println!(
         "balances: proposer {:.1}, challenger {:.1}, committee pool {:.1}",
         coordinator.balance("proposer"),
@@ -96,7 +117,7 @@ fn main() {
     );
     println!(
         "coordinator gas ledger: {:.1} kgas across all interactions",
-        coordinator.gas.kgas()
+        coordinator.lock().gas.kgas()
     );
     assert_eq!(caught, cheated, "every cheat must be caught");
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p tao-examples --example quickstart`.
 
-use tao::{default_coordinator, deploy, run_session, ProposerBehavior, SessionConfig};
+use tao::{default_coordinator, deploy, SessionBuilder, SharedCoordinator};
 use tao_device::Fleet;
 use tao_merkle::to_hex;
 use tao_models::{bert, data, BertConfig};
@@ -37,17 +37,13 @@ fn main() {
         to_hex(&deployment.commitment.threshold_root)
     );
 
-    // Phase 1: an honest proposer serves a user request.
-    let mut coordinator = default_coordinator().expect("default economics feasible");
+    // Phase 1: an honest proposer serves a user request. The session
+    // builder drives submit -> screen -> settle in one shot.
+    let coordinator = SharedCoordinator::new(default_coordinator().expect("economics feasible"));
     let inputs = vec![bert::sample_ids(cfg, 42)];
-    let report = run_session(
-        &deployment,
-        &mut coordinator,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Honest,
-    )
-    .expect("session runs");
+    let report = SessionBuilder::new(&deployment, inputs)
+        .run(&coordinator)
+        .expect("session runs");
 
     println!(
         "\nclaim #{} posted; challenged: {}",

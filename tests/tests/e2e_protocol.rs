@@ -1,6 +1,8 @@
 //! End-to-end protocol integration: full sessions across model families.
 
-use tao::{default_coordinator, deploy, run_session, ProposerBehavior, SessionConfig};
+use tao::{
+    default_coordinator, deploy, ProposerBehavior, SessionBuilder, SessionConfig, SharedCoordinator,
+};
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
 use tao_models::{bert, data, qwen, resnet, BertConfig, QwenConfig, ResNetConfig};
@@ -44,31 +46,26 @@ fn bert_honest_and_malicious_sessions() {
     let samples = data::token_dataset(16, cfg.seq, cfg.vocab, 10);
     let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
     let inputs = vec![bert::sample_ids(cfg, 123)];
-    let mut coord = default_coordinator().unwrap();
+    let coord = SharedCoordinator::new(default_coordinator().unwrap());
 
-    let honest = run_session(
-        &deployment,
-        &mut coord,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Honest,
-    )
-    .unwrap();
+    let honest = SessionBuilder::new(&deployment, inputs.clone())
+        .run(&coord)
+        .unwrap();
     assert!(!honest.challenged);
     assert!(matches!(honest.final_status, ClaimStatus::Finalized));
 
     let (target, p) = perturbation_at(&deployment, &inputs, 5, 0.05);
-    let evil = run_session(
-        &deployment,
-        &mut coord,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Malicious(p),
-    )
-    .unwrap();
+    let evil = SessionBuilder::new(&deployment, inputs)
+        .behavior(ProposerBehavior::Malicious(p))
+        .run(&coord)
+        .unwrap();
     assert!(evil.challenged);
     let dispute = evil.dispute.expect("dispute ran");
     assert_eq!(dispute.result, DisputeResult::Leaf(target));
+    assert_eq!(
+        dispute.challenger_forward_passes, 0,
+        "dispute must reuse the screening trace"
+    );
     assert_eq!(evil.verdict.unwrap().1, LeafVerdict::Fraud);
     assert!(matches!(
         evil.final_status,
@@ -93,18 +90,15 @@ fn qwen_dispute_localizes_across_partition_widths() {
 
     let mut rounds_by_n = Vec::new();
     for n_way in [2usize, 4, 8] {
-        let mut coord = default_coordinator().unwrap();
-        let report = run_session(
-            &deployment,
-            &mut coord,
-            &SessionConfig {
+        let coord = SharedCoordinator::new(default_coordinator().unwrap());
+        let report = SessionBuilder::new(&deployment, inputs.clone())
+            .config(SessionConfig {
                 n_way,
                 ..SessionConfig::default()
-            },
-            &inputs,
-            &ProposerBehavior::Malicious(p.clone()),
-        )
-        .unwrap();
+            })
+            .behavior(ProposerBehavior::Malicious(p.clone()))
+            .run(&coord)
+            .unwrap();
         let dispute = report.dispute.expect("dispute ran");
         assert_eq!(dispute.result, DisputeResult::Leaf(target), "N = {n_way}");
         rounds_by_n.push(dispute.rounds.len());
@@ -126,15 +120,11 @@ fn resnet_session_catches_conv_perturbation() {
     let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
     let inputs = vec![data::class_image(cfg.in_channels, cfg.image, 1, 777)];
     let (_, p) = perturbation_at(&deployment, &inputs, 3, 0.1);
-    let mut coord = default_coordinator().unwrap();
-    let report = run_session(
-        &deployment,
-        &mut coord,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Malicious(p),
-    )
-    .unwrap();
+    let coord = SharedCoordinator::new(default_coordinator().unwrap());
+    let report = SessionBuilder::new(&deployment, inputs)
+        .behavior(ProposerBehavior::Malicious(p))
+        .run(&coord)
+        .unwrap();
     assert!(report.challenged);
     assert!(!report.proposer_prevailed());
 }
@@ -151,20 +141,16 @@ fn honest_sessions_never_flagged_across_device_pairings() {
     let fleet = Fleet::standard();
     for proposer in fleet.devices() {
         for challenger in fleet.devices() {
-            let mut coord = default_coordinator().unwrap();
+            let coord = SharedCoordinator::new(default_coordinator().unwrap());
             let inputs = vec![bert::sample_ids(cfg, 900)];
-            let report = run_session(
-                &deployment,
-                &mut coord,
-                &SessionConfig {
+            let report = SessionBuilder::new(&deployment, inputs)
+                .config(SessionConfig {
                     proposer: proposer.clone(),
                     challenger: challenger.clone(),
                     ..SessionConfig::default()
-                },
-                &inputs,
-                &ProposerBehavior::Honest,
-            )
-            .unwrap();
+                })
+                .run(&coord)
+                .unwrap();
             assert!(
                 !report.challenged,
                 "false positive: {} vs {}",
@@ -185,33 +171,24 @@ fn coordinator_pays_and_slashes_consistently() {
     let samples = data::token_dataset(5, cfg.seq, cfg.vocab, 60);
     let deployment = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
     let inputs = vec![bert::sample_ids(cfg, 31)];
-    let mut coord = default_coordinator().unwrap();
+    let coord = SharedCoordinator::new(default_coordinator().unwrap());
     let p0 = coord.balance("proposer");
     let c0 = coord.balance("challenger");
 
     // Honest: proposer gains the reward.
-    run_session(
-        &deployment,
-        &mut coord,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Honest,
-    )
-    .unwrap();
+    SessionBuilder::new(&deployment, inputs.clone())
+        .run(&coord)
+        .unwrap();
     assert!(coord.balance("proposer") > p0);
 
     // Malicious: proposer slashed, challenger rewarded.
     let (_, p) = perturbation_at(&deployment, &inputs, 4, 0.05);
     let mid = coord.balance("proposer");
-    run_session(
-        &deployment,
-        &mut coord,
-        &SessionConfig::default(),
-        &inputs,
-        &ProposerBehavior::Malicious(p),
-    )
-    .unwrap();
+    SessionBuilder::new(&deployment, inputs)
+        .behavior(ProposerBehavior::Malicious(p))
+        .run(&coord)
+        .unwrap();
     assert!(coord.balance("proposer") < mid);
     assert!(coord.balance("challenger") > c0);
-    assert!(coord.gas.total > 0);
+    assert!(coord.lock().gas.total > 0);
 }

@@ -66,7 +66,8 @@ fn tie_break_rules_make_decoding_deterministic_across_devices() {
 
     let mut picks = Vec::new();
     for dev in Device::standard_fleet() {
-        let exec = execute(&model.graph, &[ids.clone()], dev.config(), None).expect("forward");
+        let exec =
+            execute(&model.graph, std::slice::from_ref(&ids), dev.config(), None).expect("forward");
         let logits = exec.value(model.logits).expect("logits");
         let lane = &logits.data()[logits.len() - cfg.vocab..];
         picks.push(rule.select(lane, &seed).expect("nonempty"));
@@ -80,7 +81,8 @@ fn tie_break_rules_make_decoding_deterministic_across_devices() {
     let hashed = TieBreakRule::HashSeeded { margin: 1e-4 };
     let mut picks2 = Vec::new();
     for dev in Device::standard_fleet() {
-        let exec = execute(&model.graph, &[ids.clone()], dev.config(), None).expect("forward");
+        let exec =
+            execute(&model.graph, std::slice::from_ref(&ids), dev.config(), None).expect("forward");
         let logits = exec.value(model.logits).expect("logits");
         let lane = &logits.data()[logits.len() - cfg.vocab..];
         picks2.push(hashed.select(lane, &seed).expect("nonempty"));

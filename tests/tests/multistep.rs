@@ -75,6 +75,76 @@ fn trajectory_commitment_is_a_merkle_chain() {
 }
 
 #[test]
+fn batch_screening_amortizes_one_deployment_across_steps() {
+    // A multi-step trajectory is many claims over ONE committed UNet
+    // deployment: batch-screen every step's (latent, t-emb) -> eps claim
+    // in a single call and reuse the committed thresholds throughout.
+    let cfg = DiffusionConfig::small();
+    let model = diffusion::build(cfg, 1);
+    let samples: Vec<Vec<Tensor<f32>>> = (0..12)
+        .map(|i| {
+            vec![
+                Tensor::<f32>::randn(&model.input_shapes[0], 300 + i),
+                diffusion::time_embedding(i as usize % 6 + 1, cfg.temb),
+            ]
+        })
+        .collect();
+    let deployment = tao::deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
+    let proposer = Device::rtx4090_like();
+    let challenger = Device::h100_like();
+
+    // Per-step claims: honest proposer outputs, with step 1 tampered.
+    let step_inputs: Vec<Vec<Tensor<f32>>> = (0..3)
+        .map(|step| {
+            vec![
+                Tensor::<f32>::randn(&deployment.model.input_shapes[0], 900 + step),
+                diffusion::time_embedding(step as usize + 1, cfg.temb),
+            ]
+        })
+        .collect();
+    let mut outputs: Vec<Tensor<f32>> = step_inputs
+        .iter()
+        .map(|inputs| {
+            execute(&deployment.model.graph, inputs, proposer.config(), None)
+                .unwrap()
+                .value(deployment.model.logits)
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    outputs[1] = outputs[1].add_scalar(0.05);
+
+    let claims: Vec<tao_protocol::ClaimCheck<'_>> = step_inputs
+        .iter()
+        .zip(&outputs)
+        .map(|(inputs, claimed_output)| tao_protocol::ClaimCheck {
+            inputs,
+            claimed_output,
+        })
+        .collect();
+    let screenings = tao_protocol::screen_batch(
+        &deployment.model.graph,
+        deployment.model.logits,
+        &deployment.thresholds,
+        &claims,
+        &challenger,
+    )
+    .unwrap();
+    assert_eq!(screenings.len(), 3);
+    for (step, s) in screenings.iter().enumerate() {
+        assert_eq!(
+            s.flagged,
+            step == 1,
+            "step {step}: exceedance {}",
+            s.exceedance
+        );
+        // Each screening keeps its trace so a dispute on the flagged step
+        // would start with zero recomputation.
+        assert_eq!(s.trace.values.len(), deployment.model.graph.len());
+    }
+}
+
+#[test]
 fn per_step_unet_disputes_work_like_single_inference() {
     // Within a disputed step, the UNet graph behaves exactly like any
     // other model under the dispute pipeline: calibrate, perturb, detect.

@@ -130,14 +130,18 @@ mod dispute_localization {
     use std::sync::OnceLock;
     use tao::Deployment;
     use tao_device::{Device, Fleet};
-    use tao_graph::{execute, Perturbations};
-    use tao_merkle::{graph_tree, weight_tree};
+    use tao_graph::{execute, Execution, Perturbations};
     use tao_models::{bert, data, BertConfig};
-    use tao_protocol::{run_dispute, DisputeConfig, DisputeResult};
+    use tao_protocol::{run_dispute, ChallengerView, DisputeConfig, DisputeResult};
     use tao_tensor::Tensor;
 
-    fn deployment() -> &'static (Deployment, Vec<Tensor<f32>>) {
-        static CELL: OnceLock<(Deployment, Vec<Tensor<f32>>)> = OnceLock::new();
+    /// One deployment, one input, and the challenger's screening trace of
+    /// that input — shared across all proptest cases. The screening trace
+    /// depends only on the challenger device and the inputs, never on the
+    /// proposer's perturbation, so every dispute below reuses it exactly
+    /// as the session runtime does.
+    fn deployment() -> &'static (Deployment, Vec<Tensor<f32>>, Execution) {
+        static CELL: OnceLock<(Deployment, Vec<Tensor<f32>>, Execution)> = OnceLock::new();
         CELL.get_or_init(|| {
             let cfg = BertConfig {
                 layers: 1,
@@ -147,7 +151,9 @@ mod dispute_localization {
             let samples = data::token_dataset(8, cfg.seq, cfg.vocab, 77);
             let d = tao::deploy(model, Fleet::standard(), &samples, 3.0).expect("deploy");
             let inputs = vec![bert::sample_ids(cfg, 55)];
-            (d, inputs)
+            let screening = execute(&d.model.graph, &inputs, Device::h100_like().config(), None)
+                .expect("challenger screening");
+            (d, inputs, screening)
         })
     }
 
@@ -158,7 +164,7 @@ mod dispute_localization {
         /// dispute game localizes to exactly the perturbed operator.
         #[test]
         fn dispute_localizes_any_perturbed_node(which in 0usize..100, n_way in 2usize..9, seed in 0u64..1000) {
-            let (d, inputs) = deployment();
+            let (d, inputs, screening) = deployment();
             let nodes = d.model.graph.compute_nodes();
             let target = nodes[which % nodes.len()];
             let proposer = Device::rtx4090_like();
@@ -168,13 +174,15 @@ mod dispute_localization {
             let mut p = Perturbations::new();
             p.insert(target, delta);
             let trace = execute(&d.model.graph, inputs, proposer.config(), Some(&p)).expect("forward");
-            let gt = graph_tree(&d.model.graph);
-            let wt = weight_tree(&d.model.graph);
+            let challenger_dev = Device::h100_like();
             let outcome = run_dispute(
-                &d.model.graph, &gt, &wt, &gt.root(), &wt.root(),
-                &trace, inputs, &Device::h100_like(), &d.thresholds,
+                &d.model.graph, d.dispute_anchors(),
+                &trace, inputs,
+                ChallengerView::with_screening(&challenger_dev, screening),
+                &d.thresholds,
                 DisputeConfig { n_way },
             ).expect("dispute");
+            prop_assert_eq!(outcome.challenger_forward_passes, 0);
             // A perturbation can be numerically absorbed downstream (e.g.
             // a near-uniform delta into softmax); when it is observable at
             // all, the game must land exactly on the perturbed operator.

@@ -1,0 +1,149 @@
+//! Scheduler equivalence: running a batch of mixed honest/malicious
+//! sessions concurrently must be observationally identical to running the
+//! same sessions one after another — same claim ids, same challenge
+//! flags, same winners, same final balances.
+
+use tao::{
+    deploy, Deployment, ProposerBehavior, Scheduler, SessionBuilder, SessionReport,
+    SharedCoordinator,
+};
+use tao_device::{Device, Fleet};
+use tao_graph::{execute, Perturbations};
+use tao_models::{bert, data, BertConfig};
+use tao_protocol::{ClaimStatus, Coordinator, EconParams, LeafVerdict, Party};
+use tao_tensor::Tensor;
+
+const JOBS: usize = 6;
+/// Which session indices cheat.
+const CHEATS: [usize; 2] = [1, 4];
+
+fn deployment() -> (Deployment, BertConfig) {
+    let cfg = BertConfig {
+        layers: 1,
+        ..BertConfig::small()
+    };
+    let model = bert::build(cfg, 1);
+    // 16 samples for envelope coverage on fresh inputs (see e2e notes).
+    let samples = data::token_dataset(16, cfg.seq, cfg.vocab, 10);
+    let d = deploy(model, Fleet::standard(), &samples, 3.0).unwrap();
+    (d, cfg)
+}
+
+/// A coordinator funded for the whole batch at once: concurrent sessions
+/// escrow all their deposits simultaneously, so the proposer needs
+/// `JOBS * D_p` available rather than `D_p` at a time.
+fn coordinator() -> SharedCoordinator {
+    let econ = EconParams::default_market();
+    let (lo, hi) = econ.feasible_slash_region().unwrap();
+    let mut c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
+    c.fund("proposer", 50_000.0);
+    c.fund("challenger", 5_000.0);
+    SharedCoordinator::new(c)
+}
+
+/// The same batch of sessions every time: inputs vary per job, and the
+/// cheating jobs perturb different operators.
+fn builders(d: &Deployment, cfg: BertConfig) -> Vec<SessionBuilder> {
+    let nodes = d.model.graph.compute_nodes();
+    (0..JOBS)
+        .map(|i| {
+            let inputs = vec![bert::sample_ids(cfg, 500 + i as u64)];
+            let b = SessionBuilder::new(d, inputs.clone());
+            if CHEATS.contains(&i) {
+                let target = nodes[(2 + 3 * i) % nodes.len()];
+                let honest = execute(
+                    &d.model.graph,
+                    &inputs,
+                    Device::rtx4090_like().config(),
+                    None,
+                )
+                .unwrap();
+                let shape = honest.values[target.0].dims().to_vec();
+                let delta = Tensor::<f32>::randn(&shape, 9_000 + i as u64).mul_scalar(0.05);
+                let mut p = Perturbations::new();
+                p.insert(target, delta);
+                b.behavior(ProposerBehavior::Malicious(p))
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+fn winner_of(report: &SessionReport) -> Option<Party> {
+    match report.final_status {
+        ClaimStatus::Settled { winner } => Some(winner),
+        _ => None,
+    }
+}
+
+#[test]
+fn concurrent_scheduler_is_equivalent_to_serial_execution() {
+    let (d, cfg) = deployment();
+
+    // Serial baseline: one session at a time through the one-shot runner.
+    let serial_coord = coordinator();
+    let serial: Vec<SessionReport> = builders(&d, cfg)
+        .into_iter()
+        .map(|b| b.run(&serial_coord).unwrap())
+        .collect();
+
+    // Concurrent run over a fresh coordinator.
+    let parallel_coord = coordinator();
+    let parallel = Scheduler::with_threads(4)
+        .run(&parallel_coord, builders(&d, cfg))
+        .unwrap();
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.claim_id, i as u64, "serial claim ids are sequential");
+        assert_eq!(p.claim_id, i as u64, "parallel claim ids are deterministic");
+        assert_eq!(s.challenged, p.challenged, "session {i} challenge flag");
+        assert_eq!(
+            s.challenged,
+            CHEATS.contains(&i),
+            "session {i}: exactly the cheats are flagged (exceedance {})",
+            s.exceedance
+        );
+        assert_eq!(s.final_status, p.final_status, "session {i} final status");
+        assert_eq!(winner_of(s), winner_of(p), "session {i} winner");
+        assert_eq!(
+            s.verdict.map(|(_, v)| v),
+            p.verdict.map(|(_, v)| v),
+            "session {i} leaf verdict"
+        );
+        if s.challenged {
+            assert_eq!(winner_of(s), Some(Party::Challenger));
+            assert_eq!(s.verdict.map(|(_, v)| v), Some(LeafVerdict::Fraud));
+            // Both paths reuse the screening trace inside the dispute.
+            assert_eq!(
+                s.dispute.as_ref().unwrap().challenger_forward_passes,
+                0,
+                "serial dispute recomputed the forward pass"
+            );
+            assert_eq!(
+                p.dispute.as_ref().unwrap().challenger_forward_passes,
+                0,
+                "parallel dispute recomputed the forward pass"
+            );
+        }
+    }
+
+    // Final balances are identical: bond arithmetic is a sum of per-event
+    // deltas, independent of interleaving.
+    for account in ["proposer", "challenger", "committee-pool"] {
+        let a = serial_coord.balance(account);
+        let b = parallel_coord.balance(account);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "{account}: serial {a} vs parallel {b}"
+        );
+    }
+    // And nothing is left in escrow on either path.
+    let serial_inner = serial_coord.into_inner();
+    let parallel_inner = parallel_coord.into_inner();
+    for account in ["proposer", "challenger"] {
+        assert!(serial_inner.escrowed(account).abs() < 1e-9);
+        assert!(parallel_inner.escrowed(account).abs() < 1e-9);
+    }
+}

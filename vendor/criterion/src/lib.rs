@@ -193,10 +193,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
             }
         })
         .unwrap_or_default();
-    println!(
-        "bench {id:<48} min {:>12?}  mean {:>12?}{rate}",
-        min, mean
-    );
+    println!("bench {id:<48} min {:>12?}  mean {:>12?}{rate}", min, mean);
 }
 
 /// Declares a benchmark group function, mirroring upstream's two forms:

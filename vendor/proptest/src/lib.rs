@@ -312,7 +312,10 @@ where
     for i in 0..config.cases {
         let mut rng = rng::TestRng::for_case(name, i as u64);
         if let Err(msg) = case(&mut rng) {
-            panic!("proptest `{name}` failed at case {i}/{}: {msg}", config.cases);
+            panic!(
+                "proptest `{name}` failed at case {i}/{}: {msg}",
+                config.cases
+            );
         }
     }
 }
@@ -426,7 +429,7 @@ mod tests {
     proptest! {
         #[test]
         fn ranges_and_vecs(n in 1usize..9, x in -2.0f64..2.0) {
-            prop_assert!(n >= 1 && n < 9);
+            prop_assert!((1..9).contains(&n));
             prop_assert!((-2.0..2.0).contains(&x));
         }
 

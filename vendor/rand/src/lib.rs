@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn ratio_is_sane() {
         let mut rng = Counter(1);
-        assert!((0..100).map(|_| rng.gen_ratio(1, 1)).all(|b| b));
+        assert!((0..100).all(|_| rng.gen_ratio(1, 1)));
         assert!((0..100).map(|_| rng.gen_ratio(0, 3)).all(|b| !b));
     }
 
