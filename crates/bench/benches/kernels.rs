@@ -17,6 +17,12 @@ fn bench_matmul(c: &mut Criterion) {
         let r = Device::reference();
         bch.iter(|| a.matmul(&b, r.config()).expect("matmul"));
     });
+    // The scalar oracle the blocked kernels are differentially tested
+    // against, for a direct blocked-vs-seed comparison in one report.
+    group.bench_function("reference_scalar_oracle", |bch| {
+        let r = Device::reference();
+        bch.iter(|| a.matmul_reference(&b, r.config()).expect("matmul"));
+    });
     group.finish();
 }
 

@@ -1,0 +1,194 @@
+//! Kernel microbenchmark: blocked/packed/register-tiled hot paths vs the
+//! in-tree scalar oracle kernels, per `KernelConfig`, in the same
+//! table format the fig8/table3 binaries use.
+//!
+//! Every timed pair is also bit-compared, so this doubles as a fast
+//! end-to-end regression check of the kernel-equivalence contract
+//! (`cargo test --test kernel_equiv` is the exhaustive version).
+//!
+//! Run with `cargo run --release -p tao-bench --bin kernel_microbench`.
+//! Pass `--smoke` for a seconds-scale CI variant (small shapes, few
+//! samples, no speedup floor asserted). Set `CRITERION_CSV=<path>` to
+//! export figure-ready per-sample statistics via the criterion stub's CSV
+//! writer (`cargo bench -p tao-bench` honors the same variable).
+//!
+//! The headline number — single-thread 256x256 f32 matmul speedup over the
+//! seed scalar loop under the reference config — is recorded in BENCH.md
+//! and asserted ≥ 4x here (outside smoke mode).
+
+use std::time::Instant;
+
+use tao_bench::print_table;
+use tao_tensor::kernel::{gemm, PackedRhs};
+use tao_tensor::{AccumMode, Conv2dParams, KernelConfig, MathLib, Tensor};
+
+/// Median wall-clock seconds of `samples` runs of `f` (one warm-up run).
+fn median_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn assert_bits_eq(fast: &[f32], slow: &[f32], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length");
+    for (i, (f, s)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            f.to_bits() == s.to_bits(),
+            "{what}: element {i}: blocked {f:e} != oracle {s:e}"
+        );
+    }
+}
+
+fn fleet_configs() -> Vec<(&'static str, KernelConfig)> {
+    vec![
+        ("reference (seq, no fma)", KernelConfig::reference()),
+        (
+            "seq + fma",
+            KernelConfig {
+                accum: AccumMode::Sequential,
+                fma: true,
+                math: MathLib::Reference,
+            },
+        ),
+        (
+            "blocked(32) + fma (4090-like)",
+            KernelConfig {
+                accum: AccumMode::Blocked(32),
+                fma: true,
+                math: MathLib::VariantA,
+            },
+        ),
+        (
+            "pairwise + fma (a100-like)",
+            KernelConfig {
+                accum: AccumMode::Pairwise,
+                fma: true,
+                math: MathLib::VariantA,
+            },
+        ),
+        (
+            "kahan",
+            KernelConfig {
+                accum: AccumMode::Kahan,
+                fma: false,
+                math: MathLib::Reference,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (dim, samples) = if smoke { (64, 3) } else { (256, 9) };
+
+    // --- matmul: the acceptance benchmark -------------------------------
+    let a = Tensor::<f32>::rand_uniform(&[dim, dim], -1.0, 1.0, 1);
+    let b = Tensor::<f32>::rand_uniform(&[dim, dim], -1.0, 1.0, 2);
+    let mut rows = Vec::new();
+    let mut reference_cfg_speedup = 0.0;
+    for (name, cfg) in fleet_configs() {
+        let t_oracle = median_secs(samples, || a.matmul_reference(&b, &cfg).unwrap());
+        let packed = PackedRhs::from_row_major(b.data(), dim, dim);
+        let t_st = median_secs(samples, || gemm(&cfg, a.data(), dim, &packed, 1));
+        let t_auto = median_secs(samples, || a.matmul(&b, &cfg).unwrap());
+        let oracle = a.matmul_reference(&b, &cfg).unwrap();
+        assert_bits_eq(
+            &gemm(&cfg, a.data(), dim, &packed, 1),
+            oracle.data(),
+            &format!("matmul st {name}"),
+        );
+        assert_bits_eq(
+            a.matmul(&b, &cfg).unwrap().data(),
+            oracle.data(),
+            &format!("matmul auto {name}"),
+        );
+        let st_speedup = t_oracle / t_st;
+        if name.starts_with("reference") {
+            reference_cfg_speedup = st_speedup;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}ms", 1e3 * t_oracle),
+            format!("{:.2}ms", 1e3 * t_st),
+            format!("{st_speedup:.2}x"),
+            format!("{:.2}ms", 1e3 * t_auto),
+            format!("{:.2}x", t_oracle / t_auto),
+        ]);
+    }
+    print_table(
+        &format!("Kernel microbench — f32 matmul {dim}x{dim}x{dim}, blocked vs seed scalar oracle"),
+        &[
+            "kernel config",
+            "seed scalar",
+            "blocked 1-thread",
+            "speedup",
+            "blocked auto-threads",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    // --- conv2d + norms: the other rewired hot paths --------------------
+    let (c, hw) = if smoke { (4, 8) } else { (8, 16) };
+    let x = Tensor::<f32>::rand_uniform(&[1, c, hw, hw], -1.0, 1.0, 3);
+    let w = Tensor::<f32>::rand_uniform(&[c, c, 3, 3], -0.3, 0.3, 4);
+    let params = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    let lanes = if smoke { 32 } else { 256 };
+    let t = Tensor::<f32>::rand_uniform(&[lanes, lanes], -3.0, 3.0, 5);
+    let gamma = Tensor::<f32>::ones(&[lanes]);
+    let beta = Tensor::<f32>::zeros(&[lanes]);
+    let mut rows = Vec::new();
+    for (name, cfg) in fleet_configs() {
+        let t_conv_ref = median_secs(samples, || {
+            x.conv2d_reference(&w, None, params, &cfg).unwrap()
+        });
+        let t_conv = median_secs(samples, || x.conv2d(&w, None, params, &cfg).unwrap());
+        assert_bits_eq(
+            x.conv2d(&w, None, params, &cfg).unwrap().data(),
+            x.conv2d_reference(&w, None, params, &cfg).unwrap().data(),
+            &format!("conv2d {name}"),
+        );
+        let t_sm_ref = median_secs(samples, || t.softmax_last_reference(&cfg).unwrap());
+        let t_sm = median_secs(samples, || t.softmax_last(&cfg).unwrap());
+        let t_ln_ref = median_secs(samples, || {
+            t.layer_norm_reference(&gamma, &beta, 1e-5, &cfg).unwrap()
+        });
+        let t_ln = median_secs(samples, || t.layer_norm(&gamma, &beta, 1e-5, &cfg).unwrap());
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}x", t_conv_ref / t_conv),
+            format!("{:.2}x", t_sm_ref / t_sm),
+            format!("{:.2}x", t_ln_ref / t_ln),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Kernel microbench — conv2d {c}x{hw}x{hw} k3, softmax/layer_norm {lanes}x{lanes}: blocked-vs-oracle speedups"
+        ),
+        &["kernel config", "conv2d", "softmax", "layer_norm"],
+        &rows,
+    );
+
+    println!(
+        "\nAll timed pairs bit-compared against the scalar oracles: OK.\n\
+         Reference-config single-thread matmul speedup: {reference_cfg_speedup:.2}x"
+    );
+    if smoke {
+        println!("(smoke mode: speedup floor not asserted)");
+    } else {
+        assert!(
+            reference_cfg_speedup >= 4.0,
+            "single-thread 256x256 matmul speedup {reference_cfg_speedup:.2}x fell below the 4x floor"
+        );
+    }
+}

@@ -53,11 +53,17 @@ impl Scheduler {
         Scheduler { threads }
     }
 
-    /// A scheduler with an explicit worker count (at least 1).
+    /// A scheduler with an explicit worker count (at least 1); requests
+    /// beyond [`MAX_PAR_THREADS`] are capped.
     pub fn with_threads(threads: usize) -> Self {
         Scheduler {
             threads: threads.clamp(1, MAX_PAR_THREADS),
         }
+    }
+
+    /// The effective worker-thread count after clamping.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs every session to completion and returns their reports in

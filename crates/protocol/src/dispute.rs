@@ -25,6 +25,17 @@ impl Default for DisputeConfig {
     }
 }
 
+/// Slack factor for the live-in pruning gate of the child-selection scan.
+///
+/// A child whose committed live-in deviates from the challenger's own
+/// trace by more than this multiple of the committed thresholds is almost
+/// certainly downstream of the real divergence (honest fresh-input tails
+/// at small calibration scale sit just above 1; propagated fraud sits
+/// orders of magnitude higher), so its re-execution is deferred. The gate
+/// is purely a cost optimization: if no gated candidate confirms, every
+/// deferred child is re-executed in an ungated second pass.
+const LIVE_IN_SLACK: f64 = 16.0;
+
 /// The Phase 0 commitment artifacts a dispute is anchored to: the Merkle
 /// trees the proposer proves records against and the on-coordinator roots
 /// the challenger verifies them with.
@@ -88,7 +99,7 @@ pub struct RoundStats {
     pub range: (usize, usize),
     /// Number of children posted.
     pub children: usize,
-    /// Index of the selected (first offending) child.
+    /// Index of the selected (most offending) child.
     pub chosen: usize,
     /// Proposer-side work: bytes of records built and posted.
     pub partition_bytes: u64,
@@ -142,10 +153,14 @@ impl DisputeOutcome {
 ///
 /// The proposer's trace supplies the committed per-operator outputs; the
 /// challenger re-executes each candidate child *from the proposer's
-/// committed live-in values* on its own device and selects the first child
-/// whose live-out error percentiles exceed the committed thresholds
-/// (Eq. 15). Structural operators (absent from the bundle) must reproduce
-/// exactly. The game ends at a single operator or when no child offends.
+/// committed live-in values* on its own device and selects the **most
+/// offending** child — the one whose live-out error percentiles exceed the
+/// committed thresholds by the largest ratio (Eq. 15). Selecting the
+/// maximum rather than the first offender keeps the descent pointed at the
+/// real divergence when an honest child's fresh-input tail marginally
+/// exceeds its max-envelope tau at small calibration scale. Structural
+/// operators (absent from the bundle) must reproduce exactly. The game
+/// ends at a single operator or when no child offends.
 ///
 /// The challenger already re-executed the whole model when it screened the
 /// claim, so its screening trace is reused when supplied via
@@ -210,78 +225,140 @@ pub fn run_dispute(
         gas.charge("partition_post", gas::partition_post(records.len()));
         gas.charge("round_bonds", gas::round_bonds());
 
-        // Challenger: verify records, then scan children in topological
-        // order for the first offending one.
+        // Challenger: verify records, then select the *most offending*
+        // candidate child (max confirmed exceedance, Eq. 15) rather than
+        // the first offending one. With max-envelope thresholds at small
+        // calibration scale an honest child's fresh-input tail can
+        // marginally exceed its own tau (exceedance just above 1); picking
+        // the maximum keeps the descent pointed at the real divergence,
+        // whose exceedance sits orders of magnitude higher.
         let mut merkle_checks = 0u64;
         for rec in &records {
             merkle_checks += verify_record(graph, anchors.graph_root, anchors.weight_root, rec)?;
         }
-        let mut selection_flops = 0u64;
-        let mut chosen: Option<usize> = None;
-        for (ci, rec) in records.iter().enumerate() {
-            // Cheap screen: compare the proposer's committed live-outs
-            // against the challenger's own screening trace. A child that
-            // passes here is cleared without any re-execution.
-            let mut suspect = false;
-            for &id in &rec.sub.live_out {
-                let claimed = proposer_trace.value(id)?;
-                let own = own_trace.value(id)?;
+        // Cheap screen against the challenger's own screening trace:
+        // exceedance of a committed node value vs the challenger's own
+        // (structural nodes are bit-strict). Memoized per node for the
+        // round — the same node appears as one child's live-out, the next
+        // child's live-in, and again in the ungated second pass, and each
+        // profile is a whole-tensor scan.
+        let mut screen_cache: HashMap<NodeId, f64> = HashMap::new();
+        let screen_exc = |cache: &mut HashMap<NodeId, f64>, id: NodeId| -> Result<f64> {
+            if let Some(&exc) = cache.get(&id) {
+                return Ok(exc);
+            }
+            let claimed = proposer_trace.value(id)?;
+            let own = own_trace.value(id)?;
+            let exc = if thresholds.for_node(id).is_some() {
                 let prof = error_profile(claimed, own, DEFAULT_EPS);
-                let exc = thresholds.exceedance(id, &prof).unwrap_or({
-                    if claimed.data() == own.data() {
-                        0.0
-                    } else {
-                        f64::INFINITY
-                    }
-                });
-                if exc > 1.0 {
-                    suspect = true;
-                    break;
+                thresholds
+                    .exceedance(id, &prof)
+                    .expect("threshold entry checked above")
+            } else if claimed.data() == own.data() {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            cache.insert(id, exc);
+            Ok(exc)
+        };
+        let mut selection_flops = 0u64;
+        let mut examined = vec![false; records.len()];
+        // (child index, confirmed exceedance) of every confirmed offender.
+        let mut confirmed: Vec<(usize, f64)> = Vec::new();
+        for pass in 0..2 {
+            for (ci, rec) in records.iter().enumerate() {
+                if examined[ci] {
+                    continue;
                 }
-            }
-            if !suspect {
-                continue;
-            }
-            // Confirm by re-executing the suspect child from the
-            // proposer's committed live-in values (the agreed inputs of
-            // Eq. 15); only this costs fresh FLOPs.
-            let mut boundary = HashMap::new();
-            for &id in &rec.sub.live_in {
-                boundary.insert(id, proposer_trace.value(id)?.clone());
-            }
-            let local = execute_subgraph(
-                graph,
-                &rec.sub,
-                &boundary,
-                inputs,
-                challenger.device.config(),
-            )?;
-            // Account re-execution FLOPs from the proposer trace's ledger
-            // (same shapes, same operator set).
-            selection_flops += (rec.sub.start..rec.sub.end)
-                .map(|i| proposer_trace.flops[i])
-                .sum::<u64>();
-            let mut offending = false;
-            for &id in &rec.sub.live_out {
-                let claimed = proposer_trace.value(id)?;
-                let recomputed = &local[&id];
-                if thresholds.for_node(id).is_some() {
-                    let prof = error_profile(claimed, recomputed, DEFAULT_EPS);
-                    if thresholds.exceedance(id, &prof).unwrap_or(f64::INFINITY) > 1.0 {
-                        offending = true;
+                let mut suspect = false;
+                for &id in &rec.sub.live_out {
+                    if screen_exc(&mut screen_cache, id)? > 1.0 {
+                        suspect = true;
                         break;
                     }
-                } else if claimed.data() != recomputed.data() {
-                    // Structural live-out must match bit-for-bit.
-                    offending = true;
-                    break;
+                }
+                if !suspect {
+                    continue;
+                }
+                if pass == 0 {
+                    // Pruning heuristic, zero re-execution cost: the
+                    // disagreement *originates* in a child whose committed
+                    // live-in still roughly agrees with the challenger's
+                    // trace. Children downstream of a large divergence
+                    // inherit it in their live-in and are deferred, which
+                    // keeps the DCR near one forward pass. The margin is
+                    // loose (LIVE_IN_SLACK) because honest fresh-input
+                    // tails can marginally exceed tau at small calibration
+                    // scale; the ungated second pass below makes the gate a
+                    // cost optimization, never a soundness assumption.
+                    let mut gated = false;
+                    for &id in &rec.sub.live_in {
+                        if screen_exc(&mut screen_cache, id)? > LIVE_IN_SLACK {
+                            gated = true;
+                            break;
+                        }
+                    }
+                    if gated {
+                        continue;
+                    }
+                }
+                examined[ci] = true;
+                // Confirm by re-executing the candidate child from the
+                // proposer's committed live-in values (the agreed inputs of
+                // Eq. 15); only this costs fresh FLOPs.
+                let mut boundary = HashMap::new();
+                for &id in &rec.sub.live_in {
+                    boundary.insert(id, proposer_trace.value(id)?.clone());
+                }
+                let local = execute_subgraph(
+                    graph,
+                    &rec.sub,
+                    &boundary,
+                    inputs,
+                    challenger.device.config(),
+                )?;
+                // Account re-execution FLOPs from the proposer trace's
+                // ledger (same shapes, same operator set).
+                selection_flops += (rec.sub.start..rec.sub.end)
+                    .map(|i| proposer_trace.flops[i])
+                    .sum::<u64>();
+                let mut child_exceedance = 0.0f64;
+                for &id in &rec.sub.live_out {
+                    let claimed = proposer_trace.value(id)?;
+                    let recomputed = &local[&id];
+                    let exc = if thresholds.for_node(id).is_some() {
+                        let prof = error_profile(claimed, recomputed, DEFAULT_EPS);
+                        thresholds.exceedance(id, &prof).unwrap_or(f64::INFINITY)
+                    } else if claimed.data() != recomputed.data() {
+                        // Structural live-out must match bit-for-bit.
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    };
+                    child_exceedance = child_exceedance.max(exc);
+                }
+                if child_exceedance > 1.0 {
+                    confirmed.push((ci, child_exceedance));
                 }
             }
-            if offending {
-                chosen = Some(ci);
+            if !confirmed.is_empty() {
+                // The origin was confirmed among the gated candidates; the
+                // deferred (clearly-downstream) children stay unexecuted.
                 break;
             }
         }
+        // Most-offending-child selection: the largest confirmed exceedance
+        // wins; ties (e.g. two structural mismatches, where the later one
+        // is propagation) resolve to the earliest child in topological
+        // order.
+        let chosen: Option<usize> = confirmed
+            .iter()
+            .fold(None::<(usize, f64)>, |best, &(ci, exc)| match best {
+                Some((_, be)) if exc <= be => best,
+                _ => Some((ci, exc)),
+            })
+            .map(|(ci, _)| ci);
         gas.charge("selection_post", gas::selection_post());
         total_flops += selection_flops;
         total_checks += merkle_checks;

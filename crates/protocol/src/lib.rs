@@ -33,7 +33,7 @@ pub use dispute::{
 pub use econ::EconParams;
 pub use error::ProtocolError;
 pub use gas::GasMeter;
-pub use par::parallel_map;
+pub use par::{parallel_map, MAX_PAR_THREADS};
 pub use record::{make_record, verify_record, SubgraphRecord};
 pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};
 pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};

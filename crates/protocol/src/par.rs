@@ -1,8 +1,10 @@
 //! Order-preserving scoped-thread fan-out, shared by batch screening and
 //! the `tao` session scheduler.
 
-/// Upper bound on worker threads (matches the calibration fan-out cap).
-pub const MAX_PAR_THREADS: usize = 8;
+/// Upper bound on worker threads. Defined as the tensor kernel cap so
+/// protocol-level workers that each trigger kernel row-band workers keep
+/// nested parallelism bounded by the square of one shared constant.
+pub const MAX_PAR_THREADS: usize = tao_tensor::kernel::MAX_KERNEL_THREADS;
 
 /// Applies `f` to every item on scoped worker threads, returning results
 /// in item order. `threads` is clamped to `[1, MAX_PAR_THREADS]`; an

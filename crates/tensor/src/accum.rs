@@ -10,6 +10,13 @@
 //! [`KernelConfig`] expose exactly those degrees of freedom so that the
 //! simulated devices in `tao-device` produce *genuine* IEEE-754 deviations,
 //! not injected noise.
+//!
+//! The scalar [`AccumMode::sum`]/[`AccumMode::dot`] definitions below are
+//! *normative*: the register-tiled micro-kernels in [`crate::kernel`]
+//! mirror each mode's reduction structure lane by lane and must stay
+//! bit-identical to them (enforced by `tests/tests/kernel_equiv.rs`).
+//! Changing an order here is a change to the committed numeric contract
+//! every calibrated threshold and dispute re-execution depends on.
 
 use crate::element::Element;
 use crate::math::MathLib;

@@ -1,0 +1,587 @@
+//! Cache-blocked, register-tiled, optionally multi-threaded kernel core.
+//!
+//! This module is the performance engine behind [`Tensor::matmul`],
+//! [`Tensor::linear`] and [`Tensor::conv2d`]
+//! (via im2col), built under one hard contract: **every output element is
+//! bit-identical to the scalar oracle** — the value `cfg.dot(row, col)`
+//! produces for that element's canonical-order operand slices. The
+//! accumulation order and FMA contraction of a [`KernelConfig`] are part of
+//! the *committed* numeric behavior the TAO protocol verifies (thresholds
+//! are calibrated against them, leaf adjudication re-executes under them),
+//! so an optimization that reorders a single addition is a consensus bug,
+//! not a speedup.
+//!
+//! The freedoms a faithful kernel does have are exactly the ones real BLAS
+//! implementations exploit *between* dot products, never inside one:
+//!
+//! * **Packing.** The right-hand side is repacked once into column panels of
+//!   [`PANEL`] interleaved columns (`panel[kk * PANEL + j]` holds row `kk` of
+//!   panel-column `j`), so the inner loop streams both operands
+//!   contiguously. Packing moves bytes, not arithmetic: no rounding changes.
+//! * **Register tiling.** The micro-kernel evaluates [`PANEL`] *independent*
+//!   dot products at once — one accumulator lane per output column, each
+//!   lane stepping through `k` in precisely the order the scalar
+//!   [`AccumMode`] definition dictates. The speedup comes from running
+//!   [`PANEL`] dependency chains in parallel instead of waiting out the FP
+//!   add latency of a single chain; no chain is ever reassociated.
+//! * **Row-band threading.** Output rows are independent, so row bands are
+//!   fanned out over `std::thread::scope` workers. Each element is computed
+//!   by exactly one worker with exactly the single-thread instruction
+//!   sequence, making results independent of the thread count.
+//!
+//! The differential harness in `tests/tests/kernel_equiv.rs` proptests
+//! blocked-vs-oracle bit equality across every accumulation mode, FMA
+//! setting and a broad shape family; the scalar oracles
+//! ([`Tensor::matmul_reference`] and friends) stay in-tree permanently for
+//! that purpose.
+//!
+//! [`Tensor::matmul`]: crate::Tensor::matmul
+//! [`Tensor::linear`]: crate::Tensor::linear
+//! [`Tensor::conv2d`]: crate::Tensor::conv2d
+//! [`Tensor::matmul_reference`]: crate::Tensor::matmul_reference
+
+use crate::accum::{AccumMode, KernelConfig};
+use crate::element::Element;
+
+/// Register-tile width: how many output columns one micro-kernel call
+/// produces, i.e. how many independent accumulation chains run in flight.
+pub const PANEL: usize = 8;
+
+/// Upper bound on kernel worker threads (matches the protocol-level
+/// `MAX_PAR_THREADS` fan-out cap so nested parallelism stays bounded).
+pub const MAX_KERNEL_THREADS: usize = 8;
+
+/// Minimum multiply-accumulate count before a GEMM fans out to threads;
+/// below this the spawn cost dominates any speedup.
+const PAR_MIN_FLOPS: u64 = 1 << 18;
+
+/// The right-hand operand of a GEMM, repacked into interleaved column
+/// panels of width [`PANEL`] (zero-padded past `n`; padded lanes are
+/// computed and discarded, never observable).
+#[derive(Debug, Clone)]
+pub struct PackedRhs<T: Element> {
+    k: usize,
+    n: usize,
+    panels: Vec<T>,
+}
+
+impl<T: Element> PackedRhs<T> {
+    /// Packs a `k x n` operand whose element at reduction index `kk`,
+    /// output column `col` is produced by `at(kk, col)`.
+    ///
+    /// This closure form lets callers pack straight from their natural
+    /// layout — row-major matrices, transposed weight matrices, or im2col
+    /// gathers — without materializing an intermediate matrix.
+    pub fn pack_with(k: usize, n: usize, at: impl Fn(usize, usize) -> T) -> Self {
+        let num_panels = n.div_ceil(PANEL);
+        let mut panels = vec![T::ZERO; num_panels * k * PANEL];
+        for p in 0..num_panels {
+            let base = p * k * PANEL;
+            let col0 = p * PANEL;
+            let width = PANEL.min(n - col0);
+            for kk in 0..k {
+                let row = &mut panels[base + kk * PANEL..base + (kk + 1) * PANEL];
+                for (j, slot) in row.iter_mut().enumerate().take(width) {
+                    *slot = at(kk, col0 + j);
+                }
+            }
+        }
+        PackedRhs { k, n, panels }
+    }
+
+    /// Packs a row-major `[k, n]` matrix (the `B` of `A @ B`).
+    pub fn from_row_major(b: &[T], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs length mismatch");
+        Self::pack_with(k, n, |kk, col| b[kk * n + col])
+    }
+
+    /// Packs a row-major `[n, k]` matrix holding the *transposed* operand —
+    /// e.g. a `nn.Linear` weight `[out, in]`, whose rows are already the
+    /// columns the dot products consume.
+    pub fn from_transposed(bt: &[T], n: usize, k: usize) -> Self {
+        assert_eq!(bt.len(), n * k, "transposed rhs length mismatch");
+        Self::pack_with(k, n, |kk, col| bt[col * k + kk])
+    }
+
+    /// Reduction length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output column count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// One register tile: [`PANEL`] dot products of `a` against the panel's
+/// interleaved columns, every lane following the scalar sequential order
+/// (`acc += a[i] * b[i]`, or FMA-contracted when `fma`).
+fn seq_tile<T: Element>(a: &[T], panel: &[T], fma: bool) -> [T; PANEL] {
+    let mut acc = [T::ZERO; PANEL];
+    if fma {
+        for (kk, &av) in a.iter().enumerate() {
+            let row = &panel[kk * PANEL..(kk + 1) * PANEL];
+            for (lane, &bv) in acc.iter_mut().zip(row) {
+                *lane = av.mul_add(bv, *lane);
+            }
+        }
+    } else {
+        for (kk, &av) in a.iter().enumerate() {
+            let row = &panel[kk * PANEL..(kk + 1) * PANEL];
+            for (lane, &bv) in acc.iter_mut().zip(row) {
+                *lane += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Pairwise (balanced-tree) register tile; the recursion splits at the same
+/// midpoints as the scalar `pairwise_dot`, so every lane reduces its
+/// products in the identical tree shape.
+fn pairwise_tile<T: Element>(a: &[T], panel: &[T], fma: bool) -> [T; PANEL] {
+    let mut out = [T::ZERO; PANEL];
+    match a.len() {
+        0 => {}
+        1 => {
+            for (lane, &bv) in out.iter_mut().zip(&panel[..PANEL]) {
+                *lane = a[0] * bv;
+            }
+        }
+        2 => {
+            let (r0, r1) = panel[..2 * PANEL].split_at(PANEL);
+            for ((lane, &b0), &b1) in out.iter_mut().zip(r0).zip(r1) {
+                *lane = if fma {
+                    a[1].mul_add(b1, a[0] * b0)
+                } else {
+                    a[0] * b0 + a[1] * b1
+                };
+            }
+        }
+        n => {
+            let mid = n / 2;
+            let left = pairwise_tile(&a[..mid], &panel[..mid * PANEL], fma);
+            let right = pairwise_tile(&a[mid..], &panel[mid * PANEL..], fma);
+            for ((lane, &l), &r) in out.iter_mut().zip(&left).zip(&right) {
+                *lane = l + r;
+            }
+        }
+    }
+    out
+}
+
+/// Blocked register tile: sequential partials per `block`-sized chunk, then
+/// a strict left-to-right reduction of the partials — the exact structure
+/// of the scalar `AccumMode::Blocked` dot, lane by lane.
+fn blocked_tile<T: Element>(block: usize, a: &[T], panel: &[T], fma: bool) -> [T; PANEL] {
+    let block = block.max(1);
+    let k = a.len();
+    if k <= block {
+        return seq_tile(a, panel, fma);
+    }
+    let mut acc = [T::ZERO; PANEL];
+    let mut i = 0;
+    while i < k {
+        let end = (i + block).min(k);
+        let partial = seq_tile(&a[i..end], &panel[i * PANEL..end * PANEL], fma);
+        for (lane, &p) in acc.iter_mut().zip(&partial) {
+            *lane += p;
+        }
+        i = end;
+    }
+    acc
+}
+
+/// Kahan-compensated register tile; products round individually and the
+/// compensated update sequence per lane matches the scalar Kahan dot.
+fn kahan_tile<T: Element>(a: &[T], panel: &[T]) -> [T; PANEL] {
+    let mut acc = [T::ZERO; PANEL];
+    let mut comp = [T::ZERO; PANEL];
+    for (kk, &av) in a.iter().enumerate() {
+        let row = &panel[kk * PANEL..(kk + 1) * PANEL];
+        for ((lane, c), &bv) in acc.iter_mut().zip(comp.iter_mut()).zip(row) {
+            let x = av * bv;
+            let y = x - *c;
+            let t = *lane + y;
+            *c = (t - *lane) - y;
+            *lane = t;
+        }
+    }
+    acc
+}
+
+/// Dispatches one register tile under `cfg`'s accumulation order and FMA
+/// setting. `f32` tiles use the AVX2/FMA vector micro-kernel when the host
+/// supports it: [`PANEL`] is exactly one 256-bit vector, and per-lane
+/// vector multiply/add/fused-multiply-add are the *same* IEEE-754
+/// operations as their scalar counterparts, so the specialization is
+/// bit-identical (covered by the same differential tests).
+fn dot_tile<T: Element>(cfg: &KernelConfig, a: &[T], panel: &[T]) -> [T; PANEL] {
+    #[cfg(target_arch = "x86_64")]
+    if core::any::TypeId::of::<T>() == core::any::TypeId::of::<f32>() && x86::have_fma_simd() {
+        // SAFETY: `T` is `f32` (checked above), so the slices reinterpret
+        // losslessly and the result array transmutes element-for-element;
+        // the target features were runtime-detected.
+        unsafe {
+            let a32 = core::slice::from_raw_parts(a.as_ptr().cast::<f32>(), a.len());
+            let p32 = core::slice::from_raw_parts(panel.as_ptr().cast::<f32>(), panel.len());
+            let tile = x86::dot_tile_f32(cfg, a32, p32);
+            return core::mem::transmute_copy(&tile);
+        }
+    }
+    match cfg.accum {
+        AccumMode::Sequential => seq_tile(a, panel, cfg.fma),
+        AccumMode::Pairwise => pairwise_tile(a, panel, cfg.fma),
+        AccumMode::Blocked(block) => blocked_tile(block, a, panel, cfg.fma),
+        AccumMode::Kahan => kahan_tile(a, panel),
+    }
+}
+
+/// AVX2/FMA register-tile specialization for `f32`.
+///
+/// Each 256-bit vector holds the [`PANEL`] independent accumulator lanes;
+/// `vmulps`/`vaddps`/`vfmadd231ps` apply the identical IEEE-754 rounding
+/// per lane as the scalar `*`/`+`/`mul_add`, so every micro-kernel below is
+/// a transliteration of its scalar counterpart, not a reassociation.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{AccumMode, KernelConfig, PANEL};
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps,
+    };
+    use std::sync::OnceLock;
+
+    /// Runtime AVX2+FMA detection, cached after the first call.
+    pub(super) fn have_fma_simd() -> bool {
+        static HAVE: OnceLock<bool> = OnceLock::new();
+        *HAVE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA (checked by [`have_fma_simd`]) and
+    /// `panel.len() == a.len() * PANEL`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_tile_f32(
+        cfg: &KernelConfig,
+        a: &[f32],
+        panel: &[f32],
+    ) -> [f32; PANEL] {
+        debug_assert_eq!(panel.len(), a.len() * PANEL);
+        let acc = match cfg.accum {
+            AccumMode::Sequential => seq_v(a, panel, cfg.fma),
+            AccumMode::Pairwise => pairwise_v(a, panel, cfg.fma),
+            AccumMode::Blocked(block) => blocked_v(block, a, panel, cfg.fma),
+            AccumMode::Kahan => kahan_v(a, panel),
+        };
+        let mut out = [0f32; PANEL];
+        _mm256_storeu_ps(out.as_mut_ptr(), acc);
+        out
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn seq_v(a: &[f32], panel: &[f32], fma: bool) -> __m256 {
+        let mut acc = _mm256_setzero_ps();
+        let p = panel.as_ptr();
+        if fma {
+            for (kk, &av) in a.iter().enumerate() {
+                let row = _mm256_loadu_ps(p.add(kk * PANEL));
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(av), row, acc);
+            }
+        } else {
+            for (kk, &av) in a.iter().enumerate() {
+                let row = _mm256_loadu_ps(p.add(kk * PANEL));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), row));
+            }
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn pairwise_v(a: &[f32], panel: &[f32], fma: bool) -> __m256 {
+        let p = panel.as_ptr();
+        match a.len() {
+            0 => _mm256_setzero_ps(),
+            1 => _mm256_mul_ps(_mm256_set1_ps(a[0]), _mm256_loadu_ps(p)),
+            2 => {
+                let m0 = _mm256_mul_ps(_mm256_set1_ps(a[0]), _mm256_loadu_ps(p));
+                let r1 = _mm256_loadu_ps(p.add(PANEL));
+                if fma {
+                    _mm256_fmadd_ps(_mm256_set1_ps(a[1]), r1, m0)
+                } else {
+                    _mm256_add_ps(m0, _mm256_mul_ps(_mm256_set1_ps(a[1]), r1))
+                }
+            }
+            n => {
+                let mid = n / 2;
+                let left = pairwise_v(&a[..mid], &panel[..mid * PANEL], fma);
+                let right = pairwise_v(&a[mid..], &panel[mid * PANEL..], fma);
+                _mm256_add_ps(left, right)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn blocked_v(block: usize, a: &[f32], panel: &[f32], fma: bool) -> __m256 {
+        let block = block.max(1);
+        let k = a.len();
+        if k <= block {
+            return seq_v(a, panel, fma);
+        }
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < k {
+            let end = (i + block).min(k);
+            let partial = seq_v(&a[i..end], &panel[i * PANEL..end * PANEL], fma);
+            acc = _mm256_add_ps(acc, partial);
+            i = end;
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn kahan_v(a: &[f32], panel: &[f32]) -> __m256 {
+        let mut acc = _mm256_setzero_ps();
+        let mut comp = _mm256_setzero_ps();
+        let p = panel.as_ptr();
+        for (kk, &av) in a.iter().enumerate() {
+            let x = _mm256_mul_ps(_mm256_set1_ps(av), _mm256_loadu_ps(p.add(kk * PANEL)));
+            let y = _mm256_sub_ps(x, comp);
+            let t = _mm256_add_ps(acc, y);
+            comp = _mm256_sub_ps(_mm256_sub_ps(t, acc), y);
+            acc = t;
+        }
+        acc
+    }
+}
+
+/// Computes one output row: `out_row[col] = cfg.dot(a_row, column col)`.
+fn gemm_row<T: Element>(cfg: &KernelConfig, a_row: &[T], rhs: &PackedRhs<T>, out_row: &mut [T]) {
+    if rhs.k == 0 {
+        out_row.fill(T::ZERO);
+        return;
+    }
+    let panel_len = rhs.k * PANEL;
+    for (p, panel) in rhs.panels.chunks(panel_len).enumerate() {
+        let tile = dot_tile(cfg, a_row, panel);
+        let col0 = p * PANEL;
+        let width = PANEL.min(rhs.n - col0);
+        out_row[col0..col0 + width].copy_from_slice(&tile[..width]);
+    }
+}
+
+/// Worker-thread count appropriate for `flops` multiply-accumulates: 1
+/// below the fan-out threshold, otherwise the host parallelism capped at
+/// [`MAX_KERNEL_THREADS`].
+pub fn auto_threads(flops: u64) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_KERNEL_THREADS)
+}
+
+/// Splits `out` into contiguous bands of whole `unit`-element chunks and
+/// runs `f(first_unit_index, band)` for each band on a scoped worker
+/// thread (or inline when one worker suffices). Units are never split
+/// across workers, so any per-unit computation is identical at every
+/// thread count.
+pub(crate) fn par_bands<T, F>(out: &mut [T], unit: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let units = out.len().checked_div(unit).unwrap_or(0);
+    let workers = threads.clamp(1, MAX_KERNEL_THREADS).min(units.max(1));
+    if workers <= 1 {
+        f(0, out);
+        return;
+    }
+    let per = units.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (wi, band) in out.chunks_mut(per * unit).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(wi * per, band));
+        }
+    });
+}
+
+/// Blocked GEMM into a preallocated buffer: `out[row * n + col] =
+/// cfg.dot(a[row*k..][..k], column col of rhs)` for every row and column,
+/// bit-identical to the scalar oracle at any `threads` count.
+///
+/// # Panics
+///
+/// Panics if `a` is not `m * rhs.k()` long or `out` is not
+/// `m * rhs.n()` long.
+pub fn gemm_into<T: Element>(
+    cfg: &KernelConfig,
+    a: &[T],
+    m: usize,
+    rhs: &PackedRhs<T>,
+    out: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * rhs.k, "lhs length mismatch");
+    assert_eq!(out.len(), m * rhs.n, "out length mismatch");
+    if rhs.n == 0 {
+        return;
+    }
+    par_bands(out, rhs.n, threads, |row0, band| {
+        for (i, out_row) in band.chunks_mut(rhs.n).enumerate() {
+            let row = row0 + i;
+            gemm_row(cfg, &a[row * rhs.k..(row + 1) * rhs.k], rhs, out_row);
+        }
+    });
+}
+
+/// Allocating convenience wrapper around [`gemm_into`] (used by the kernel
+/// microbenchmarks to pin an explicit thread count).
+pub fn gemm<T: Element>(
+    cfg: &KernelConfig,
+    a: &[T],
+    m: usize,
+    rhs: &PackedRhs<T>,
+    threads: usize,
+) -> Vec<T> {
+    let mut out = vec![T::ZERO; m * rhs.n];
+    gemm_into(cfg, a, m, rhs, &mut out, threads);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::MathLib;
+
+    fn all_cfgs() -> Vec<KernelConfig> {
+        let mut cfgs = Vec::new();
+        for accum in [
+            AccumMode::Sequential,
+            AccumMode::Pairwise,
+            AccumMode::Blocked(1),
+            AccumMode::Blocked(7),
+            AccumMode::Blocked(32),
+            AccumMode::Kahan,
+        ] {
+            for fma in [false, true] {
+                cfgs.push(KernelConfig {
+                    accum,
+                    fma,
+                    math: MathLib::Reference,
+                });
+            }
+        }
+        cfgs
+    }
+
+    fn ill_conditioned(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let sign = if state & 2 == 0 { 1.0 } else { -1.0 };
+                (sign * 10f64.powf(unit * 6.0 - 3.0)) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_layout_roundtrips() {
+        let (k, n) = (5, 11);
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32).collect();
+        let packed = PackedRhs::from_row_major(&b, k, n);
+        assert_eq!(packed.k(), k);
+        assert_eq!(packed.n(), n);
+        for col in 0..n {
+            let p = col / PANEL;
+            let j = col % PANEL;
+            for kk in 0..k {
+                assert_eq!(
+                    packed.panels[p * k * PANEL + kk * PANEL + j],
+                    b[kk * n + col]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_match_scalar_dot_for_every_mode() {
+        for k in [0usize, 1, 2, 3, 7, 8, 31, 33, 97] {
+            let a = ill_conditioned(k, 11);
+            let n = PANEL + 3;
+            let b = ill_conditioned(k * n, 23);
+            let packed = PackedRhs::from_row_major(&b, k, n);
+            for cfg in all_cfgs() {
+                let fast = gemm(&cfg, &a, 1, &packed, 1);
+                for col in 0..n {
+                    let col_vals: Vec<f32> = (0..k).map(|kk| b[kk * n + col]).collect();
+                    let oracle = cfg.dot(&a, &col_vals);
+                    assert_eq!(
+                        fast[col].to_bits(),
+                        oracle.to_bits(),
+                        "k={k} col={col} {cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        let (m, k, n) = (13, 57, 19);
+        let a = ill_conditioned(m * k, 5);
+        let b = ill_conditioned(k * n, 9);
+        let packed = PackedRhs::from_row_major(&b, k, n);
+        for cfg in all_cfgs() {
+            let one = gemm(&cfg, &a, m, &packed, 1);
+            for threads in [2, 3, 8, 64] {
+                let many = gemm(&cfg, &a, m, &packed, threads);
+                let same = one
+                    .iter()
+                    .zip(&many)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "threads={threads} {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_packing_matches_row_major() {
+        let (k, n) = (9, 14);
+        let b = ill_conditioned(k * n, 77);
+        let bt: Vec<f32> = (0..n * k).map(|i| b[(i % k) * n + i / k]).collect();
+        let from_b = PackedRhs::from_row_major(&b, k, n);
+        let from_bt = PackedRhs::from_transposed(&bt, n, k);
+        assert_eq!(from_b.panels, from_bt.panels);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let cfg = KernelConfig::reference();
+        // k = 0: all dots are empty sums.
+        let packed = PackedRhs::from_row_major(&[], 0, 4);
+        assert_eq!(gemm::<f32>(&cfg, &[], 3, &packed, 2), vec![0.0; 12]);
+        // n = 0: empty output.
+        let packed = PackedRhs::from_row_major(&[], 5, 0);
+        assert!(gemm::<f32>(&cfg, &[1.0; 10], 2, &packed, 2).is_empty());
+        // m = 0: empty output.
+        let packed = PackedRhs::from_row_major(&[1.0, 2.0], 1, 2);
+        assert!(gemm::<f32>(&cfg, &[], 0, &packed, 2).is_empty());
+    }
+
+    #[test]
+    fn auto_threads_thresholds() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(PAR_MIN_FLOPS - 1), 1);
+        assert!(auto_threads(1 << 24) >= 1);
+        assert!(auto_threads(u64::MAX) <= MAX_KERNEL_THREADS);
+    }
+}

@@ -1,8 +1,14 @@
 //! 2-D convolution over NCHW tensors.
+//!
+//! The hot path lowers each image to an im2col operand packed directly
+//! into the blocked-GEMM panel layout of [`crate::kernel`] and reuses the
+//! register-tiled matmul core; [`Tensor::conv2d_reference`] keeps the
+//! original gather-per-output scalar loop as the bit-exactness oracle.
 
 use crate::accum::KernelConfig;
 use crate::element::Element;
 use crate::error::TensorError;
+use crate::kernel::{auto_threads, gemm_into, par_bands, PackedRhs};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -53,6 +59,138 @@ impl<T: Element> Tensor<T> {
         params: Conv2dParams,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
+        let geo = self.conv2d_check(weight, bias, params)?;
+        let ConvGeometry {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            oh,
+            ow,
+            patch,
+        } = geo;
+        let ohow = oh * ow;
+        let mut out = vec![T::ZERO; n * c_out * ohow];
+        if out.is_empty() {
+            return Tensor::from_vec(out, &[n, c_out, oh, ow]);
+        }
+        let pad = params.padding as isize;
+        // Images fan out over workers; leftover workers go to row bands
+        // inside each image's GEMM (both axes are bit-exact at any thread
+        // count, mirroring the batched-matmul split).
+        let threads = auto_threads((n * c_out * ohow * patch) as u64);
+        let inner_threads = (threads / n.max(1)).max(1);
+        par_bands(&mut out, c_out * ohow, threads, |img0, band| {
+            for (i, image) in band.chunks_mut(c_out * ohow).enumerate() {
+                let ni = img0 + i;
+                // im2col: receptive fields gathered in canonical (channel,
+                // row, column) order — the same element sequence the
+                // oracle's inner gather produces — packed straight into
+                // GEMM panels.
+                let rhs = PackedRhs::pack_with(patch, ohow, |kk, col| {
+                    let ic = kk / (kh * kw);
+                    let rest = kk % (kh * kw);
+                    let (ky, kx) = (rest / kw, rest % kw);
+                    let (oy, ox) = (col / ow, col % ow);
+                    let iy = (oy * params.stride + ky) as isize - pad;
+                    let ix = (ox * params.stride + kx) as isize - pad;
+                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                        T::ZERO
+                    } else {
+                        self.data()[((ni * c_in + ic) * h + iy as usize) * w + ix as usize]
+                    }
+                });
+                gemm_into(cfg, weight.data(), c_out, &rhs, image, inner_threads);
+                if let Some(b) = bias {
+                    for (oc, row) in image.chunks_mut(ohow).enumerate() {
+                        let bv = b.data()[oc];
+                        for v in row {
+                            *v += bv;
+                        }
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+
+    /// Scalar-oracle 2-D convolution: the original gather-per-output
+    /// triple loop, kept in-tree as the bit-exactness reference the
+    /// im2col-backed [`Tensor::conv2d`] is differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::conv2d`].
+    pub fn conv2d_reference(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        params: Conv2dParams,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        let geo = self.conv2d_check(weight, bias, params)?;
+        let ConvGeometry {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            oh,
+            ow,
+            patch,
+        } = geo;
+        let mut col = vec![T::ZERO; patch];
+        let mut out = Vec::with_capacity(n * c_out * oh * ow);
+        let pad = params.padding as isize;
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let wrow = &weight.data()[oc * patch..(oc + 1) * patch];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Gather the receptive field in canonical order,
+                        // substituting zeros for padding.
+                        let mut p = 0;
+                        for ic in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride + ky) as isize - pad;
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride + kx) as isize - pad;
+                                    col[p] =
+                                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                        {
+                                            T::ZERO
+                                        } else {
+                                            self.data()[((ni * c_in + ic) * h + iy as usize) * w
+                                                + ix as usize]
+                                        };
+                                    p += 1;
+                                }
+                            }
+                        }
+                        let mut v = cfg.dot(&col, wrow);
+                        if let Some(b) = bias {
+                            v += b.data()[oc];
+                        }
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+
+    /// Shape validation shared by both convolution kernels.
+    fn conv2d_check(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        params: Conv2dParams,
+    ) -> Result<ConvGeometry> {
         if self.rank() != 4 {
             return Err(TensorError::RankMismatch {
                 expected: 4,
@@ -101,46 +239,33 @@ impl<T: Element> Tensor<T> {
         let ow = params.out_extent(w, kw).ok_or_else(|| {
             TensorError::InvalidArgument("conv2d: kernel wider than input".into())
         })?;
-        let patch = c_in * kh * kw;
-        let mut col = vec![T::ZERO; patch];
-        let mut out = Vec::with_capacity(n * c_out * oh * ow);
-        let pad = params.padding as isize;
-        for ni in 0..n {
-            for oc in 0..c_out {
-                let wrow = &weight.data()[oc * patch..(oc + 1) * patch];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        // Gather the receptive field in canonical order,
-                        // substituting zeros for padding.
-                        let mut p = 0;
-                        for ic in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = (oy * params.stride + ky) as isize - pad;
-                                for kx in 0..kw {
-                                    let ix = (ox * params.stride + kx) as isize - pad;
-                                    col[p] =
-                                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                        {
-                                            T::ZERO
-                                        } else {
-                                            self.data()[((ni * c_in + ic) * h + iy as usize) * w
-                                                + ix as usize]
-                                        };
-                                    p += 1;
-                                }
-                            }
-                        }
-                        let mut v = cfg.dot(&col, wrow);
-                        if let Some(b) = bias {
-                            v += b.data()[oc];
-                        }
-                        out.push(v);
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, &[n, c_out, oh, ow])
+        Ok(ConvGeometry {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            oh,
+            ow,
+            patch: c_in * kh * kw,
+        })
     }
+}
+
+/// Validated shape data shared by the blocked and oracle convolutions.
+struct ConvGeometry {
+    n: usize,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    patch: usize,
 }
 
 #[cfg(test)]
@@ -231,6 +356,41 @@ mod tests {
         let y = x.conv2d(&w, None, Conv2dParams::default(), &cfg()).unwrap();
         assert_eq!(y.dims(), &[2, 1, 1, 1]);
         assert_eq!(y.data(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_bits_match_reference_oracle() {
+        use crate::accum::AccumMode;
+        let x = Tensor::<f32>::rand_uniform(&[2, 3, 7, 6], -2.0, 2.0, 21);
+        let w = Tensor::<f32>::rand_uniform(&[4, 3, 3, 3], -0.5, 0.5, 22);
+        let b = Tensor::<f32>::rand_uniform(&[4], -0.1, 0.1, 23);
+        let params = Conv2dParams {
+            stride: 2,
+            padding: 1,
+        };
+        for accum in [
+            AccumMode::Sequential,
+            AccumMode::Pairwise,
+            AccumMode::Blocked(8),
+            AccumMode::Kahan,
+        ] {
+            for fma in [false, true] {
+                let c = KernelConfig {
+                    accum,
+                    fma,
+                    ..cfg()
+                };
+                let fast = x.conv2d(&w, Some(&b), params, &c).unwrap();
+                let slow = x.conv2d_reference(&w, Some(&b), params, &c).unwrap();
+                assert_eq!(fast.dims(), slow.dims());
+                let same = fast
+                    .data()
+                    .iter()
+                    .zip(slow.data())
+                    .all(|(p, q)| p.to_bits() == q.to_bits());
+                assert!(same, "{c:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,73 @@
 //! Matrix multiplication, batched matmul and affine (linear) layers.
+//!
+//! The hot paths route through the packed/blocked GEMM in
+//! [`crate::kernel`]; the scalar `*_reference` kernels are the permanent
+//! bit-exactness oracles (see `tests/tests/kernel_equiv.rs`).
 
 use crate::accum::KernelConfig;
 use crate::element::Element;
 use crate::error::TensorError;
+use crate::kernel::{auto_threads, gemm_into, par_bands, PackedRhs};
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Validated geometry of a (possibly batched, possibly broadcast) matmul.
+struct MatmulPlan {
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    a_broadcast: bool,
+    b_broadcast: bool,
+    out_dims: Vec<usize>,
+}
+
+fn matmul_plan<T: Element>(a: &Tensor<T>, b: &Tensor<T>) -> Result<MatmulPlan> {
+    if a.rank() < 2 || b.rank() < 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: a.rank().min(b.rank()),
+            op: "matmul",
+        });
+    }
+    let (m, ka) = (a.dims()[a.rank() - 2], a.dims()[a.rank() - 1]);
+    let (kb, n) = (b.dims()[b.rank() - 2], b.dims()[b.rank() - 1]);
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let a_batch: usize = a.dims()[..a.rank() - 2].iter().product();
+    let b_batch: usize = b.dims()[..b.rank() - 2].iter().product();
+    let (batch, batch_dims) = if a.rank() == 2 && b.rank() > 2 {
+        (b_batch, b.dims()[..b.rank() - 2].to_vec())
+    } else if b.rank() == 2 && a.rank() > 2 {
+        (a_batch, a.dims()[..a.rank() - 2].to_vec())
+    } else {
+        if a.dims()[..a.rank() - 2] != b.dims()[..b.rank() - 2] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+                op: "matmul batch",
+            });
+        }
+        (a_batch, a.dims()[..a.rank() - 2].to_vec())
+    };
+    let mut out_dims = batch_dims;
+    out_dims.push(m);
+    out_dims.push(n);
+    Ok(MatmulPlan {
+        m,
+        k: ka,
+        n,
+        batch,
+        a_broadcast: a_batch == 1,
+        b_broadcast: b_batch == 1,
+        out_dims,
+    })
+}
 
 impl<T: Element> Tensor<T> {
     /// Matrix product.
@@ -15,55 +78,92 @@ impl<T: Element> Tensor<T> {
     /// is a length-`k` dot product evaluated under the accumulation order
     /// and FMA setting of `cfg` — the locus of cross-device rounding drift.
     ///
+    /// The implementation is the cache-blocked, register-tiled,
+    /// row-band-threaded GEMM of [`crate::kernel`]; it is bit-identical to
+    /// [`Tensor::matmul_reference`] for every `cfg` (tested exhaustively in
+    /// `tests/tests/kernel_equiv.rs`).
+    ///
     /// # Errors
     ///
     /// Returns an error for rank < 2 operands or mismatched inner/batch
     /// dimensions.
     pub fn matmul(&self, other: &Tensor<T>, cfg: &KernelConfig) -> Result<Tensor<T>> {
-        if self.rank() < 2 || other.rank() < 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                got: self.rank().min(other.rank()),
-                op: "matmul",
-            });
+        let plan = matmul_plan(self, other)?;
+        let MatmulPlan { m, k, n, batch, .. } = plan;
+        let mut out = vec![T::ZERO; batch * m * n];
+        if out.is_empty() {
+            return Tensor::from_vec(out, &plan.out_dims);
         }
-        let (m, ka) = (self.dims()[self.rank() - 2], self.dims()[self.rank() - 1]);
-        let (kb, n) = (
-            other.dims()[other.rank() - 2],
-            other.dims()[other.rank() - 1],
-        );
-        if ka != kb {
-            return Err(TensorError::ShapeMismatch {
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-                op: "matmul",
-            });
-        }
-        let a_batch: usize = self.dims()[..self.rank() - 2].iter().product();
-        let b_batch: usize = other.dims()[..other.rank() - 2].iter().product();
-        let (batch, batch_dims) = if self.rank() == 2 && other.rank() > 2 {
-            (b_batch, other.dims()[..other.rank() - 2].to_vec())
-        } else if other.rank() == 2 && self.rank() > 2 {
-            (a_batch, self.dims()[..self.rank() - 2].to_vec())
+        let per_batch_flops = (m * k * n) as u64;
+        if batch == 1 {
+            let rhs = PackedRhs::from_row_major(&other.data()[..k * n], k, n);
+            gemm_into(
+                cfg,
+                &self.data()[..m * k],
+                m,
+                &rhs,
+                &mut out,
+                auto_threads(per_batch_flops),
+            );
         } else {
-            if self.dims()[..self.rank() - 2] != other.dims()[..other.rank() - 2] {
-                return Err(TensorError::ShapeMismatch {
-                    lhs: self.dims().to_vec(),
-                    rhs: other.dims().to_vec(),
-                    op: "matmul batch",
-                });
-            }
-            (a_batch, self.dims()[..self.rank() - 2].to_vec())
-        };
-        let k = ka;
+            // Shared-rhs broadcast packs once; otherwise each batch entry
+            // packs its own panel set. Batches are fanned out over threads;
+            // when the batch is smaller than the worker budget, the
+            // leftover workers go to row bands *inside* each entry (both
+            // axes are bit-exact at any thread count).
+            let shared_rhs = plan
+                .b_broadcast
+                .then(|| PackedRhs::from_row_major(&other.data()[..k * n], k, n));
+            let threads = auto_threads(per_batch_flops.saturating_mul(batch as u64));
+            let inner_threads = (threads / batch.max(1)).max(1);
+            par_bands(&mut out, m * n, threads, |batch0, band| {
+                for (i, out_mat) in band.chunks_mut(m * n).enumerate() {
+                    let bi = batch0 + i;
+                    let a_off = if plan.a_broadcast { 0 } else { bi * m * k };
+                    let packed;
+                    let rhs = match &shared_rhs {
+                        Some(shared) => shared,
+                        None => {
+                            let b_off = bi * k * n;
+                            packed = PackedRhs::from_row_major(
+                                &other.data()[b_off..b_off + k * n],
+                                k,
+                                n,
+                            );
+                            &packed
+                        }
+                    };
+                    gemm_into(
+                        cfg,
+                        &self.data()[a_off..a_off + m * k],
+                        m,
+                        rhs,
+                        out_mat,
+                        inner_threads,
+                    );
+                }
+            });
+        }
+        Tensor::from_vec(out, &plan.out_dims)
+    }
+
+    /// Scalar-oracle matrix product: the original triple-loop kernel, kept
+    /// in-tree as the bit-exactness reference the blocked [`Tensor::matmul`]
+    /// is differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::matmul`].
+    pub fn matmul_reference(&self, other: &Tensor<T>, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        let plan = matmul_plan(self, other)?;
+        let MatmulPlan { m, k, n, batch, .. } = plan;
         let mut out = Vec::with_capacity(batch * m * n);
         // Transpose each rhs batch matrix once so dot products read
         // contiguous memory in the canonical k order.
         let mut bt = vec![T::ZERO; k * n];
-        let mut row = vec![T::ZERO; k];
         for bi in 0..batch {
-            let a_off = if a_batch == 1 { 0 } else { bi * m * k };
-            let b_off = if b_batch == 1 { 0 } else { bi * k * n };
+            let a_off = if plan.a_broadcast { 0 } else { bi * m * k };
+            let b_off = if plan.b_broadcast { 0 } else { bi * k * n };
             let b_mat = &other.data()[b_off..b_off + k * n];
             for kk in 0..k {
                 for nn in 0..n {
@@ -71,20 +171,22 @@ impl<T: Element> Tensor<T> {
                 }
             }
             for mm in 0..m {
-                row.copy_from_slice(&self.data()[a_off + mm * k..a_off + (mm + 1) * k]);
+                let row = &self.data()[a_off + mm * k..a_off + (mm + 1) * k];
                 for nn in 0..n {
-                    out.push(cfg.dot(&row, &bt[nn * k..(nn + 1) * k]));
+                    out.push(cfg.dot(row, &bt[nn * k..(nn + 1) * k]));
                 }
             }
         }
-        let mut out_dims = batch_dims;
-        out_dims.push(m);
-        out_dims.push(n);
-        Tensor::from_vec(out, &out_dims)
+        Tensor::from_vec(out, &plan.out_dims)
     }
 
     /// Affine layer `x @ w^T + b` with `x: [.., in]`, `w: [out, in]`,
     /// `b: [out]` (PyTorch `nn.Linear` layout).
+    ///
+    /// The weight rows are already the columns the dot products consume, so
+    /// the blocked GEMM packs them directly without a transpose pass. Bias
+    /// is added after the dot with one rounding, exactly as the scalar
+    /// oracle does.
     ///
     /// # Errors
     ///
@@ -95,6 +197,65 @@ impl<T: Element> Tensor<T> {
         bias: Option<&Tensor<T>>,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
+        let (rows, in_f, out_f) = self.linear_check(weight, bias)?;
+        let rhs = PackedRhs::from_transposed(weight.data(), out_f, in_f);
+        let mut out = vec![T::ZERO; rows * out_f];
+        gemm_into(
+            cfg,
+            self.data(),
+            rows,
+            &rhs,
+            &mut out,
+            auto_threads((rows * in_f * out_f) as u64),
+        );
+        if let Some(b) = bias {
+            for row in out.chunks_mut(out_f) {
+                for (v, &bv) in row.iter_mut().zip(b.data()) {
+                    *v += bv;
+                }
+            }
+        }
+        let mut out_dims = self.dims().to_vec();
+        *out_dims.last_mut().expect("checked rank >= 1") = out_f;
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Scalar-oracle affine layer (see [`Tensor::matmul_reference`]).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::linear`].
+    pub fn linear_reference(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        let (rows, in_f, out_f) = self.linear_check(weight, bias)?;
+        let mut out = Vec::with_capacity(rows * out_f);
+        for r in 0..rows {
+            let x = &self.data()[r * in_f..(r + 1) * in_f];
+            for o in 0..out_f {
+                let w = &weight.data()[o * in_f..(o + 1) * in_f];
+                let mut v = cfg.dot(x, w);
+                if let Some(b) = bias {
+                    v += b.data()[o];
+                }
+                out.push(v);
+            }
+        }
+        let mut out_dims = self.dims().to_vec();
+        *out_dims.last_mut().expect("checked rank >= 1") = out_f;
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Shape validation shared by both linear kernels; returns
+    /// `(rows, in_features, out_features)`.
+    fn linear_check(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+    ) -> Result<(usize, usize, usize)> {
         if weight.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -127,22 +288,7 @@ impl<T: Element> Tensor<T> {
                 });
             }
         }
-        let rows = self.len() / in_f;
-        let mut out = Vec::with_capacity(rows * out_f);
-        for r in 0..rows {
-            let x = &self.data()[r * in_f..(r + 1) * in_f];
-            for o in 0..out_f {
-                let w = &weight.data()[o * in_f..(o + 1) * in_f];
-                let mut v = cfg.dot(x, w);
-                if let Some(b) = bias {
-                    v += b.data()[o];
-                }
-                out.push(v);
-            }
-        }
-        let mut out_dims = self.dims().to_vec();
-        *out_dims.last_mut().expect("checked rank >= 1") = out_f;
-        Tensor::from_vec(out, &out_dims)
+        Ok((self.len() / in_f.max(1), in_f, out_f))
     }
 }
 
@@ -193,12 +339,49 @@ mod tests {
     }
 
     #[test]
+    fn matmul_broadcast_unbatched_lhs() {
+        let a = Tensor::<f32>::eye(3);
+        let b = Tensor::<f32>::arange(18).reshape(&[2, 3, 3]).unwrap();
+        let c = a.matmul(&b, &cfg()).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 3]);
+        assert_eq!(c.data(), b.data());
+    }
+
+    #[test]
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::<f32>::zeros(&[2, 3]);
         let b = Tensor::<f32>::zeros(&[2, 2]);
         assert!(a.matmul(&b, &cfg()).is_err());
         let v = Tensor::<f32>::zeros(&[3]);
         assert!(v.matmul(&a, &cfg()).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_bits_match_reference_oracle() {
+        for accum in [
+            AccumMode::Sequential,
+            AccumMode::Pairwise,
+            AccumMode::Blocked(32),
+            AccumMode::Kahan,
+        ] {
+            for fma in [false, true] {
+                let c = KernelConfig {
+                    accum,
+                    fma,
+                    ..cfg()
+                };
+                let a = Tensor::<f32>::rand_uniform(&[9, 77], -50.0, 50.0, 3);
+                let b = Tensor::<f32>::rand_uniform(&[77, 13], -50.0, 50.0, 4);
+                let fast = a.matmul(&b, &c).unwrap();
+                let slow = a.matmul_reference(&b, &c).unwrap();
+                let same = fast
+                    .data()
+                    .iter()
+                    .zip(slow.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{c:?}");
+            }
+        }
     }
 
     #[test]
@@ -236,6 +419,28 @@ mod tests {
         let w_ok = Tensor::<f32>::zeros(&[2, 3]);
         let bad_bias = Tensor::<f32>::zeros(&[3]);
         assert!(x.linear(&w_ok, Some(&bad_bias), &cfg()).is_err());
+    }
+
+    #[test]
+    fn linear_bits_match_reference_oracle() {
+        let x = Tensor::<f32>::rand_uniform(&[5, 33], -10.0, 10.0, 7);
+        let w = Tensor::<f32>::rand_uniform(&[21, 33], -1.0, 1.0, 8);
+        let b = Tensor::<f32>::rand_uniform(&[21], -1.0, 1.0, 9);
+        for accum in [AccumMode::Sequential, AccumMode::Blocked(8)] {
+            let c = KernelConfig {
+                accum,
+                fma: true,
+                ..cfg()
+            };
+            let fast = x.linear(&w, Some(&b), &c).unwrap();
+            let slow = x.linear_reference(&w, Some(&b), &c).unwrap();
+            let same = fast
+                .data()
+                .iter()
+                .zip(slow.data())
+                .all(|(p, q)| p.to_bits() == q.to_bits());
+            assert!(same, "{c:?}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::accum::KernelConfig;
 use crate::error::TensorError;
+use crate::kernel::{auto_threads, par_bands};
 use crate::math::MathElement;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -14,23 +15,44 @@ use crate::Result;
 impl<T: MathElement> Tensor<T> {
     /// Softmax along the last axis.
     ///
+    /// Lanes are independent, so large inputs fan the per-lane pipeline
+    /// (`m = max(x); e = exp(x - m); S = Σe; y = e / S`) out over scoped
+    /// worker threads; every lane runs the identical instruction sequence
+    /// at any thread count, so results are bit-identical to
+    /// [`Tensor::softmax_last_reference`].
+    ///
     /// # Errors
     ///
     /// Returns an error for rank-0 tensors.
     pub fn softmax_last(&self, cfg: &KernelConfig) -> Result<Tensor<T>> {
-        if self.rank() == 0 {
-            return Err(TensorError::RankMismatch {
-                expected: 1,
-                got: 0,
-                op: "softmax",
-            });
-        }
-        let d = self.dims()[self.rank() - 1];
-        if d == 0 {
-            return Err(TensorError::InvalidArgument(
-                "softmax over empty axis".into(),
-            ));
-        }
+        let d = self.last_axis_check("softmax")?;
+        let mut out = vec![T::ZERO; self.len()];
+        let threads = auto_threads(self.len() as u64 * 4);
+        par_bands(&mut out, d, threads, |lane0, band| {
+            let mut e = vec![T::ZERO; d];
+            for (i, out_lane) in band.chunks_mut(d).enumerate() {
+                let lane = &self.data()[(lane0 + i) * d..(lane0 + i + 1) * d];
+                let m = lane.iter().copied().fold(lane[0], |a, b| a.maximum(b));
+                for (slot, &x) in e.iter_mut().zip(lane) {
+                    *slot = (x - m).exp_with(cfg.math);
+                }
+                let s = cfg.sum(&e);
+                for (slot, &ei) in out_lane.iter_mut().zip(&e) {
+                    *slot = ei / s;
+                }
+            }
+        });
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Scalar-oracle softmax (single-threaded seed loop), kept in-tree as
+    /// the bit-exactness reference for [`Tensor::softmax_last`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::softmax_last`].
+    pub fn softmax_last_reference(&self, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        let d = self.last_axis_check("softmax")?;
         let mut out = Vec::with_capacity(self.len());
         let mut e = vec![T::ZERO; d];
         for lane in self.data().chunks(d) {
@@ -44,6 +66,24 @@ impl<T: MathElement> Tensor<T> {
             }
         }
         Tensor::from_vec(out, self.dims())
+    }
+
+    /// Validates a non-empty last axis for lane-wise kernels.
+    fn last_axis_check(&self, op: &'static str) -> Result<usize> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                got: 0,
+                op,
+            });
+        }
+        let d = self.dims()[self.rank() - 1];
+        if d == 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "{op} over empty axis"
+            )));
+        }
+        Ok(d)
     }
 
     /// Layer normalization over the last axis with affine parameters.
@@ -61,21 +101,50 @@ impl<T: MathElement> Tensor<T> {
         eps: f64,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
-        if self.rank() == 0 {
-            return Err(TensorError::RankMismatch {
-                expected: 1,
-                got: 0,
-                op: "layer_norm",
-            });
-        }
-        let d = self.dims()[self.rank() - 1];
-        if gamma.dims() != [d] || beta.dims() != [d] {
-            return Err(TensorError::ShapeMismatch {
-                lhs: vec![d],
-                rhs: gamma.dims().to_vec(),
-                op: "layer_norm params",
-            });
-        }
+        let d = self.layer_norm_check(gamma, beta)?;
+        let nd = T::from_f64(d as f64);
+        let epsd = T::from_f64(eps);
+        let mut out = vec![T::ZERO; self.len()];
+        let threads = auto_threads(self.len() as u64 * 4);
+        par_bands(&mut out, d, threads, |lane0, band| {
+            let mut centered = vec![T::ZERO; d];
+            let mut sq = vec![T::ZERO; d];
+            for (i, out_lane) in band.chunks_mut(d).enumerate() {
+                let lane = &self.data()[(lane0 + i) * d..(lane0 + i + 1) * d];
+                let mean = cfg.sum(lane) / nd;
+                for ((cen, s), &x) in centered.iter_mut().zip(sq.iter_mut()).zip(lane) {
+                    *cen = x - mean;
+                    *s = *cen * *cen;
+                }
+                let var = cfg.sum(&sq) / nd;
+                let inv = (var + epsd).rsqrt_with(cfg.math);
+                for (((slot, &c), &g), &b) in out_lane
+                    .iter_mut()
+                    .zip(&centered)
+                    .zip(gamma.data())
+                    .zip(beta.data())
+                {
+                    *slot = c * inv * g + b;
+                }
+            }
+        });
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Scalar-oracle layer normalization (single-threaded seed loop); the
+    /// bit-exactness reference for [`Tensor::layer_norm`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::layer_norm`].
+    pub fn layer_norm_reference(
+        &self,
+        gamma: &Tensor<T>,
+        beta: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        let d = self.layer_norm_check(gamma, beta)?;
         let nd = T::from_f64(d as f64);
         let epsd = T::from_f64(eps);
         let mut out = Vec::with_capacity(self.len());
@@ -96,6 +165,19 @@ impl<T: MathElement> Tensor<T> {
         Tensor::from_vec(out, self.dims())
     }
 
+    /// Validates layer-norm parameter shapes; returns the lane width.
+    fn layer_norm_check(&self, gamma: &Tensor<T>, beta: &Tensor<T>) -> Result<usize> {
+        let d = self.last_axis_check("layer_norm")?;
+        if gamma.dims() != [d] || beta.dims() != [d] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![d],
+                rhs: gamma.dims().to_vec(),
+                op: "layer_norm params",
+            });
+        }
+        Ok(d)
+    }
+
     /// RMS normalization over the last axis (no mean subtraction), as used
     /// by Qwen/LLaMA-family models.
     ///
@@ -103,21 +185,41 @@ impl<T: MathElement> Tensor<T> {
     ///
     /// Returns an error for rank-0 input or a parameter shape mismatch.
     pub fn rms_norm(&self, gamma: &Tensor<T>, eps: f64, cfg: &KernelConfig) -> Result<Tensor<T>> {
-        if self.rank() == 0 {
-            return Err(TensorError::RankMismatch {
-                expected: 1,
-                got: 0,
-                op: "rms_norm",
-            });
-        }
-        let d = self.dims()[self.rank() - 1];
-        if gamma.dims() != [d] {
-            return Err(TensorError::ShapeMismatch {
-                lhs: vec![d],
-                rhs: gamma.dims().to_vec(),
-                op: "rms_norm params",
-            });
-        }
+        let d = self.rms_norm_check(gamma)?;
+        let nd = T::from_f64(d as f64);
+        let epsd = T::from_f64(eps);
+        let mut out = vec![T::ZERO; self.len()];
+        let threads = auto_threads(self.len() as u64 * 3);
+        par_bands(&mut out, d, threads, |lane0, band| {
+            let mut sq = vec![T::ZERO; d];
+            for (i, out_lane) in band.chunks_mut(d).enumerate() {
+                let lane = &self.data()[(lane0 + i) * d..(lane0 + i + 1) * d];
+                for (s, &x) in sq.iter_mut().zip(lane) {
+                    *s = x * x;
+                }
+                let ms = cfg.sum(&sq) / nd;
+                let inv = (ms + epsd).rsqrt_with(cfg.math);
+                for ((slot, &x), &g) in out_lane.iter_mut().zip(lane).zip(gamma.data()) {
+                    *slot = x * inv * g;
+                }
+            }
+        });
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Scalar-oracle RMS normalization (single-threaded seed loop); the
+    /// bit-exactness reference for [`Tensor::rms_norm`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Tensor::rms_norm`].
+    pub fn rms_norm_reference(
+        &self,
+        gamma: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+    ) -> Result<Tensor<T>> {
+        let d = self.rms_norm_check(gamma)?;
         let nd = T::from_f64(d as f64);
         let epsd = T::from_f64(eps);
         let mut out = Vec::with_capacity(self.len());
@@ -133,6 +235,19 @@ impl<T: MathElement> Tensor<T> {
             }
         }
         Tensor::from_vec(out, self.dims())
+    }
+
+    /// Validates rms-norm parameter shapes; returns the lane width.
+    fn rms_norm_check(&self, gamma: &Tensor<T>) -> Result<usize> {
+        let d = self.last_axis_check("rms_norm")?;
+        if gamma.dims() != [d] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![d],
+                rhs: gamma.dims().to_vec(),
+                op: "rms_norm params",
+            });
+        }
+        Ok(d)
     }
 
     /// Inference-mode batch normalization over NCHW input using running
@@ -366,6 +481,32 @@ mod tests {
         assert!(x
             .group_norm(3, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 1e-5, &cfg())
             .is_err());
+    }
+
+    #[test]
+    fn parallel_lanes_bits_match_reference_oracle() {
+        use crate::math::MathLib;
+        // Big enough to cross the thread fan-out threshold.
+        let t = Tensor::<f32>::rand_uniform(&[512, 128], -4.0, 4.0, 17);
+        let gamma = Tensor::<f32>::rand_uniform(&[128], 0.5, 1.5, 18);
+        let beta = Tensor::<f32>::rand_uniform(&[128], -0.5, 0.5, 19);
+        let c = KernelConfig {
+            math: MathLib::VariantA,
+            ..cfg()
+        };
+        let bits = |t: &Tensor<f32>| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&t.softmax_last(&c).unwrap()),
+            bits(&t.softmax_last_reference(&c).unwrap())
+        );
+        assert_eq!(
+            bits(&t.layer_norm(&gamma, &beta, 1e-5, &c).unwrap()),
+            bits(&t.layer_norm_reference(&gamma, &beta, 1e-5, &c).unwrap())
+        );
+        assert_eq!(
+            bits(&t.rms_norm(&gamma, 1e-6, &c).unwrap()),
+            bits(&t.rms_norm_reference(&gamma, 1e-6, &c).unwrap())
+        );
     }
 
     #[test]

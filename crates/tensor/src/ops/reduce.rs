@@ -1,8 +1,17 @@
 //! Reductions along axes with pluggable accumulation order.
+//!
+//! Lanes along the reduced axis are independent, so [`Tensor::sum_axis`]
+//! and friends fan output positions over scoped worker threads for large
+//! tensors; each lane is still materialized contiguously and reduced with
+//! the exact single-thread instruction sequence, so results are
+//! bit-identical at every thread count. Whole-tensor reductions
+//! ([`Tensor::sum_all`]) are a single ordered chain and stay serial by
+//! construction.
 
 use crate::accum::KernelConfig;
 use crate::element::Element;
 use crate::error::TensorError;
+use crate::kernel::{auto_threads, par_bands};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -93,7 +102,7 @@ impl<T: Element> Tensor<T> {
     /// axis removed. The lane is materialized contiguously so `f` sees the
     /// elements in canonical axis order (this fixes the reduction order that
     /// the accumulation mode then permutes *internally*).
-    fn reduce_axis(&self, axis: usize, f: impl Fn(&[T]) -> T) -> Result<Tensor<T>> {
+    fn reduce_axis(&self, axis: usize, f: impl Fn(&[T]) -> T + Sync) -> Result<Tensor<T>> {
         let extent = self.shape().dim(axis)?;
         if extent == 0 {
             return Err(TensorError::InvalidArgument(
@@ -103,18 +112,21 @@ impl<T: Element> Tensor<T> {
         let mut out_dims = self.dims().to_vec();
         out_dims.remove(axis);
         let out_shape = Shape::new(&out_dims);
-        let outer: usize = self.dims()[..axis].iter().product();
         let inner: usize = self.dims()[axis + 1..].iter().product();
-        let mut out = Vec::with_capacity(out_shape.volume());
-        let mut lane = vec![T::ZERO; extent];
-        for o in 0..outer {
-            for i in 0..inner {
-                for (k, slot) in lane.iter_mut().enumerate() {
-                    *slot = self.data()[o * extent * inner + k * inner + i];
+        let mut out = vec![T::ZERO; out_shape.volume()];
+        let threads = auto_threads(self.len() as u64);
+        par_bands(&mut out, 1, threads, |pos0, band| {
+            let mut lane = vec![T::ZERO; extent];
+            for (off, slot) in band.iter_mut().enumerate() {
+                // Output position -> (outer, inner) coordinates.
+                let pos = pos0 + off;
+                let (o, i) = (pos / inner.max(1), pos % inner.max(1));
+                for (k, l) in lane.iter_mut().enumerate() {
+                    *l = self.data()[o * extent * inner + k * inner + i];
                 }
-                out.push(f(&lane));
+                *slot = f(&lane);
             }
-        }
+        });
         Tensor::from_vec(out, &out_dims)
     }
 }

@@ -19,14 +19,16 @@ fn main() {
     println!("TAO marketplace simulation\n");
     let cfg = ResNetConfig::small();
     let model = resnet::build(cfg, 2);
-    // 48 calibration samples and alpha = 5: max-envelope thresholds are
-    // max-statistics, and at smaller sample counts / tighter alpha an
-    // honest operator's fresh-input tail can exceed its own tau, which
-    // makes dispute round 0 descend into an honest child and lets the real
-    // cheat walk (see ROADMAP "Threshold coverage at small calibration
-    // scale"). Fraud here sits orders of magnitude above tau either way.
-    let samples = data::image_dataset(48, cfg.in_channels, cfg.image, cfg.classes, 600);
-    let deployment = deploy(model, Fleet::standard(), &samples, 5.0).expect("deployment");
+    // 24 calibration samples and alpha = 3. Max-envelope thresholds are
+    // max-statistics, so at this scale an honest operator's fresh-input
+    // tail can marginally exceed its own tau (exceedance ~1.5); the
+    // dispute game's most-offending-child selection keeps the descent
+    // pointed at the real cheat anyway (its exceedance sits orders of
+    // magnitude higher), which is what let this sim drop the PR 2
+    // workaround of 48 samples + alpha = 5. The honest-coverage sweep
+    // lives in tests/tests/coverage.rs.
+    let samples = data::image_dataset(24, cfg.in_channels, cfg.image, cfg.classes, 600);
+    let deployment = deploy(model, Fleet::standard(), &samples, 3.0).expect("deployment");
 
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().expect("nonempty region");

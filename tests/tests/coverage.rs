@@ -1,0 +1,156 @@
+//! Calibrated-coverage sweep: how honest fresh-input exceedance behaves as
+//! the calibration sample count and the safety factor α vary.
+//!
+//! Max-envelope thresholds are max-statistics: with few calibration
+//! samples an honest operator's fresh-input tail can exceed its own τ
+//! (exceedance just above 1). That bit PR 1 (e2e disputes mislocalized to
+//! honest nodes at 6 samples) and PR 2 (`marketplace_sim`'s round-0
+//! descent walked into an honest child at 24 samples/α=3). This sweep
+//! turns the gotcha into a regression test: coverage must hold at the
+//! documented safe operating point, improve monotonically with samples,
+//! and scale exactly linearly with α.
+
+use tao_calib::{calibrate, error_profile, ThresholdBundle, DEFAULT_EPS};
+use tao_device::Fleet;
+use tao_graph::{execute, Graph, GraphBuilder, OpKind};
+use tao_tensor::Tensor;
+
+const SAMPLE_COUNTS: [usize; 4] = [6, 12, 24, 48];
+const ALPHAS: [f64; 2] = [3.0, 5.0];
+const FRESH_INPUTS: usize = 6;
+
+/// Documented safe operating point (PR 2's `marketplace_sim` workaround):
+/// honest fresh-input exceedance must stay ≤ 1 here.
+const SAFE_SAMPLES: usize = 48;
+const SAFE_ALPHA: f64 = 5.0;
+
+/// A compact model with the reduction families whose cross-device drift
+/// the thresholds must cover: matmul, GELU, linear and softmax.
+fn model() -> Graph {
+    let mut b = GraphBuilder::new(1);
+    let x = b.input(0, "x");
+    let w1 = b.parameter("w1", Tensor::<f32>::rand_uniform(&[48, 32], -0.4, 0.4, 1));
+    let m1 = b.op("m1", OpKind::MatMul, &[x, w1]);
+    let g1 = b.op("g1", OpKind::Gelu, &[m1]);
+    let w2 = b.parameter("w2", Tensor::<f32>::rand_uniform(&[32, 32], -0.4, 0.4, 2));
+    let b2 = b.parameter("b2", Tensor::<f32>::rand_uniform(&[32], -0.1, 0.1, 3));
+    let l2 = b.op("l2", OpKind::Linear, &[g1, w2, b2]);
+    let sm = b.op("sm", OpKind::Softmax, &[l2]);
+    b.finish(vec![sm]).unwrap()
+}
+
+fn sample(seed: u64) -> Vec<Tensor<f32>> {
+    vec![Tensor::<f32>::rand_uniform(&[6, 48], -1.5, 1.5, seed)]
+}
+
+/// Max honest fresh-input exceedance over every thresholded operator,
+/// every ordered device pair, and `FRESH_INPUTS` unseen inputs.
+fn max_fresh_exceedance(g: &Graph, bundle: &ThresholdBundle, fleet: &Fleet) -> f64 {
+    let mut worst = 0.0f64;
+    for s in 0..FRESH_INPUTS as u64 {
+        let input = sample(9_000 + s);
+        let traces: Vec<_> = fleet
+            .devices()
+            .iter()
+            .map(|d| execute(g, &input, d.config(), None).unwrap())
+            .collect();
+        for i in 0..traces.len() {
+            for j in 0..traces.len() {
+                if i == j {
+                    continue;
+                }
+                for op in &bundle.operators {
+                    let prof = error_profile(
+                        &traces[i].values[op.node.0],
+                        &traces[j].values[op.node.0],
+                        DEFAULT_EPS,
+                    );
+                    worst = worst.max(bundle.exceedance(op.node, &prof).unwrap());
+                }
+            }
+        }
+    }
+    worst
+}
+
+#[test]
+fn coverage_sweep_over_sample_counts_and_alpha() {
+    let g = model();
+    let fleet = Fleet::standard();
+    // Nested calibration sets: the n-sample set is a prefix of the
+    // (n+1)-sample set, so envelopes (and thus thresholds) are pointwise
+    // non-decreasing in n and exceedance is exactly non-increasing.
+    let all_samples: Vec<Vec<Tensor<f32>>> = (0..*SAMPLE_COUNTS.iter().max().unwrap() as u64)
+        .map(|i| sample(100 + i))
+        .collect();
+
+    // sweep[(n, α)] -> max honest fresh exceedance.
+    let mut sweep = Vec::new();
+    for &n in &SAMPLE_COUNTS {
+        let record = calibrate(&g, &all_samples[..n], &fleet).unwrap();
+        for &alpha in &ALPHAS {
+            let bundle = record.clone().into_thresholds(alpha);
+            let exc = max_fresh_exceedance(&g, &bundle, &fleet);
+            println!("coverage sweep: samples={n:2} alpha={alpha} max fresh exceedance {exc:.3}");
+            sweep.push((n, alpha, exc));
+        }
+    }
+
+    let exc_at = |n: usize, alpha: f64| {
+        sweep
+            .iter()
+            .find(|&&(sn, sa, _)| sn == n && sa == alpha)
+            .map(|&(_, _, e)| e)
+            .unwrap()
+    };
+
+    // 1. The documented operating point covers honest heterogeneity.
+    let safe = exc_at(SAFE_SAMPLES, SAFE_ALPHA);
+    assert!(
+        safe <= 1.0,
+        "honest fresh-input exceedance {safe:.3} > 1 at the documented \
+         operating point ({SAFE_SAMPLES} samples, alpha={SAFE_ALPHA})"
+    );
+
+    // 2. Exceedance is non-increasing in the (nested) sample count.
+    for &alpha in &ALPHAS {
+        for w in SAMPLE_COUNTS.windows(2) {
+            let (lo, hi) = (exc_at(w[0], alpha), exc_at(w[1], alpha));
+            assert!(
+                hi <= lo * (1.0 + 1e-12),
+                "coverage regressed with more samples at alpha={alpha}: \
+                 {lo:.3} @ {} -> {hi:.3} @ {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    // 3. Thresholds scale linearly with α, so exceedance scales with 1/α.
+    for &n in &SAMPLE_COUNTS {
+        let (e3, e5) = (exc_at(n, 3.0), exc_at(n, 5.0));
+        assert!(
+            (e5 - e3 * 3.0 / 5.0).abs() <= 1e-9 * e3.max(1.0),
+            "alpha scaling broken at {n} samples: {e3:.4} @ alpha 3 vs {e5:.4} @ alpha 5"
+        );
+    }
+}
+
+#[test]
+fn alpha_inflation_never_shrinks_thresholds() {
+    // Structural sanity for the sweep arithmetic: inflating an envelope by
+    // a larger alpha dominates pointwise.
+    let g = model();
+    let samples: Vec<Vec<Tensor<f32>>> = (0..8).map(|i| sample(500 + i)).collect();
+    let record = calibrate(&g, &samples, &Fleet::standard()).unwrap();
+    let b3 = record.clone().into_thresholds(3.0);
+    let b5 = record.into_thresholds(5.0);
+    for (t3, t5) in b3.operators.iter().zip(&b5.operators) {
+        for (a3, a5) in t3.thresholds.abs.iter().zip(&t5.thresholds.abs) {
+            assert!(a5 >= a3);
+        }
+        for (r3, r5) in t3.thresholds.rel.iter().zip(&t5.thresholds.rel) {
+            assert!(r5 >= r3);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Differential kernel-equivalence harness: the blocked/packed/threaded
+//! hot-path kernels must be **bit-identical** to the scalar oracle kernels
+//! for every `KernelConfig` — accumulation order and FMA contraction are
+//! part of the committed numeric contract the TAO protocol verifies, so a
+//! reassociated addition here is a consensus bug, not a speedup.
+//!
+//! Two layers of coverage:
+//!
+//! * exhaustive sweeps over every accumulation mode × FMA setting (and
+//!   intrinsic family for the transcendental-bearing kernels) at fixed
+//!   ragged shapes chosen to cross every block/panel boundary;
+//! * proptests sampling shapes (ragged, batched, broadcast), seeds and
+//!   configurations jointly.
+
+use proptest::prelude::*;
+use tao_tensor::kernel::{gemm, PackedRhs, MAX_KERNEL_THREADS, PANEL};
+use tao_tensor::{AccumMode, Conv2dParams, KernelConfig, MathLib, Tensor};
+
+/// Every accumulation mode × FMA combination the fleet can express,
+/// including block sizes that divide, straddle and exceed the panel width.
+fn all_configs() -> Vec<KernelConfig> {
+    let mut cfgs = Vec::new();
+    for accum in [
+        AccumMode::Sequential,
+        AccumMode::Pairwise,
+        AccumMode::Blocked(1),
+        AccumMode::Blocked(7),
+        AccumMode::Blocked(8),
+        AccumMode::Blocked(32),
+        AccumMode::Blocked(64),
+        AccumMode::Kahan,
+    ] {
+        for fma in [false, true] {
+            cfgs.push(KernelConfig {
+                accum,
+                fma,
+                math: MathLib::Reference,
+            });
+        }
+    }
+    cfgs
+}
+
+fn assert_bits_eq(fast: &Tensor<f32>, slow: &Tensor<f32>, what: &str) {
+    assert_eq!(fast.dims(), slow.dims(), "{what}: dims");
+    for (i, (f, s)) in fast.data().iter().zip(slow.data()).enumerate() {
+        assert_eq!(
+            f.to_bits(),
+            s.to_bits(),
+            "{what}: element {i} blocked {f:e} vs oracle {s:e}"
+        );
+    }
+}
+
+fn bits_eq(fast: &Tensor<f32>, slow: &Tensor<f32>) -> bool {
+    fast.dims() == slow.dims()
+        && fast
+            .data()
+            .iter()
+            .zip(slow.data())
+            .all(|(f, s)| f.to_bits() == s.to_bits())
+}
+
+/// Mixed-magnitude operands: rounding differences between accumulation
+/// orders show up in the last bits, so any reassociation in the blocked
+/// kernels would be caught, not masked by exact arithmetic.
+fn operand(dims: &[usize], seed: u64) -> Tensor<f32> {
+    Tensor::<f32>::rand_uniform(dims, -100.0, 100.0, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive mode × FMA sweeps at boundary-crossing shapes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_every_mode_and_fma_bit_equal() {
+    // k values straddle the Blocked(7/8/32/64) chunk edges and the PANEL
+    // register-tile width; m/n values straddle the panel count.
+    for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (5, 33, 9), (4, 65, 17), (2, 129, 8)] {
+        let a = operand(&[m, k], 1000 + k as u64);
+        let b = operand(&[k, n], 2000 + n as u64);
+        for cfg in all_configs() {
+            let fast = a.matmul(&b, &cfg).unwrap();
+            let slow = a.matmul_reference(&b, &cfg).unwrap();
+            assert_bits_eq(&fast, &slow, &format!("matmul {m}x{k}x{n} {cfg:?}"));
+        }
+    }
+}
+
+#[test]
+fn linear_every_mode_and_fma_bit_equal() {
+    let x = operand(&[3, 4, 33], 31);
+    let w = operand(&[19, 33], 32);
+    let bias = operand(&[19], 33);
+    for cfg in all_configs() {
+        for b in [None, Some(&bias)] {
+            let fast = x.linear(&w, b, &cfg).unwrap();
+            let slow = x.linear_reference(&w, b, &cfg).unwrap();
+            assert_bits_eq(
+                &fast,
+                &slow,
+                &format!("linear bias={} {cfg:?}", b.is_some()),
+            );
+        }
+    }
+}
+
+#[test]
+fn conv2d_every_mode_and_fma_bit_equal() {
+    let x = operand(&[2, 3, 9, 8], 41);
+    let w = operand(&[5, 3, 3, 3], 42);
+    let bias = operand(&[5], 43);
+    let params = Conv2dParams {
+        stride: 2,
+        padding: 1,
+    };
+    for cfg in all_configs() {
+        let fast = x.conv2d(&w, Some(&bias), params, &cfg).unwrap();
+        let slow = x.conv2d_reference(&w, Some(&bias), params, &cfg).unwrap();
+        assert_bits_eq(&fast, &slow, &format!("conv2d {cfg:?}"));
+    }
+}
+
+#[test]
+fn norms_every_mode_fma_and_intrinsic_family_bit_equal() {
+    let x = operand(&[6, 37], 51);
+    let gamma = Tensor::<f32>::rand_uniform(&[37], 0.5, 1.5, 52);
+    let beta = Tensor::<f32>::rand_uniform(&[37], -0.5, 0.5, 53);
+    for mut cfg in all_configs() {
+        for math in [MathLib::Reference, MathLib::VariantA, MathLib::VariantB] {
+            cfg.math = math;
+            assert_bits_eq(
+                &x.softmax_last(&cfg).unwrap(),
+                &x.softmax_last_reference(&cfg).unwrap(),
+                &format!("softmax {cfg:?}"),
+            );
+            assert_bits_eq(
+                &x.layer_norm(&gamma, &beta, 1e-5, &cfg).unwrap(),
+                &x.layer_norm_reference(&gamma, &beta, 1e-5, &cfg).unwrap(),
+                &format!("layer_norm {cfg:?}"),
+            );
+            assert_bits_eq(
+                &x.rms_norm(&gamma, 1e-6, &cfg).unwrap(),
+                &x.rms_norm_reference(&gamma, 1e-6, &cfg).unwrap(),
+                &format!("rms_norm {cfg:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn gemm_thread_count_never_changes_bits() {
+    let (m, k, n) = (23, 77, 29);
+    let a = operand(&[m, k], 61);
+    let b = operand(&[k, n], 62);
+    let packed = PackedRhs::from_row_major(b.data(), k, n);
+    for cfg in all_configs() {
+        let one = gemm(&cfg, a.data(), m, &packed, 1);
+        for threads in [2, 5, MAX_KERNEL_THREADS, 3 * MAX_KERNEL_THREADS] {
+            let many = gemm(&cfg, a.data(), m, &packed, threads);
+            assert!(
+                one.iter()
+                    .zip(&many)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads} {cfg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn large_reductions_cross_the_parallel_threshold_bit_equal() {
+    // 256x256x256 engages row-band threading inside matmul (when the host
+    // has the cores) and the lane fan-out inside softmax/layer_norm; the
+    // oracle is single-threaded either way.
+    let cfg = KernelConfig {
+        accum: AccumMode::Blocked(32),
+        fma: true,
+        math: MathLib::VariantA,
+    };
+    let a = operand(&[256, 256], 71);
+    let b = operand(&[256, 256], 72);
+    assert_bits_eq(
+        &a.matmul(&b, &cfg).unwrap(),
+        &a.matmul_reference(&b, &cfg).unwrap(),
+        "matmul 256^3",
+    );
+    let x = Tensor::<f32>::rand_uniform(&[512, 128], -4.0, 4.0, 73);
+    assert_bits_eq(
+        &x.softmax_last(&cfg).unwrap(),
+        &x.softmax_last_reference(&cfg).unwrap(),
+        "softmax 512x128",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Proptests over joint (shape, seed, config) space.
+// ---------------------------------------------------------------------------
+
+/// Samples one of the full mode × FMA configuration set.
+fn config_strategy() -> impl Strategy<Value = KernelConfig> {
+    let cfgs = all_configs();
+    (0..cfgs.len()).prop_map(move |i| cfgs[i].clone())
+}
+
+proptest! {
+    #[test]
+    fn prop_matmul_ragged_shapes_bit_equal(
+        m in 1usize..24,
+        k in 1usize..150,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        let a = operand(&[m, k], seed);
+        let b = operand(&[k, n], seed ^ 0xabcd);
+        let fast = a.matmul(&b, &cfg).unwrap();
+        let slow = a.matmul_reference(&b, &cfg).unwrap();
+        prop_assert!(bits_eq(&fast, &slow), "matmul {m}x{k}x{n} seed {seed} {cfg:?}");
+    }
+
+    #[test]
+    fn prop_batched_and_broadcast_matmul_bit_equal(
+        batch in 1usize..5,
+        m in 1usize..10,
+        k in 1usize..40,
+        n in 1usize..10,
+        mode in 0usize..3,
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        // mode 0: both batched; 1: rhs broadcast; 2: lhs broadcast.
+        let (a_dims, b_dims): (Vec<usize>, Vec<usize>) = match mode {
+            0 => (vec![batch, m, k], vec![batch, k, n]),
+            1 => (vec![batch, m, k], vec![k, n]),
+            _ => (vec![m, k], vec![batch, k, n]),
+        };
+        let a = operand(&a_dims, seed);
+        let b = operand(&b_dims, seed ^ 0x77);
+        let fast = a.matmul(&b, &cfg).unwrap();
+        let slow = a.matmul_reference(&b, &cfg).unwrap();
+        prop_assert!(
+            bits_eq(&fast, &slow),
+            "batched matmul mode {mode} b={batch} {m}x{k}x{n} {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn prop_linear_bit_equal(
+        rows in 1usize..12,
+        in_f in 1usize..80,
+        out_f in 1usize..20,
+        with_bias in 0usize..2,
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        let x = operand(&[rows, in_f], seed);
+        let w = operand(&[out_f, in_f], seed ^ 0x1111);
+        let b = operand(&[out_f], seed ^ 0x2222);
+        let bias = (with_bias == 1).then_some(&b);
+        let fast = x.linear(&w, bias, &cfg).unwrap();
+        let slow = x.linear_reference(&w, bias, &cfg).unwrap();
+        prop_assert!(bits_eq(&fast, &slow), "linear {rows}x{in_f}->{out_f} {cfg:?}");
+    }
+
+    #[test]
+    fn prop_conv2d_bit_equal(
+        n in 1usize..3,
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        hw in 3usize..9,
+        ks in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        with_bias in 0usize..2,
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        let x = operand(&[n, c_in, hw, hw + 1], seed);
+        let w = operand(&[c_out, c_in, ks, ks], seed ^ 0x3333);
+        let b = operand(&[c_out], seed ^ 0x4444);
+        let bias = (with_bias == 1).then_some(&b);
+        let params = Conv2dParams { stride, padding };
+        let fast = x.conv2d(&w, bias, params, &cfg).unwrap();
+        let slow = x.conv2d_reference(&w, bias, params, &cfg).unwrap();
+        prop_assert!(
+            bits_eq(&fast, &slow),
+            "conv2d n={n} c={c_in}->{c_out} hw={hw} k={ks} s={stride} p={padding} {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn prop_norm_lanes_bit_equal(
+        rows in 1usize..16,
+        d in 1usize..130,
+        math in 0usize..3,
+        seed in 0u64..1_000_000,
+        mut cfg in config_strategy(),
+    ) {
+        cfg.math = [MathLib::Reference, MathLib::VariantA, MathLib::VariantB][math];
+        let x = Tensor::<f32>::rand_uniform(&[rows, d], -6.0, 6.0, seed);
+        let gamma = Tensor::<f32>::rand_uniform(&[d], 0.5, 1.5, seed ^ 0x5555);
+        let beta = Tensor::<f32>::rand_uniform(&[d], -0.5, 0.5, seed ^ 0x6666);
+        prop_assert!(bits_eq(
+            &x.softmax_last(&cfg).unwrap(),
+            &x.softmax_last_reference(&cfg).unwrap(),
+        ), "softmax {rows}x{d} {cfg:?}");
+        prop_assert!(bits_eq(
+            &x.layer_norm(&gamma, &beta, 1e-5, &cfg).unwrap(),
+            &x.layer_norm_reference(&gamma, &beta, 1e-5, &cfg).unwrap(),
+        ), "layer_norm {rows}x{d} {cfg:?}");
+        prop_assert!(bits_eq(
+            &x.rms_norm(&gamma, 1e-6, &cfg).unwrap(),
+            &x.rms_norm_reference(&gamma, 1e-6, &cfg).unwrap(),
+        ), "rms_norm {rows}x{d} {cfg:?}");
+    }
+
+    #[test]
+    fn prop_axis_reductions_bit_equal(
+        d0 in 1usize..8,
+        d1 in 1usize..40,
+        d2 in 1usize..8,
+        axis in 0usize..3,
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        // Oracle: materialize each lane and reduce it with the scalar
+        // `cfg.sum`, exactly as the kernel contract specifies.
+        let t = operand(&[d0, d1, d2], seed);
+        let fast = t.sum_axis(axis, &cfg).unwrap();
+        let dims = [d0, d1, d2];
+        let extent = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        let mut slow = Vec::with_capacity(outer * inner);
+        let mut lane = vec![0f32; extent];
+        for o in 0..outer {
+            for i in 0..inner {
+                for (k, slot) in lane.iter_mut().enumerate() {
+                    *slot = t.data()[o * extent * inner + k * inner + i];
+                }
+                slow.push(cfg.sum(&lane));
+            }
+        }
+        prop_assert!(
+            fast.data().iter().zip(&slow).all(|(f, s)| f.to_bits() == s.to_bits()),
+            "sum_axis {d0}x{d1}x{d2} axis {axis} {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn prop_gemm_panel_tail_and_k_boundaries(
+        k in 1usize..140,
+        n_off in 0usize..(2 * PANEL),
+        seed in 0u64..1_000_000,
+        cfg in config_strategy(),
+    ) {
+        // n deliberately sweeps the panel remainder 0..PANEL-1 twice.
+        let n = 1 + n_off;
+        let a = operand(&[1, k], seed);
+        let b = operand(&[k, n], seed ^ 0x9999);
+        let packed = PackedRhs::from_row_major(b.data(), k, n);
+        let fast = gemm(&cfg, a.data(), 1, &packed, 1);
+        for (col, f) in fast.iter().enumerate() {
+            let col_vals: Vec<f32> = (0..k).map(|kk| b.data()[kk * n + col]).collect();
+            let oracle = cfg.dot(a.data(), &col_vals);
+            prop_assert!(
+                f.to_bits() == oracle.to_bits(),
+                "gemm k={k} n={n} col={col} {cfg:?}"
+            );
+        }
+    }
+}

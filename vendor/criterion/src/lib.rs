@@ -4,12 +4,19 @@
 //! groups with [`Throughput`] and [`BenchmarkId`], and `Bencher::iter`.
 //!
 //! Instead of upstream's statistical analysis it times `sample_size`
-//! batches with `std::time::Instant` and reports min/mean per iteration —
-//! enough to compare kernels locally; not a rigorous estimator. When the
-//! binary is invoked with `--test` (as `cargo test --benches` does), each
-//! benchmark body runs exactly once so benches stay cheap smoke tests.
+//! batches with `std::time::Instant` and reports min/mean/median/stddev
+//! per iteration — enough to compare kernels locally; not a rigorous
+//! estimator. When the binary is invoked with `--test` (as
+//! `cargo test --benches` does), each benchmark body runs exactly once so
+//! benches stay cheap smoke tests.
+//!
+//! For figure-ready data, set `CRITERION_CSV=<path>` in the environment:
+//! every benchmark appends one CSV row
+//! (`id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter`)
+//! to that file, creating it with a header when absent.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -179,21 +186,116 @@ fn run_one<F: FnMut(&mut Bencher)>(
         routine(&mut b);
         samples.push(b.elapsed);
     }
-    let min = samples.iter().min().copied().unwrap_or_default();
-    let total: Duration = samples.iter().sum();
-    let mean = total / sample_size.max(1) as u32;
+    let stats = SampleStats::from_samples(&samples);
     let rate = throughput
         .map(|t| match t {
             Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
                 let gib = n as f64 / (1u64 << 30) as f64;
-                format!("  {:.3} GiB/s", gib / mean.as_secs_f64().max(1e-12))
+                format!("  {:.3} GiB/s", gib / stats.mean.as_secs_f64().max(1e-12))
             }
             Throughput::Elements(n) => {
-                format!("  {:.3e} elem/s", n as f64 / mean.as_secs_f64().max(1e-12))
+                format!(
+                    "  {:.3e} elem/s",
+                    n as f64 / stats.mean.as_secs_f64().max(1e-12)
+                )
             }
         })
         .unwrap_or_default();
-    println!("bench {id:<48} min {:>12?}  mean {:>12?}{rate}", min, mean);
+    println!(
+        "bench {id:<48} min {:>10?}  mean {:>10?}  median {:>10?}  stddev {:>10?}{rate}",
+        stats.min, stats.mean, stats.median, stats.stddev
+    );
+    if let Ok(path) = std::env::var("CRITERION_CSV") {
+        if !path.is_empty() {
+            if let Err(e) = append_csv(&path, id, samples.len(), &stats, throughput) {
+                eprintln!("criterion: CSV export to {path} failed: {e}");
+            }
+        }
+    }
+}
+
+/// Per-iteration summary statistics over the timed samples.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    min: Duration,
+    mean: Duration,
+    median: Duration,
+    stddev: Duration,
+}
+
+impl SampleStats {
+    fn from_samples(samples: &[Duration]) -> Self {
+        let n = samples.len().max(1);
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let total: Duration = samples.iter().sum();
+        let mean = total / n as u32;
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        // Even counts average the two central samples, as upstream does.
+        let median = if sorted.is_empty() {
+            Duration::ZERO
+        } else if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
+        };
+        let mean_s = mean.as_secs_f64();
+        let var = samples
+            .iter()
+            .map(|d| {
+                let diff = d.as_secs_f64() - mean_s;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let stddev = Duration::from_secs_f64(var.sqrt());
+        SampleStats {
+            min,
+            mean,
+            median,
+            stddev,
+        }
+    }
+}
+
+/// Appends one benchmark row to the CSV at `path`, writing the header
+/// first when the file does not exist yet.
+fn append_csv(
+    path: &str,
+    id: &str,
+    samples: usize,
+    stats: &SampleStats,
+    throughput: Option<Throughput>,
+) -> std::io::Result<()> {
+    let exists = std::path::Path::new(path).exists();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if !exists {
+        writeln!(
+            file,
+            "id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter"
+        )?;
+    }
+    let (unit, per_iter) = match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => ("bytes", n),
+        Some(Throughput::Elements(n)) => ("elements", n),
+        None => ("", 0),
+    };
+    writeln!(
+        file,
+        "{},{},{},{},{},{},{},{}",
+        // Commas in ids would shift columns; escape with semicolons.
+        id.replace(',', ";"),
+        samples,
+        stats.min.as_nanos(),
+        stats.mean.as_nanos(),
+        stats.median.as_nanos(),
+        stats.stddev.as_nanos(),
+        unit,
+        per_iter
+    )
 }
 
 /// Declares a benchmark group function, mirroring upstream's two forms:
@@ -239,6 +341,45 @@ mod tests {
             calls += 1;
         });
         assert!(calls >= 1);
+    }
+
+    #[test]
+    fn stats_are_exact_on_known_samples() {
+        let samples = [1u64, 3, 5, 7].map(Duration::from_millis).to_vec();
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.min, Duration::from_millis(1));
+        assert_eq!(stats.mean, Duration::from_millis(4));
+        assert_eq!(stats.median, Duration::from_millis(4));
+        // Population stddev of {1,3,5,7} ms = sqrt(5) ms.
+        let want = 5.0f64.sqrt() * 1e-3;
+        assert!((stats.stddev.as_secs_f64() - want).abs() < 1e-9);
+        let one = SampleStats::from_samples(&[Duration::from_millis(2)]);
+        assert_eq!(one.median, Duration::from_millis(2));
+        assert_eq!(one.stddev, Duration::ZERO);
+    }
+
+    #[test]
+    fn csv_export_appends_with_header() {
+        let dir = std::env::temp_dir().join(format!("criterion-csv-{}", std::process::id()));
+        let path = dir.join("bench.csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let stats = SampleStats::from_samples(&[Duration::from_micros(10)]);
+        let p = path.to_str().unwrap();
+        append_csv(p, "g/one", 1, &stats, Some(Throughput::Elements(64))).unwrap();
+        append_csv(p, "g/t,wo", 1, &stats, None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("id,samples,min_ns"));
+        assert!(lines[1].starts_with("g/one,1,10000,"));
+        assert!(lines[1].ends_with(",elements,64"));
+        assert!(
+            lines[2].starts_with("g/t;wo,"),
+            "comma escaped: {}",
+            lines[2]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
