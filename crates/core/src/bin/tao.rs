@@ -1,8 +1,8 @@
 //! `tao` — command-line driver for the TAO verification pipeline.
 //!
 //! ```text
-//! tao demo [model]          end-to-end honest + malicious session
-//! tao sessions [model]      run a mixed batch concurrently on the scheduler
+//! tao demo [model]              end-to-end honest + malicious session
+//! tao sessions [model] [workers] run a mixed batch concurrently on the scheduler
 //! tao calibrate [model]     run the cross-device calibration and print thresholds
 //! tao commit [model]        print the Phase 0 Merkle roots
 //! tao econ                  print the economic feasibility region
@@ -23,9 +23,10 @@ use tao_tensor::Tensor;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tao <command> [model]\n\
+        "usage: tao <command> [model] [workers]\n\
          commands: demo | sessions | calibrate | commit | econ | models\n\
-         models:   bert (default) | qwen | resnet"
+         models:   bert (default) | qwen | resnet\n\
+         workers:  scheduler pool size for `sessions` (default: host parallelism)"
     );
     std::process::exit(2)
 }
@@ -120,11 +121,18 @@ fn cmd_demo(model: &str) {
     }
 }
 
-fn cmd_sessions(model: &str) {
+fn cmd_sessions(model: &str, workers: Option<usize>) {
     let (deployment, inputs) = build_deployment(model);
     let coordinator = SharedCoordinator::new(default_coordinator().expect("economics feasible"));
+    let scheduler = match workers {
+        Some(n) => Scheduler::with_threads(n),
+        None => Scheduler::new(),
+    };
     let jobs = 6;
-    println!("running {jobs} sessions concurrently (1 cheat) on the scheduler...");
+    println!(
+        "running {jobs} sessions concurrently (1 cheat) on a {}-worker scheduler...",
+        scheduler.threads()
+    );
     let builders: Vec<SessionBuilder> = (0..jobs)
         .map(|i| {
             let b = SessionBuilder::new(&deployment, inputs.clone());
@@ -140,7 +148,7 @@ fn cmd_sessions(model: &str) {
         })
         .collect();
     let start = std::time::Instant::now();
-    let reports = Scheduler::new()
+    let reports = scheduler
         .run(&coordinator, builders)
         .expect("sessions run");
     let secs = start.elapsed().as_secs_f64();
@@ -231,9 +239,15 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cmd = args.get(1).map(String::as_str).unwrap_or("demo");
     let model = args.get(2).map(String::as_str).unwrap_or("bert");
+    let workers = args.get(3).map(|w| {
+        w.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("workers must be a number, got {w:?}");
+            usage()
+        })
+    });
     match cmd {
         "demo" => cmd_demo(model),
-        "sessions" => cmd_sessions(model),
+        "sessions" => cmd_sessions(model, workers),
         "calibrate" => cmd_calibrate(model),
         "commit" => cmd_commit(model),
         "econ" => cmd_econ(),

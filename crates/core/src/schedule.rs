@@ -11,21 +11,33 @@
 //!    so claim ids are assigned deterministically (session `i` gets the
 //!    `i`-th id the coordinator hands out).
 //! 3. **Screen + dispute** (parallel): challenger screening, dispute
-//!    localization and leaf adjudication run concurrently; the coordinator
-//!    is locked only for the brief `open_challenge` call. No session
-//!    advances the clock here, so no claim's challenge window can close
-//!    under a slower session.
-//! 4. **Settle** (serial, in session order): disputed claims settle,
-//!    unchallenged claims' windows elapse, and reports are collected.
+//!    localization and leaf adjudication run concurrently; `open_challenge`
+//!    touches only the claim's own shard. No session advances the clock
+//!    here, so no claim's challenge window can close under a slower
+//!    session.
+//! 4. **Settle** (parallel): disputed claims settle and unchallenged
+//!    claims' windows elapse concurrently — the sharded coordinator makes
+//!    per-claim settlement commutative (per-claim status transitions under
+//!    shard locks, account deltas under ordered ledger locks, the clock an
+//!    atomic monotone counter) — and reports are collected in session
+//!    order.
 //!
 //! Bond arithmetic on the coordinator is a sum of per-event deltas, so the
 //! final balances, claim statuses and per-session reports match a serial
-//! run exactly (see `tests/tests/scheduler.rs` for the equivalence test).
-//! The one behavioral difference is peak escrow: all proposer deposits are
-//! locked at once during phase 2, so accounts must be funded for the sum
-//! of concurrent deposits rather than one at a time.
+//! run exactly (see `tests/tests/scheduler.rs` for the equivalence test
+//! and `tests/tests/coordinator_invariants.rs` for the coordinator-level
+//! proptest). The one behavioral difference is peak escrow: all proposer
+//! deposits are locked at once during phase 2, so accounts must be funded
+//! for the sum of concurrent deposits rather than one at a time.
+//!
+//! The worker pool is configurable up to [`MAX_WORKERS`]. The settle
+//! phase is coordinator-bound and uses the full pool; the compute-bound
+//! phases (prepare, screen + dispute) spawn kernel row-band workers of
+//! their own, so they stay clamped to the kernel-nesting cap
+//! ([`MAX_PAR_THREADS`]) and nested parallelism remains bounded by the
+//! square of that one constant.
 
-use tao_protocol::par::{parallel_map, MAX_PAR_THREADS};
+use tao_protocol::par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
 
 use crate::session::{SessionBuilder, SessionReport, SharedCoordinator};
 use crate::Result;
@@ -43,21 +55,24 @@ impl Default for Scheduler {
 }
 
 impl Scheduler {
-    /// A scheduler sized to the host's available parallelism (capped at
-    /// 8 workers).
+    /// A scheduler sized to the host's available parallelism (bounded by
+    /// [`MAX_WORKERS`]).
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(MAX_PAR_THREADS);
+            .min(MAX_WORKERS);
         Scheduler { threads }
     }
 
-    /// A scheduler with an explicit worker count (at least 1); requests
-    /// beyond [`MAX_PAR_THREADS`] are capped.
+    /// A scheduler with an explicit worker count (at least 1). The old
+    /// 8-worker ceiling is gone — the sharded coordinator settles in
+    /// parallel, so pools up to [`MAX_WORKERS`] are accepted (the
+    /// compute-bound phases internally clamp to [`MAX_PAR_THREADS`] to
+    /// bound nested kernel parallelism).
     pub fn with_threads(threads: usize) -> Self {
         Scheduler {
-            threads: threads.clamp(1, MAX_PAR_THREADS),
+            threads: threads.clamp(1, MAX_WORKERS),
         }
     }
 
@@ -72,32 +87,46 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// Returns the first error (by session order) any phase produced;
-    /// later sessions' claims may be left pending on the coordinator in
-    /// that case.
+    /// Returns the first error (by session order) any phase produced. A
+    /// submission error (phase 2) leaves already-submitted claims pending
+    /// on the coordinator; an error in a parallel phase propagates only
+    /// after that phase completes, so every surviving session has still
+    /// been driven through settlement or finality (the reports are
+    /// discarded with the error).
     pub fn run(
         &self,
         coordinator: &SharedCoordinator,
         sessions: Vec<SessionBuilder>,
     ) -> Result<Vec<SessionReport>> {
+        // Compute-bound phases clamp to the kernel-nesting cap: each
+        // worker's forward passes spawn kernel row-band threads of their
+        // own, and the old 8-worker ceiling existed exactly to bound that
+        // product. Only the coordinator-bound settle phase uses the full
+        // pool.
+        let compute_threads = self.threads.min(MAX_PAR_THREADS);
         // Phase 1 (parallel): proposer forward passes + commitments.
-        let prepared = parallel_map(sessions, self.threads, SessionBuilder::prepare);
+        let prepared = parallel_map(sessions, compute_threads, SessionBuilder::prepare);
         // Phase 2 (serial, in order): deterministic claim-id assignment.
         let mut submitted = Vec::with_capacity(prepared.len());
         for pending in prepared {
             submitted.push(pending?.submit(coordinator)?);
         }
         // Phase 3 (parallel): screening, disputes and leaf adjudication.
-        let resolved = parallel_map(submitted, self.threads, |mut session| -> Result<_> {
+        let resolved = parallel_map(submitted, compute_threads, |mut session| -> Result<_> {
             if session.screen()? {
                 session.dispute(coordinator)?;
             }
             Ok(session)
         });
-        // Phase 4 (serial, in order): settlement and reports.
-        let mut reports = Vec::with_capacity(resolved.len());
-        for session in resolved {
-            reports.push(session?.settle(coordinator)?);
+        // Phase 4 (parallel): settlement. Per-claim settles and clock
+        // advances commute on the sharded coordinator, so reports are
+        // produced concurrently and collected in session order.
+        let settled = parallel_map(resolved, self.threads, |session| -> Result<_> {
+            session?.settle(coordinator)
+        });
+        let mut reports = Vec::with_capacity(settled.len());
+        for report in settled {
+            reports.push(report?);
         }
         Ok(reports)
     }

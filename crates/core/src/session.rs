@@ -18,12 +18,11 @@
 //! [`SessionBuilder::run`] is the one-shot convenience that drives all
 //! phases in order, preserving the behavior of the old free-function API.
 //!
-//! The coordinator is shared behind a lock ([`SharedCoordinator`]): a
-//! session only holds it for the brief claim/challenge/settlement
-//! interactions, never while executing models, so many sessions can make
-//! progress concurrently over one coordinator.
-
-use parking_lot::{Mutex, MutexGuard};
+//! The coordinator is shared through [`SharedCoordinator`]: since the
+//! coordinator became internally sharded (per-claim and per-account lock
+//! shards), sessions on distinct claims never contend at all, and the
+//! handle's [`lock`](SharedCoordinator::lock) accessor survives purely for
+//! migration compatibility — it hands out the coordinator directly.
 
 use tao_bounds::BoundEngine;
 use tao_device::Device;
@@ -87,35 +86,47 @@ impl Default for SessionConfig {
 
 /// A [`Coordinator`] shared across concurrent sessions.
 ///
-/// Sessions lock it only for claim submission, challenge opening and
-/// settlement — never across model executions or dispute rounds — so the
-/// lock is held for microseconds at a time.
+/// The coordinator is internally sharded (per-claim and per-account lock
+/// shards with a deterministic lock order — see `tao-protocol`'s
+/// coordinator docs), so this handle no longer wraps it in a mutex:
+/// sessions on distinct claims proceed with zero contention, and
+/// settlement runs in parallel. [`lock`](Self::lock) is kept as a
+/// migration-compatible accessor from the single-mutex era; it now simply
+/// returns the coordinator, whose methods all take `&self`.
 #[derive(Debug)]
 pub struct SharedCoordinator {
-    inner: Mutex<Coordinator>,
+    inner: Coordinator,
 }
 
 impl SharedCoordinator {
     /// Wraps a coordinator for shared use.
     pub fn new(coordinator: Coordinator) -> Self {
-        SharedCoordinator {
-            inner: Mutex::new(coordinator),
-        }
+        SharedCoordinator { inner: coordinator }
     }
 
-    /// Locks the coordinator for direct interaction.
-    pub fn lock(&self) -> MutexGuard<'_, Coordinator> {
-        self.inner.lock()
+    /// Migration-compatible accessor from the single-mutex era: existing
+    /// `coordinator.lock().method(...)` call sites keep compiling, but no
+    /// global lock is taken — synchronization happens on the coordinator's
+    /// internal shards, **per call**. Unlike the old guard, holding the
+    /// returned reference provides no atomicity across successive method
+    /// calls; prefer [`coordinator`](Self::coordinator) in new code.
+    pub fn lock(&self) -> &Coordinator {
+        &self.inner
+    }
+
+    /// The shared coordinator.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.inner
     }
 
     /// Free (non-escrowed) balance of an account.
     pub fn balance(&self, account: &str) -> f64 {
-        self.lock().balance(account)
+        self.inner.balance(account)
     }
 
     /// Unwraps the coordinator once all sessions are done.
     pub fn into_inner(self) -> Coordinator {
-        self.inner.into_inner()
+        self.inner
     }
 }
 
@@ -300,7 +311,7 @@ impl PendingSession {
     ///
     /// Returns an error when the proposer cannot post its deposit.
     pub fn submit(self, coordinator: &SharedCoordinator) -> Result<Session> {
-        let claim_id = coordinator.lock().submit_claim(
+        let claim_id = coordinator.coordinator().submit_claim(
             &self.cfg.proposer_account,
             self.commitment,
             &self.meta,
@@ -401,7 +412,7 @@ impl Session {
             return Ok(self.dispute.as_ref());
         }
         coordinator
-            .lock()
+            .coordinator()
             .open_challenge(self.claim_id, &self.cfg.challenger_account)?;
         let graph = &self.deployment.model.graph;
         let outcome = run_dispute(
@@ -456,7 +467,7 @@ impl Session {
             ));
         };
         let final_status = {
-            let mut coord = coordinator.lock();
+            let coord = coordinator.coordinator();
             if screening.flagged {
                 let winner = self.winner.ok_or_else(|| {
                     TaoError::Config("settle() requires dispute() on a flagged claim".into())
@@ -465,7 +476,7 @@ impl Session {
             } else {
                 coord.advance(self.cfg.window + 1);
             }
-            coord.claim(self.claim_id)?.status.clone()
+            coord.claim(self.claim_id)?.status
         };
         Ok(SessionReport {
             claim_id: self.claim_id,
@@ -491,7 +502,7 @@ pub fn default_coordinator() -> Result<Coordinator> {
     let (lo, hi) = econ
         .feasible_slash_region()
         .ok_or_else(|| TaoError::Config("default economics infeasible".into()))?;
-    let mut c = Coordinator::new(econ, (lo + hi) / 2.0)?;
+    let c = Coordinator::new(econ, (lo + hi) / 2.0)?;
     c.fund("proposer", 10_000.0);
     c.fund("challenger", 1_000.0);
     Ok(c)

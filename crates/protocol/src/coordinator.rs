@@ -5,12 +5,45 @@
 //! itself only needs tamper-evident commitments, fair timeouts and bond
 //! management, which this in-process coordinator provides with identical
 //! semantics and a deterministic gas ledger.
+//!
+//! # Sharded concurrency
+//!
+//! Since the marketplace's throughput ceiling is the arbiter rather than
+//! the kernels, the coordinator is internally **sharded** instead of
+//! living behind one big lock:
+//!
+//! * claim state lives in [`ClaimShards`] — [`CLAIM_SHARDS`] independent
+//!   locks keyed by `claim_id & (CLAIM_SHARDS - 1)`, with claim ids from
+//!   an atomic counter — so submit/challenge/settle on distinct claims
+//!   never contend;
+//! * account balances live in the sharded [`Ledger`], whose two-account
+//!   transfers take their shard locks in ascending index order;
+//! * the logical clock is an atomic counter; the gas meter and the model
+//!   registry sit behind their own small locks.
+//!
+//! The **lock-ordering rule**: a claim-shard lock may be held while
+//! acquiring account-shard locks (status checks gate money movement), and
+//! account-shard locks are only ever acquired in ascending shard-index
+//! order; the supply and gas locks are only taken with no other lock
+//! held by the same operation. No operation ever acquires a claim lock
+//! while holding an account lock, so the hierarchy is acyclic.
+//!
+//! The contract, enforced differentially by
+//! `tests/tests/coordinator_invariants.rs`: any batch of coordinator
+//! interactions driven in parallel is **observationally equivalent** to
+//! the same batch driven serially through the single-mutex
+//! [`reference::SerialCoordinator`] (same statuses, winners and
+//! balances), and `Σ balances + Σ escrow` always matches the ledger's
+//! injected supply at phase boundaries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use tao_merkle::{ClaimMeta, Digest, ModelCommitment};
 
-use crate::econ::EconParams;
+use crate::econ::{EconParams, Ledger};
 use crate::error::ProtocolError;
 use crate::gas::{self, GasMeter};
 use crate::Result;
@@ -67,18 +100,83 @@ impl Claim {
     }
 }
 
-/// The in-process coordinator.
-#[derive(Debug, Clone)]
+/// Number of claim shards; must be a power of two so the shard index is a
+/// mask of the claim id.
+pub const CLAIM_SHARDS: usize = 16;
+
+/// Claim state split over [`CLAIM_SHARDS`] independent locks, with claim
+/// ids handed out by an atomic counter. Shard `id & (CLAIM_SHARDS - 1)`
+/// owns claim `id`, so operations on distinct claims contend only on a
+/// shard collision. Within a shard, claims sit in a `BTreeMap` so scans
+/// ([`Coordinator::advance`]) visit them in deterministic id order.
+#[derive(Debug)]
+pub struct ClaimShards {
+    shards: Vec<Mutex<BTreeMap<u64, Claim>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for ClaimShards {
+    fn default() -> Self {
+        ClaimShards::new()
+    }
+}
+
+impl ClaimShards {
+    /// Empty shard array.
+    pub fn new() -> Self {
+        ClaimShards {
+            shards: (0..CLAIM_SHARDS).map(|_| Mutex::default()).collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates the next claim id.
+    fn allocate(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shard owning `id`.
+    fn shard(&self, id: u64) -> &Mutex<BTreeMap<u64, Claim>> {
+        &self.shards[(id as usize) & (CLAIM_SHARDS - 1)]
+    }
+
+    /// A snapshot of claim `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown id.
+    pub fn get(&self, id: u64) -> Result<Claim> {
+        self.shard(id)
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(ProtocolError::UnknownClaim(id))
+    }
+
+    /// How many claim ids have been handed out.
+    pub fn len(&self) -> usize {
+        self.next_id.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when no claim was ever posted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The in-process coordinator, internally sharded (see the module docs for
+/// the shard layout and lock-ordering rule). Every method takes `&self`:
+/// the coordinator is shared across worker threads directly, without an
+/// external lock.
+#[derive(Debug)]
 pub struct Coordinator {
-    tick: u64,
-    accounts: HashMap<String, f64>,
-    escrow: HashMap<String, f64>,
-    claims: Vec<Claim>,
-    models: Vec<ModelCommitment>,
+    tick: AtomicU64,
+    ledger: Ledger,
+    claims: ClaimShards,
+    models: Mutex<Vec<ModelCommitment>>,
     econ: EconParams,
     slash: f64,
-    /// Gas ledger for every coordinator interaction.
-    pub gas: GasMeter,
+    gas: Mutex<GasMeter>,
 }
 
 impl Coordinator {
@@ -96,43 +194,61 @@ impl Coordinator {
             )));
         }
         Ok(Coordinator {
-            tick: 0,
-            accounts: HashMap::new(),
-            escrow: HashMap::new(),
-            claims: Vec::new(),
-            models: Vec::new(),
+            tick: AtomicU64::new(0),
+            ledger: Ledger::new(),
+            claims: ClaimShards::new(),
+            models: Mutex::new(Vec::new()),
             econ,
             slash,
-            gas: GasMeter::new(),
+            gas: Mutex::new(GasMeter::new()),
         })
     }
 
     /// Current logical tick (block height).
     pub fn now(&self) -> u64 {
-        self.tick
+        self.tick.load(Ordering::Relaxed)
     }
 
     /// Credits an account.
-    pub fn fund(&mut self, account: &str, amount: f64) {
-        *self.accounts.entry(account.to_string()).or_insert(0.0) += amount;
+    pub fn fund(&self, account: &str, amount: f64) {
+        self.ledger.mint(account, amount);
     }
 
     /// Free (non-escrowed) balance of an account.
     pub fn balance(&self, account: &str) -> f64 {
-        self.accounts.get(account).copied().unwrap_or(0.0)
+        self.ledger.balance(account)
     }
 
     /// Escrowed balance of an account.
     pub fn escrowed(&self, account: &str) -> f64 {
-        self.escrow.get(account).copied().unwrap_or(0.0)
+        self.ledger.escrowed(account)
+    }
+
+    /// The sharded account ledger (conservation accounting lives there).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// A snapshot of the gas ledger.
+    pub fn gas(&self) -> GasMeter {
+        self.gas.lock().clone()
+    }
+
+    fn charge(&self, action: &str, amount: u64) {
+        self.gas.lock().charge(action, amount);
     }
 
     /// Registers a model commitment (Phase 0).
-    pub fn register_model(&mut self, commitment: ModelCommitment) -> usize {
-        self.gas
-            .charge("register_model", gas::G_TX + 3 * gas::G_SSTORE_NEW);
-        self.models.push(commitment);
-        self.models.len() - 1
+    pub fn register_model(&self, commitment: ModelCommitment) -> usize {
+        self.charge("register_model", gas::G_TX + 3 * gas::G_SSTORE_NEW);
+        let mut models = self.models.lock();
+        models.push(commitment);
+        models.len() - 1
+    }
+
+    /// A registered model commitment.
+    pub fn model(&self, idx: usize) -> Option<ModelCommitment> {
+        self.models.lock().get(idx).cloned()
     }
 
     /// The §5.5 randomized-audit channel: deterministically decides (from
@@ -164,182 +280,193 @@ impl Coordinator {
     ///
     /// Returns an error when the claim is not pending or the window
     /// closed.
-    pub fn open_audit(&mut self, id: u64) -> Result<()> {
-        let (deadline, status_ok) = {
-            let claim = self.claim(id)?;
-            (
-                claim.deadline(),
-                matches!(claim.status, ClaimStatus::Pending),
-            )
-        };
-        if !status_ok {
-            return Err(ProtocolError::BadState(format!(
-                "claim #{id} is not pending"
-            )));
+    pub fn open_audit(&self, id: u64) -> Result<()> {
+        let now = self.now();
+        {
+            let mut shard = self.claims.shard(id).lock();
+            let claim = shard.get_mut(&id).ok_or(ProtocolError::UnknownClaim(id))?;
+            if !matches!(claim.status, ClaimStatus::Pending) {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id} is not pending"
+                )));
+            }
+            if now > claim.deadline() {
+                return Err(ProtocolError::WindowClosed {
+                    claim: id,
+                    now,
+                    deadline: claim.deadline(),
+                });
+            }
+            claim.status = ClaimStatus::Disputed {
+                challenger: "audit-committee".to_string(),
+            };
         }
-        if self.tick > deadline {
-            return Err(ProtocolError::WindowClosed {
-                claim: id,
-                now: self.tick,
-                deadline,
-            });
-        }
-        self.gas.charge("open_audit", gas::open_challenge());
-        self.claims[id as usize].status = ClaimStatus::Disputed {
-            challenger: "audit-committee".to_string(),
-        };
+        self.charge("open_audit", gas::open_challenge());
         Ok(())
     }
 
-    /// A registered model commitment.
-    pub fn model(&self, idx: usize) -> Option<&ModelCommitment> {
-        self.models.get(idx)
-    }
-
     /// Posts a claim commitment (Phase 1), escrowing the proposer deposit.
+    /// The claim id is allocated only after the deposit clears, so a
+    /// rejected submission leaves no gap in the id sequence.
     ///
     /// # Errors
     ///
     /// Returns an error when the proposer's balance is below `D_p`.
-    pub fn submit_claim(
-        &mut self,
-        proposer: &str,
-        commitment: Digest,
-        meta: &ClaimMeta,
-    ) -> Result<u64> {
-        self.lock(proposer, self.econ.d_p)?;
-        self.gas.charge("commit_claim", gas::commit_claim());
-        let id = self.claims.len() as u64;
-        self.claims.push(Claim {
+    pub fn submit_claim(&self, proposer: &str, commitment: Digest, meta: &ClaimMeta) -> Result<u64> {
+        self.ledger
+            .reserve(proposer, self.econ.d_p)
+            .map_err(|available| ProtocolError::InsufficientFunds {
+                account: proposer.to_string(),
+                needed: self.econ.d_p,
+                available,
+            })?;
+        self.charge("commit_claim", gas::commit_claim());
+        let id = self.claims.allocate();
+        self.claims.shard(id).lock().insert(
             id,
-            proposer: proposer.to_string(),
-            commitment,
-            posted_at: self.tick,
-            window: meta.challenge_window,
-            status: ClaimStatus::Pending,
-        });
+            Claim {
+                id,
+                proposer: proposer.to_string(),
+                commitment,
+                posted_at: self.now(),
+                window: meta.challenge_window,
+                status: ClaimStatus::Pending,
+            },
+        );
         Ok(id)
     }
 
-    /// A claim by id.
+    /// A snapshot of claim `id`.
     ///
     /// # Errors
     ///
     /// Returns an error for an unknown id.
-    pub fn claim(&self, id: u64) -> Result<&Claim> {
-        self.claims
-            .get(id as usize)
-            .ok_or(ProtocolError::UnknownClaim(id))
+    pub fn claim(&self, id: u64) -> Result<Claim> {
+        self.claims.get(id)
     }
 
     /// Advances the logical clock, finalizing pending claims whose windows
-    /// elapsed. Returns the ids finalized.
-    pub fn advance(&mut self, ticks: u64) -> Vec<u64> {
-        self.tick += ticks;
-        let now = self.tick;
+    /// elapsed. Returns the finalized ids in ascending order. Safe to call
+    /// concurrently: the tick is bumped atomically and each claim's
+    /// Pending → Finalized transition happens under its shard lock, so a
+    /// claim finalizes (and its deposit releases, its reward pays) exactly
+    /// once no matter how many advances race.
+    pub fn advance(&self, ticks: u64) -> Vec<u64> {
+        let now = self.tick.fetch_add(ticks, Ordering::Relaxed) + ticks;
         let mut finalized = Vec::new();
-        let mut releases = Vec::new();
-        for claim in &mut self.claims {
-            if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
-                claim.status = ClaimStatus::Finalized;
-                releases.push((claim.proposer.clone(), claim.id));
+        for shard in &self.claims.shards {
+            let mut shard = shard.lock();
+            for claim in shard.values_mut() {
+                if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
+                    claim.status = ClaimStatus::Finalized;
+                    finalized.push((claim.id, claim.proposer.clone()));
+                }
             }
         }
-        for (proposer, id) in releases {
-            self.release(&proposer, self.econ.d_p);
+        finalized.sort_unstable_by_key(|(id, _)| *id);
+        for (_, proposer) in &finalized {
+            self.ledger.release(proposer, self.econ.d_p);
             // Pay the task reward on finality.
-            self.fund(&proposer, self.econ.r_p);
-            finalized.push(id);
+            self.ledger.mint(proposer, self.econ.r_p);
         }
-        finalized
+        finalized.into_iter().map(|(id, _)| id).collect()
     }
 
     /// Opens a challenge against a pending claim, escrowing `D_ch` and
-    /// freezing the proposer's collateral.
+    /// freezing the proposer's collateral. The status check and the
+    /// deposit reservation happen under the claim's shard lock, so two
+    /// challengers racing for one claim cannot both win.
     ///
     /// # Errors
     ///
     /// Returns an error when the claim is not pending, the window closed,
     /// or the challenger cannot post the deposit.
-    pub fn open_challenge(&mut self, id: u64, challenger: &str) -> Result<()> {
-        let (deadline, status_ok) = {
-            let claim = self.claim(id)?;
-            (
-                claim.deadline(),
-                matches!(claim.status, ClaimStatus::Pending),
-            )
-        };
-        if !status_ok {
-            return Err(ProtocolError::BadState(format!(
-                "claim #{id} is not pending"
-            )));
+    pub fn open_challenge(&self, id: u64, challenger: &str) -> Result<()> {
+        let now = self.now();
+        {
+            let mut shard = self.claims.shard(id).lock();
+            let claim = shard.get_mut(&id).ok_or(ProtocolError::UnknownClaim(id))?;
+            if !matches!(claim.status, ClaimStatus::Pending) {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id} is not pending"
+                )));
+            }
+            if now > claim.deadline() {
+                return Err(ProtocolError::WindowClosed {
+                    claim: id,
+                    now,
+                    deadline: claim.deadline(),
+                });
+            }
+            // Claim-shard → account-shard is the sanctioned lock order.
+            self.ledger
+                .reserve(challenger, self.econ.d_ch)
+                .map_err(|available| ProtocolError::InsufficientFunds {
+                    account: challenger.to_string(),
+                    needed: self.econ.d_ch,
+                    available,
+                })?;
+            claim.status = ClaimStatus::Disputed {
+                challenger: challenger.to_string(),
+            };
         }
-        if self.tick > deadline {
-            return Err(ProtocolError::WindowClosed {
-                claim: id,
-                now: self.tick,
-                deadline,
-            });
-        }
-        self.lock(challenger, self.econ.d_ch)?;
-        self.gas.charge("open_challenge", gas::open_challenge());
-        self.claims[id as usize].status = ClaimStatus::Disputed {
-            challenger: challenger.to_string(),
-        };
+        self.charge("open_challenge", gas::open_challenge());
         Ok(())
     }
 
     /// Settles a disputed claim: the loser is slashed by `S_slash` from
     /// escrow, the winner's deposit is released, and the winner (plus the
-    /// committee, when used) is rewarded per §5.5.
+    /// committee, when used) is rewarded per §5.5. The Disputed → Settled
+    /// transition claims exclusive settlement rights under the claim's
+    /// shard lock before any money moves, so concurrent settles of
+    /// distinct claims — even on overlapping accounts — interleave freely.
     ///
     /// # Errors
     ///
     /// Returns an error when the claim is not disputed.
-    pub fn settle(&mut self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
+    pub fn settle(&self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
         let (proposer, challenger) = {
-            let claim = self.claim(id)?;
+            let mut shard = self.claims.shard(id).lock();
+            let claim = shard.get_mut(&id).ok_or(ProtocolError::UnknownClaim(id))?;
             let ClaimStatus::Disputed { challenger } = &claim.status else {
                 return Err(ProtocolError::BadState(format!(
                     "claim #{id} is not disputed"
                 )));
             };
-            (claim.proposer.clone(), challenger.clone())
+            let pair = (claim.proposer.clone(), challenger.clone());
+            claim.status = ClaimStatus::Settled { winner };
+            pair
         };
-        self.gas.charge("settlement", gas::settlement());
+        self.charge("settlement", gas::settlement());
         match winner {
             Party::Challenger => {
-                // Slash the proposer: challenger share + committee share.
-                let slashed = self.slash.min(self.escrowed(&proposer));
-                self.take_escrow(&proposer, slashed);
-                self.release(
-                    &proposer,
-                    self.escrowed(&proposer).min(self.econ.d_p - slashed),
-                );
-                self.fund(&challenger, self.econ.alpha_ch * slashed);
+                // Slash the proposer; the challenger and committee shares
+                // are re-minted from the burn, the rest stays destroyed.
+                let slashed = self.ledger.burn_escrow(&proposer, self.slash);
+                self.ledger
+                    .release(&proposer, (self.econ.d_p - slashed).max(0.0));
+                self.ledger.mint(&challenger, self.econ.alpha_ch * slashed);
                 if committee_size > 0 {
-                    let cm_total = self.econ.alpha_cm * slashed;
-                    self.fund("committee-pool", cm_total);
-                    let _ = committee_size;
+                    self.ledger
+                        .mint("committee-pool", self.econ.alpha_cm * slashed);
                 }
-                self.release(&challenger, self.econ.d_ch);
+                self.ledger.release(&challenger, self.econ.d_ch);
             }
             Party::Proposer => {
-                // Spam deterrence: the challenger forfeits its deposit.
-                let forfeited = self.econ.d_ch.min(self.escrowed(&challenger));
-                self.take_escrow(&challenger, forfeited);
-                self.fund(&proposer, forfeited);
-                self.release(&proposer, self.econ.d_p);
-                self.fund(&proposer, self.econ.r_p);
+                // Spam deterrence: the challenger forfeits its deposit to
+                // the proposer — an atomic ordered two-account transfer.
+                self.ledger
+                    .escrow_transfer(&challenger, &proposer, self.econ.d_ch);
+                self.ledger.release(&proposer, self.econ.d_p);
+                self.ledger.mint(&proposer, self.econ.r_p);
                 if committee_size > 0 {
-                    self.fund(
+                    self.ledger.mint(
                         "committee-pool",
                         self.econ.committee_fee * committee_size as f64,
                     );
                 }
             }
         }
-        self.claims[id as usize].status = ClaimStatus::Settled { winner };
         Ok(())
     }
 
@@ -349,42 +476,259 @@ impl Coordinator {
     /// # Errors
     ///
     /// Returns an error when the claim is not disputed.
-    pub fn timeout(&mut self, id: u64, absent: Party) -> Result<()> {
+    pub fn timeout(&self, id: u64, absent: Party) -> Result<()> {
         let winner = match absent {
             Party::Proposer => Party::Challenger,
             Party::Challenger => Party::Proposer,
         };
         self.settle(id, winner, 0)
     }
+}
 
-    fn lock(&mut self, account: &str, amount: f64) -> Result<()> {
-        let available = self.balance(account);
-        if available < amount {
-            return Err(ProtocolError::InsufficientFunds {
-                account: account.to_string(),
-                needed: amount,
-                available,
+pub mod reference {
+    //! The single-mutex serial coordinator, kept in-tree permanently as
+    //! the differential oracle for the sharded [`Coordinator`](super::Coordinator) — the same
+    //! idiom as the scalar kernel oracles in `tao-tensor`. Its semantics
+    //! are exactly the pre-sharding (PR 2) arbiter: one struct, `&mut
+    //! self` methods, claims in a `Vec`, balances in two maps. The
+    //! equivalence proptest drives identical batches through both and
+    //! asserts identical statuses, winners and balances.
+
+    use std::collections::HashMap;
+
+    use tao_merkle::{ClaimMeta, Digest};
+
+    use super::{Claim, ClaimStatus, Party};
+    use crate::econ::EconParams;
+    use crate::error::ProtocolError;
+    use crate::gas::{self, GasMeter};
+    use crate::Result;
+
+    /// The pre-sharding coordinator: fully serial, one logical lock.
+    #[derive(Debug, Clone)]
+    pub struct SerialCoordinator {
+        tick: u64,
+        accounts: HashMap<String, f64>,
+        escrow: HashMap<String, f64>,
+        claims: Vec<Claim>,
+        econ: EconParams,
+        slash: f64,
+        /// Gas ledger for every coordinator interaction.
+        pub gas: GasMeter,
+    }
+
+    impl SerialCoordinator {
+        /// Creates a serial coordinator with the given economics.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when `slash` is outside the feasible region.
+        pub fn new(econ: EconParams, slash: f64) -> Result<Self> {
+            if !econ.incentive_compatible(slash) {
+                return Err(ProtocolError::BadState(format!(
+                    "slash {slash} outside feasible region {:?}",
+                    econ.feasible_slash_region()
+                )));
+            }
+            Ok(SerialCoordinator {
+                tick: 0,
+                accounts: HashMap::new(),
+                escrow: HashMap::new(),
+                claims: Vec::new(),
+                econ,
+                slash,
+                gas: GasMeter::new(),
+            })
+        }
+
+        /// Current logical tick.
+        pub fn now(&self) -> u64 {
+            self.tick
+        }
+
+        /// Credits an account.
+        pub fn fund(&mut self, account: &str, amount: f64) {
+            *self.accounts.entry(account.to_string()).or_insert(0.0) += amount;
+        }
+
+        /// Free balance of an account.
+        pub fn balance(&self, account: &str) -> f64 {
+            self.accounts.get(account).copied().unwrap_or(0.0)
+        }
+
+        /// Escrowed balance of an account.
+        pub fn escrowed(&self, account: &str) -> f64 {
+            self.escrow.get(account).copied().unwrap_or(0.0)
+        }
+
+        /// Posts a claim, escrowing the proposer deposit.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the proposer's balance is below `D_p`.
+        pub fn submit_claim(
+            &mut self,
+            proposer: &str,
+            commitment: Digest,
+            meta: &ClaimMeta,
+        ) -> Result<u64> {
+            self.lock(proposer, self.econ.d_p)?;
+            self.gas.charge("commit_claim", gas::commit_claim());
+            let id = self.claims.len() as u64;
+            self.claims.push(Claim {
+                id,
+                proposer: proposer.to_string(),
+                commitment,
+                posted_at: self.tick,
+                window: meta.challenge_window,
+                status: ClaimStatus::Pending,
             });
+            Ok(id)
         }
-        *self.accounts.get_mut(account).expect("checked above") -= amount;
-        *self.escrow.entry(account.to_string()).or_insert(0.0) += amount;
-        Ok(())
-    }
 
-    fn release(&mut self, account: &str, amount: f64) {
-        let held = self.escrowed(account);
-        let amount = amount.min(held);
-        if amount > 0.0 {
-            *self.escrow.get_mut(account).expect("held > 0") -= amount;
-            self.fund(account, amount);
+        /// A claim by id.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error for an unknown id.
+        pub fn claim(&self, id: u64) -> Result<&Claim> {
+            self.claims
+                .get(id as usize)
+                .ok_or(ProtocolError::UnknownClaim(id))
         }
-    }
 
-    fn take_escrow(&mut self, account: &str, amount: f64) {
-        let held = self.escrowed(account);
-        let amount = amount.min(held);
-        if amount > 0.0 {
-            *self.escrow.get_mut(account).expect("held > 0") -= amount;
+        /// Advances the clock, finalizing elapsed pending claims.
+        pub fn advance(&mut self, ticks: u64) -> Vec<u64> {
+            self.tick += ticks;
+            let now = self.tick;
+            let mut finalized = Vec::new();
+            let mut releases = Vec::new();
+            for claim in &mut self.claims {
+                if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
+                    claim.status = ClaimStatus::Finalized;
+                    releases.push((claim.proposer.clone(), claim.id));
+                }
+            }
+            for (proposer, id) in releases {
+                self.release(&proposer, self.econ.d_p);
+                self.fund(&proposer, self.econ.r_p);
+                finalized.push(id);
+            }
+            finalized
+        }
+
+        /// Opens a challenge, escrowing `D_ch`.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the claim is not pending, the window
+        /// closed, or the challenger cannot post the deposit.
+        pub fn open_challenge(&mut self, id: u64, challenger: &str) -> Result<()> {
+            let (deadline, status_ok) = {
+                let claim = self.claim(id)?;
+                (
+                    claim.deadline(),
+                    matches!(claim.status, ClaimStatus::Pending),
+                )
+            };
+            if !status_ok {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id} is not pending"
+                )));
+            }
+            if self.tick > deadline {
+                return Err(ProtocolError::WindowClosed {
+                    claim: id,
+                    now: self.tick,
+                    deadline,
+                });
+            }
+            self.lock(challenger, self.econ.d_ch)?;
+            self.gas.charge("open_challenge", gas::open_challenge());
+            self.claims[id as usize].status = ClaimStatus::Disputed {
+                challenger: challenger.to_string(),
+            };
+            Ok(())
+        }
+
+        /// Settles a disputed claim exactly as PR 2 did.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the claim is not disputed.
+        pub fn settle(&mut self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
+            let (proposer, challenger) = {
+                let claim = self.claim(id)?;
+                let ClaimStatus::Disputed { challenger } = &claim.status else {
+                    return Err(ProtocolError::BadState(format!(
+                        "claim #{id} is not disputed"
+                    )));
+                };
+                (claim.proposer.clone(), challenger.clone())
+            };
+            self.gas.charge("settlement", gas::settlement());
+            match winner {
+                Party::Challenger => {
+                    let slashed = self.slash.min(self.escrowed(&proposer));
+                    self.take_escrow(&proposer, slashed);
+                    self.release(
+                        &proposer,
+                        self.escrowed(&proposer).min(self.econ.d_p - slashed),
+                    );
+                    self.fund(&challenger, self.econ.alpha_ch * slashed);
+                    if committee_size > 0 {
+                        let cm_total = self.econ.alpha_cm * slashed;
+                        self.fund("committee-pool", cm_total);
+                    }
+                    self.release(&challenger, self.econ.d_ch);
+                }
+                Party::Proposer => {
+                    let forfeited = self.econ.d_ch.min(self.escrowed(&challenger));
+                    self.take_escrow(&challenger, forfeited);
+                    self.fund(&proposer, forfeited);
+                    self.release(&proposer, self.econ.d_p);
+                    self.fund(&proposer, self.econ.r_p);
+                    if committee_size > 0 {
+                        self.fund(
+                            "committee-pool",
+                            self.econ.committee_fee * committee_size as f64,
+                        );
+                    }
+                }
+            }
+            self.claims[id as usize].status = ClaimStatus::Settled { winner };
+            Ok(())
+        }
+
+        fn lock(&mut self, account: &str, amount: f64) -> Result<()> {
+            let available = self.balance(account);
+            if available < amount {
+                return Err(ProtocolError::InsufficientFunds {
+                    account: account.to_string(),
+                    needed: amount,
+                    available,
+                });
+            }
+            *self.accounts.get_mut(account).expect("checked above") -= amount;
+            *self.escrow.entry(account.to_string()).or_insert(0.0) += amount;
+            Ok(())
+        }
+
+        fn release(&mut self, account: &str, amount: f64) {
+            let held = self.escrowed(account);
+            let amount = amount.min(held);
+            if amount > 0.0 {
+                *self.escrow.get_mut(account).expect("held > 0") -= amount;
+                self.fund(account, amount);
+            }
+        }
+
+        fn take_escrow(&mut self, account: &str, amount: f64) {
+            let held = self.escrowed(account);
+            let amount = amount.min(held);
+            if amount > 0.0 {
+                *self.escrow.get_mut(account).expect("held > 0") -= amount;
+            }
         }
     }
 }
@@ -414,7 +758,7 @@ mod tests {
 
     #[test]
     fn happy_path_finalizes_and_pays() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
         assert!(matches!(c.claim(id).unwrap().status, ClaimStatus::Pending));
@@ -431,7 +775,7 @@ mod tests {
 
     #[test]
     fn challenge_freezes_and_challenger_win_slashes() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         c.fund("chal", 100.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
@@ -459,7 +803,7 @@ mod tests {
 
     #[test]
     fn proposer_win_takes_challenger_deposit() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         c.fund("chal", 100.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
@@ -474,7 +818,7 @@ mod tests {
 
     #[test]
     fn late_challenge_rejected() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         c.fund("chal", 100.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
@@ -487,17 +831,19 @@ mod tests {
 
     #[test]
     fn insufficient_deposit_rejected() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("poor", 1.0);
         assert!(matches!(
             c.submit_claim("poor", commitment(), &meta()),
             Err(ProtocolError::InsufficientFunds { .. })
         ));
+        // A rejected submission allocates no claim id.
+        assert!(c.claims.is_empty());
     }
 
     #[test]
     fn timeout_loses_dispute() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         c.fund("chal", 100.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
@@ -513,7 +859,7 @@ mod tests {
 
     #[test]
     fn audit_selection_is_deterministic_and_near_phi() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 100_000.0);
         let mut selected = 0;
         let n = 400;
@@ -542,7 +888,7 @@ mod tests {
 
     #[test]
     fn audit_freezes_without_challenger_deposit() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
         let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
         c.open_audit(id).unwrap();
@@ -569,11 +915,109 @@ mod tests {
 
     #[test]
     fn gas_ledger_accumulates() {
-        let mut c = coordinator();
+        let c = coordinator();
         c.fund("prop", 1_000.0);
-        let before = c.gas.total;
+        let before = c.gas().total;
         let _ = c.submit_claim("prop", commitment(), &meta()).unwrap();
-        assert!(c.gas.total > before);
+        assert!(c.gas().total > before);
+    }
+
+    #[test]
+    fn concurrent_submissions_get_unique_dense_ids() {
+        let c = std::sync::Arc::new(coordinator());
+        c.fund("prop", 1_000_000.0);
+        let mut ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let c = c.clone();
+                    scope.spawn(move || {
+                        (0..16)
+                            .map(|i| {
+                                c.submit_claim(
+                                    "prop",
+                                    tao_merkle::sha256(format!("{t}-{i}").as_bytes()),
+                                    &meta(),
+                                )
+                                .unwrap()
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        assert_eq!(ids, (0..128).collect::<Vec<u64>>(), "dense unique ids");
+        // Every deposit is escrowed exactly once.
+        assert!((c.escrowed("prop") - 128.0 * 500.0).abs() < 1e-9);
+        assert!((c.ledger().total_value() - c.ledger().injected()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_settles_on_distinct_claims_match_serial() {
+        // Drive the same 32-claim batch through the sharded coordinator in
+        // parallel and the serial reference oracle; balances must agree.
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        let slash = (lo + hi) / 2.0;
+        let serial = {
+            let mut s = reference::SerialCoordinator::new(econ, slash).unwrap();
+            s.fund("prop", 100_000.0);
+            s.fund("chal", 10_000.0);
+            for i in 0..32u64 {
+                let id = s
+                    .submit_claim("prop", tao_merkle::sha256(&i.to_le_bytes()), &meta())
+                    .unwrap();
+                s.open_challenge(id, "chal").unwrap();
+                let winner = if i % 3 == 0 {
+                    Party::Challenger
+                } else {
+                    Party::Proposer
+                };
+                s.settle(id, winner, 3).unwrap();
+            }
+            s
+        };
+        let c = std::sync::Arc::new(coordinator());
+        c.fund("prop", 100_000.0);
+        c.fund("chal", 10_000.0);
+        let ids: Vec<u64> = (0..32u64)
+            .map(|i| {
+                let id = c
+                    .submit_claim("prop", tao_merkle::sha256(&i.to_le_bytes()), &meta())
+                    .unwrap();
+                c.open_challenge(id, "chal").unwrap();
+                id
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for chunk in ids.chunks(8) {
+                let c = c.clone();
+                let chunk = chunk.to_vec();
+                scope.spawn(move || {
+                    for id in chunk {
+                        let winner = if id % 3 == 0 {
+                            Party::Challenger
+                        } else {
+                            Party::Proposer
+                        };
+                        c.settle(id, winner, 3).unwrap();
+                    }
+                });
+            }
+        });
+        for account in ["prop", "chal", "committee-pool"] {
+            assert!(
+                (serial.balance(account) - c.balance(account)).abs() < 1e-9,
+                "{account}: serial {} vs sharded {}",
+                serial.balance(account),
+                c.balance(account)
+            );
+        }
+        assert!((c.ledger().total_value() - c.ledger().injected()).abs() < 1e-9);
     }
 
     impl Coordinator {

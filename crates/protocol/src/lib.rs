@@ -25,15 +25,18 @@ pub use adjudicate::{
     adjudicate, committee_vote, leaf_case, route, sample_committee, theoretical_check,
     theoretical_verdict, AdjudicationPath, LeafCase, LeafVerdict, VoteOutcome,
 };
-pub use coordinator::{Claim, ClaimStatus, Coordinator, Party};
+pub use coordinator::{
+    reference::SerialCoordinator, Claim, ClaimShards, ClaimStatus, Coordinator, Party,
+    CLAIM_SHARDS,
+};
 pub use dispute::{
     run_dispute, ChallengerView, DisputeAnchors, DisputeConfig, DisputeOutcome, DisputeResult,
     RoundStats,
 };
-pub use econ::EconParams;
+pub use econ::{EconParams, Ledger, ACCOUNT_SHARDS};
 pub use error::ProtocolError;
 pub use gas::GasMeter;
-pub use par::{parallel_map, MAX_PAR_THREADS};
+pub use par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
 pub use record::{make_record, verify_record, SubgraphRecord};
 pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};
 pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};

@@ -1,13 +1,21 @@
 //! Order-preserving scoped-thread fan-out, shared by batch screening and
 //! the `tao` session scheduler.
 
-/// Upper bound on worker threads. Defined as the tensor kernel cap so
-/// protocol-level workers that each trigger kernel row-band workers keep
-/// nested parallelism bounded by the square of one shared constant.
+/// The tensor-kernel thread cap, re-exported for callers that fan out
+/// compute-heavy work: protocol-level workers that each trigger kernel
+/// row-band workers should stay at or below this so nested parallelism is
+/// bounded by the square of one shared constant (batch screening sizes
+/// itself this way).
 pub const MAX_PAR_THREADS: usize = tao_tensor::kernel::MAX_KERNEL_THREADS;
 
+/// Hard upper bound on a worker pool. Coordinator interactions are
+/// lock-shard-bound rather than compute-bound, so pools may usefully
+/// exceed [`MAX_PAR_THREADS`]; this bound only keeps a mistyped request
+/// from spawning thousands of threads.
+pub const MAX_WORKERS: usize = 64;
+
 /// Applies `f` to every item on scoped worker threads, returning results
-/// in item order. `threads` is clamped to `[1, MAX_PAR_THREADS]`; an
+/// in item order. `threads` is clamped to `[1, MAX_WORKERS]`; an
 /// empty input returns an empty vector without spawning.
 pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
@@ -19,7 +27,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = threads.clamp(1, MAX_PAR_THREADS);
+    let threads = threads.clamp(1, MAX_WORKERS);
     let chunk = n.div_ceil(threads);
     let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut out: Vec<Option<U>> = Vec::new();

@@ -4,7 +4,9 @@
 //! scheduler over one shared deployment and coordinator — claim ids and
 //! settlement outcomes are identical to a serial run.
 //!
-//! Run with `cargo run --release -p tao-examples --example marketplace_sim`.
+//! Run with `cargo run --release -p tao-examples --example marketplace_sim`;
+//! pass a worker count as the first argument to size the scheduler pool
+//! (default: host parallelism).
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -34,7 +36,7 @@ fn main() {
     let (lo, hi) = econ.feasible_slash_region().expect("nonempty region");
     let slash = (lo + hi) / 2.0;
     println!("economics: feasible S_slash region ({lo:.1}, {hi:.1}], using {slash:.1}");
-    let mut coordinator = Coordinator::new(econ, slash).expect("feasible");
+    let coordinator = Coordinator::new(econ, slash).expect("feasible");
     // Concurrent sessions escrow all their deposits at once, so accounts
     // are funded for the whole batch up front.
     coordinator.fund("proposer", 50_000.0);
@@ -80,8 +82,13 @@ fn main() {
         builders.push(SessionBuilder::new(&deployment, inputs).behavior(behavior));
     }
 
+    let scheduler = match std::env::args().nth(1) {
+        Some(w) => Scheduler::with_threads(w.parse().expect("worker count")),
+        None => Scheduler::new(),
+    };
+    println!("scheduler pool: {} workers", scheduler.threads());
     let start = std::time::Instant::now();
-    let reports = Scheduler::new()
+    let reports = scheduler
         .run(&coordinator, builders)
         .expect("sessions run");
     let secs = start.elapsed().as_secs_f64();
@@ -119,7 +126,14 @@ fn main() {
     );
     println!(
         "coordinator gas ledger: {:.1} kgas across all interactions",
-        coordinator.lock().gas.kgas()
+        coordinator.lock().gas().kgas()
     );
     assert_eq!(caught, cheated, "every cheat must be caught");
+    // Value conservation: whatever the settlement interleaving, the ledger
+    // balances out against its injected supply.
+    let ledger = coordinator.lock().ledger();
+    assert!(
+        (ledger.total_value() - ledger.injected()).abs() < 1e-9,
+        "ledger conservation violated"
+    );
 }

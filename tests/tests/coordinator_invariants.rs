@@ -1,0 +1,277 @@
+//! Differential concurrency invariants for the sharded coordinator.
+//!
+//! The hard contract of the sharding PR: for any batch of sessions, the
+//! sharded coordinator driven **in parallel** is observationally
+//! equivalent to the pre-sharding single-mutex arbiter
+//! ([`SerialCoordinator`]) driven **serially** — same claim statuses,
+//! same winners, same final balances and escrow — and the ledger
+//! conserves value (`Σ balances + Σ escrow == injected supply`) at every
+//! phase boundary.
+//!
+//! Sessions here are protocol-level abstractions (the expensive
+//! model-level flags/winners equivalence lives in
+//! `tests/tests/scheduler.rs` and `tests/tests/scheduler_stress.rs`,
+//! which drive real forward passes through the same coordinator): a spec
+//! says who proposes, who challenges, and how the session resolves —
+//! honest (finalizes by window elapse), fraud (challenger wins the
+//! dispute), spam (proposer wins and takes the challenger deposit), or
+//! underfunded (the submission itself must bounce, identically on both
+//! paths).
+//!
+//! Worker counts are forced via `TAO_TEST_WORKERS` (CI runs 2, 8 and 32
+//! as a fail-fast step); without it every count is swept. A 60 s
+//! watchdog turns any shard-lock deadlock into a test failure instead of
+//! a hang.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{
+    commitment as tagged_commitment, econ_and_slash, meta, with_deadlock_watchdog, worker_counts,
+    COMMITTEE, WINDOW,
+};
+use proptest::prelude::*;
+use tao_protocol::{parallel_map, ClaimStatus, Coordinator, Party, SerialCoordinator};
+
+const PROPOSERS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+const CHALLENGERS: [&str; 3] = ["eve", "frank", "grace"];
+const PAUPER: &str = "pauper";
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Honest,
+    Fraud,
+    Spam,
+    Underfunded,
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    proposer: &'static str,
+    challenger: &'static str,
+    kind: Kind,
+}
+
+/// Decodes one generated integer into a session spec; 48 codes cover
+/// every (proposer, challenger, kind) combination.
+fn decode(code: usize) -> Spec {
+    let kind = match (code / 12) % 4 {
+        0 => Kind::Honest,
+        1 => Kind::Fraud,
+        2 => Kind::Spam,
+        _ => Kind::Underfunded,
+    };
+    Spec {
+        proposer: if kind == Kind::Underfunded {
+            PAUPER
+        } else {
+            PROPOSERS[code % 4]
+        },
+        challenger: CHALLENGERS[(code / 4) % 3],
+        kind,
+    }
+}
+
+fn fund_serial(c: &mut SerialCoordinator) {
+    for p in PROPOSERS {
+        c.fund(p, 20_000.0);
+    }
+    for ch in CHALLENGERS {
+        c.fund(ch, 10_000.0);
+    }
+    c.fund(PAUPER, 1.0);
+}
+
+fn fund_sharded(c: &Coordinator) {
+    for p in PROPOSERS {
+        c.fund(p, 20_000.0);
+    }
+    for ch in CHALLENGERS {
+        c.fund(ch, 10_000.0);
+    }
+    c.fund(PAUPER, 1.0);
+}
+
+fn commitment(i: usize) -> tao_merkle::Digest {
+    tagged_commitment("claim", i)
+}
+
+/// Every account the batch can touch.
+fn accounts() -> Vec<&'static str> {
+    let mut all: Vec<&str> = PROPOSERS.into_iter().chain(CHALLENGERS).collect();
+    all.push(PAUPER);
+    all.push("committee-pool");
+    all
+}
+
+/// Drives the batch serially through the single-mutex PR 2 oracle,
+/// phase by phase in the scheduler's protocol-event order. Returns the
+/// per-spec claim ids (None when the submission bounced).
+fn run_serial_oracle(specs: &[Spec], oracle: &mut SerialCoordinator) -> Vec<Option<u64>> {
+    let ids: Vec<Option<u64>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| oracle.submit_claim(s.proposer, commitment(i), &meta()).ok())
+        .collect();
+    for (s, id) in specs.iter().zip(&ids) {
+        if let Some(id) = id {
+            if matches!(s.kind, Kind::Fraud | Kind::Spam) {
+                oracle.open_challenge(*id, s.challenger).unwrap();
+            }
+        }
+    }
+    for (s, id) in specs.iter().zip(&ids) {
+        let Some(id) = id else { continue };
+        match s.kind {
+            Kind::Fraud => oracle.settle(*id, Party::Challenger, COMMITTEE).unwrap(),
+            Kind::Spam => oracle.settle(*id, Party::Proposer, COMMITTEE).unwrap(),
+            Kind::Honest => {
+                oracle.advance(WINDOW + 1);
+            }
+            Kind::Underfunded => unreachable!("underfunded submissions bounce"),
+        }
+    }
+    ids
+}
+
+/// Drives the same batch against the sharded coordinator: serial submit
+/// (deterministic ids, as the scheduler does), then parallel challenge
+/// and parallel settle phases on `workers` threads.
+fn run_sharded_parallel(
+    specs: Vec<Spec>,
+    coordinator: Arc<Coordinator>,
+    workers: usize,
+) -> Vec<Option<u64>> {
+    let ids: Vec<Option<u64>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            coordinator
+                .submit_claim(s.proposer, commitment(i), &meta())
+                .ok()
+        })
+        .collect();
+    let jobs: Vec<(Spec, Option<u64>)> = specs.into_iter().zip(ids.iter().copied()).collect();
+    with_deadlock_watchdog(move || {
+        let coord = coordinator.clone();
+        let challenged = parallel_map(jobs, workers, move |(s, id)| {
+            if let Some(id) = id {
+                if matches!(s.kind, Kind::Fraud | Kind::Spam) {
+                    coord.open_challenge(id, s.challenger).unwrap();
+                }
+            }
+            (s, id)
+        });
+        // Phase boundary: every deposit escrowed, nothing settled yet.
+        let ledger = coordinator.ledger();
+        assert!(
+            (ledger.total_value() - ledger.injected()).abs() < 1e-7,
+            "conservation violated after the challenge phase"
+        );
+        let coord = coordinator.clone();
+        parallel_map(challenged, workers, move |(s, id)| {
+            let Some(id) = id else { return };
+            match s.kind {
+                Kind::Fraud => coord.settle(id, Party::Challenger, COMMITTEE).unwrap(),
+                Kind::Spam => coord.settle(id, Party::Proposer, COMMITTEE).unwrap(),
+                Kind::Honest => {
+                    coord.advance(WINDOW + 1);
+                }
+                Kind::Underfunded => unreachable!("underfunded submissions bounce"),
+            }
+        });
+    });
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed batches: sharded-parallel ≡ single-mutex-serial on
+    /// statuses, winners, balances and escrow, at every forced worker
+    /// count, with value conserved at phase boundaries.
+    #[test]
+    fn sharded_parallel_is_equivalent_to_single_mutex_serial(
+        codes in prop::collection::vec(0usize..48, 1..25),
+    ) {
+        let specs: Vec<Spec> = codes.into_iter().map(decode).collect();
+        let (econ, slash) = econ_and_slash();
+
+        let mut oracle = SerialCoordinator::new(econ, slash).unwrap();
+        fund_serial(&mut oracle);
+        let serial_ids = run_serial_oracle(&specs, &mut oracle);
+
+        for workers in worker_counts() {
+            let coordinator = Arc::new(Coordinator::new(econ, slash).unwrap());
+            fund_sharded(&coordinator);
+            let ids = run_sharded_parallel(specs.clone(), coordinator.clone(), workers);
+
+            prop_assert_eq!(&ids, &serial_ids, "claim-id assignment ({workers} workers)");
+            for (i, (spec, id)) in specs.iter().zip(&ids).enumerate() {
+                let Some(id) = id else {
+                    prop_assert_eq!(spec.kind, Kind::Underfunded,
+                        "only underfunded submissions may bounce");
+                    continue;
+                };
+                let status = coordinator.claim(*id).unwrap().status;
+                let expected = match spec.kind {
+                    Kind::Honest => ClaimStatus::Finalized,
+                    Kind::Fraud => ClaimStatus::Settled { winner: Party::Challenger },
+                    Kind::Spam => ClaimStatus::Settled { winner: Party::Proposer },
+                    Kind::Underfunded => unreachable!(),
+                };
+                prop_assert_eq!(&status, &expected, "spec {i} final status");
+                prop_assert_eq!(
+                    &status,
+                    &oracle.claim(*id).unwrap().status,
+                    "spec {i}: sharded vs serial status"
+                );
+            }
+            for account in accounts() {
+                let (serial, sharded) = (oracle.balance(account), coordinator.balance(account));
+                prop_assert!(
+                    (serial - sharded).abs() < 1e-7,
+                    "{account} balance: serial {serial} vs sharded {sharded} ({workers} workers)"
+                );
+                let (serial, sharded) = (oracle.escrowed(account), coordinator.escrowed(account));
+                prop_assert!(
+                    (serial - sharded).abs() < 1e-7,
+                    "{account} escrow: serial {serial} vs sharded {sharded} ({workers} workers)"
+                );
+            }
+            let ledger = coordinator.ledger();
+            prop_assert!(
+                (ledger.total_value() - ledger.injected()).abs() < 1e-7,
+                "conservation after settlement: value {} vs injected {}",
+                ledger.total_value(),
+                ledger.injected()
+            );
+        }
+    }
+}
+
+/// The audit channel goes through the same shard paths as a voluntary
+/// challenge (deposit-free freeze, then settlement); the proptest above
+/// covers challenges exhaustively, this covers the audit transitions and
+/// conservation.
+#[test]
+fn audit_lifecycle_settles_and_conserves_on_shards() {
+    let (econ, slash) = econ_and_slash();
+    let sharded = Coordinator::new(econ, slash).unwrap();
+    sharded.fund("prop", 5_000.0);
+
+    let id = sharded.submit_claim("prop", commitment(0), &meta()).unwrap();
+    sharded.open_audit(id).unwrap();
+    sharded.settle(id, Party::Proposer, COMMITTEE).unwrap();
+    assert!(matches!(
+        sharded.claim(id).unwrap().status,
+        ClaimStatus::Settled { winner: Party::Proposer }
+    ));
+    // Committee fees paid, proposer made whole plus reward.
+    assert!(sharded.balance("committee-pool") > 0.0);
+    assert!(sharded.balance("prop") > 5_000.0);
+    assert!(sharded.escrowed("prop").abs() < 1e-9);
+    let ledger = sharded.ledger();
+    assert!((ledger.total_value() - ledger.injected()).abs() < 1e-9);
+}

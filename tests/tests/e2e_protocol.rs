@@ -190,5 +190,5 @@ fn coordinator_pays_and_slashes_consistently() {
         .unwrap();
     assert!(coord.balance("proposer") < mid);
     assert!(coord.balance("challenger") > c0);
-    assert!(coord.lock().gas.total > 0);
+    assert!(coord.lock().gas().total > 0);
 }

@@ -94,7 +94,7 @@ fn tie_break_rules_make_decoding_deterministic_across_devices() {
 fn randomized_audit_channel_enforces_like_a_challenge() {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().expect("region");
-    let mut coord = Coordinator::new(econ, (lo + hi) / 2.0).expect("feasible");
+    let coord = Coordinator::new(econ, (lo + hi) / 2.0).expect("feasible");
     coord.fund("prop", 10_000.0);
     let meta = ClaimMeta {
         device: "sim-a100".into(),

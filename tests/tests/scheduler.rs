@@ -35,7 +35,7 @@ fn deployment() -> (Deployment, BertConfig) {
 fn coordinator() -> SharedCoordinator {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().unwrap();
-    let mut c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
+    let c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
     c.fund("proposer", 50_000.0);
     c.fund("challenger", 5_000.0);
     SharedCoordinator::new(c)
@@ -88,9 +88,11 @@ fn concurrent_scheduler_is_equivalent_to_serial_execution() {
         .map(|b| b.run(&serial_coord).unwrap())
         .collect();
 
-    // Concurrent run over a fresh coordinator.
+    // Concurrent run over a fresh coordinator, with a pool wider than the
+    // old 8-worker cap so the parallel settle phase is genuinely
+    // concurrent even for this 6-session batch.
     let parallel_coord = coordinator();
-    let parallel = Scheduler::with_threads(4)
+    let parallel = Scheduler::with_threads(12)
         .run(&parallel_coord, builders(&d, cfg))
         .unwrap();
 

@@ -1,7 +1,8 @@
-//! Scheduler stress: a batch of 32 mixed honest/cheating sessions with
-//! more workers requested than the cap allows. Under that contention the
-//! worker cap, the deterministic claim-id assignment and the
-//! serial-equivalence guarantee must all still hold.
+//! Scheduler stress: a batch of 32 mixed honest/cheating sessions on a
+//! 16-worker pool (twice the old 8-worker ceiling, which the sharded
+//! coordinator lifted). Under that contention the pool bound, the
+//! deterministic claim-id assignment and the serial-equivalence guarantee
+//! — now including the **parallel settle phase** — must all still hold.
 
 use tao::{
     deploy, Deployment, ProposerBehavior, Scheduler, SessionBuilder, SessionReport,
@@ -10,7 +11,7 @@ use tao::{
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
 use tao_models::{bert, data, BertConfig};
-use tao_protocol::{ClaimStatus, Coordinator, EconParams, Party, MAX_PAR_THREADS};
+use tao_protocol::{ClaimStatus, Coordinator, EconParams, Party, MAX_PAR_THREADS, MAX_WORKERS};
 use tao_tensor::Tensor;
 
 const JOBS: usize = 32;
@@ -34,7 +35,7 @@ fn deployment() -> (Deployment, BertConfig) {
 fn coordinator() -> SharedCoordinator {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().unwrap();
-    let mut c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
+    let c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
     c.fund("proposer", 500_000.0);
     c.fund("challenger", 50_000.0);
     SharedCoordinator::new(c)
@@ -75,12 +76,16 @@ fn winner_of(report: &SessionReport) -> Option<Party> {
 }
 
 #[test]
-fn worker_cap_is_enforced() {
-    assert_eq!(Scheduler::with_threads(16).threads(), MAX_PAR_THREADS);
-    assert_eq!(Scheduler::with_threads(1_000).threads(), MAX_PAR_THREADS);
+fn worker_pool_is_configurable_beyond_the_old_cap() {
+    // The old 8-worker ceiling (MAX_PAR_THREADS) is lifted: pools size
+    // freely up to MAX_WORKERS, and only degenerate requests clamp.
+    const { assert!(MAX_WORKERS > MAX_PAR_THREADS) };
+    assert_eq!(Scheduler::with_threads(16).threads(), 16);
+    assert_eq!(Scheduler::with_threads(32).threads(), 32);
+    assert_eq!(Scheduler::with_threads(1_000).threads(), MAX_WORKERS);
     assert_eq!(Scheduler::with_threads(0).threads(), 1);
     assert_eq!(Scheduler::with_threads(3).threads(), 3);
-    assert!(Scheduler::new().threads() <= MAX_PAR_THREADS);
+    assert!(Scheduler::new().threads() <= MAX_WORKERS);
 }
 
 #[test]
@@ -94,11 +99,12 @@ fn batch_of_32_under_contention_matches_serial_execution() {
         .map(|b| b.run(&serial_coord).unwrap())
         .collect();
 
-    // Concurrent run requesting 16 workers (capped to 8) over 32 sessions,
-    // so every worker multiplexes several sessions.
+    // Concurrent run on a 16-worker pool — beyond the old 8-worker cap —
+    // over 32 sessions, so every worker still multiplexes sessions and
+    // the settle phase runs 16-wide over the sharded coordinator.
     let parallel_coord = coordinator();
     let scheduler = Scheduler::with_threads(16);
-    assert_eq!(scheduler.threads(), MAX_PAR_THREADS);
+    assert_eq!(scheduler.threads(), 16);
     let parallel = scheduler.run(&parallel_coord, builders(&d, cfg)).unwrap();
 
     assert_eq!(serial.len(), JOBS);
@@ -137,4 +143,12 @@ fn batch_of_32_under_contention_matches_serial_execution() {
         assert!(serial_inner.escrowed(account).abs() < 1e-9);
         assert!(parallel_inner.escrowed(account).abs() < 1e-9);
     }
+    // Ledger conservation after the parallel settle phase.
+    let ledger = parallel_inner.ledger();
+    assert!(
+        (ledger.total_value() - ledger.injected()).abs() < 1e-9,
+        "conservation: value {} vs injected {}",
+        ledger.total_value(),
+        ledger.injected()
+    );
 }

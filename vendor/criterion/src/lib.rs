@@ -6,13 +6,16 @@
 //! Instead of upstream's statistical analysis it times `sample_size`
 //! batches with `std::time::Instant` and reports min/mean/median/stddev
 //! per iteration — enough to compare kernels locally; not a rigorous
-//! estimator. When the binary is invoked with `--test` (as
-//! `cargo test --benches` does), each benchmark body runs exactly once so
-//! benches stay cheap smoke tests.
+//! estimator. Samples outside the Tukey fences (1.5·IQR beyond the
+//! median-split quartiles, upstream's "mild outlier" rule) are rejected
+//! before the statistics are computed — one preempted sample no longer
+//! skews a mean — and the rejected count is reported. When the binary is
+//! invoked with `--test` (as `cargo test --benches` does), each benchmark
+//! body runs exactly once so benches stay cheap smoke tests.
 //!
 //! For figure-ready data, set `CRITERION_CSV=<path>` in the environment:
 //! every benchmark appends one CSV row
-//! (`id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter`)
+//! (`id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter,outliers_rejected`)
 //! to that file, creating it with a header when absent.
 
 use std::fmt::Display;
@@ -201,8 +204,13 @@ fn run_one<F: FnMut(&mut Bencher)>(
             }
         })
         .unwrap_or_default();
+    let rejected = if stats.outliers > 0 {
+        format!("  ({} outliers rejected)", stats.outliers)
+    } else {
+        String::new()
+    };
     println!(
-        "bench {id:<48} min {:>10?}  mean {:>10?}  median {:>10?}  stddev {:>10?}{rate}",
+        "bench {id:<48} min {:>10?}  mean {:>10?}  median {:>10?}  stddev {:>10?}{rate}{rejected}",
         stats.min, stats.mean, stats.median, stats.stddev
     );
     if let Ok(path) = std::env::var("CRITERION_CSV") {
@@ -214,22 +222,59 @@ fn run_one<F: FnMut(&mut Bencher)>(
     }
 }
 
-/// Per-iteration summary statistics over the timed samples.
+/// Per-iteration summary statistics over the timed samples, after Tukey
+/// outlier rejection.
 #[derive(Debug, Clone, Copy)]
 struct SampleStats {
     min: Duration,
     mean: Duration,
     median: Duration,
     stddev: Duration,
+    /// Samples rejected by the Tukey fences before computing the stats.
+    outliers: usize,
+}
+
+/// Median of a sorted f64 slice.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    }
+}
+
+/// Rejects samples outside the Tukey fences `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`
+/// (quartiles by the median-split rule, the middle sample excluded on odd
+/// counts). Fewer than 4 samples have no meaningful quartiles and are kept
+/// verbatim. The kept samples preserve their original order.
+fn tukey_keep(samples: &[Duration]) -> Vec<Duration> {
+    if samples.len() < 4 {
+        return samples.to_vec();
+    }
+    let mut sorted: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let q1 = median_sorted(&sorted[..sorted.len() / 2]);
+    let q3 = median_sorted(&sorted[sorted.len().div_ceil(2)..]);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    samples
+        .iter()
+        .copied()
+        .filter(|d| (lo..=hi).contains(&d.as_secs_f64()))
+        .collect()
 }
 
 impl SampleStats {
     fn from_samples(samples: &[Duration]) -> Self {
-        let n = samples.len().max(1);
-        let min = samples.iter().min().copied().unwrap_or_default();
-        let total: Duration = samples.iter().sum();
+        let kept = tukey_keep(samples);
+        let outliers = samples.len() - kept.len();
+        let n = kept.len().max(1);
+        let min = kept.iter().min().copied().unwrap_or_default();
+        let total: Duration = kept.iter().sum();
         let mean = total / n as u32;
-        let mut sorted: Vec<Duration> = samples.to_vec();
+        let mut sorted: Vec<Duration> = kept.clone();
         sorted.sort_unstable();
         // Even counts average the two central samples, as upstream does.
         let median = if sorted.is_empty() {
@@ -240,7 +285,7 @@ impl SampleStats {
             (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
         };
         let mean_s = mean.as_secs_f64();
-        let var = samples
+        let var = kept
             .iter()
             .map(|d| {
                 let diff = d.as_secs_f64() - mean_s;
@@ -254,6 +299,7 @@ impl SampleStats {
             mean,
             median,
             stddev,
+            outliers,
         }
     }
 }
@@ -275,7 +321,7 @@ fn append_csv(
     if !exists {
         writeln!(
             file,
-            "id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter"
+            "id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter,outliers_rejected"
         )?;
     }
     let (unit, per_iter) = match throughput {
@@ -285,7 +331,7 @@ fn append_csv(
     };
     writeln!(
         file,
-        "{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{}",
         // Commas in ids would shift columns; escape with semicolons.
         id.replace(',', ";"),
         samples,
@@ -294,7 +340,8 @@ fn append_csv(
         stats.median.as_nanos(),
         stats.stddev.as_nanos(),
         unit,
-        per_iter
+        per_iter,
+        stats.outliers
     )
 }
 
@@ -353,9 +400,42 @@ mod tests {
         // Population stddev of {1,3,5,7} ms = sqrt(5) ms.
         let want = 5.0f64.sqrt() * 1e-3;
         assert!((stats.stddev.as_secs_f64() - want).abs() < 1e-9);
+        // {1,3,5,7} sits inside its own Tukey fences [-4 ms, 12 ms].
+        assert_eq!(stats.outliers, 0);
         let one = SampleStats::from_samples(&[Duration::from_millis(2)]);
         assert_eq!(one.median, Duration::from_millis(2));
         assert_eq!(one.stddev, Duration::ZERO);
+        assert_eq!(one.outliers, 0);
+    }
+
+    #[test]
+    fn tukey_fences_reject_planted_outliers() {
+        // One preempted (slow) sample among tight timings: sorted
+        // {10,10,10,11,11,12,100} ms has Q1 = 10, Q3 = 12, IQR = 2, so the
+        // fences are [7 ms, 15 ms] and 100 ms is rejected.
+        let samples = [10u64, 11, 10, 12, 11, 10, 100]
+            .map(Duration::from_millis)
+            .to_vec();
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.min, Duration::from_millis(10));
+        // Mean over the kept {10,11,10,12,11,10} = 64/6 ms, far from the
+        // naive 164/7 ≈ 23.4 ms the outlier would have produced.
+        assert!((stats.mean.as_secs_f64() - 64.0 / 6.0 * 1e-3).abs() < 1e-7);
+        assert_eq!(stats.median, Duration::from_micros(10_500));
+
+        // A low outlier is rejected symmetrically: sorted
+        // {1,99,100,100,101,102} ms has fences [96 ms, 104 ms].
+        let samples = [100u64, 1, 99, 101, 100, 102]
+            .map(Duration::from_millis)
+            .to_vec();
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.min, Duration::from_millis(99), "min is post-rejection");
+
+        // Fewer than 4 samples: no quartiles, keep everything.
+        let tiny = [1u64, 500, 1_000].map(Duration::from_millis).to_vec();
+        assert_eq!(SampleStats::from_samples(&tiny).outliers, 0);
     }
 
     #[test]
@@ -372,8 +452,9 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("id,samples,min_ns"));
+        assert!(lines[0].ends_with(",outliers_rejected"));
         assert!(lines[1].starts_with("g/one,1,10000,"));
-        assert!(lines[1].ends_with(",elements,64"));
+        assert!(lines[1].ends_with(",elements,64,0"));
         assert!(
             lines[2].starts_with("g/t;wo,"),
             "comma escaped: {}",
