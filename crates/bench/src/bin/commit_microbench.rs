@@ -1,0 +1,215 @@
+//! Commitment-layer microbenchmark: multi-way SHA-256 and the streaming,
+//! level-parallel trace committer vs the seed scalar paths.
+//!
+//! Three sections, every timed pair also bit-compared (digests and roots),
+//! so this doubles as a fast regression check of the commitment
+//! equivalence contract (`cargo test --test commit_equiv` is the
+//! exhaustive version):
+//!
+//! 1. **Multi-way SHA-256** — batches of independent messages per
+//!    supported backend (scalar oracle, portable 4/8-lane, AVX2 8-lane,
+//!    SHA-NI) vs the seed scalar hasher.
+//! 2. **Trace commitment** — the headline number: committing a ≥ 1 MiB
+//!    activation trace (leaf hash + tree build) on the fast path vs the
+//!    seed path (materialize canon bytes, scalar SHA-256, serial tree).
+//!    Asserted ≥ 4x outside smoke mode; roots must match bit-for-bit.
+//! 3. **Tree build** — parallel vs serial interior construction over a
+//!    1 MiB leaf set, swept across forced thread counts (bit-identical at
+//!    every count; the speedup column is only interesting on multi-core
+//!    hosts).
+//!
+//! Run with `cargo run --release -p tao-bench --bin commit_microbench`.
+//! Pass `--smoke` for a seconds-scale CI variant. Set
+//! `CRITERION_CSV=<path>` to append figure-ready CSV rows (same schema as
+//! the criterion stub's writer).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use tao_bench::print_table;
+use tao_merkle::{
+    sha256, sha256_batch_with, Backend, MerkleTree, TraceCommitment, MAX_HASH_THREADS,
+};
+use tao_tensor::Tensor;
+
+/// Median wall-clock seconds of `samples` runs of `f` (one warm-up run).
+fn median_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Appends one row in the criterion stub's CSV schema when
+/// `CRITERION_CSV` is set.
+fn export_csv(id: &str, secs: f64, bytes: u64) {
+    let Ok(path) = std::env::var("CRITERION_CSV") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let exists = std::path::Path::new(&path).exists();
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    let Ok(mut file) = file else {
+        eprintln!("commit_microbench: CSV export to {path} failed to open");
+        return;
+    };
+    if !exists {
+        let _ = writeln!(
+            file,
+            "id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter,outliers_rejected"
+        );
+    }
+    let ns = (secs * 1e9) as u128;
+    let _ = writeln!(file, "{},1,{ns},{ns},{ns},0,bytes,{bytes},0", id.replace(',', ";"));
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let backends = Backend::available();
+    println!(
+        "commit_microbench — backends on this host: {}  (auto: {})",
+        backends
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        Backend::auto().name()
+    );
+
+    // --- 1. multi-way SHA-256 over independent messages ------------------
+    let (msg_count, msg_len, samples) = if smoke { (64, 512, 3) } else { (512, 2048, 9) };
+    let msgs: Vec<Vec<u8>> = (0..msg_count)
+        .map(|i| (0..msg_len).map(|j| ((i * 31 + j) % 251) as u8).collect())
+        .collect();
+    let total_bytes = (msg_count * msg_len) as u64;
+    let want: Vec<_> = msgs.iter().map(|m| sha256(m)).collect();
+    let t_scalar = median_secs(samples, || sha256_batch_with(Backend::Scalar, &msgs));
+    let mut rows = Vec::new();
+    for &backend in &backends {
+        let got = sha256_batch_with(backend, &msgs);
+        assert_eq!(got, want, "{backend:?} digests drifted from scalar");
+        let t = median_secs(samples, || sha256_batch_with(backend, &msgs));
+        export_csv(&format!("commit/sha256_batch/{}", backend.name()), t, total_bytes);
+        rows.push(vec![
+            backend.name().to_string(),
+            format!("{:.3}ms", 1e3 * t),
+            format!("{:.2}x", t_scalar / t),
+            format!("{:.2} GiB/s", total_bytes as f64 / t / (1u64 << 30) as f64),
+        ]);
+    }
+    print_table(
+        &format!("Multi-way SHA-256 — {msg_count} messages x {msg_len} B vs scalar oracle"),
+        &["backend", "batch time", "speedup", "throughput"],
+        &rows,
+    );
+
+    // --- 2. the headline: 1 MiB trace commitment -------------------------
+    // 64 activation tensors of [64, 64] f32 = 1 MiB of trace data (plus a
+    // few odd shapes so the lane batcher sees ragged groups).
+    let (tensors, dim) = if smoke { (16, 32) } else { (64, 64) };
+    let values: Vec<Tensor<f32>> = (0..tensors)
+        .map(|i| {
+            if i % 13 == 12 {
+                Tensor::<f32>::rand_uniform(&[dim / 2, dim, 2], -1.0, 1.0, i as u64)
+            } else {
+                Tensor::<f32>::rand_uniform(&[dim, dim], -1.0, 1.0, i as u64)
+            }
+        })
+        .collect();
+    let trace_bytes: u64 = values.iter().map(|t| 4 * t.len() as u64).sum();
+    let oracle = TraceCommitment::reference(&values);
+    let t_seed = median_secs(samples, || TraceCommitment::reference(&values));
+    export_csv("commit/trace_commitment/seed-scalar", t_seed, trace_bytes);
+    let mut rows = Vec::new();
+    let mut auto_speedup = 0.0;
+    for &backend in &backends {
+        let got = TraceCommitment::build_with(&values, backend);
+        assert_eq!(got, oracle, "{backend:?}: trace commitment drifted");
+        assert_eq!(got.root(), oracle.root());
+        let t = median_secs(samples, || TraceCommitment::build_with(&values, backend));
+        if backend == Backend::auto() {
+            auto_speedup = t_seed / t;
+        }
+        export_csv(&format!("commit/trace_commitment/{}", backend.name()), t, trace_bytes);
+        rows.push(vec![
+            backend.name().to_string(),
+            format!("{:.3}ms", 1e3 * t),
+            format!("{:.2}x", t_seed / t),
+            format!("{:.2} GiB/s", trace_bytes as f64 / t / (1u64 << 30) as f64),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Trace commitment — {} KiB trace ({} tensors), leaf hash + tree build vs seed path ({:.3}ms)",
+            trace_bytes / 1024,
+            values.len(),
+            1e3 * t_seed
+        ),
+        &["backend", "commit time", "speedup vs seed", "throughput"],
+        &rows,
+    );
+
+    // --- 3. parallel vs serial tree build over a 1 MiB leaf set ----------
+    let (leaf_count, leaf_len) = if smoke { (2048, 64) } else { (16384, 64) };
+    let leaves: Vec<Vec<u8>> = (0..leaf_count)
+        .map(|i| (0..leaf_len).map(|j| ((i * 7 + j) % 256) as u8).collect())
+        .collect();
+    let tree_oracle = MerkleTree::from_leaves_reference(&leaves);
+    let t_tree_seed = median_secs(samples, || MerkleTree::from_leaves_reference(&leaves));
+    export_csv("commit/tree_build/seed-serial", t_tree_seed, (leaf_count * leaf_len) as u64);
+    let digests = tao_merkle::hash_leaves(Backend::auto(), &leaves);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, MAX_HASH_THREADS] {
+        let got = MerkleTree::from_leaf_digests_with(digests.clone(), Backend::auto(), threads);
+        assert_eq!(
+            got.root(),
+            tree_oracle.root(),
+            "threads={threads}: tree root drifted"
+        );
+        let t = median_secs(samples, || {
+            MerkleTree::from_leaf_digests_with(digests.clone(), Backend::auto(), threads)
+        });
+        export_csv(
+            &format!("commit/tree_build/{}threads", threads),
+            t,
+            (leaf_count * leaf_len) as u64,
+        );
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{:.3}ms", 1e3 * t),
+            format!("{:.2}x vs seed", t_tree_seed / t),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Tree build — {leaf_count} leaves x {leaf_len} B, {} backend, forced thread counts (roots bit-identical; thread speedup needs a multi-core host)",
+            Backend::auto().name()
+        ),
+        &["threads", "interior build", "speedup"],
+        &rows,
+    );
+
+    println!(
+        "\nAll timed pairs bit-compared against the seed scalar paths: OK.\n\
+         Auto-backend 1 MiB trace-commitment speedup vs seed: {auto_speedup:.2}x"
+    );
+    if smoke {
+        println!("(smoke mode: speedup floor not asserted)");
+    } else {
+        assert!(
+            auto_speedup >= 4.0,
+            "trace-commitment speedup {auto_speedup:.2}x fell below the 4x floor"
+        );
+    }
+}

@@ -135,6 +135,43 @@ fn main() {
         &rows,
     );
 
+    // --- multi-thread speed check ----------------------------------------
+    // The row-band threading is bit-identical at every worker count
+    // (kernel_equiv proves that); this guards its *speed*: auto-threads
+    // must never regress below 0.9x the single-thread path. The reference
+    // container is single-core, so the check skips there (with a notice)
+    // and bites on multi-core hosts, where a row-band scheduling
+    // regression would otherwise go unnoticed.
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if avail == 1 {
+        println!(
+            "\nThreaded-speedup check skipped: available_parallelism() == 1 on this host\n\
+             (the row-band path is still bit-compared above; only its speed is unmeasurable here)."
+        );
+    } else {
+        let cfg = KernelConfig::reference();
+        let packed = PackedRhs::from_row_major(b.data(), dim, dim);
+        let auto = tao_tensor::kernel::auto_threads((dim * dim * dim) as u64);
+        let t_st = median_secs(samples, || gemm(&cfg, a.data(), dim, &packed, 1));
+        let t_auto = median_secs(samples, || gemm(&cfg, a.data(), dim, &packed, auto));
+        let ratio = t_st / t_auto;
+        println!(
+            "\nThreaded speedup — {dim}x{dim}x{dim} matmul, {auto} auto-threads on {avail} cores: \
+             {ratio:.2}x vs single-thread"
+        );
+        if smoke {
+            println!("(smoke mode: 0.9x threaded floor not asserted)");
+        } else {
+            assert!(
+                ratio >= 0.9,
+                "blocked auto-threads ({auto} workers) ran at {ratio:.2}x single-thread, \
+                 below the 0.9x floor — row-band threading regressed"
+            );
+        }
+    }
+
     // --- conv2d + norms: the other rewired hot paths --------------------
     let (c, hw) = if smoke { (4, 8) } else { (8, 16) };
     let x = Tensor::<f32>::rand_uniform(&[1, c, hw, hw], -1.0, 1.0, 3);

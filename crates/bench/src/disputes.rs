@@ -4,8 +4,10 @@ use std::time::Instant;
 
 use tao_device::Device;
 use tao_graph::{execute, NodeId, Perturbations};
+use tao_merkle::TraceCommitment;
 use tao_protocol::{
     run_dispute, screen_claim, ChallengerView, ClaimCheck, DisputeConfig, DisputeOutcome,
+    ProposerView,
 };
 use tao_tensor::Tensor;
 
@@ -73,13 +75,16 @@ pub fn run_perturbed_dispute(
     )
     .expect("screening");
     let screen_seconds = screen_start.elapsed().as_secs_f64();
+    // The proposer's trace commitment, built once when the challenge
+    // opens; the descent derives all interface hashes from it.
+    let proposer_commitment = TraceCommitment::build(&trace.values);
     let start = Instant::now();
     let outcome = run_dispute(
         graph,
         w.deployment.dispute_anchors(),
-        &trace,
+        ProposerView::new(&trace).with_commitment(&proposer_commitment),
         input,
-        ChallengerView::with_screening(&challenger, &screening.trace),
+        ChallengerView::from_screening(&challenger, &screening),
         &w.deployment.thresholds,
         DisputeConfig { n_way },
     )
@@ -87,6 +92,10 @@ pub fn run_perturbed_dispute(
     assert_eq!(
         outcome.challenger_forward_passes, 0,
         "bench disputes must reuse the screening trace"
+    );
+    assert_eq!(
+        outcome.rehashed_leaves, 0,
+        "bench disputes must reuse the screening trace's subtree digests"
     );
     TimedDispute {
         outcome,

@@ -27,11 +27,11 @@
 use tao_bounds::BoundEngine;
 use tao_device::Device;
 use tao_graph::{execute, Execution, Perturbations};
-use tao_merkle::{claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest};
+use tao_merkle::{claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest, TraceCommitment};
 use tao_protocol::{
     adjudicate, leaf_case, run_dispute, sample_committee, screen_claim, AdjudicationPath,
     ChallengerView, ClaimCheck, ClaimStatus, Coordinator, DisputeConfig, DisputeOutcome,
-    DisputeResult, LeafVerdict, Party, Screening,
+    DisputeResult, LeafVerdict, Party, ProposerView, Screening,
 };
 use tao_tensor::Tensor;
 
@@ -415,12 +415,17 @@ impl Session {
             .coordinator()
             .open_challenge(self.claim_id, &self.cfg.challenger_account)?;
         let graph = &self.deployment.model.graph;
+        // The proposer commits to its trace (per-node subtree digests)
+        // when the challenge opens; every round's child interface hashes
+        // then re-derive from the cached digests — the dispute rehashes
+        // zero activation tensors (asserted via `rehashed_leaves`).
+        let proposer_commitment = TraceCommitment::build(&self.trace.values);
         let outcome = run_dispute(
             graph,
             self.deployment.dispute_anchors(),
-            &self.trace,
+            ProposerView::new(&self.trace).with_commitment(&proposer_commitment),
             &self.inputs,
-            ChallengerView::with_screening(&self.cfg.challenger, &screening.trace),
+            ChallengerView::from_screening(&self.cfg.challenger, screening),
             &self.deployment.thresholds,
             DisputeConfig {
                 n_way: self.cfg.n_way,

@@ -63,12 +63,33 @@ pub fn execute(
     cfg: &KernelConfig,
     perturb: Option<&Perturbations>,
 ) -> Result<Execution> {
+    execute_with_stats(graph, inputs, cfg, perturb).map(|(exec, _)| exec)
+}
+
+/// [`execute`] plus the executor cost ledger ([`crate::ExecStats`]).
+///
+/// The trace executor keeps every value alive by design (the trace is the
+/// committed artifact), so its peak resident set equals its total; the
+/// interesting counters here are `param_copies` — pinned to 0 by the
+/// `Arc`-sharing contract — and `fresh_allocations`, the baseline the
+/// pooled [`crate::forward`] executor is measured against.
+///
+/// # Errors
+///
+/// Same error conditions as [`execute`].
+pub fn execute_with_stats(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    perturb: Option<&Perturbations>,
+) -> Result<(Execution, crate::ExecStats)> {
     if inputs.len() != graph.num_inputs() {
         return Err(GraphError::InputCount {
             expected: graph.num_inputs(),
             got: inputs.len(),
         });
     }
+    let mut stats = crate::ExecStats::default();
     let mut values: Vec<Tensor<f32>> = Vec::with_capacity(graph.len());
     let mut flops = Vec::with_capacity(graph.len());
     for node in graph.nodes() {
@@ -78,11 +99,47 @@ pub fn execute(
                 out = out.add(delta)?;
             }
         }
+        if let OpKind::Parameter(name) = &node.kind {
+            if !out.shares_buffer(graph.param(name)?) {
+                stats.param_copies += 1;
+            }
+        }
+        if !output_shares_storage(graph, node, inputs, &values, &out) {
+            stats.fresh_allocations += 1;
+        }
         let in_shapes: Vec<_> = node.inputs.iter().map(|&i| values[i.0].shape()).collect();
         flops.push(node.kind.flops(&in_shapes, out.shape()));
         values.push(out);
     }
-    Ok(Execution { values, flops })
+    // The trace keeps every value alive, so the peak resident set is the
+    // final one. Summing after the loop — with every buffer still live —
+    // also makes the pointer-identity dedup exact: no freed address can
+    // have been reused by a later allocation.
+    let mut seen = std::collections::HashSet::new();
+    stats.peak_resident_bytes = values
+        .iter()
+        .filter(|v| seen.insert(v.buffer_id()))
+        .map(|v| (v.len() * core::mem::size_of::<f32>()) as u64)
+        .sum();
+    Ok((Execution { values, flops }, stats))
+}
+
+/// True when `out` aliases the storage of one of `node`'s operands: an
+/// input value, the graph's own parameter tensor, or a graph input. The
+/// shared definition of "not a fresh allocation" for both executors'
+/// [`crate::ExecStats::fresh_allocations`] ledgers.
+pub(crate) fn output_shares_storage(
+    graph: &Graph,
+    node: &Node,
+    inputs: &[Tensor<f32>],
+    values: &[Tensor<f32>],
+    out: &Tensor<f32>,
+) -> bool {
+    node.inputs.iter().any(|&i| out.shares_buffer(&values[i.0]))
+        || matches!(&node.kind, OpKind::Parameter(name)
+            if graph.param(name).map(|p| out.shares_buffer(p)).unwrap_or(false))
+        || matches!(node.kind, OpKind::Input(idx)
+            if inputs.get(idx).map(|t| out.shares_buffer(t)).unwrap_or(false))
 }
 
 /// Evaluates a single node given already-computed predecessor values.

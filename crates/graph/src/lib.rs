@@ -29,14 +29,16 @@ pub mod error;
 pub mod exec;
 pub mod graph;
 pub mod op;
+pub mod pool;
 pub mod subgraph;
 
 pub use autodiff::{backward, Gradients};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use exec::{eval_node, execute, Execution, Perturbations};
+pub use exec::{eval_node, execute, execute_with_stats, Execution, Perturbations};
 pub use graph::{Graph, Node, NodeId};
 pub use op::OpKind;
+pub use pool::{forward, forward_with_stats, BufferPool, ExecStats};
 pub use subgraph::{execute_subgraph, extract, partition, Subgraph};
 
 /// Crate-wide result alias.

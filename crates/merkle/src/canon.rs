@@ -3,44 +3,123 @@
 //! `canon(·)` must be injective over the committed domain: two different
 //! tensors (or operator signatures) must never serialize to the same
 //! bytes. Every variable-length field is therefore length-prefixed.
+//!
+//! Encoders come in two forms with identical output: the materializing
+//! `canon_*` functions (seed behavior, and the differential oracles) and
+//! the streaming `canon_*_sink` versions, which feed the same byte
+//! sequence directly into a [`CanonSink`] — typically a hasher — so the
+//! commitment hot path never allocates a per-leaf buffer.
 
 use tao_graph::Node;
 use tao_tensor::{Element, Tensor};
 
+/// A byte sink for the streaming canonical encoders: an accumulating
+/// `Vec<u8>` (materializing path) or an incremental hasher (the
+/// zero-allocation commitment path).
+pub trait CanonSink {
+    /// Absorbs the next bytes of the canonical encoding.
+    fn put(&mut self, bytes: &[u8]);
+}
+
+impl CanonSink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl CanonSink for crate::sha256::Sha256 {
+    fn put(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
+impl CanonSink for crate::multiway::FastSha256 {
+    fn put(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
 /// Appends a length-prefixed byte string.
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-    out.extend_from_slice(bytes);
+fn put_bytes(out: &mut impl CanonSink, bytes: &[u8]) {
+    out.put(&(bytes.len() as u64).to_le_bytes());
+    out.put(bytes);
 }
 
 /// Appends a length-prefixed UTF-8 string.
-fn put_str(out: &mut Vec<u8>, s: &str) {
+fn put_str(out: &mut impl CanonSink, s: &str) {
     put_bytes(out, s.as_bytes());
+}
+
+/// Streams the canonical little-endian element bytes of `data` into the
+/// sink. On little-endian targets the in-memory representation of the
+/// sealed float element types *is* the canonical encoding, so the whole
+/// slice is fed as one borrow with no conversion buffer.
+pub(crate) fn put_element_bytes<T: Element>(sink: &mut impl CanonSink, data: &[T]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `Element` is sealed to `f32`/`f64`, plain-old-data types
+        // whose little-endian memory layout equals their canonical
+        // `to_le_bytes` encoding on this target.
+        let bytes = unsafe {
+            core::slice::from_raw_parts(data.as_ptr().cast::<u8>(), core::mem::size_of_val(data))
+        };
+        sink.put(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in data {
+        sink.put(&v.to_le_bytes_vec());
+    }
+}
+
+/// Byte length of [`canon_tensor`]'s encoding without materializing it.
+pub fn canon_tensor_len<T: Element>(t: &Tensor<T>) -> usize {
+    8 + T::DTYPE.len() + 8 + 16 * t.rank() + core::mem::size_of::<T>() * t.len()
+}
+
+/// Streams the canonical header (everything before the element bytes):
+/// dtype tag, rank, shape, row-major strides. Identical for equal-shaped
+/// tensors of one element type, which is what lets the trace committer
+/// hash a shape group through the multi-lane compressor.
+pub(crate) fn canon_header_sink<T: Element>(t: &Tensor<T>, sink: &mut impl CanonSink) {
+    put_str(sink, T::DTYPE);
+    sink.put(&(t.rank() as u64).to_le_bytes());
+    for &d in t.dims() {
+        sink.put(&(d as u64).to_le_bytes());
+    }
+    for s in t.shape().strides() {
+        sink.put(&(s as u64).to_le_bytes());
+    }
+}
+
+/// Streams [`canon_tensor`]'s exact byte sequence into `sink` without
+/// allocating: dtype tag, shape, row-major strides, then raw little-endian
+/// element bytes.
+pub fn canon_tensor_sink<T: Element>(t: &Tensor<T>, sink: &mut impl CanonSink) {
+    canon_header_sink(t, sink);
+    put_element_bytes(sink, t.data());
 }
 
 /// Canonical serialization of a tensor: dtype tag, shape, row-major
 /// strides, then raw little-endian element bytes.
 pub fn canon_tensor<T: Element>(t: &Tensor<T>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(t.len() * 4 + 64);
-    put_str(&mut out, T::DTYPE);
-    out.extend_from_slice(&(t.rank() as u64).to_le_bytes());
-    for &d in t.dims() {
-        out.extend_from_slice(&(d as u64).to_le_bytes());
-    }
-    for s in t.shape().strides() {
-        out.extend_from_slice(&(s as u64).to_le_bytes());
-    }
-    for &v in t.data() {
-        out.extend_from_slice(&v.to_le_bytes_vec());
-    }
+    let mut out = Vec::with_capacity(canon_tensor_len(t));
+    canon_tensor_sink(t, &mut out);
     out
+}
+
+/// Streams [`canon_param`]'s exact byte sequence into `sink` without
+/// materializing the tensor encoding (`name`, then the length-prefixed
+/// tensor bytes).
+pub fn canon_param_sink<T: Element>(name: &str, t: &Tensor<T>, sink: &mut impl CanonSink) {
+    put_str(sink, name);
+    sink.put(&(canon_tensor_len(t) as u64).to_le_bytes());
+    canon_tensor_sink(t, sink);
 }
 
 /// Canonical serialization of a named parameter (`name` then tensor).
 pub fn canon_param<T: Element>(name: &str, t: &Tensor<T>) -> Vec<u8> {
     let mut out = Vec::new();
-    put_str(&mut out, name);
-    put_bytes(&mut out, &canon_tensor(t));
+    canon_param_sink(name, t, &mut out);
     out
 }
 

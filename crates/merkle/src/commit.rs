@@ -1,9 +1,20 @@
-//! Model and claim commitments (Phase 0 / Phase 1 artifacts).
+//! Model and claim commitments (Phase 0 / Phase 1 artifacts), plus
+//! [`TraceCommitment`] — per-node digests of an execution trace.
+//!
+//! The commitment hot path is allocation-free: tensors are canonicalized
+//! row-by-row straight into the runtime-dispatched hashers of
+//! [`crate::multiway`] (no per-leaf byte buffers), equal-shaped tensors are
+//! hashed several lanes at a time, and trees build level-parallel. The
+//! seed materializing paths ([`tensor_hash_reference`],
+//! [`TraceCommitment::reference`]) stay in-tree as the differential
+//! oracles and microbenchmark baselines; all digests and roots are
+//! bit-identical by contract.
 
 use tao_graph::Graph;
 use tao_tensor::Tensor;
 
-use crate::canon::{canon_param, canon_signature, canon_tensor};
+use crate::canon::{canon_param, canon_param_sink, canon_signature, canon_tensor, canon_tensor_sink};
+use crate::multiway::{Backend, FastSha256, MultiSha256};
 use crate::sha256::{sha256, Digest, Sha256};
 use crate::tree::{verify_inclusion, InclusionProof, MerkleTree};
 
@@ -48,13 +59,34 @@ pub struct ModelCommitment {
 /// Builds the weight Merkle tree `T_w` (leaves: `canon(name, tensor)` in
 /// lexicographic key order — the state dict is a `BTreeMap`, so iteration
 /// order is already sorted).
+///
+/// Each leaf's canonical bytes stream straight into the hasher (no
+/// per-leaf buffer); bit-identical to [`weight_tree_reference`].
 pub fn weight_tree(graph: &Graph) -> MerkleTree {
+    let backend = Backend::auto();
+    let leaf_digests: Vec<Digest> = graph
+        .params()
+        .iter()
+        .map(|(name, t)| {
+            let mut h = FastSha256::with_backend(backend);
+            h.update(&[crate::tree::LEAF_PREFIX]);
+            canon_param_sink(name, t, &mut h);
+            h.finalize()
+        })
+        .collect();
+    MerkleTree::from_leaf_digests(leaf_digests)
+}
+
+/// Seed construction of `T_w`: materialize every `canon(name, tensor)`
+/// byte string, hash it scalar, build the tree serially. The differential
+/// oracle (and microbenchmark baseline) for [`weight_tree`].
+pub fn weight_tree_reference(graph: &Graph) -> MerkleTree {
     let leaves: Vec<Vec<u8>> = graph
         .params()
         .iter()
         .map(|(name, t)| canon_param(name, t))
         .collect();
-    MerkleTree::from_leaves(&leaves)
+    MerkleTree::from_leaves_reference(&leaves)
 }
 
 /// Builds the graph-structure Merkle tree `T_g` (leaves: `σ(n)` in
@@ -75,8 +107,224 @@ pub fn commit_model<B: AsRef<[u8]>>(graph: &Graph, threshold_leaves: &[B]) -> Mo
 }
 
 /// Hash of a tensor's canonical serialization (`H(x)`, `H(y)`).
+///
+/// Streams the canonical bytes into the fastest supported hasher without
+/// materializing them; bit-identical to [`tensor_hash_reference`].
 pub fn tensor_hash(t: &Tensor<f32>) -> Digest {
+    let mut h = FastSha256::new();
+    canon_tensor_sink(t, &mut h);
+    h.finalize()
+}
+
+/// Seed tensor hash: materialize `canon(t)` and hash it with the scalar
+/// oracle. Kept in-tree as the differential reference for
+/// [`tensor_hash`].
+pub fn tensor_hash_reference(t: &Tensor<f32>) -> Digest {
     sha256(&canon_tensor(t))
+}
+
+/// Per-node digests of an execution trace (one [`tensor_hash`] per traced
+/// value) together with the Merkle tree over them.
+///
+/// This is the commitment a screening or proposer trace carries into a
+/// dispute: child interface hashes (`h_In`/`h_Out`) re-derive from the
+/// cached per-node digests instead of rehashing full activation tensors
+/// every round, and the tree's root is a compact binding of the whole
+/// trace. Equal-shaped tensors are hashed through the multi-way
+/// compressor several lanes at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCommitment {
+    digests: Vec<Digest>,
+    tree: MerkleTree,
+}
+
+impl TraceCommitment {
+    /// Commits a trace on the fastest supported backend.
+    pub fn build(values: &[Tensor<f32>]) -> Self {
+        Self::build_with(values, Backend::auto())
+    }
+
+    /// Commits a trace on a pinned backend (equivalence tests and
+    /// microbenchmarks sweep every supported one).
+    pub fn build_with(values: &[Tensor<f32>], backend: Backend) -> Self {
+        let digests = tensor_digests(values, backend);
+        let leaf_digests = crate::tree::hash_leaves(backend, &digests);
+        // Small levels stay serial inside the builder's work threshold.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(crate::tree::MAX_HASH_THREADS);
+        TraceCommitment {
+            tree: MerkleTree::from_leaf_digests_with(leaf_digests, backend, threads),
+            digests,
+        }
+    }
+
+    /// Seed trace commitment: materialize each tensor's canonical bytes,
+    /// hash them scalar, build the tree serially. The differential oracle
+    /// and the microbenchmark baseline for [`TraceCommitment::build`].
+    pub fn reference(values: &[Tensor<f32>]) -> Self {
+        let digests: Vec<Digest> = values.iter().map(tensor_hash_reference).collect();
+        TraceCommitment {
+            tree: MerkleTree::from_leaves_reference(&digests),
+            digests,
+        }
+    }
+
+    /// The cached digest of node `i`'s value.
+    pub fn digest(&self, i: usize) -> Option<&Digest> {
+        self.digests.get(i)
+    }
+
+    /// All per-node digests, in node order.
+    pub fn digests(&self) -> &[Digest] {
+        &self.digests
+    }
+
+    /// The Merkle tree over the per-node digests.
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+
+    /// Root of the trace tree (the compact trace binding).
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of committed node values.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when no values were committed.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+/// Hashes every tensor's canonical serialization, batching equal-shaped
+/// tensors through the multi-way compressor (their canonical headers and
+/// data lengths are identical, so the lanes stay in lockstep). Equal to
+/// `values.iter().map(tensor_hash)` for any input.
+#[cfg(target_endian = "little")]
+pub fn tensor_digests(values: &[Tensor<f32>], backend: Backend) -> Vec<Digest> {
+    let lanes = backend.lanes();
+    let mut out = vec![[0u8; 32]; values.len()];
+    if lanes <= 1 {
+        for (o, t) in out.iter_mut().zip(values) {
+            let mut h = FastSha256::with_backend(backend);
+            canon_tensor_sink(t, &mut h);
+            *o = h.finalize();
+        }
+        return out;
+    }
+    // Group by shape: identical dims mean identical header bytes and data
+    // lengths, the lockstep precondition for multi-lane hashing.
+    let groups = crate::multiway::group_indices_by(values.len(), |i| values[i].dims());
+    for (dims, idxs) in &groups {
+        // Headers beyond the stack staging buffer (absurd ranks) take the
+        // single-stream path; correctness never depends on batching.
+        let batchable = 27 + 16 * dims.len() <= 512;
+        let mut chunks = idxs.chunks_exact(if batchable { lanes } else { usize::MAX });
+        for chunk in &mut chunks {
+            if lanes == 4 {
+                let batch: [&Tensor<f32>; 4] = std::array::from_fn(|j| &values[chunk[j]]);
+                for (j, d) in tensor_digests_equal(backend, batch).into_iter().enumerate() {
+                    out[chunk[j]] = d;
+                }
+            } else {
+                let batch: [&Tensor<f32>; 8] = std::array::from_fn(|j| &values[chunk[j]]);
+                for (j, d) in tensor_digests_equal(backend, batch).into_iter().enumerate() {
+                    out[chunk[j]] = d;
+                }
+            }
+        }
+        for &i in chunks.remainder() {
+            let mut h = FastSha256::with_backend(backend);
+            canon_tensor_sink(&values[i], &mut h);
+            out[i] = h.finalize();
+        }
+    }
+    out
+}
+
+/// Big-endian fallback: single-stream hashing (the multi-lane lockstep
+/// path relies on the little-endian byte view of the element data).
+#[cfg(not(target_endian = "little"))]
+pub fn tensor_digests(values: &[Tensor<f32>], backend: Backend) -> Vec<Digest> {
+    values
+        .iter()
+        .map(|t| {
+            let mut h = FastSha256::with_backend(backend);
+            canon_tensor_sink(t, &mut h);
+            h.finalize()
+        })
+        .collect()
+}
+
+/// Hashes `N` equal-shaped tensors in one multi-lane pass: the shared
+/// canonical header goes to every lane, then the element bytes advance in
+/// lockstep. The header is staged in a fixed stack buffer, so the whole
+/// pass performs no per-leaf heap allocation.
+#[cfg(target_endian = "little")]
+fn tensor_digests_equal<const N: usize>(
+    backend: Backend,
+    tensors: [&Tensor<f32>; N],
+) -> [Digest; N] {
+    let mut h = MultiSha256::<N>::new(backend);
+    let t0 = tensors[0];
+    let mut header = StackSink::<512>::new();
+    crate::canon::canon_header_sink(t0, &mut header);
+    h.update_all(header.bytes());
+    const CHUNK_ELEMS: usize = 4096;
+    let len = t0.len();
+    let mut off = 0;
+    while off < len {
+        let end = (off + CHUNK_ELEMS).min(len);
+        let parts: [&[u8]; N] = std::array::from_fn(|j| element_bytes(&tensors[j].data()[off..end]));
+        h.update(parts);
+        off = end;
+    }
+    h.finalize()
+}
+
+/// Little-endian byte view of a data slice (the canonical element
+/// encoding on little-endian targets).
+#[cfg(target_endian = "little")]
+fn element_bytes(data: &[f32]) -> &[u8] {
+    // SAFETY: f32 is plain-old-data; its LE memory layout equals the
+    // canonical encoding on this target.
+    unsafe { core::slice::from_raw_parts(data.as_ptr().cast::<u8>(), core::mem::size_of_val(data)) }
+}
+
+/// A fixed-capacity stack byte sink for small canonical fragments
+/// (tensor headers are `19 + 16 * rank` bytes plus the dtype tag).
+#[cfg(target_endian = "little")]
+struct StackSink<const CAP: usize> {
+    buf: [u8; CAP],
+    len: usize,
+}
+
+#[cfg(target_endian = "little")]
+impl<const CAP: usize> StackSink<CAP> {
+    fn new() -> Self {
+        StackSink {
+            buf: [0u8; CAP],
+            len: 0,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+#[cfg(target_endian = "little")]
+impl<const CAP: usize> crate::canon::CanonSink for StackSink<CAP> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
 }
 
 /// Hash of an ordered tensor list (multi-input/multi-output interfaces):
@@ -261,6 +509,47 @@ mod tests {
             let p = tree.prove(node.id.0).unwrap();
             assert!(verify_graph_leaf(&tree.root(), node, &p));
         }
+    }
+
+    #[test]
+    fn streaming_tensor_hash_matches_reference() {
+        for dims in [vec![1], vec![7], vec![3, 5], vec![2, 3, 4], vec![]] {
+            let t = Tensor::<f32>::rand_uniform(&dims, -2.0, 2.0, 9);
+            assert_eq!(tensor_hash(&t), tensor_hash_reference(&t), "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_weight_tree_matches_reference() {
+        let g = model();
+        assert_eq!(weight_tree(&g), weight_tree_reference(&g));
+    }
+
+    #[test]
+    fn trace_commitment_matches_reference_on_every_backend() {
+        let values: Vec<Tensor<f32>> = (0..13)
+            .map(|i| {
+                let dims: &[usize] = match i % 3 {
+                    0 => &[4, 8],
+                    1 => &[4, 8], // same shape: exercises the lane batcher
+                    _ => &[2, 3, 3],
+                };
+                Tensor::<f32>::rand_uniform(dims, -1.0, 1.0, 100 + i)
+            })
+            .collect();
+        let oracle = TraceCommitment::reference(&values);
+        assert_eq!(TraceCommitment::build(&values), oracle);
+        for backend in Backend::available() {
+            let got = TraceCommitment::build_with(&values, backend);
+            assert_eq!(got, oracle, "{backend:?}");
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(got.digest(i), Some(&tensor_hash(v)), "{backend:?} node {i}");
+            }
+        }
+        assert_eq!(oracle.len(), values.len());
+        assert!(!oracle.is_empty());
+        assert_ne!(oracle.root(), sha256(b""));
+        assert!(TraceCommitment::build(&[]).is_empty());
     }
 
     #[test]

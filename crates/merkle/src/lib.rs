@@ -19,13 +19,25 @@
 
 pub mod canon;
 pub mod commit;
+pub mod multiway;
 pub mod sha256;
 pub mod tree;
 
-pub use canon::{canon_param, canon_signature, canon_tensor};
+pub use canon::{
+    canon_param, canon_param_sink, canon_signature, canon_tensor, canon_tensor_len,
+    canon_tensor_sink, CanonSink,
+};
 pub use commit::{
-    claim_commitment, commit_model, graph_tree, inputs_hash, tensor_hash, tensor_list_hash,
-    verify_graph_leaf, verify_weight_leaf, weight_tree, ClaimMeta, ModelCommitment,
+    claim_commitment, commit_model, graph_tree, inputs_hash, tensor_digests, tensor_hash,
+    tensor_hash_reference, tensor_list_hash, verify_graph_leaf, verify_weight_leaf, weight_tree,
+    weight_tree_reference, ClaimMeta, ModelCommitment, TraceCommitment,
+};
+pub use multiway::{
+    sha256_batch, sha256_batch_with, sha256_many_equal, sha256_with, Backend, FastSha256,
+    MultiSha256,
 };
 pub use sha256::{sha256, to_hex, Digest, Sha256};
-pub use tree::{verify_inclusion, verify_inclusion_digest, InclusionProof, MerkleTree};
+pub use tree::{
+    hash_leaves, verify_inclusion, verify_inclusion_digest, InclusionProof, MerkleTree,
+    MAX_HASH_THREADS,
+};

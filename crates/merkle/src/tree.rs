@@ -1,11 +1,29 @@
 //! Merkle trees with domain separation and inclusion proofs.
+//!
+//! Tree construction has two implementations with bit-identical output:
+//! the seed serial builder ([`MerkleTree::from_leaf_digests_reference`]),
+//! kept in-tree permanently as the differential oracle, and the default
+//! fast builder, which hashes interior levels with the multi-way SHA-256
+//! backends of [`crate::multiway`] and fans large levels out over scoped
+//! worker threads. Every interior digest is a pure function of its two
+//! children, so row-banding a level cannot change any bit regardless of
+//! the thread count (the same argument as the tensor kernels' row bands).
 
+use crate::multiway::{sha256_many_equal, sha256_with, Backend};
 use crate::sha256::{sha256, Digest, Sha256};
 
 /// Domain-separation prefix for leaf hashes.
-const LEAF_PREFIX: u8 = 0x00;
+pub(crate) const LEAF_PREFIX: u8 = 0x00;
 /// Domain-separation prefix for interior hashes.
-const NODE_PREFIX: u8 = 0x01;
+pub(crate) const NODE_PREFIX: u8 = 0x01;
+
+/// Upper bound on tree-builder worker threads (matches the kernel cap so
+/// nested parallelism stays bounded).
+pub const MAX_HASH_THREADS: usize = 8;
+
+/// Minimum pair hashes in a level before it fans out to threads; below
+/// this the spawn cost dominates.
+const PAR_MIN_PAIRS: usize = 2048;
 
 /// A binary Merkle tree over a fixed leaf list.
 ///
@@ -29,8 +47,19 @@ pub struct InclusionProof {
 }
 
 impl MerkleTree {
-    /// Builds a tree from raw leaf byte strings.
+    /// Builds a tree from raw leaf byte strings (multi-way leaf hashing,
+    /// level-parallel interior build; bit-identical to
+    /// [`MerkleTree::from_leaves_reference`]).
     pub fn from_leaves<B: AsRef<[u8]>>(leaves: &[B]) -> Self {
+        let backend = Backend::auto();
+        let leaf_digests = hash_leaves(backend, leaves);
+        Self::from_leaf_digests_with(leaf_digests, backend, auto_threads(leaves.len()))
+    }
+
+    /// Seed serial tree construction over raw leaves: scalar leaf hashing
+    /// plus the serial interior builder. The differential oracle (and the
+    /// microbenchmark baseline) for [`MerkleTree::from_leaves`].
+    pub fn from_leaves_reference<B: AsRef<[u8]>>(leaves: &[B]) -> Self {
         let leaf_digests: Vec<Digest> = leaves
             .iter()
             .map(|l| {
@@ -40,12 +69,32 @@ impl MerkleTree {
                 h.finalize()
             })
             .collect();
-        Self::from_leaf_digests(leaf_digests)
+        Self::from_leaf_digests_reference(leaf_digests)
     }
 
     /// Builds a tree from precomputed (already domain-separated) leaf
-    /// digests.
+    /// digests on the fastest supported backend.
     pub fn from_leaf_digests(leaf_digests: Vec<Digest>) -> Self {
+        let threads = auto_threads(leaf_digests.len());
+        Self::from_leaf_digests_with(leaf_digests, Backend::auto(), threads)
+    }
+
+    /// Builds a tree from leaf digests with a pinned hash backend and
+    /// worker count (the equivalence tests sweep both; results are
+    /// independent of `threads`).
+    pub fn from_leaf_digests_with(leaf_digests: Vec<Digest>, backend: Backend, threads: usize) -> Self {
+        let mut levels = vec![leaf_digests];
+        while levels.last().map(|l| l.len() > 1).unwrap_or(false) {
+            let prev = levels.last().expect("non-empty by loop condition");
+            levels.push(level_up(prev, backend, threads));
+        }
+        MerkleTree { levels }
+    }
+
+    /// Seed serial tree construction from leaf digests: one scalar pair
+    /// hash at a time, exactly the pre-optimization loop. Kept in-tree
+    /// permanently as the differential oracle.
+    pub fn from_leaf_digests_reference(leaf_digests: Vec<Digest>) -> Self {
         let mut levels = vec![leaf_digests];
         while levels.last().map(|l| l.len() > 1).unwrap_or(false) {
             let prev = levels.last().expect("non-empty by loop condition");
@@ -113,6 +162,137 @@ fn hash_pair(l: &Digest, r: &Digest) -> Digest {
     h.finalize()
 }
 
+/// Worker count for a level of `pairs` pair hashes.
+fn auto_threads(pairs: usize) -> usize {
+    if pairs < PAR_MIN_PAIRS {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_HASH_THREADS)
+}
+
+/// The 65-byte interior-node message `NODE_PREFIX || l || r` on the stack.
+#[inline]
+fn pair_message(l: &Digest, r: &Digest) -> [u8; 65] {
+    let mut msg = [0u8; 65];
+    msg[0] = NODE_PREFIX;
+    msg[1..33].copy_from_slice(l);
+    msg[33..65].copy_from_slice(r);
+    msg
+}
+
+/// Fills `out[o]` with the parent of leaves `2(o0+o)` and `2(o0+o)+1` of
+/// `prev` for every `o`, batching full pairs through the multi-way
+/// compressor `backend.lanes()` at a time. Pure per-output, so any band
+/// decomposition yields identical digests.
+fn fill_parents(backend: Backend, prev: &[Digest], o0: usize, out: &mut [Digest]) {
+    let lanes = backend.lanes().max(1);
+    let mut o = 0;
+    while o < out.len() {
+        let global = o0 + o;
+        if 2 * global + 1 >= prev.len() {
+            // Odd node promoted unchanged (always the last output).
+            out[o] = prev[2 * global];
+            o += 1;
+            continue;
+        }
+        // Number of consecutive full pairs from here.
+        let full = out.len() - o - usize::from(2 * (o0 + out.len() - 1) + 1 >= prev.len());
+        if lanes == 8 && full >= 8 {
+            let msgs: [[u8; 65]; 8] = std::array::from_fn(|j| {
+                let g = global + j;
+                pair_message(&prev[2 * g], &prev[2 * g + 1])
+            });
+            let refs: [&[u8]; 8] = std::array::from_fn(|j| msgs[j].as_slice());
+            out[o..o + 8].copy_from_slice(&sha256_many_equal(backend, refs));
+            o += 8;
+        } else if lanes == 4 && full >= 4 {
+            let msgs: [[u8; 65]; 4] = std::array::from_fn(|j| {
+                let g = global + j;
+                pair_message(&prev[2 * g], &prev[2 * g + 1])
+            });
+            let refs: [&[u8]; 4] = std::array::from_fn(|j| msgs[j].as_slice());
+            out[o..o + 4].copy_from_slice(&sha256_many_equal(backend, refs));
+            o += 4;
+        } else {
+            let msg = pair_message(&prev[2 * global], &prev[2 * global + 1]);
+            out[o] = match backend {
+                Backend::Scalar => sha256(&msg),
+                _ => sha256_with(backend, &msg),
+            };
+            o += 1;
+        }
+    }
+}
+
+/// Computes one interior level from the previous one, fanning bands of
+/// parents out over scoped worker threads when the level is large enough.
+fn level_up(prev: &[Digest], backend: Backend, threads: usize) -> Vec<Digest> {
+    let n_out = prev.len().div_ceil(2);
+    let mut next = vec![[0u8; 32]; n_out];
+    let workers = threads.clamp(1, MAX_HASH_THREADS).min(n_out.max(1));
+    if workers <= 1 || n_out < PAR_MIN_PAIRS {
+        fill_parents(backend, prev, 0, &mut next);
+        return next;
+    }
+    let per = n_out.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (wi, band) in next.chunks_mut(per).enumerate() {
+            scope.spawn(move || fill_parents(backend, prev, wi * per, band));
+        }
+    });
+    next
+}
+
+/// Hashes raw leaves (`LEAF_PREFIX || leaf`) into leaf digests, batching
+/// equal-length leaves through the multi-way compressor. Equal to the
+/// scalar per-leaf hashing of [`MerkleTree::from_leaves_reference`].
+pub fn hash_leaves<B: AsRef<[u8]>>(backend: Backend, leaves: &[B]) -> Vec<Digest> {
+    let lanes = backend.lanes();
+    if lanes == 1 {
+        return leaves
+            .iter()
+            .map(|l| {
+                let mut h = crate::multiway::FastSha256::with_backend(backend);
+                h.update(&[LEAF_PREFIX]);
+                h.update(l.as_ref());
+                h.finalize()
+            })
+            .collect();
+    }
+    let mut out = vec![[0u8; 32]; leaves.len()];
+    let groups = crate::multiway::group_indices_by(leaves.len(), |i| leaves[i].as_ref().len());
+    for (_, idxs) in &groups {
+        let mut chunks = idxs.chunks_exact(lanes);
+        for chunk in &mut chunks {
+            if lanes == 4 {
+                let mut h = crate::multiway::MultiSha256::<4>::new(backend);
+                h.update_all(&[LEAF_PREFIX]);
+                h.update(std::array::from_fn(|j| leaves[chunk[j]].as_ref()));
+                for (j, d) in h.finalize().into_iter().enumerate() {
+                    out[chunk[j]] = d;
+                }
+            } else {
+                let mut h = crate::multiway::MultiSha256::<8>::new(backend);
+                h.update_all(&[LEAF_PREFIX]);
+                h.update(std::array::from_fn(|j| leaves[chunk[j]].as_ref()));
+                for (j, d) in h.finalize().into_iter().enumerate() {
+                    out[chunk[j]] = d;
+                }
+            }
+        }
+        for &i in chunks.remainder() {
+            let mut h = crate::multiway::FastSha256::with_backend(backend);
+            h.update(&[LEAF_PREFIX]);
+            h.update(leaves[i].as_ref());
+            out[i] = h.finalize();
+        }
+    }
+    out
+}
+
 /// Verifies an inclusion proof for raw leaf bytes against a root.
 pub fn verify_inclusion(root: &Digest, leaf: &[u8], proof: &InclusionProof) -> bool {
     let mut h = Sha256::new();
@@ -146,6 +326,7 @@ pub fn verify_inclusion_digest(root: &Digest, leaf_digest: Digest, proof: &Inclu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multiway::Backend;
 
     fn leaves(n: usize) -> Vec<Vec<u8>> {
         (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
@@ -236,6 +417,36 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.root(), sha256(b""));
         assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn fast_builder_matches_reference_for_every_backend_and_thread_count() {
+        for n in [0usize, 1, 2, 3, 5, 8, 9, 33, 64, 65, 257] {
+            let ls = leaves(n);
+            let oracle = MerkleTree::from_leaves_reference(&ls);
+            assert_eq!(MerkleTree::from_leaves(&ls), oracle, "auto n={n}");
+            let digests = oracle.levels.first().cloned().unwrap_or_default();
+            for backend in Backend::available() {
+                for threads in [1usize, 2, 3, 8] {
+                    let fast =
+                        MerkleTree::from_leaf_digests_with(digests.clone(), backend, threads);
+                    assert_eq!(fast, oracle, "{backend:?} threads={threads} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_crosses_the_fanout_threshold() {
+        // Enough leaves that the first level actually fans out.
+        let ls = leaves(2 * PAR_MIN_PAIRS + 3);
+        let oracle = MerkleTree::from_leaves_reference(&ls);
+        for threads in [2usize, 8] {
+            let digests = oracle.levels[0].clone();
+            let fast = MerkleTree::from_leaf_digests_with(digests, Backend::auto(), threads);
+            assert_eq!(fast.root(), oracle.root(), "threads={threads}");
+            assert_eq!(fast, oracle);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! committed rule, tolerance-level logit drift can flip an argmax and turn
 //! numerical noise into divergent generations.
 
-use tao_graph::execute;
+use tao_graph::{execute, forward, BufferPool};
 use tao_tensor::{KernelConfig, Tensor};
 
 use crate::common::Model;
@@ -60,9 +60,32 @@ pub fn greedy_decode(
 ) -> Result<Vec<DecodeStep>, tao_graph::GraphError> {
     let mut window = prompt.clone();
     let mut out = Vec::with_capacity(steps);
+    // The decode loop only reads the logits, so it runs on the pooled
+    // outputs-only executor: parameters are Arc-shared (no per-step weight
+    // copies) and each step's intermediates recycle through one pool.
+    // Bit-identical to the trace executor — same kernels, same order.
+    let logits_pos = model
+        .graph
+        .outputs()
+        .iter()
+        .position(|&id| id == model.logits);
+    let mut pool = BufferPool::new();
     for step in 0..steps {
-        let exec = execute(&model.graph, std::slice::from_ref(&window), kernel, None)?;
-        let logits = exec.value(model.logits)?;
+        let logits_value;
+        let logits = match logits_pos {
+            Some(pos) => {
+                let mut outputs = forward(&model.graph, std::slice::from_ref(&window), kernel, &mut pool)?;
+                logits_value = outputs.swap_remove(pos);
+                &logits_value
+            }
+            None => {
+                // Logits are not a declared graph output (not the case for
+                // the in-tree decoders): fall back to the trace executor.
+                let exec = execute(&model.graph, std::slice::from_ref(&window), kernel, None)?;
+                logits_value = exec.value(model.logits)?.clone();
+                &logits_value
+            }
+        };
         let lane = logits.data()[logits.len() - cfg.vocab..].to_vec();
         let token = policy.select(&lane, step as u64).unwrap_or(0);
         out.push(DecodeStep {

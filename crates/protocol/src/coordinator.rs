@@ -100,8 +100,10 @@ impl Claim {
     }
 }
 
-/// Number of claim shards; must be a power of two so the shard index is a
-/// mask of the claim id.
+/// Default number of claim shards. The shard count is runtime
+/// configurable via [`ClaimShards::with_shards`] /
+/// [`Coordinator::with_shards`] and always rounded up to a power of two
+/// so the shard index is a mask of the claim id.
 pub const CLAIM_SHARDS: usize = 16;
 
 /// Claim state split over [`CLAIM_SHARDS`] independent locks, with claim
@@ -122,12 +124,25 @@ impl Default for ClaimShards {
 }
 
 impl ClaimShards {
-    /// Empty shard array.
+    /// Empty shard array with the default shard count ([`CLAIM_SHARDS`]).
     pub fn new() -> Self {
+        Self::with_shards(CLAIM_SHARDS)
+    }
+
+    /// Empty shard array with `shards` claim shards, rounded up to the
+    /// next power of two (minimum 1 — a 1-shard array degenerates to the
+    /// serial single-lock layout).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         ClaimShards {
-            shards: (0..CLAIM_SHARDS).map(|_| Mutex::default()).collect(),
+            shards: (0..shards).map(|_| Mutex::default()).collect(),
             next_id: AtomicU64::new(0),
         }
+    }
+
+    /// The (power-of-two) number of claim shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Allocates the next claim id.
@@ -137,7 +152,7 @@ impl ClaimShards {
 
     /// The shard owning `id`.
     fn shard(&self, id: u64) -> &Mutex<BTreeMap<u64, Claim>> {
-        &self.shards[(id as usize) & (CLAIM_SHARDS - 1)]
+        &self.shards[(id as usize) & (self.shards.len() - 1)]
     }
 
     /// A snapshot of claim `id`.
@@ -187,6 +202,25 @@ impl Coordinator {
     /// Returns an error when `slash` is outside the feasible region of the
     /// economic parameters.
     pub fn new(econ: EconParams, slash: f64) -> Result<Self> {
+        Self::with_shards(econ, slash, CLAIM_SHARDS, crate::econ::ACCOUNT_SHARDS)
+    }
+
+    /// Creates a coordinator with explicit claim/account shard counts,
+    /// each rounded up to the next power of two (minimum 1). A
+    /// `(1, 1)`-sharded coordinator is the serial single-lock layout —
+    /// observationally equivalent to any other count, only slower under
+    /// contention; the invariants suite sweeps 1 and 64 to pin that.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slash` is outside the feasible region of the
+    /// economic parameters.
+    pub fn with_shards(
+        econ: EconParams,
+        slash: f64,
+        claim_shards: usize,
+        account_shards: usize,
+    ) -> Result<Self> {
         if !econ.incentive_compatible(slash) {
             return Err(ProtocolError::BadState(format!(
                 "slash {slash} outside feasible region {:?}",
@@ -195,13 +229,18 @@ impl Coordinator {
         }
         Ok(Coordinator {
             tick: AtomicU64::new(0),
-            ledger: Ledger::new(),
-            claims: ClaimShards::new(),
+            ledger: Ledger::with_shards(account_shards),
+            claims: ClaimShards::with_shards(claim_shards),
             models: Mutex::new(Vec::new()),
             econ,
             slash,
             gas: Mutex::new(GasMeter::new()),
         })
+    }
+
+    /// The runtime `(claim, account)` shard counts.
+    pub fn shard_counts(&self) -> (usize, usize) {
+        (self.claims.shard_count(), self.ledger.shard_count())
     }
 
     /// Current logical tick (block height).
@@ -911,6 +950,32 @@ mod tests {
             ..EconParams::default_market()
         };
         assert!(Coordinator::new(econ, 100.0).is_err());
+    }
+
+    #[test]
+    fn shard_counts_are_runtime_configurable_and_round_to_powers_of_two() {
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        let slash = (lo + hi) / 2.0;
+        assert_eq!(coordinator().shard_counts(), (16, 16), "defaults");
+        let c = Coordinator::with_shards(econ, slash, 3, 5).unwrap();
+        assert_eq!(c.shard_counts(), (4, 8), "rounded up to powers of two");
+        let serial = Coordinator::with_shards(econ, slash, 0, 1).unwrap();
+        assert_eq!(serial.shard_counts(), (1, 1), "minimum one shard");
+        // The 1-shard layout still runs the full lifecycle.
+        serial.fund("prop", 1_000.0);
+        serial.fund("chal", 100.0);
+        let id = serial.submit_claim("prop", commitment(), &meta()).unwrap();
+        serial.open_challenge(id, "chal").unwrap();
+        serial.settle(id, Party::Challenger, 3).unwrap();
+        assert!(matches!(
+            serial.claim(id).unwrap().status,
+            ClaimStatus::Settled {
+                winner: Party::Challenger
+            }
+        ));
+        let big = Coordinator::with_shards(econ, slash, 64, 64).unwrap();
+        assert_eq!(big.shard_counts(), (64, 64));
     }
 
     #[test]

@@ -5,11 +5,12 @@ use std::collections::HashMap;
 use tao_calib::{error_profile, ThresholdBundle, DEFAULT_EPS};
 use tao_device::Device;
 use tao_graph::{execute_subgraph, extract, partition, Execution, Graph, NodeId};
-use tao_merkle::{Digest, MerkleTree};
+use tao_merkle::{Digest, MerkleTree, TraceCommitment};
 use tao_tensor::Tensor;
 
 use crate::gas::{self, GasMeter};
-use crate::record::{make_record, verify_record};
+use crate::record::{make_record_with, verify_record, TraceDigestCache};
+use crate::screen::Screening;
 use crate::Result;
 
 /// Dispute-game configuration.
@@ -51,8 +52,46 @@ pub struct DisputeAnchors<'a> {
     pub weight_root: &'a Digest,
 }
 
+/// The proposer's side of a dispute: the committed execution trace, plus
+/// (optionally) the [`TraceCommitment`] built over it at claim time.
+///
+/// The per-child interface hashes posted every round are functions of the
+/// trace's per-node digests; supplying the commitment lets the descent
+/// re-derive them from the cached digests instead of rehashing full
+/// activation tensors — [`DisputeOutcome::rehashed_leaves`] is 0 exactly
+/// when it was supplied.
+#[derive(Debug, Clone, Copy)]
+pub struct ProposerView<'a> {
+    trace: &'a Execution,
+    commitment: Option<&'a TraceCommitment>,
+}
+
+impl<'a> ProposerView<'a> {
+    /// A proposer trace without cached digests (the dispute memoizes each
+    /// node's digest on first use and accounts the rehashing).
+    pub fn new(trace: &'a Execution) -> Self {
+        ProposerView {
+            trace,
+            commitment: None,
+        }
+    }
+
+    /// Attaches the trace commitment built at claim time.
+    #[must_use]
+    pub fn with_commitment(mut self, commitment: &'a TraceCommitment) -> Self {
+        self.commitment = Some(commitment);
+        self
+    }
+
+    /// The proposer's committed trace.
+    pub fn trace(&self) -> &Execution {
+        self.trace
+    }
+}
+
 /// The challenger's side of a dispute: its device, plus (optionally) the
-/// execution trace it already produced when it screened the claim.
+/// execution trace — and the subtree digests over it — it already produced
+/// when it screened the claim.
 ///
 /// Screening necessarily runs a full forward pass on the challenger's
 /// device; carrying that trace into the dispute lets the game clear
@@ -64,6 +103,7 @@ pub struct DisputeAnchors<'a> {
 pub struct ChallengerView<'a> {
     device: &'a Device,
     screening: Option<&'a Execution>,
+    commitment: Option<&'a TraceCommitment>,
 }
 
 impl<'a> ChallengerView<'a> {
@@ -73,6 +113,7 @@ impl<'a> ChallengerView<'a> {
         ChallengerView {
             device,
             screening: None,
+            commitment: None,
         }
     }
 
@@ -81,6 +122,17 @@ impl<'a> ChallengerView<'a> {
         ChallengerView {
             device,
             screening: Some(trace),
+            commitment: None,
+        }
+    }
+
+    /// A challenger reusing a [`Screening`] wholesale: its trace and, when
+    /// the screening was flagged, the subtree digests it carries.
+    pub fn from_screening(device: &'a Device, screening: &'a Screening) -> Self {
+        ChallengerView {
+            device,
+            screening: Some(&screening.trace),
+            commitment: screening.commitment(),
         }
     }
 
@@ -138,6 +190,12 @@ pub struct DisputeOutcome {
     /// [`ChallengerView::with_screening`], 1 when the game had to recompute
     /// it for a [`ChallengerView::fresh`] challenger.
     pub challenger_forward_passes: u64,
+    /// Activation tensors rehashed *inside* the dispute while deriving the
+    /// per-round child interface hashes: 0 when the proposer supplied its
+    /// [`TraceCommitment`] (the PR 2 trace-reuse contract extended to
+    /// hashing), otherwise one per distinct frontier node (memoized across
+    /// rounds).
+    pub rehashed_leaves: u64,
     /// Coordinator gas consumed by the dispute interaction.
     pub gas: GasMeter,
 }
@@ -177,12 +235,24 @@ impl DisputeOutcome {
 pub fn run_dispute(
     graph: &Graph,
     anchors: DisputeAnchors<'_>,
-    proposer_trace: &Execution,
+    proposer: ProposerView<'_>,
     inputs: &[Tensor<f32>],
     challenger: ChallengerView<'_>,
     thresholds: &ThresholdBundle,
     cfg: DisputeConfig,
 ) -> Result<DisputeOutcome> {
+    let proposer_trace = proposer.trace;
+    // Interface hashes derive from this cache: zero tensor rehashing when
+    // the proposer's TraceCommitment was supplied, memoized otherwise. A
+    // commitment of the wrong arity cannot bind this trace — ignore it
+    // (fall back to rehashing) rather than derive hashes from the wrong
+    // digests. Within-arity binding is the caller's contract: the session
+    // builds both commitments from the very traces passed here, and
+    // posting the root on-chain (ROADMAP) would make it verifiable.
+    let proposer_commitment = proposer
+        .commitment
+        .filter(|c| c.len() == proposer_trace.values.len());
+    let mut digest_cache = TraceDigestCache::new(proposer_commitment);
     let mut gas = GasMeter::new();
     gas.charge("open_challenge", gas::open_challenge());
     // The challenger's own full-model trace: reused from screening when
@@ -212,12 +282,13 @@ pub fn run_dispute(
         let mut partition_bytes = 0u64;
         for &(s, e) in &slices {
             let sub = extract(graph, s, e)?;
-            let rec = make_record(
+            let rec = make_record_with(
                 graph,
                 anchors.graph_tree,
                 anchors.weight_tree,
                 &sub,
                 proposer_trace,
+                &mut digest_cache,
             )?;
             partition_bytes += rec.byte_size() as u64;
             records.push(rec);
@@ -254,10 +325,27 @@ pub fn run_dispute(
                 thresholds
                     .exceedance(id, &prof)
                     .expect("threshold entry checked above")
-            } else if claimed.data() == own.data() {
-                0.0
             } else {
-                f64::INFINITY
+                // Structural nodes must match bit-for-bit; with both
+                // sides' subtree digests cached, agreement is a 32-byte
+                // compare instead of a whole-tensor scan (equivalent by
+                // collision resistance — both commitments bind canonical
+                // serializations).
+                let challenger_commitment = challenger
+                    .commitment
+                    .filter(|c| c.len() == own_trace.values.len());
+                let agree = match (
+                    proposer_commitment.and_then(|c| c.digest(id.0)),
+                    challenger_commitment.and_then(|c| c.digest(id.0)),
+                ) {
+                    (Some(p), Some(c)) => p == c,
+                    _ => claimed.data() == own.data(),
+                };
+                if agree {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
             };
             cache.insert(id, exc);
             Ok(exc)
@@ -380,6 +468,7 @@ pub fn run_dispute(
                 challenger_flops: total_flops,
                 merkle_checks: total_checks,
                 challenger_forward_passes,
+                rehashed_leaves: digest_cache.rehashed_leaves(),
                 gas,
             });
         };
@@ -407,6 +496,7 @@ pub fn run_dispute(
         challenger_flops: total_flops,
         merkle_checks: total_checks,
         challenger_forward_passes,
+        rehashed_leaves: digest_cache.rehashed_leaves(),
         gas,
     })
 }
@@ -470,7 +560,7 @@ mod tests {
                 graph_root: &gt.root(),
                 weight_root: &wt.root(),
             },
-            &trace,
+            ProposerView::new(&trace),
             inputs,
             ChallengerView::fresh(&challenger_dev),
             bundle,
@@ -522,7 +612,7 @@ mod tests {
         let reused = run_dispute(
             &g,
             anchors,
-            &trace,
+            ProposerView::new(&trace),
             &inputs,
             ChallengerView::with_screening(&challenger_dev, &screening),
             &bundle,
@@ -530,10 +620,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(reused.challenger_forward_passes, 0, "trace must be reused");
+        assert!(
+            reused.rehashed_leaves > 0,
+            "without a trace commitment the frontier hashes are recomputed"
+        );
+        // Supplying the proposer's trace commitment removes every leaf
+        // rehash from the descent — and changes nothing else.
+        let commitment = tao_merkle::TraceCommitment::build(&trace.values);
+        let committed = run_dispute(
+            &g,
+            anchors,
+            ProposerView::new(&trace).with_commitment(&commitment),
+            &inputs,
+            ChallengerView::with_screening(&challenger_dev, &screening),
+            &bundle,
+            DisputeConfig { n_way: 2 },
+        )
+        .unwrap();
+        assert_eq!(committed.rehashed_leaves, 0, "cached digests must be reused");
+        assert_eq!(committed.result, reused.result);
+        assert_eq!(committed.challenger_flops, reused.challenger_flops);
         let fresh = run_dispute(
             &g,
             anchors,
-            &trace,
+            ProposerView::new(&trace),
             &inputs,
             ChallengerView::fresh(&challenger_dev),
             &bundle,

@@ -164,8 +164,9 @@ impl EconParams {
     }
 }
 
-/// Number of account shards; must be a power of two so the shard index is
-/// a mask of the account-name hash.
+/// Default number of account shards. The shard count is runtime
+/// configurable via [`Ledger::with_shards`] and always rounded up to a
+/// power of two so the shard index is a mask of the account-name hash.
 pub const ACCOUNT_SHARDS: usize = 16;
 
 /// One account's funds: the free balance and the escrowed bonds.
@@ -201,24 +202,38 @@ impl Default for Ledger {
 }
 
 impl Ledger {
-    /// An empty ledger.
+    /// An empty ledger with the default shard count
+    /// ([`ACCOUNT_SHARDS`]).
     pub fn new() -> Self {
+        Self::with_shards(ACCOUNT_SHARDS)
+    }
+
+    /// An empty ledger with `shards` account shards, rounded up to the
+    /// next power of two (minimum 1 — a 1-shard ledger is the serial
+    /// special case, useful as a differential baseline).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         Ledger {
-            shards: (0..ACCOUNT_SHARDS).map(|_| Mutex::default()).collect(),
+            shards: (0..shards).map(|_| Mutex::default()).collect(),
             supply: Mutex::new(0.0),
         }
+    }
+
+    /// The (power-of-two) number of account shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Deterministic shard index of an account (FNV-1a of the name,
     /// masked). Deterministic so shard placement — and therefore which
     /// operations can contend — is stable across runs and machines.
-    pub fn shard_of(account: &str) -> usize {
+    pub fn shard_of(&self, account: &str) -> usize {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in account.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        (h as usize) & (ACCOUNT_SHARDS - 1)
+        (h as usize) & (self.shards.len() - 1)
     }
 
     /// Credits an account with freshly injected value (external funding or
@@ -227,7 +242,7 @@ impl Ledger {
         if amount == 0.0 {
             return;
         }
-        self.shards[Self::shard_of(account)]
+        self.shards[self.shard_of(account)]
             .lock()
             .entry(account.to_string())
             .or_default()
@@ -237,7 +252,7 @@ impl Ledger {
 
     /// Free (non-escrowed) balance of an account.
     pub fn balance(&self, account: &str) -> f64 {
-        self.shards[Self::shard_of(account)]
+        self.shards[self.shard_of(account)]
             .lock()
             .get(account)
             .map_or(0.0, |a| a.balance)
@@ -245,7 +260,7 @@ impl Ledger {
 
     /// Escrowed balance of an account.
     pub fn escrowed(&self, account: &str) -> f64 {
-        self.shards[Self::shard_of(account)]
+        self.shards[self.shard_of(account)]
             .lock()
             .get(account)
             .map_or(0.0, |a| a.escrow)
@@ -259,7 +274,7 @@ impl Ledger {
     /// Returns the available balance when it is below `amount`; nothing
     /// moves in that case.
     pub fn reserve(&self, account: &str, amount: f64) -> Result<(), f64> {
-        let mut shard = self.shards[Self::shard_of(account)].lock();
+        let mut shard = self.shards[self.shard_of(account)].lock();
         let acct = shard.entry(account.to_string()).or_default();
         if acct.balance < amount {
             return Err(acct.balance);
@@ -272,7 +287,7 @@ impl Ledger {
     /// Releases up to `amount` from escrow back to the free balance;
     /// returns how much actually moved (clamped to the escrowed funds).
     pub fn release(&self, account: &str, amount: f64) -> f64 {
-        let mut shard = self.shards[Self::shard_of(account)].lock();
+        let mut shard = self.shards[self.shard_of(account)].lock();
         let acct = shard.entry(account.to_string()).or_default();
         let moved = amount.min(acct.escrow).max(0.0);
         acct.escrow -= moved;
@@ -284,7 +299,7 @@ impl Ledger {
     /// how much was actually burned.
     pub fn burn_escrow(&self, account: &str, amount: f64) -> f64 {
         let burned = {
-            let mut shard = self.shards[Self::shard_of(account)].lock();
+            let mut shard = self.shards[self.shard_of(account)].lock();
             let acct = shard.entry(account.to_string()).or_default();
             let burned = amount.min(acct.escrow).max(0.0);
             acct.escrow -= burned;
@@ -341,7 +356,7 @@ impl Ledger {
     /// distinct account names.
     fn with_pair<R>(&self, from: &str, to: &str, f: impl FnOnce(&mut Account, &mut Account) -> R) -> R {
         debug_assert_ne!(from, to, "with_pair requires distinct accounts");
-        let (ia, ib) = (Self::shard_of(from), Self::shard_of(to));
+        let (ia, ib) = (self.shard_of(from), self.shard_of(to));
         if ia == ib {
             let mut shard = self.shards[ia].lock();
             shard.entry(from.to_string()).or_default();
@@ -529,17 +544,17 @@ mod tests {
     fn ledger_same_shard_pair_uses_one_lock() {
         // Find two distinct names that collide on a shard, then transfer
         // between them: the single-lock path must still move the money.
+        let l = Ledger::new();
         let a = "acct-0".to_string();
         let mut b = None;
         for i in 1..10_000 {
             let cand = format!("acct-{i}");
-            if Ledger::shard_of(&cand) == Ledger::shard_of(&a) {
+            if l.shard_of(&cand) == l.shard_of(&a) {
                 b = Some(cand);
                 break;
             }
         }
         let b = b.expect("a colliding account exists");
-        let l = Ledger::new();
         l.mint(&a, 10.0);
         l.transfer(&a, &b, 4.0).unwrap();
         assert_eq!(l.balance(&a), 6.0);

@@ -31,13 +31,13 @@ pub use coordinator::{
 };
 pub use dispute::{
     run_dispute, ChallengerView, DisputeAnchors, DisputeConfig, DisputeOutcome, DisputeResult,
-    RoundStats,
+    ProposerView, RoundStats,
 };
 pub use econ::{EconParams, Ledger, ACCOUNT_SHARDS};
 pub use error::ProtocolError;
 pub use gas::GasMeter;
 pub use par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
-pub use record::{make_record, verify_record, SubgraphRecord};
+pub use record::{make_record, make_record_with, verify_record, SubgraphRecord, TraceDigestCache};
 pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};
 pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};
 pub use tiebreak::{tie_seed, TieBreakRule};

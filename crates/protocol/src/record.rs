@@ -1,13 +1,89 @@
 //! Subgraph records: the per-child commitments posted during dispute
 //! rounds, with Merkle provenance proofs (§5.2).
+//!
+//! Interface hashes (`h_In`/`h_Out`) are derived through a
+//! [`TraceDigestCache`]: when the trace carries a
+//! [`TraceCommitment`] (per-node tensor digests computed once, at
+//! screening/claim time), every round's child commitments re-derive from
+//! the cached digests and **zero** activation tensors are rehashed inside
+//! the dispute. Without one, the cache memoizes each node's digest across
+//! rounds and reports how many leaf hashes it had to compute
+//! ([`TraceDigestCache::rehashed_leaves`], surfaced as
+//! `DisputeOutcome::rehashed_leaves`).
 
-use tao_graph::{Execution, Graph, Subgraph};
+use std::collections::HashMap;
+
+use tao_graph::{Execution, Graph, NodeId, Subgraph};
 use tao_merkle::{
-    tensor_list_hash, verify_graph_leaf, verify_weight_leaf, Digest, InclusionProof, MerkleTree,
+    tensor_hash, verify_graph_leaf, verify_weight_leaf, Digest, InclusionProof, MerkleTree, Sha256,
+    TraceCommitment,
 };
 
 use crate::error::ProtocolError;
 use crate::Result;
+
+/// Per-node tensor digests of one execution trace, backed by a
+/// [`TraceCommitment`] when one was supplied and a lazy memo otherwise.
+#[derive(Debug)]
+pub struct TraceDigestCache<'a> {
+    committed: Option<&'a TraceCommitment>,
+    lazy: HashMap<usize, Digest>,
+    rehashed: u64,
+}
+
+impl<'a> TraceDigestCache<'a> {
+    /// A cache over `committed` digests (zero rehashing when `Some`).
+    pub fn new(committed: Option<&'a TraceCommitment>) -> Self {
+        TraceDigestCache {
+            committed,
+            lazy: HashMap::new(),
+            rehashed: 0,
+        }
+    }
+
+    /// The digest of node `id`'s value in `trace`, from the commitment
+    /// when available, the memo otherwise, hashing the tensor only on a
+    /// first miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range node id.
+    pub fn digest(&mut self, trace: &Execution, id: NodeId) -> Result<Digest> {
+        if let Some(c) = self.committed {
+            if let Some(d) = c.digest(id.0) {
+                return Ok(*d);
+            }
+        }
+        if let Some(d) = self.lazy.get(&id.0) {
+            return Ok(*d);
+        }
+        let d = tensor_hash(trace.value(id)?);
+        self.rehashed += 1;
+        self.lazy.insert(id.0, d);
+        Ok(d)
+    }
+
+    /// Hash of the ordered value list `H(Σ H(canon(z)))` — identical to
+    /// [`tao_merkle::tensor_list_hash`] over the same tensors, but built
+    /// from the cached digests.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range node id.
+    pub fn list_hash(&mut self, trace: &Execution, ids: &[NodeId]) -> Result<Digest> {
+        let mut h = Sha256::new();
+        for &id in ids {
+            h.update(&self.digest(trace, id)?);
+        }
+        Ok(h.finalize())
+    }
+
+    /// How many tensor leaf hashes this cache computed (0 when every
+    /// lookup was served by the supplied [`TraceCommitment`]).
+    pub fn rehashed_leaves(&self) -> u64 {
+        self.rehashed
+    }
+}
 
 /// A posted subgraph record: slice indices, interface hashes, and
 /// inclusion proofs binding the slice to the committed graph and weights.
@@ -43,7 +119,9 @@ impl SubgraphRecord {
     }
 }
 
-/// Builds a record for a slice from the proposer's trace (proposer side).
+/// Builds a record for a slice from the proposer's trace (proposer side),
+/// rehashing both interface tensor lists from scratch. Convenience wrapper
+/// over [`make_record_with`] with a fresh digest cache.
 ///
 /// # Errors
 ///
@@ -55,16 +133,27 @@ pub fn make_record(
     sub: &Subgraph,
     trace: &Execution,
 ) -> Result<SubgraphRecord> {
-    let live_in: Vec<_> = sub
-        .live_in
-        .iter()
-        .map(|&id| trace.value(id))
-        .collect::<core::result::Result<Vec<_>, _>>()?;
-    let live_out: Vec<_> = sub
-        .live_out
-        .iter()
-        .map(|&id| trace.value(id))
-        .collect::<core::result::Result<Vec<_>, _>>()?;
+    let mut cache = TraceDigestCache::new(None);
+    make_record_with(graph, graph_tree, weight_tree, sub, trace, &mut cache)
+}
+
+/// Builds a record for a slice, deriving the interface hashes from the
+/// digest cache (zero tensor rehashing when the cache is backed by a
+/// [`TraceCommitment`]).
+///
+/// # Errors
+///
+/// Returns an error when a proof index is out of range.
+pub fn make_record_with(
+    graph: &Graph,
+    graph_tree: &MerkleTree,
+    weight_tree: &MerkleTree,
+    sub: &Subgraph,
+    trace: &Execution,
+    cache: &mut TraceDigestCache<'_>,
+) -> Result<SubgraphRecord> {
+    let live_in_hash = cache.list_hash(trace, &sub.live_in)?;
+    let live_out_hash = cache.list_hash(trace, &sub.live_out)?;
     let mut op_proofs = Vec::with_capacity(sub.len());
     for idx in sub.start..sub.end {
         let proof = graph_tree
@@ -86,8 +175,8 @@ pub fn make_record(
     }
     Ok(SubgraphRecord {
         sub: sub.clone(),
-        live_in_hash: tensor_list_hash(&live_in),
-        live_out_hash: tensor_list_hash(&live_out),
+        live_in_hash,
+        live_out_hash,
         op_proofs,
         param_proofs,
     })
@@ -191,6 +280,30 @@ mod tests {
         let mut rec = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
         rec.op_proofs[0].0 = 0; // Claim the slice starts at a different op.
         assert!(verify_record(&g, &gt.root(), &wt.root(), &rec).is_err());
+    }
+
+    #[test]
+    fn cached_records_equal_uncached_and_count_rehashes() {
+        let (g, exec, gt, wt) = setup();
+        let sub = extract(&g, 2, 4).unwrap();
+        let plain = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+
+        // Committed digests: identical record, zero rehashed leaves.
+        let commitment = tao_merkle::TraceCommitment::build(&exec.values);
+        let mut cache = TraceDigestCache::new(Some(&commitment));
+        let cached = make_record_with(&g, &gt, &wt, &sub, &exec, &mut cache).unwrap();
+        assert_eq!(cached, plain);
+        assert_eq!(cache.rehashed_leaves(), 0);
+
+        // Lazy cache: same record, rehashes each node once then memoizes.
+        let mut lazy = TraceDigestCache::new(None);
+        let first = make_record_with(&g, &gt, &wt, &sub, &exec, &mut lazy).unwrap();
+        assert_eq!(first, plain);
+        let after_first = lazy.rehashed_leaves();
+        assert!(after_first > 0);
+        let second = make_record_with(&g, &gt, &wt, &sub, &exec, &mut lazy).unwrap();
+        assert_eq!(second, plain);
+        assert_eq!(lazy.rehashed_leaves(), after_first, "memoized across rounds");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use tao_calib::{error_profile, ThresholdBundle, DEFAULT_EPS};
 use tao_device::Device;
 use tao_graph::{execute, Execution, Graph, NodeId};
+use tao_merkle::TraceCommitment;
 use tao_tensor::Tensor;
 
 use crate::error::ProtocolError;
@@ -30,6 +31,12 @@ pub struct ClaimCheck<'a> {
 
 /// The outcome of screening one claim, including the challenger's own
 /// execution trace (reusable in a dispute at zero extra forward cost).
+///
+/// Flagged screenings additionally carry a [`TraceCommitment`] — subtree
+/// digests over the trace — so the dispute that follows can clear
+/// structural agreements by digest compare and never rehashes the
+/// challenger's activations. Unflagged screenings skip the hashing (no
+/// dispute will consume it).
 #[derive(Debug, Clone)]
 pub struct Screening {
     /// The Eq. 15 exceedance of the claimed output versus the challenger's
@@ -39,6 +46,17 @@ pub struct Screening {
     pub flagged: bool,
     /// The challenger's full execution trace of the claimed inputs.
     pub trace: Execution,
+    /// Subtree digests over the trace, present when `flagged`.
+    commitment: Option<TraceCommitment>,
+}
+
+impl Screening {
+    /// The subtree digests over [`Screening::trace`] (present for flagged
+    /// screenings).
+    pub fn commitment(&self) -> Option<&TraceCommitment> {
+        self.commitment.as_ref()
+    }
+
 }
 
 /// Screens one claim: re-executes `claim.inputs` on `device` and compares
@@ -61,10 +79,15 @@ pub fn screen_claim(
     let exceedance = thresholds
         .exceedance(output_node, &prof)
         .ok_or(ProtocolError::MissingThreshold(output_node))?;
+    let flagged = exceedance > 1.0;
+    // A flagged screening feeds a dispute; commit to the trace now (the
+    // multi-way hashers make this cheap) so the descent never rehashes it.
+    let commitment = flagged.then(|| TraceCommitment::build(&trace.values));
     Ok(Screening {
         exceedance,
-        flagged: exceedance > 1.0,
+        flagged,
         trace,
+        commitment,
     })
 }
 

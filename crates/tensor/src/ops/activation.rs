@@ -19,6 +19,11 @@ impl<T: MathElement> Tensor<T> {
         self.map(|x| x.maximum(T::ZERO))
     }
 
+    /// [`relu`](Self::relu) into a recycled buffer (identical result).
+    pub fn relu_with_buf(&self, buf: Vec<T>) -> Tensor<T> {
+        self.map_with_buf(buf, |x| x.maximum(T::ZERO))
+    }
+
     /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
     ///
     /// `0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))`.

@@ -15,26 +15,28 @@ pub fn zip_broadcast<T: Element>(
     b: &Tensor<T>,
     f: impl Fn(T, T) -> T,
 ) -> Result<Tensor<T>> {
+    zip_broadcast_with_buf(a, b, Vec::new(), f)
+}
+
+/// [`zip_broadcast`] into a recycled output buffer: identical result, but
+/// the output reuses `buf`'s allocation when its capacity suffices.
+pub fn zip_broadcast_with_buf<T: Element>(
+    a: &Tensor<T>,
+    b: &Tensor<T>,
+    mut buf: Vec<T>,
+    f: impl Fn(T, T) -> T,
+) -> Result<Tensor<T>> {
     let out_shape: Shape = a.shape().broadcast(b.shape())?;
+    buf.clear();
     if a.shape() == &out_shape && b.shape() == &out_shape {
         // Fast path: identical shapes need no index arithmetic.
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
-        return Tensor::from_vec(data, out_shape.dims());
+        buf.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
+        return Tensor::from_vec(buf, out_shape.dims());
     }
     let ab = a.broadcast_to(&out_shape)?;
     let bb = b.broadcast_to(&out_shape)?;
-    let data = ab
-        .data()
-        .iter()
-        .zip(bb.data())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
-    Tensor::from_vec(data, out_shape.dims())
+    buf.extend(ab.data().iter().zip(bb.data()).map(|(&x, &y)| f(x, y)));
+    Tensor::from_vec(buf, out_shape.dims())
 }
 
 impl<T: Element> Tensor<T> {
@@ -44,7 +46,16 @@ impl<T: Element> Tensor<T> {
     ///
     /// Returns an error when the shapes are not broadcast-compatible.
     pub fn add(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
-        zip_broadcast(self, other, |x, y| x + y)
+        self.add_with_buf(other, Vec::new())
+    }
+
+    /// [`add`](Self::add) into a recycled buffer (identical result).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`add`](Self::add).
+    pub fn add_with_buf(&self, other: &Tensor<T>, buf: Vec<T>) -> Result<Tensor<T>> {
+        zip_broadcast_with_buf(self, other, buf, |x, y| x + y)
     }
 
     /// Elementwise subtraction with broadcasting.
@@ -53,7 +64,16 @@ impl<T: Element> Tensor<T> {
     ///
     /// Returns an error when the shapes are not broadcast-compatible.
     pub fn sub(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
-        zip_broadcast(self, other, |x, y| x - y)
+        self.sub_with_buf(other, Vec::new())
+    }
+
+    /// [`sub`](Self::sub) into a recycled buffer (identical result).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`sub`](Self::sub).
+    pub fn sub_with_buf(&self, other: &Tensor<T>, buf: Vec<T>) -> Result<Tensor<T>> {
+        zip_broadcast_with_buf(self, other, buf, |x, y| x - y)
     }
 
     /// Elementwise multiplication with broadcasting.
@@ -62,7 +82,16 @@ impl<T: Element> Tensor<T> {
     ///
     /// Returns an error when the shapes are not broadcast-compatible.
     pub fn mul(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
-        zip_broadcast(self, other, |x, y| x * y)
+        self.mul_with_buf(other, Vec::new())
+    }
+
+    /// [`mul`](Self::mul) into a recycled buffer (identical result).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`mul`](Self::mul).
+    pub fn mul_with_buf(&self, other: &Tensor<T>, buf: Vec<T>) -> Result<Tensor<T>> {
+        zip_broadcast_with_buf(self, other, buf, |x, y| x * y)
     }
 
     /// Elementwise division with broadcasting.
@@ -71,7 +100,16 @@ impl<T: Element> Tensor<T> {
     ///
     /// Returns an error when the shapes are not broadcast-compatible.
     pub fn div(&self, other: &Tensor<T>) -> Result<Tensor<T>> {
-        zip_broadcast(self, other, |x, y| x / y)
+        self.div_with_buf(other, Vec::new())
+    }
+
+    /// [`div`](Self::div) into a recycled buffer (identical result).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`div`](Self::div).
+    pub fn div_with_buf(&self, other: &Tensor<T>, buf: Vec<T>) -> Result<Tensor<T>> {
+        zip_broadcast_with_buf(self, other, buf, |x, y| x / y)
     }
 
     /// Elementwise maximum with broadcasting.
@@ -97,6 +135,11 @@ impl<T: Element> Tensor<T> {
         self.map(|x| -x)
     }
 
+    /// [`neg`](Self::neg) into a recycled buffer (identical result).
+    pub fn neg_with_buf(&self, buf: Vec<T>) -> Tensor<T> {
+        self.map_with_buf(buf, |x| -x)
+    }
+
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor<T> {
         self.map(|x| x.abs())
@@ -107,9 +150,19 @@ impl<T: Element> Tensor<T> {
         self.map(|x| x + s)
     }
 
+    /// [`add_scalar`](Self::add_scalar) into a recycled buffer.
+    pub fn add_scalar_with_buf(&self, s: T, buf: Vec<T>) -> Tensor<T> {
+        self.map_with_buf(buf, |x| x + s)
+    }
+
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: T) -> Tensor<T> {
         self.map(|x| x * s)
+    }
+
+    /// [`mul_scalar`](Self::mul_scalar) into a recycled buffer.
+    pub fn mul_scalar_with_buf(&self, s: T, buf: Vec<T>) -> Tensor<T> {
+        self.map_with_buf(buf, |x| x * s)
     }
 
     /// Raises every element to a scalar power.

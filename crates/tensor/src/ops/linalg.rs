@@ -88,9 +88,27 @@ impl<T: Element> Tensor<T> {
     /// Returns an error for rank < 2 operands or mismatched inner/batch
     /// dimensions.
     pub fn matmul(&self, other: &Tensor<T>, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        self.matmul_with_buf(other, cfg, Vec::new())
+    }
+
+    /// [`matmul`](Self::matmul) into a recycled output buffer: the same
+    /// blocked GEMM and bit-identical results, but the output tensor
+    /// reuses `buf`'s allocation when its capacity suffices.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`matmul`](Self::matmul).
+    pub fn matmul_with_buf(
+        &self,
+        other: &Tensor<T>,
+        cfg: &KernelConfig,
+        buf: Vec<T>,
+    ) -> Result<Tensor<T>> {
         let plan = matmul_plan(self, other)?;
         let MatmulPlan { m, k, n, batch, .. } = plan;
-        let mut out = vec![T::ZERO; batch * m * n];
+        let mut out = buf;
+        out.clear();
+        out.resize(batch * m * n, T::ZERO);
         if out.is_empty() {
             return Tensor::from_vec(out, &plan.out_dims);
         }
@@ -197,9 +215,27 @@ impl<T: Element> Tensor<T> {
         bias: Option<&Tensor<T>>,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
+        self.linear_with_buf(weight, bias, cfg, Vec::new())
+    }
+
+    /// [`linear`](Self::linear) into a recycled output buffer (identical
+    /// results; see [`matmul_with_buf`](Self::matmul_with_buf)).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`linear`](Self::linear).
+    pub fn linear_with_buf(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        cfg: &KernelConfig,
+        buf: Vec<T>,
+    ) -> Result<Tensor<T>> {
         let (rows, in_f, out_f) = self.linear_check(weight, bias)?;
         let rhs = PackedRhs::from_transposed(weight.data(), out_f, in_f);
-        let mut out = vec![T::ZERO; rows * out_f];
+        let mut out = buf;
+        out.clear();
+        out.resize(rows * out_f, T::ZERO);
         gemm_into(
             cfg,
             self.data(),

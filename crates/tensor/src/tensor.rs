@@ -1,5 +1,7 @@
 //! The dense, row-major [`Tensor`] type and structural operations.
 
+use std::sync::Arc;
+
 use crate::element::Element;
 use crate::error::TensorError;
 use crate::shape::{IndexIter, Shape};
@@ -17,7 +19,10 @@ use rand::SeedableRng;
 /// `tao-bounds`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor<T: Element> {
-    data: Vec<T>,
+    // Shared, copy-on-write storage: cloning a tensor is a refcount bump,
+    // and structural reshapes share the buffer outright. Mutation goes
+    // through `data_mut`, which unshares lazily (`Arc::make_mut`).
+    data: Arc<Vec<T>>,
     shape: Shape,
 }
 
@@ -36,13 +41,16 @@ impl<T: Element> Tensor<T> {
                 got: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: Arc::new(data),
+            shape,
+        })
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(v: T) -> Self {
         Tensor {
-            data: vec![v],
+            data: Arc::new(vec![v]),
             shape: Shape::new(&[]),
         }
     }
@@ -51,7 +59,7 @@ impl<T: Element> Tensor<T> {
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         Tensor {
-            data: vec![T::ZERO; shape.volume()],
+            data: Arc::new(vec![T::ZERO; shape.volume()]),
             shape,
         }
     }
@@ -59,7 +67,7 @@ impl<T: Element> Tensor<T> {
     /// Creates a tensor of zeros with the same shape as `other`.
     pub fn zeros_like(other: &Tensor<T>) -> Self {
         Tensor {
-            data: vec![T::ZERO; other.len()],
+            data: Arc::new(vec![T::ZERO; other.len()]),
             shape: other.shape.clone(),
         }
     }
@@ -73,25 +81,28 @@ impl<T: Element> Tensor<T> {
     pub fn full(shape: &[usize], v: T) -> Self {
         let shape = Shape::new(shape);
         Tensor {
-            data: vec![v; shape.volume()],
+            data: Arc::new(vec![v; shape.volume()]),
             shape,
         }
     }
 
     /// Creates the `n×n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Self::zeros(&[n, n]);
+        let mut data = vec![T::ZERO; n * n];
         for i in 0..n {
-            t.data[i * n + i] = T::ONE;
+            data[i * n + i] = T::ONE;
         }
-        t
+        Tensor {
+            data: Arc::new(data),
+            shape: Shape::new(&[n, n]),
+        }
     }
 
     /// Creates `[0, 1, ..., n-1]` as a 1-D tensor.
     pub fn arange(n: usize) -> Self {
         let data = (0..n).map(|i| T::from_f64(i as f64)).collect();
         Tensor {
-            data,
+            data: Arc::new(data),
             shape: Shape::new(&[n]),
         }
     }
@@ -116,7 +127,10 @@ impl<T: Element> Tensor<T> {
                 data.push(T::from_f64(r * theta.sin()));
             }
         }
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Creates a tensor of uniform samples in `[lo, hi)` from a fixed seed.
@@ -125,7 +139,10 @@ impl<T: Element> Tensor<T> {
         let n = shape.volume();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let data = (0..n).map(|_| T::from_f64(rng.gen_range(lo..hi))).collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Returns the underlying data slice.
@@ -133,14 +150,34 @@ impl<T: Element> Tensor<T> {
         &self.data
     }
 
-    /// Returns the underlying data slice mutably.
+    /// Returns the underlying data slice mutably, unsharing the buffer
+    /// first when it is referenced by other tensors (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [T] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its data vector.
+    /// Consumes the tensor, returning its data vector (cloned only when
+    /// the buffer is shared with another tensor).
     pub fn into_data(self) -> Vec<T> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Consumes the tensor, returning its data vector only when no other
+    /// tensor shares the buffer — the executor's pool-reclaim hook.
+    pub fn into_unique_data(self) -> Option<Vec<T>> {
+        Arc::try_unwrap(self.data).ok()
+    }
+
+    /// True when both tensors share one underlying buffer (an `Arc`-shared
+    /// parameter or a structural reshape, never a deep copy).
+    pub fn shares_buffer(&self, other: &Tensor<T>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Opaque identity of the underlying buffer, stable while the buffer
+    /// lives (used by the executor's resident-set accounting).
+    pub fn buffer_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
     }
 
     /// Returns the shape.
@@ -184,14 +221,14 @@ impl<T: Element> Tensor<T> {
     /// Returns an error if the index is out of range.
     pub fn set(&mut self, index: &[usize], v: T) -> Result<()> {
         let off = self.shape.offset(index)?;
-        self.data[off] = v;
+        Arc::make_mut(&mut self.data)[off] = v;
         Ok(())
     }
 
     /// Converts every element through `f64` into another element type.
     pub fn cast<U: Element>(&self) -> Tensor<U> {
         Tensor {
-            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+            data: Arc::new(self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect()),
             shape: self.shape.clone(),
         }
     }
@@ -199,10 +236,22 @@ impl<T: Element> Tensor<T> {
     /// Applies a unary function to every element, yielding a new tensor.
     pub fn map(&self, f: impl Fn(T) -> T) -> Tensor<T> {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
+
+    /// [`map`](Self::map) into a recycled buffer: identical output, but the
+    /// result reuses `buf`'s allocation when its capacity suffices.
+    pub fn map_with_buf(&self, mut buf: Vec<T>, f: impl Fn(T) -> T) -> Tensor<T> {
+        buf.clear();
+        buf.extend(self.data.iter().map(|&x| f(x)));
+        Tensor {
+            data: Arc::new(buf),
+            shape: self.shape.clone(),
+        }
+    }
+
 
     /// Reshapes to a new shape of the same volume.
     ///
@@ -284,7 +333,7 @@ impl<T: Element> Tensor<T> {
             out.push(self.data[off]);
         }
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: out_shape,
         })
     }
@@ -315,7 +364,7 @@ impl<T: Element> Tensor<T> {
             out.push(self.data[off]);
         }
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: out_shape,
         })
     }
@@ -380,7 +429,7 @@ impl<T: Element> Tensor<T> {
             }
         }
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: out_shape,
         })
     }
@@ -408,7 +457,7 @@ impl<T: Element> Tensor<T> {
         let mut dims = vec![tensors.len()];
         dims.extend_from_slice(&first.shape.0);
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: Shape::new(&dims),
         })
     }
@@ -441,7 +490,7 @@ impl<T: Element> Tensor<T> {
         let mut dims = vec![indices.len()];
         dims.extend_from_slice(&self.shape.0[1..]);
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: Shape::new(&dims),
         })
     }
@@ -478,7 +527,7 @@ impl<T: Element> Tensor<T> {
             out.push(self.data[off]);
         }
         Ok(Tensor {
-            data: out,
+            data: Arc::new(out),
             shape: target.clone(),
         })
     }

@@ -1,0 +1,162 @@
+//! Differential equivalence harness for the commitment layer — the
+//! `kernel_equiv` idiom applied to hashing: every fast path (multi-way
+//! SHA-256 backends, streaming canonical encoders, level-parallel tree
+//! builds, the trace committer) must be **bit-identical** to the seed
+//! scalar oracles, for every supported backend, any message mix, ragged
+//! leaf counts, and any forced thread count.
+
+use proptest::prelude::*;
+use tao_merkle::{
+    canon_tensor, sha256, sha256_batch_with, sha256_with, tensor_hash, tensor_hash_reference,
+    Backend, FastSha256, MerkleTree, Sha256, TraceCommitment,
+};
+use tao_tensor::Tensor;
+
+fn message(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Multi-way batches equal the scalar map for any message count and
+    /// any length mix (padding boundaries included), on every backend.
+    #[test]
+    fn sha256_batch_equals_scalar_for_any_count_and_lengths(
+        lens in prop::collection::vec(0usize..300, 0..40),
+    ) {
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| message(len, i as u8))
+            .collect();
+        let want: Vec<_> = msgs.iter().map(|m| sha256(m)).collect();
+        for backend in Backend::available() {
+            prop_assert_eq!(&sha256_batch_with(backend, &msgs), &want, "{:?}", backend);
+        }
+    }
+
+    /// The streaming hasher equals the scalar oracle for any chunking of
+    /// any message, on every backend.
+    #[test]
+    fn fast_hasher_equals_oracle_for_any_chunking(
+        len in 0usize..2048,
+        split in 1usize..97,
+        seed in 0u8..255,
+    ) {
+        let data = message(len, seed);
+        let want = sha256(&data);
+        for backend in Backend::available() {
+            let mut h = FastSha256::with_backend(backend);
+            for chunk in data.chunks(split) {
+                h.update(chunk);
+            }
+            prop_assert_eq!(h.finalize(), want, "{:?} split {}", backend, split);
+            prop_assert_eq!(sha256_with(backend, &data), want, "{:?} one-shot", backend);
+        }
+    }
+
+    /// Fast tree builds (multi-way leaves + level-parallel interior) equal
+    /// the seed serial builder for ragged leaf counts, on every backend
+    /// and forced thread count — including counts past the fan-out
+    /// threshold when the leaf set is large.
+    #[test]
+    fn tree_builds_equal_reference_for_ragged_counts_and_threads(
+        n in 0usize..90,
+        leaf_len in 1usize..80,
+        boost in 0usize..2,
+    ) {
+        // `boost` occasionally pushes the leaf count past the parallel
+        // fan-out threshold so the banded path is exercised, not just the
+        // serial small-level path.
+        let n = if boost == 1 { n * 64 } else { n };
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| message(leaf_len, i as u8)).collect();
+        let oracle = MerkleTree::from_leaves_reference(&leaves);
+        prop_assert_eq!(&MerkleTree::from_leaves(&leaves), &oracle, "auto path");
+        let digests: Vec<_> = leaves
+            .iter()
+            .map(|l| {
+                let mut h = Sha256::new();
+                h.update(&[0x00]);
+                h.update(l);
+                h.finalize()
+            })
+            .collect();
+        for backend in Backend::available() {
+            for threads in [1usize, 2, 3, 8] {
+                let fast = MerkleTree::from_leaf_digests_with(digests.clone(), backend, threads);
+                prop_assert_eq!(&fast, &oracle, "{:?} threads={}", backend, threads);
+            }
+        }
+    }
+
+    /// The streaming tensor digest equals hashing the materialized
+    /// canonical bytes, and the trace committer equals the seed
+    /// materializing path, for any mix of tensor shapes.
+    #[test]
+    fn trace_commitments_equal_reference_for_any_shape_mix(
+        shapes in prop::collection::vec(0usize..6, 0..24),
+    ) {
+        let values: Vec<Tensor<f32>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let dims: &[usize] = match s {
+                    0 => &[1],
+                    1 => &[17],
+                    2 => &[4, 4],
+                    3 => &[4, 4], // repeated shape: exercises lane batching
+                    4 => &[2, 3, 5],
+                    _ => &[],     // rank-0 scalar
+                };
+                Tensor::<f32>::rand_uniform(dims, -2.0, 2.0, 1000 + i as u64)
+            })
+            .collect();
+        for t in &values {
+            prop_assert_eq!(tensor_hash(t), tensor_hash_reference(t));
+            prop_assert_eq!(tensor_hash(t), sha256(&canon_tensor(t)));
+        }
+        let oracle = TraceCommitment::reference(&values);
+        for backend in Backend::available() {
+            prop_assert_eq!(
+                &TraceCommitment::build_with(&values, backend),
+                &oracle,
+                "{:?}",
+                backend
+            );
+        }
+    }
+}
+
+/// Non-prop boundary sweep: every padding-relevant message length on every
+/// backend (cheap, exhaustive, deterministic).
+#[test]
+fn padding_boundaries_on_every_backend() {
+    for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 118, 119, 120, 127, 128, 129] {
+        let data = message(len, 9);
+        let want = sha256(&data);
+        for backend in Backend::available() {
+            assert_eq!(sha256_with(backend, &data), want, "{backend:?} len {len}");
+        }
+    }
+}
+
+/// The weight tree's streaming leaf encoder equals the seed materializing
+/// path on a real model's state dict.
+#[test]
+fn weight_tree_streaming_equals_reference() {
+    use tao_models::{bert, BertConfig};
+    let model = bert::build(
+        BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        },
+        3,
+    );
+    let fast = tao_merkle::weight_tree(&model.graph);
+    let oracle = tao_merkle::weight_tree_reference(&model.graph);
+    assert_eq!(fast, oracle);
+    assert_eq!(fast.root(), oracle.root());
+}

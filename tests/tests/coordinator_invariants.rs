@@ -251,6 +251,50 @@ proptest! {
     }
 }
 
+/// Shard counts are runtime-configurable (PR 4 leftover): a 1-shard
+/// coordinator — the serial single-lock layout — and a 64-shard one must
+/// both be observationally equivalent to the serial oracle on a fixed
+/// mixed batch at every forced worker count.
+#[test]
+fn shard_count_sweep_is_serial_equivalent() {
+    let specs: Vec<Spec> = (0..48).map(decode).collect();
+    let (econ, slash) = econ_and_slash();
+    let mut oracle = SerialCoordinator::new(econ, slash).unwrap();
+    fund_serial(&mut oracle);
+    let serial_ids = run_serial_oracle(&specs, &mut oracle);
+    for shards in [1usize, 64] {
+        for workers in worker_counts() {
+            let coordinator = Arc::new(Coordinator::with_shards(econ, slash, shards, shards).unwrap());
+            assert_eq!(coordinator.shard_counts(), (shards, shards));
+            fund_sharded(&coordinator);
+            let ids = run_sharded_parallel(specs.clone(), coordinator.clone(), workers);
+            assert_eq!(ids, serial_ids, "{shards} shards, {workers} workers");
+            for id in ids.iter().flatten() {
+                assert_eq!(
+                    coordinator.claim(*id).unwrap().status,
+                    oracle.claim(*id).unwrap().status,
+                    "{shards} shards, {workers} workers: claim {id} status"
+                );
+            }
+            for account in accounts() {
+                assert!(
+                    (oracle.balance(account) - coordinator.balance(account)).abs() < 1e-7,
+                    "{shards} shards, {workers} workers: {account} balance"
+                );
+                assert!(
+                    (oracle.escrowed(account) - coordinator.escrowed(account)).abs() < 1e-7,
+                    "{shards} shards, {workers} workers: {account} escrow"
+                );
+            }
+            let ledger = coordinator.ledger();
+            assert!(
+                (ledger.total_value() - ledger.injected()).abs() < 1e-7,
+                "{shards} shards, {workers} workers: conservation"
+            );
+        }
+    }
+}
+
 /// The audit channel goes through the same shard paths as a voluntary
 /// challenge (deposit-free freeze, then settlement); the proptest above
 /// covers challenges exhaustively, this covers the audit transitions and

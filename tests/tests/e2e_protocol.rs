@@ -66,6 +66,10 @@ fn bert_honest_and_malicious_sessions() {
         dispute.challenger_forward_passes, 0,
         "dispute must reuse the screening trace"
     );
+    assert_eq!(
+        dispute.rehashed_leaves, 0,
+        "dispute must derive child commitments from the cached subtree digests"
+    );
     assert_eq!(evil.verdict.unwrap().1, LeafVerdict::Fraud);
     assert!(matches!(
         evil.final_status,
@@ -101,6 +105,7 @@ fn qwen_dispute_localizes_across_partition_widths() {
             .unwrap();
         let dispute = report.dispute.expect("dispute ran");
         assert_eq!(dispute.result, DisputeResult::Leaf(target), "N = {n_way}");
+        assert_eq!(dispute.rehashed_leaves, 0, "N = {n_way}: digests must be cached");
         rounds_by_n.push(dispute.rounds.len());
     }
     assert!(

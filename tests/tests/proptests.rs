@@ -132,7 +132,7 @@ mod dispute_localization {
     use tao_device::{Device, Fleet};
     use tao_graph::{execute, Execution, Perturbations};
     use tao_models::{bert, data, BertConfig};
-    use tao_protocol::{run_dispute, ChallengerView, DisputeConfig, DisputeResult};
+    use tao_protocol::{run_dispute, ChallengerView, DisputeConfig, DisputeResult, ProposerView};
     use tao_tensor::Tensor;
 
     /// One deployment, one input, and the challenger's screening trace of
@@ -175,14 +175,16 @@ mod dispute_localization {
             p.insert(target, delta);
             let trace = execute(&d.model.graph, inputs, proposer.config(), Some(&p)).expect("forward");
             let challenger_dev = Device::h100_like();
+            let proposer_commitment = tao_merkle::TraceCommitment::build(&trace.values);
             let outcome = run_dispute(
                 &d.model.graph, d.dispute_anchors(),
-                &trace, inputs,
+                ProposerView::new(&trace).with_commitment(&proposer_commitment), inputs,
                 ChallengerView::with_screening(&challenger_dev, screening),
                 &d.thresholds,
                 DisputeConfig { n_way },
             ).expect("dispute");
             prop_assert_eq!(outcome.challenger_forward_passes, 0);
+            prop_assert_eq!(outcome.rehashed_leaves, 0);
             // A perturbation can be numerically absorbed downstream (e.g.
             // a near-uniform delta into softmax); when it is observable at
             // all, the game must land exactly on the perturbed operator.

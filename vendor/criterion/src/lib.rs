@@ -18,6 +18,20 @@
 //! (`id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter,outliers_rejected`)
 //! to that file, creating it with a header when absent.
 
+// The stub is gated behind the default-on `vendored-bench` feature: its
+// presence in a build is an explicit, greppable opt-in. Disabling it does
+// not conjure the real crate (this environment is offline) — it tells you
+// exactly how to switch to it.
+#[cfg(not(feature = "vendored-bench"))]
+compile_error!(
+    "the vendored criterion stand-in was disabled (feature `vendored-bench` off). \
+     To benchmark with the real crate in a networked environment, point the \
+     workspace dependency at crates.io instead: in the root Cargo.toml replace \
+     `criterion = { path = \"vendor/criterion\" }` with \
+     `criterion = { version = \"0.5\" }` and drop `vendor/criterion` from \
+     [workspace.members]."
+);
+
 use std::fmt::Display;
 use std::io::Write as _;
 use std::time::{Duration, Instant};
