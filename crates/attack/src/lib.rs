@@ -16,7 +16,10 @@ pub mod pgd;
 pub use adam::{AdamParams, AdamState};
 pub use error::AttackError;
 pub use metrics::{bucket_targets, AttackTableRow, BucketStats, BUCKETS};
-pub use pgd::{run_attack, AttackConfig, AttackProblem, AttackResult, ProjectionKind};
+pub use pgd::{
+    run_attack, run_attack_with_deltas, AttackConfig, AttackOutcome, AttackProblem, AttackResult,
+    ProjectionKind,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, AttackError>;

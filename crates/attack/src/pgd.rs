@@ -72,6 +72,20 @@ pub struct AttackResult {
     pub delta_rel: f64,
 }
 
+/// Outcome of [`run_attack_with_deltas`]: the scalar summary plus the
+/// final per-node perturbations (admissible at return time — the last
+/// projection has been applied). Campaign adversaries consume the deltas
+/// directly: an evasion operator that fails to flip within the admissible
+/// set escalates these same perturbations beyond it to model a cheat the
+/// screening must catch.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The scalar attack summary.
+    pub result: AttackResult,
+    /// The final admissible per-node perturbations.
+    pub deltas: Perturbations,
+}
+
 /// A prepared attack problem: the traced model, the committed inputs, the
 /// logits node, and the admissible-set data.
 pub struct AttackProblem<'a> {
@@ -127,6 +141,21 @@ pub fn run_attack(
     target: usize,
     cfg: &AttackConfig,
 ) -> Result<AttackResult> {
+    run_attack_with_deltas(problem, target, cfg).map(|o| o.result)
+}
+
+/// [`run_attack`], additionally returning the final perturbations — the
+/// campaign-drivable adversary API. See [`AttackOutcome`].
+///
+/// # Errors
+///
+/// Returns an error when execution/backprop fails or the target class is
+/// out of range.
+pub fn run_attack_with_deltas(
+    problem: &AttackProblem<'_>,
+    target: usize,
+    cfg: &AttackConfig,
+) -> Result<AttackOutcome> {
     let graph = problem.graph;
     let cfg_exec = KernelConfig::reference();
 
@@ -198,6 +227,7 @@ pub fn run_attack(
     let mut stall = 0usize;
     let mut iters = 0usize;
     let mut m_final = m0;
+    let mut success = false;
 
     for it in 0..cfg.max_iters {
         iters = it + 1;
@@ -208,7 +238,8 @@ pub fn run_attack(
         m_final = m;
         if m <= 0.0 {
             // Prediction flipped while admissible: attack succeeded.
-            return Ok(summary(true, iters, m0, m));
+            success = true;
+            break;
         }
         // Early stopping on stall.
         if (m - m_prev).abs() < cfg.tol * m0.abs() {
@@ -268,7 +299,10 @@ pub fn run_attack(
             }
         }
     }
-    Ok(summary(false, iters, m0, m_final))
+    Ok(AttackOutcome {
+        result: summary(success, iters, m0, m_final),
+        deltas,
+    })
 }
 
 fn summary(success: bool, iters: usize, m0: f64, m_final: f64) -> AttackResult {
@@ -399,6 +433,43 @@ mod tests {
             det.delta_m >= prob.delta_m * 0.8,
             "deterministic bounds should allow at least comparable progress: {det:?} vs {prob:?}"
         );
+    }
+
+    #[test]
+    fn deltas_are_returned_admissible_and_match_summary() {
+        let (g, logits, inputs, bundle) = classifier();
+        let problem = AttackProblem {
+            graph: &g,
+            inputs: &inputs,
+            logits_node: logits,
+            thresholds: &bundle,
+        };
+        let lane = problem.honest_logits().unwrap();
+        let c1 = argmax(&lane);
+        let target = (c1 + 1) % lane.len();
+        let cfg = AttackConfig::paper_default(ProjectionKind::Empirical, 1.0);
+        let outcome = run_attack_with_deltas(&problem, target, &cfg).unwrap();
+        assert!(!outcome.result.success);
+        assert!(
+            !outcome.deltas.is_empty(),
+            "empirical attack must have perturbed thresholded nodes"
+        );
+        // Every returned delta is a fixed point of its cap projection:
+        // the optimizer handed back an admissible perturbation.
+        for (id, d) in &outcome.deltas {
+            let entry = bundle.for_node(*id).expect("perturbed node calibrated");
+            let curve = CapCurve::from_thresholds(&entry.thresholds);
+            let projected = curve.project(d.data());
+            for (a, b) in d.data().iter().zip(&projected) {
+                assert!(
+                    (a - b).abs() <= 1e-6,
+                    "node {id}: delta {a} not admissible (projects to {b})"
+                );
+            }
+        }
+        // The wrapper and the deltas variant agree on the summary.
+        let r = run_attack(&problem, target, &cfg).unwrap();
+        assert_eq!(r, outcome.result);
     }
 
     #[test]

@@ -31,18 +31,48 @@ pub struct CalibrationRecord {
 }
 
 impl CalibrationRecord {
-    /// Builds the committed threshold bundle with safety factor `alpha`.
+    /// Builds the committed threshold bundle with safety factor `alpha`
+    /// from the raw max envelope (Eq. 5–7).
     pub fn into_thresholds(self, alpha: f64) -> ThresholdBundle {
+        self.into_thresholds_with(alpha, crate::estimator::TailEstimator::RawMax)
+    }
+
+    /// Builds the committed threshold bundle with safety factor `alpha`
+    /// using the given tail estimator. [`TailEstimator::RawMax`] reproduces
+    /// [`CalibrationRecord::into_thresholds`] exactly; the smoothed-tail
+    /// variant recomputes each envelope from the per-sample sequences and
+    /// dominates the raw envelope pointwise.
+    ///
+    /// [`TailEstimator::RawMax`]: crate::estimator::TailEstimator::RawMax
+    pub fn into_thresholds_with(
+        self,
+        alpha: f64,
+        estimator: crate::estimator::TailEstimator,
+    ) -> ThresholdBundle {
         let operators = self
             .nodes
             .iter()
             .zip(&self.mnemonics)
             .zip(&self.envelopes)
-            .map(|((&node, mnemonic), env)| OperatorThreshold {
-                node,
-                mnemonic: mnemonic.clone(),
-                thresholds: env.inflate(alpha),
-                mean_abs_error: self.mean_abs.get(&node).copied().unwrap_or(0.0),
+            .map(|((&node, mnemonic), raw)| {
+                let mut env = match estimator {
+                    crate::estimator::TailEstimator::RawMax => raw.clone(),
+                    crate::estimator::TailEstimator::SmoothedTail { k } => {
+                        crate::estimator::smoothed_envelope(
+                            self.sequences.get(&node).map_or(&[][..], Vec::as_slice),
+                            k,
+                        )
+                    }
+                };
+                // Float safety net: the smoothed estimate dominates the max
+                // envelope by construction; make that exact.
+                env.envelope(raw);
+                OperatorThreshold {
+                    node,
+                    mnemonic: mnemonic.clone(),
+                    thresholds: env.inflate(alpha),
+                    mean_abs_error: self.mean_abs.get(&node).copied().unwrap_or(0.0),
+                }
             })
             .collect();
         ThresholdBundle {
@@ -250,6 +280,35 @@ mod tests {
         for seq in record.sequences.values() {
             assert_eq!(seq.len(), 5);
         }
+    }
+
+    #[test]
+    fn smoothed_estimator_dominates_raw_max() {
+        use crate::estimator::TailEstimator;
+        let g = small_model();
+        let record = calibrate(&g, &dataset(8), &Fleet::standard()).unwrap();
+        let raw = record
+            .clone()
+            .into_thresholds_with(DEFAULT_ALPHA, TailEstimator::RawMax);
+        let exact = record.clone().into_thresholds(DEFAULT_ALPHA);
+        assert_eq!(raw, exact, "RawMax estimator must match into_thresholds");
+        let smoothed =
+            record.into_thresholds_with(DEFAULT_ALPHA, TailEstimator::smoothed_default());
+        for (r, s) in raw.operators.iter().zip(&smoothed.operators) {
+            assert_eq!(r.node, s.node);
+            for (a, b) in r.thresholds.abs.iter().zip(&s.thresholds.abs) {
+                assert!(b >= a, "smoothed abs threshold {b} below raw {a}");
+            }
+            for (a, b) in r.thresholds.rel.iter().zip(&s.thresholds.rel) {
+                assert!(b >= a, "smoothed rel threshold {b} below raw {a}");
+            }
+        }
+        // The matmul tail must gain real slack, not just tie the max.
+        let (r0, s0) = (&raw.operators[0], &smoothed.operators[0]);
+        assert!(
+            s0.thresholds.abs.iter().sum::<f64>() > r0.thresholds.abs.iter().sum::<f64>(),
+            "smoothed-tail estimator added no slack over the raw envelope"
+        );
     }
 
     #[test]

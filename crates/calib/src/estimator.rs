@@ -1,0 +1,168 @@
+//! Tail-threshold estimators: the committed threshold bundle can be built
+//! from the raw max envelope (Eq. 5–7) or from a smoothed-tail variant
+//! that adds a tail-slack term on top of the envelope.
+//!
+//! The max envelope is a max-statistic and therefore fragile at small
+//! calibration sample counts (the PR 2/PR 3 coverage saga): an honest
+//! operator's fresh-input error can land just above the largest error seen
+//! in calibration. The smoothed-tail estimator compensates by adding the
+//! average gap between the largest and the `k` next-largest per-sample
+//! envelope values — an exceedance-style tail-slack in the spirit of a
+//! Hill/peaks-over-threshold correction, computed per grid coordinate.
+//!
+//! Both estimators are *prefix-monotone*: computed over nested calibration
+//! sample sets, the resulting thresholds are pointwise non-decreasing in
+//! the sample count, so the coverage-sweep monotonicity guarantees carry
+//! over unchanged (`tests/tests/coverage.rs` asserts this differentially).
+
+use crate::profile::PercentilePair;
+
+/// Which tail statistic turns per-sample calibration envelopes into the
+/// committed (pre-α) threshold envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailEstimator {
+    /// The paper's raw max envelope (Eq. 5–6): pointwise max over samples.
+    RawMax,
+    /// Max envelope plus smoothed tail slack: per grid coordinate, the
+    /// estimate over `n` samples with order statistics `y_1 ≥ y_2 ≥ …` is
+    /// `y_1 + (y_1 − y_{k'+1}) / k'` with `k' = min(k, n−1)`, maximised
+    /// over all sample prefixes (which makes it prefix-monotone and never
+    /// below the raw max). `k = 0` degenerates to [`TailEstimator::RawMax`].
+    SmoothedTail {
+        /// Number of upper order statistics the tail slack averages over.
+        k: usize,
+    },
+}
+
+impl TailEstimator {
+    /// The smoothed-tail variant at its documented default depth (`k = 4`).
+    pub fn smoothed_default() -> Self {
+        TailEstimator::SmoothedTail { k: 4 }
+    }
+
+    /// Short label for CSV columns and reports.
+    pub fn label(&self) -> String {
+        match self {
+            TailEstimator::RawMax => "raw-max".to_string(),
+            TailEstimator::SmoothedTail { k } => format!("smoothed-tail-k{k}"),
+        }
+    }
+}
+
+/// Smoothed-tail value for one grid coordinate: the prefix-maximised
+/// `y_1 + (y_1 − y_{k'+1}) / k'` over the per-sample values in canonical
+/// sample order.
+fn smoothed_coordinate(values: &[f64], k: usize) -> f64 {
+    let mut sorted: Vec<f64> = Vec::with_capacity(values.len());
+    let mut worst = 0.0f64;
+    for &v in values {
+        // Maintain the prefix in descending order (n ≤ 48, so the insert
+        // is cheap and keeps the whole pass allocation-light).
+        let pos = sorted.partition_point(|&x| x > v);
+        sorted.insert(pos, v);
+        let n = sorted.len();
+        let kk = k.min(n - 1);
+        let y1 = sorted[0];
+        let est = if kk == 0 {
+            y1
+        } else {
+            y1 + (y1 - sorted[kk]) / kk as f64
+        };
+        worst = worst.max(est);
+    }
+    worst
+}
+
+/// Applies the smoothed-tail estimator to one operator's per-sample
+/// envelope sequence (in canonical sample order), producing the pre-α
+/// threshold envelope. The result dominates the raw max envelope pointwise.
+pub fn smoothed_envelope(sequence: &[PercentilePair], k: usize) -> PercentilePair {
+    if sequence.is_empty() {
+        return PercentilePair::zero();
+    }
+    let grid_len = sequence[0].abs.len();
+    let mut out = PercentilePair {
+        abs: Vec::with_capacity(grid_len),
+        rel: Vec::with_capacity(grid_len),
+    };
+    let mut column: Vec<f64> = Vec::with_capacity(sequence.len());
+    for g in 0..grid_len {
+        column.clear();
+        column.extend(sequence.iter().map(|p| p.abs[g]));
+        out.abs.push(smoothed_coordinate(&column, k));
+        column.clear();
+        column.extend(sequence.iter().map(|p| p.rel[g]));
+        out.rel.push(smoothed_coordinate(&column, k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(abs: Vec<f64>) -> PercentilePair {
+        PercentilePair {
+            rel: abs.iter().map(|v| v / 2.0).collect(),
+            abs,
+        }
+    }
+
+    #[test]
+    fn k_zero_is_raw_max() {
+        let seq = vec![pair(vec![1.0, 3.0]), pair(vec![2.0, 1.0])];
+        let env = smoothed_envelope(&seq, 0);
+        assert_eq!(env.abs, vec![2.0, 3.0]);
+        assert_eq!(env.rel, vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn smoothed_dominates_raw_max() {
+        let seq: Vec<PercentilePair> = (0..20)
+            .map(|i| pair(vec![(i as f64 * 0.7).sin().abs(), i as f64 * 0.01]))
+            .collect();
+        for k in [1, 2, 4, 8] {
+            let smoothed = smoothed_envelope(&seq, k);
+            let raw = smoothed_envelope(&seq, 0);
+            for (s, r) in smoothed.abs.iter().zip(&raw.abs) {
+                assert!(s >= r, "smoothed {s} below raw max {r} at k={k}");
+            }
+            for (s, r) in smoothed.rel.iter().zip(&raw.rel) {
+                assert!(s >= r);
+            }
+        }
+    }
+
+    #[test]
+    fn slack_matches_hand_computation() {
+        // Values 4, 2, 1 with k = 2: prefix maxima are
+        //   n=1: 4;  n=2: 4 + (4-2)/1 = 6;  n=3: 4 + (4-1)/2 = 5.5.
+        let seq = vec![pair(vec![4.0]), pair(vec![2.0]), pair(vec![1.0])];
+        let env = smoothed_envelope(&seq, 2);
+        assert_eq!(env.abs, vec![6.0]);
+    }
+
+    #[test]
+    fn prefix_monotone_under_nested_samples() {
+        let seq: Vec<PercentilePair> = (0..16)
+            .map(|i| pair(vec![((i * 37 + 11) % 17) as f64 / 5.0]))
+            .collect();
+        for k in [1, 4] {
+            let mut prev = 0.0f64;
+            for n in 1..=seq.len() {
+                let env = smoothed_envelope(&seq[..n], k);
+                assert!(
+                    env.abs[0] >= prev,
+                    "smoothed envelope shrank with more samples at n={n}"
+                );
+                prev = env.abs[0];
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_zero() {
+        let env = smoothed_envelope(&[], 4);
+        assert!(env.abs.iter().all(|&v| v == 0.0));
+    }
+}

@@ -11,6 +11,7 @@
 pub mod calibrate;
 pub mod cap;
 pub mod error;
+pub mod estimator;
 pub mod json;
 pub mod percentile;
 pub mod profile;
@@ -19,6 +20,7 @@ pub mod stability;
 pub use calibrate::{calibrate, CalibrationRecord};
 pub use cap::CapCurve;
 pub use error::CalibError;
+pub use estimator::{smoothed_envelope, TailEstimator};
 pub use json::{bundle_to_json_pretty, threshold_from_json, threshold_to_json};
 pub use percentile::{grid_index, grid_profile, median, percentile, PERCENTILE_GRID};
 pub use profile::{

@@ -1,0 +1,43 @@
+//! # tao-campaign
+//!
+//! Adversarial-scale campaign harness: re-validates TAO's security and
+//! economic claims under concurrent load by pushing mixed adversary
+//! populations through the real scheduler and coordinator.
+//!
+//! A [`Campaign`] composes, per epoch, honest operators alongside four
+//! adversary archetypes — PGD [evasion](population::Role::Evasion)
+//! operators driving `tao-attack` against the committed thresholds,
+//! [spam](population::Role::Spam) claimants posting garbage logits,
+//! [colluding](population::Role::Collusion) proposer/challenger pairs
+//! that abandon their own dispute, and stake-bleed
+//! [griefers](population::Role::Griefer) disputing clean claims — and
+//! drives every session through [`tao::Scheduler::run_with`] at the
+//! configured worker count. Watchtower challengers screen claims and
+//! adopt abandoned disputes.
+//!
+//! The resulting [`CampaignReport`] carries per-claim outcomes, a
+//! per-epoch CSV log A/B-comparing the committed tail estimator against
+//! its shadow (raw max vs smoothed tail), per-role profit-and-loss, and
+//! [`CampaignReport::assert_floors`] — the paper's falsifiable floors:
+//! every planted cheat caught, zero false flags, no honest slashing, no
+//! admissible evasion flip, honest operators in the black and every
+//! adversary role in the red, with ledger conservation at every epoch
+//! boundary.
+//!
+//! ```
+//! use tao_campaign::{Campaign, CampaignConfig};
+//!
+//! let report = Campaign::new(CampaignConfig::smoke(7)).run().unwrap();
+//! report.assert_floors();
+//! assert_eq!(report.detection_rate(), 1.0);
+//! ```
+
+pub mod config;
+pub mod population;
+pub mod report;
+pub mod runner;
+
+pub use config::CampaignConfig;
+pub use population::{Population, Role};
+pub use report::{CampaignReport, ClaimOutcome, EpochStats, RoleNets};
+pub use runner::{campaign_model, Campaign, NUM_WATCHTOWERS};

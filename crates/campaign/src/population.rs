@@ -1,0 +1,139 @@
+//! Adversary roles and population mixes.
+
+use core::fmt;
+
+/// The behavioral role an account plays inside a campaign.
+///
+/// Claimant roles (everything except [`Role::Griefer`]) post one claim per
+/// epoch; griefers never post claims — they open disputes against honest
+/// operators' clean claims hoping to bleed deposits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Runs the committed model faithfully and collects rewards.
+    Honest,
+    /// Drives projected PGD against the committed thresholds looking for
+    /// an admissible prediction flip; failing that, submits the escalated
+    /// (inadmissible) perturbation anyway.
+    Evasion,
+    /// Skips the computation and posts garbage logits (the paper's
+    /// "cheap cheating" strategy).
+    Spam,
+    /// Posts a perturbed interior activation while a colluding partner
+    /// self-challenges and abandons the dispute, hoping it dies with the
+    /// deserting challenger.
+    Collusion,
+    /// Opens disputes against flagless honest claims (stake-bleed
+    /// griefing).
+    Griefer,
+}
+
+impl Role {
+    /// True for roles whose claims are planted cheats (must all be
+    /// caught for the detection floor to hold).
+    pub fn is_planted_cheat(self) -> bool {
+        matches!(self, Role::Evasion | Role::Spam | Role::Collusion)
+    }
+
+    /// Stable lowercase label used in account names and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Honest => "honest",
+            Role::Evasion => "evasion",
+            Role::Spam => "spam",
+            Role::Collusion => "collusion",
+            Role::Griefer => "griefer",
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How many operators of each role a campaign fields per epoch.
+///
+/// Every collusion entry is a *pair* of accounts (proposer + deserting
+/// partner); watchtowers are implicit — campaigns always run
+/// [`crate::runner::NUM_WATCHTOWERS`] honest challengers that screen
+/// claims and adopt abandoned disputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Population {
+    /// Honest operators.
+    pub honest: usize,
+    /// PGD evasion operators.
+    pub evasion: usize,
+    /// Garbage-logit spam claimants.
+    pub spam: usize,
+    /// Colluding proposer/challenger pairs.
+    pub collusion: usize,
+    /// Stake-bleed griefers (challenger-side only).
+    pub griefers: usize,
+}
+
+impl Population {
+    /// The small CI mix: enough of every role to exercise each code path
+    /// while keeping a smoke run fast.
+    pub fn smoke() -> Self {
+        Population {
+            honest: 3,
+            evasion: 1,
+            spam: 1,
+            collusion: 1,
+            griefers: 1,
+        }
+    }
+
+    /// The default load mix used by the `campaign` bench bin.
+    pub fn standard() -> Self {
+        Population {
+            honest: 8,
+            evasion: 2,
+            spam: 2,
+            collusion: 2,
+            griefers: 2,
+        }
+    }
+
+    /// Number of claims posted per epoch (griefers post none).
+    pub fn claimants(&self) -> usize {
+        self.honest + self.evasion + self.spam + self.collusion
+    }
+
+    /// Number of planted cheats per epoch.
+    pub fn planted(&self) -> usize {
+        self.evasion + self.spam + self.collusion
+    }
+
+    /// Total adversarial accounts (collusion counts the pair).
+    pub fn adversaries(&self) -> usize {
+        self.evasion + self.spam + 2 * self.collusion + self.griefers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_up() {
+        let p = Population::standard();
+        assert_eq!(p.claimants(), 14);
+        assert_eq!(p.planted(), 6);
+        assert_eq!(p.adversaries(), 10);
+        let s = Population::smoke();
+        assert_eq!(s.claimants(), 6);
+        assert_eq!(s.planted(), 3);
+    }
+
+    #[test]
+    fn planted_cheat_roles() {
+        assert!(Role::Evasion.is_planted_cheat());
+        assert!(Role::Spam.is_planted_cheat());
+        assert!(Role::Collusion.is_planted_cheat());
+        assert!(!Role::Honest.is_planted_cheat());
+        assert!(!Role::Griefer.is_planted_cheat());
+        assert_eq!(Role::Griefer.to_string(), "griefer");
+    }
+}

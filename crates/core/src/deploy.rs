@@ -3,7 +3,7 @@
 use std::ops::Deref;
 use std::sync::Arc;
 
-use tao_calib::{calibrate, CalibrationRecord, ThresholdBundle};
+use tao_calib::{calibrate, CalibrationRecord, TailEstimator, ThresholdBundle};
 use tao_device::Fleet;
 use tao_merkle::{commit_model, graph_tree, weight_tree, MerkleTree, ModelCommitment};
 use tao_models::Model;
@@ -92,13 +92,33 @@ pub fn deploy(
     samples: &[Vec<Tensor<f32>>],
     alpha: f64,
 ) -> Result<Deployment> {
+    deploy_with(model, fleet, samples, alpha, TailEstimator::RawMax)
+}
+
+/// [`deploy`] with an explicit tail estimator for the committed
+/// thresholds: [`TailEstimator::RawMax`] is the paper's max envelope,
+/// [`TailEstimator::SmoothedTail`] adds tail slack (the calibration
+/// variant campaigns A/B against the raw envelope). The chosen estimator's
+/// bundle is what gets Merkle-committed — screening, disputes and
+/// committees all operate against it.
+///
+/// # Errors
+///
+/// Returns an error when calibration fails (empty fleet or samples).
+pub fn deploy_with(
+    model: Model,
+    fleet: Fleet,
+    samples: &[Vec<Tensor<f32>>],
+    alpha: f64,
+    estimator: TailEstimator,
+) -> Result<Deployment> {
     if alpha < 1.0 {
         return Err(TaoError::Config(format!(
             "safety factor alpha {alpha} must be >= 1"
         )));
     }
     let calibration = calibrate(&model.graph, samples, &fleet)?;
-    let thresholds = calibration.clone().into_thresholds(alpha);
+    let thresholds = calibration.clone().into_thresholds_with(alpha, estimator);
     let wt = weight_tree(&model.graph);
     let gt = graph_tree(&model.graph);
     let commitment = commit_model(&model.graph, &thresholds.to_leaves());
@@ -148,6 +168,40 @@ mod tests {
         assert!(std::ptr::eq(d.artifacts(), d2.artifacts()));
         let anchors = d2.dispute_anchors();
         assert_eq!(*anchors.graph_root, d.commitment.graph_root);
+    }
+
+    #[test]
+    fn smoothed_deployment_commits_the_smoothed_bundle() {
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let samples = tao_models::data::token_dataset(4, cfg.seq, cfg.vocab, 10);
+        let raw = deploy(bert::build(cfg, 1), Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+        let smoothed = deploy_with(
+            bert::build(cfg, 1),
+            Fleet::standard(),
+            &samples,
+            DEFAULT_ALPHA,
+            TailEstimator::smoothed_default(),
+        )
+        .unwrap();
+        // The variant bundle dominates pointwise and is what got committed
+        // (the threshold leaves differ, so the r_e root differs).
+        for (r, s) in raw
+            .thresholds
+            .operators
+            .iter()
+            .zip(&smoothed.thresholds.operators)
+        {
+            for (a, b) in r.thresholds.abs.iter().zip(&s.thresholds.abs) {
+                assert!(b >= a);
+            }
+        }
+        assert_ne!(
+            raw.commitment.threshold_root, smoothed.commitment.threshold_root,
+            "estimator choice must be visible in the commitment"
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod schedule;
 pub mod session;
 pub mod verify;
 
-pub use deploy::{deploy, Deployment, DeploymentArtifacts};
+pub use deploy::{deploy, deploy_with, Deployment, DeploymentArtifacts};
 pub use error::TaoError;
 pub use schedule::Scheduler;
 pub use session::{

@@ -39,7 +39,7 @@
 
 use tao_protocol::par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
 
-use crate::session::{SessionBuilder, SessionReport, SharedCoordinator};
+use crate::session::{Session, SessionBuilder, SessionReport, SharedCoordinator};
 use crate::Result;
 
 /// Runs batches of verification sessions concurrently.
@@ -98,6 +98,37 @@ impl Scheduler {
         coordinator: &SharedCoordinator,
         sessions: Vec<SessionBuilder>,
     ) -> Result<Vec<SessionReport>> {
+        let resolved = self.run_with(coordinator, sessions, |_, session, coord| {
+            if session.screen()? {
+                session.dispute(coord)?;
+            }
+            Ok(())
+        })?;
+        Ok(resolved.into_iter().map(|(report, ())| report).collect())
+    }
+
+    /// [`run`](Self::run) with a custom resolve phase: `resolve` replaces
+    /// the default screen-then-dispute-if-flagged logic of phase 3 and
+    /// runs once per session (concurrently, at the compute-phase thread
+    /// cap), receiving the session's batch index, the session handle and
+    /// the shared coordinator. Whatever it returns rides along with the
+    /// session's report.
+    ///
+    /// This is the campaign hook: adversarial drivers use it to play
+    /// non-default moves — forced disputes on clean claims, abandoned
+    /// challenges adopted by watchtowers — while keeping the scheduler's
+    /// four-phase structure (and its determinism guarantees) intact.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run): the first error by session order, after the
+    /// failing phase completes.
+    pub fn run_with<T: Send>(
+        &self,
+        coordinator: &SharedCoordinator,
+        sessions: Vec<SessionBuilder>,
+        resolve: impl Fn(usize, &mut Session, &SharedCoordinator) -> Result<T> + Sync,
+    ) -> Result<Vec<(SessionReport, T)>> {
         // Compute-bound phases clamp to the kernel-nesting cap: each
         // worker's forward passes spawn kernel row-band threads of their
         // own, and the old 8-worker ceiling existed exactly to bound that
@@ -108,21 +139,26 @@ impl Scheduler {
         let prepared = parallel_map(sessions, compute_threads, SessionBuilder::prepare);
         // Phase 2 (serial, in order): deterministic claim-id assignment.
         let mut submitted = Vec::with_capacity(prepared.len());
-        for pending in prepared {
-            submitted.push(pending?.submit(coordinator)?);
+        for (index, pending) in prepared.into_iter().enumerate() {
+            submitted.push((index, pending?.submit(coordinator)?));
         }
-        // Phase 3 (parallel): screening, disputes and leaf adjudication.
-        let resolved = parallel_map(submitted, compute_threads, |mut session| -> Result<_> {
-            if session.screen()? {
-                session.dispute(coordinator)?;
-            }
-            Ok(session)
-        });
+        // Phase 3 (parallel): screening, disputes and leaf adjudication —
+        // or whatever moves `resolve` plays instead.
+        let resolve = &resolve;
+        let resolved = parallel_map(
+            submitted,
+            compute_threads,
+            |(index, mut session)| -> Result<_> {
+                let extra = resolve(index, &mut session, coordinator)?;
+                Ok((session, extra))
+            },
+        );
         // Phase 4 (parallel): settlement. Per-claim settles and clock
         // advances commute on the sharded coordinator, so reports are
         // produced concurrently and collected in session order.
-        let settled = parallel_map(resolved, self.threads, |session| -> Result<_> {
-            session?.settle(coordinator)
+        let settled = parallel_map(resolved, self.threads, |entry| -> Result<_> {
+            let (session, extra) = entry?;
+            Ok((session.settle(coordinator)?, extra))
         });
         let mut reports = Vec::with_capacity(settled.len());
         for report in settled {

@@ -327,6 +327,7 @@ impl PendingSession {
             dispute: None,
             verdict: None,
             winner: None,
+            abandoned: false,
         })
     }
 }
@@ -344,6 +345,7 @@ pub struct Session {
     dispute: Option<DisputeOutcome>,
     verdict: Option<(AdjudicationPath, LeafVerdict)>,
     winner: Option<Party>,
+    abandoned: bool,
 }
 
 impl Session {
@@ -414,6 +416,122 @@ impl Session {
         coordinator
             .coordinator()
             .open_challenge(self.claim_id, &self.cfg.challenger_account)?;
+        self.resolve_dispute()?;
+        Ok(self.dispute.as_ref())
+    }
+
+    /// Opens a challenge and plays the dispute game **regardless of the
+    /// screening verdict** — the stake-bleed griefing move: a challenger
+    /// disputing a claim its own screening did not flag. The dispute is
+    /// objective, so against an honest proposer the descent finds no
+    /// offending child and the griefer forfeits its deposit at settlement.
+    /// Idempotent once a dispute is resolved.
+    ///
+    /// # Errors
+    ///
+    /// Errors when called before [`screen`](Self::screen) (the griefer
+    /// still needs a trace to play the game with), or when a protocol step
+    /// fails structurally (e.g. the griefer cannot post its deposit).
+    pub fn force_dispute(
+        &mut self,
+        coordinator: &SharedCoordinator,
+    ) -> Result<Option<&DisputeOutcome>> {
+        if self.screening.is_none() {
+            return Err(TaoError::Config(
+                "force_dispute() requires screen() to have run".into(),
+            ));
+        }
+        if self.dispute.is_some() {
+            return Ok(self.dispute.as_ref());
+        }
+        coordinator
+            .coordinator()
+            .open_challenge(self.claim_id, &self.cfg.challenger_account)?;
+        self.resolve_dispute()?;
+        Ok(self.dispute.as_ref())
+    }
+
+    /// The collusion exit move: the session's challenger opens a challenge
+    /// (escrowing `D_ch`) and then walks away without playing the dispute
+    /// game, leaving the claim frozen in `Disputed`. A colluding
+    /// proposer/challenger pair uses this to front-run honest watchtowers —
+    /// the claim can no longer be challenged by anyone else. The session
+    /// cannot settle from this state; a watchtower must take the dispute
+    /// over via [`adopt_dispute`](Self::adopt_dispute).
+    ///
+    /// # Errors
+    ///
+    /// Errors when the challenge cannot be opened (claim not pending,
+    /// window closed, or insufficient challenger funds).
+    pub fn challenge_and_abandon(&mut self, coordinator: &SharedCoordinator) -> Result<()> {
+        coordinator
+            .coordinator()
+            .open_challenge(self.claim_id, &self.cfg.challenger_account)?;
+        self.abandoned = true;
+        Ok(())
+    }
+
+    /// Watchtower takeover of an abandoned dispute: `account` becomes
+    /// challenger of record (posting a fresh `D_ch`; the deserter's deposit
+    /// is burned by the coordinator), screens the claim on `device` — one
+    /// forward pass, exactly what a voluntary challenger would have paid —
+    /// and plays the dispute game to resolution. The session's challenger
+    /// identity is rebound to the adopter, so [`settle`](Self::settle)
+    /// then routes bonds to the watchtower.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the session was not abandoned, when the adopter cannot
+    /// post its deposit, or when a protocol step fails structurally.
+    pub fn adopt_dispute(
+        &mut self,
+        coordinator: &SharedCoordinator,
+        account: &str,
+        device: &Device,
+    ) -> Result<Option<&DisputeOutcome>> {
+        if !self.abandoned {
+            return Err(TaoError::Config(
+                "adopt_dispute() requires an abandoned dispute".into(),
+            ));
+        }
+        coordinator
+            .coordinator()
+            .adopt_challenge(self.claim_id, account)?;
+        self.cfg.challenger = device.clone();
+        self.cfg.challenger_account = account.to_string();
+        // The adopter screens for itself: its own trace (and flagged-trace
+        // commitment) replaces the deserter's, and the dispute below reuses
+        // it — the adopter pays one forward pass, never more.
+        self.screening = Some(screen_claim(
+            &self.deployment.model.graph,
+            self.deployment.model.logits,
+            &self.deployment.thresholds,
+            ClaimCheck {
+                inputs: &self.inputs,
+                claimed_output: &self.output,
+            },
+            device,
+        )?);
+        self.abandoned = false;
+        self.resolve_dispute()?;
+        Ok(self.dispute.as_ref())
+    }
+
+    /// True when the session's challenge was opened and then abandoned
+    /// (see [`challenge_and_abandon`](Self::challenge_and_abandon)) and no
+    /// watchtower has adopted it yet.
+    pub fn abandoned(&self) -> bool {
+        self.abandoned
+    }
+
+    /// Plays the dispute localization game for the already-opened
+    /// challenge (reusing the cached screening trace) and adjudicates the
+    /// leaf when one is reached, recording outcome, verdict and winner.
+    fn resolve_dispute(&mut self) -> Result<()> {
+        let screening = self
+            .screening
+            .as_ref()
+            .expect("resolve_dispute() runs after a screening is cached");
         let graph = &self.deployment.model.graph;
         // The proposer commits to its trace (per-node subtree digests)
         // when the challenge opens; every round's child interface hashes
@@ -454,17 +572,22 @@ impl Session {
         self.verdict = verdict;
         self.winner = Some(winner);
         self.dispute = Some(outcome);
-        Ok(self.dispute.as_ref())
+        Ok(())
     }
 
-    /// Final phase: settles a disputed claim (slashing the loser) or lets
-    /// an unchallenged claim's window elapse, then reports.
+    /// Final phase: settles a resolved dispute (slashing the loser) or
+    /// lets an unchallenged claim's window elapse, then reports. A
+    /// resolved dispute settles whether or not the screening flagged the
+    /// claim — a griefer's forced dispute on a clean claim settles for the
+    /// proposer.
     ///
     /// # Errors
     ///
     /// Errors when called before [`screen`](Self::screen), when a flagged
-    /// claim was never [`dispute`](Self::dispute)d, or when settlement
-    /// fails on the coordinator.
+    /// claim was never [`dispute`](Self::dispute)d, when the dispute was
+    /// [abandoned](Self::challenge_and_abandon) without an
+    /// [adoption](Self::adopt_dispute), or when settlement fails on the
+    /// coordinator.
     pub fn settle(self, coordinator: &SharedCoordinator) -> Result<SessionReport> {
         let Some(screening) = &self.screening else {
             return Err(TaoError::Config(
@@ -473,11 +596,16 @@ impl Session {
         };
         let final_status = {
             let coord = coordinator.coordinator();
-            if screening.flagged {
-                let winner = self.winner.ok_or_else(|| {
-                    TaoError::Config("settle() requires dispute() on a flagged claim".into())
-                })?;
+            if let Some(winner) = self.winner {
                 coord.settle(self.claim_id, winner, self.cfg.committee)?;
+            } else if self.abandoned {
+                return Err(TaoError::Config(
+                    "settle() on an abandoned dispute: adopt_dispute() first".into(),
+                ));
+            } else if screening.flagged {
+                return Err(TaoError::Config(
+                    "settle() requires dispute() on a flagged claim".into(),
+                ));
             } else {
                 coord.advance(self.cfg.window + 1);
             }
@@ -486,7 +614,7 @@ impl Session {
         Ok(SessionReport {
             claim_id: self.claim_id,
             output: self.output,
-            challenged: screening.flagged,
+            challenged: screening.flagged || self.dispute.is_some(),
             exceedance: screening.exceedance,
             dispute: self.dispute,
             verdict: self.verdict,
@@ -632,6 +760,109 @@ mod tests {
         assert!(session.dispute(&coord).unwrap().is_none());
         let report = session.settle(&coord).unwrap();
         assert!(report.proposer_prevailed());
+    }
+
+    #[test]
+    fn griefed_honest_claim_settles_for_the_proposer() {
+        let (d, inputs) = deployment();
+        let coord = SharedCoordinator::new(default_coordinator().unwrap());
+        let mut session = SessionBuilder::new(&d, inputs).submit(&coord).unwrap();
+        // Ungated griefing: force_dispute before screen() is a contract
+        // violation (the griefer still plays with a trace).
+        assert!(session.force_dispute(&coord).is_err());
+        assert!(!session.screen().unwrap(), "claim is honest");
+        let outcome = session.force_dispute(&coord).unwrap().unwrap();
+        assert!(
+            matches!(outcome.result, DisputeResult::NoOffendingChild { .. }),
+            "honest claim must yield no offending child: {:?}",
+            outcome.result
+        );
+        assert_eq!(outcome.challenger_forward_passes, 0);
+        let report = session.settle(&coord).unwrap();
+        assert!(report.challenged, "a forced dispute counts as challenged");
+        assert!(matches!(
+            report.final_status,
+            ClaimStatus::Settled {
+                winner: Party::Proposer
+            }
+        ));
+        // The griefer forfeited its deposit to the honest proposer.
+        assert!(coord.balance("challenger") < 1_000.0);
+    }
+
+    #[test]
+    fn abandoned_dispute_cannot_settle() {
+        let (d, inputs) = deployment();
+        let coord = SharedCoordinator::new(default_coordinator().unwrap());
+        let mut session = SessionBuilder::new(&d, inputs).submit(&coord).unwrap();
+        assert!(!session.abandoned());
+        session.screen().unwrap();
+        session.challenge_and_abandon(&coord).unwrap();
+        assert!(session.abandoned());
+        // The claim is frozen: nobody else can challenge it...
+        assert!(coord
+            .coordinator()
+            .open_challenge(0, "someone-else")
+            .is_err());
+        // ...and the session cannot settle out of the frozen state.
+        assert!(session.settle(&coord).is_err());
+    }
+
+    #[test]
+    fn watchtower_adopts_abandoned_dispute_and_convicts() {
+        let (d, inputs) = deployment();
+        let c = default_coordinator().unwrap();
+        c.fund("watchtower", 1_000.0);
+        let coord = SharedCoordinator::new(c);
+        // Collusion: a perturbed claim challenged by the partner, which
+        // immediately abandons the dispute.
+        let target = d.model.graph.compute_nodes()[2];
+        let honest = execute(
+            &d.model.graph,
+            &inputs,
+            Device::rtx4090_like().config(),
+            None,
+        )
+        .unwrap();
+        let shape = honest.values[target.0].dims().to_vec();
+        let mut p = Perturbations::new();
+        p.insert(target, Tensor::full(&shape, 0.02));
+        let mut session = SessionBuilder::new(&d, inputs)
+            .behavior(ProposerBehavior::Malicious(p))
+            .submit(&coord)
+            .unwrap();
+        // Adoption before abandonment is a contract violation.
+        assert!(session
+            .adopt_dispute(&coord, "watchtower", &Device::h100_like())
+            .is_err());
+        session.challenge_and_abandon(&coord).unwrap();
+        let outcome = session
+            .adopt_dispute(&coord, "watchtower", &Device::h100_like())
+            .unwrap()
+            .unwrap();
+        assert!(matches!(outcome.result, DisputeResult::Leaf(_)));
+        assert_eq!(
+            outcome.challenger_forward_passes, 0,
+            "adoption must reuse the adopter's screening trace"
+        );
+        assert!(!session.abandoned());
+        let report = session.settle(&coord).unwrap();
+        assert!(matches!(
+            report.final_status,
+            ClaimStatus::Settled {
+                winner: Party::Challenger
+            }
+        ));
+        // The watchtower profits; the deserting colluder's deposit burned.
+        assert!(coord.balance("watchtower") > 1_000.0);
+        let colluder_total =
+            coord.balance("challenger") + coord.coordinator().escrowed("challenger");
+        assert!(
+            colluder_total < 1_000.0 - 1e-9,
+            "deserter kept {colluder_total}"
+        );
+        let ledger = coord.coordinator().ledger();
+        assert!((ledger.total_value() - ledger.injected()).abs() < 1e-9);
     }
 
     #[test]

@@ -45,6 +45,25 @@ impl Fleet {
         self.devices.iter().find(|d| d.name() == name)
     }
 
+    /// Deterministically samples one device from a 64-bit seed (SplitMix64
+    /// finalizer over the seed, reduced modulo the fleet size). Campaign
+    /// harnesses use this to assign heterogeneous operator hardware
+    /// reproducibly: the same seed always lands on the same device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet.
+    pub fn sample_device(&self, seed: u64) -> &Device {
+        assert!(!self.devices.is_empty(), "cannot sample an empty fleet");
+        // SplitMix64 finalizer: full-avalanche mix so consecutive seeds
+        // don't stripe across the (small) fleet.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        &self.devices[(z % self.devices.len() as u64) as usize]
+    }
+
     /// All ordered pairs `(i, j)` with `i < j` (the calibration sweep).
     pub fn pairs(&self) -> Vec<(&Device, &Device)> {
         let mut out = Vec::new();
@@ -74,6 +93,20 @@ mod tests {
         let f = Fleet::standard();
         assert!(f.get("sim-a100").is_some());
         assert!(f.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_covers_the_fleet() {
+        let f = Fleet::standard();
+        for seed in 0..16u64 {
+            assert_eq!(f.sample_device(seed).name(), f.sample_device(seed).name());
+        }
+        // Consecutive seeds must reach every device of the small fleet.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            seen.insert(f.sample_device(seed).name().to_string());
+        }
+        assert_eq!(seen.len(), f.len(), "sampler missed devices: {seen:?}");
     }
 
     #[test]

@@ -453,6 +453,56 @@ impl Coordinator {
         Ok(())
     }
 
+    /// Transfers challenger-of-record on a disputed claim to `adopter`:
+    /// the adopter escrows a fresh `D_ch` and the deserting challenger's
+    /// deposit is **burned**. This is the watchtower's answer to the
+    /// collusion exit move — a colluding challenger that opens a dispute
+    /// and then abandons it cannot hand the proposer a free win (the
+    /// dispute continues under the adopter) and pays for the desertion.
+    /// The status check, the adopter's reservation and the record swap all
+    /// happen under the claim's shard lock, so two adopters racing for one
+    /// abandoned dispute cannot both win.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the claim is not disputed, when `adopter`
+    /// already is the challenger of record, or when the adopter cannot
+    /// post the deposit.
+    pub fn adopt_challenge(&self, id: u64, adopter: &str) -> Result<String> {
+        let deserter = {
+            let mut shard = self.claims.shard(id).lock();
+            let claim = shard.get_mut(&id).ok_or(ProtocolError::UnknownClaim(id))?;
+            let ClaimStatus::Disputed { challenger } = &claim.status else {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id} is not disputed"
+                )));
+            };
+            if challenger == adopter {
+                return Err(ProtocolError::BadState(format!(
+                    "claim #{id}: {adopter} already challenges it"
+                )));
+            }
+            let deserter = challenger.clone();
+            // Claim-shard → account-shard is the sanctioned lock order.
+            self.ledger
+                .reserve(adopter, self.econ.d_ch)
+                .map_err(|available| ProtocolError::InsufficientFunds {
+                    account: adopter.to_string(),
+                    needed: self.econ.d_ch,
+                    available,
+                })?;
+            claim.status = ClaimStatus::Disputed {
+                challenger: adopter.to_string(),
+            };
+            deserter
+        };
+        // Burn (not refund) the deserter's deposit: abandoning an open
+        // dispute is the collusion exit move and must not be free.
+        self.ledger.burn_escrow(&deserter, self.econ.d_ch);
+        self.charge("adopt_challenge", gas::open_challenge());
+        Ok(deserter)
+    }
+
     /// Settles a disputed claim: the loser is slashed by `S_slash` from
     /// escrow, the winner's deposit is released, and the winner (plus the
     /// committee, when used) is rewarded per §5.5. The Disputed → Settled
@@ -690,6 +740,39 @@ pub mod reference {
             Ok(())
         }
 
+        /// Serial mirror of [`super::Coordinator::adopt_challenge`]: swaps
+        /// challenger-of-record, escrows the adopter's `D_ch` and burns
+        /// the deserter's deposit.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the claim is not disputed, the adopter is
+        /// already the challenger, or the adopter cannot post the deposit.
+        pub fn adopt_challenge(&mut self, id: u64, adopter: &str) -> Result<String> {
+            let deserter = {
+                let claim = self.claim(id)?;
+                let ClaimStatus::Disputed { challenger } = &claim.status else {
+                    return Err(ProtocolError::BadState(format!(
+                        "claim #{id} is not disputed"
+                    )));
+                };
+                if challenger == adopter {
+                    return Err(ProtocolError::BadState(format!(
+                        "claim #{id}: {adopter} already challenges it"
+                    )));
+                }
+                challenger.clone()
+            };
+            self.lock(adopter, self.econ.d_ch)?;
+            let d_ch = self.econ.d_ch;
+            self.take_escrow(&deserter, d_ch);
+            self.gas.charge("adopt_challenge", gas::open_challenge());
+            self.claims[id as usize].status = ClaimStatus::Disputed {
+                challenger: adopter.to_string(),
+            };
+            Ok(deserter)
+        }
+
         /// Settles a disputed claim exactly as PR 2 did.
         ///
         /// # Errors
@@ -853,6 +936,87 @@ mod tests {
             c.balance("prop") > 1_000.0,
             "proposer made whole plus reward"
         );
+    }
+
+    #[test]
+    fn adoption_burns_deserter_and_continues_dispute() {
+        let c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("colluder", 100.0);
+        c.fund("watchtower", 100.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        c.open_challenge(id, "colluder").unwrap();
+        let deserter = c.adopt_challenge(id, "watchtower").unwrap();
+        assert_eq!(deserter, "colluder");
+        // The deserter's deposit is burned: gone from escrow, not refunded.
+        assert!((c.balance("colluder") - (100.0 - 50.0)).abs() < 1e-9);
+        assert_eq!(c.escrowed("colluder"), 0.0);
+        // The adopter is challenger of record with its own deposit down.
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Disputed { ref challenger } if challenger == "watchtower"
+        ));
+        assert!((c.escrowed("watchtower") - 50.0).abs() < 1e-9);
+        // The dispute settles normally for the adopter, and the burn kept
+        // the ledger conserved.
+        c.settle(id, Party::Challenger, 3).unwrap();
+        assert!(c.balance("watchtower") > 100.0);
+        assert!((c.ledger().total_value() - c.ledger().injected()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adoption_guards_status_and_identity() {
+        let c = coordinator();
+        c.fund("prop", 1_000.0);
+        c.fund("chal", 100.0);
+        c.fund("poor", 1.0);
+        let id = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        // Not disputed yet.
+        assert!(c.adopt_challenge(id, "watchtower").is_err());
+        c.open_challenge(id, "chal").unwrap();
+        // Self-adoption is meaningless.
+        assert!(c.adopt_challenge(id, "chal").is_err());
+        // Adopter must post the deposit; a failed adoption changes nothing.
+        assert!(matches!(
+            c.adopt_challenge(id, "poor"),
+            Err(ProtocolError::InsufficientFunds { .. })
+        ));
+        assert!(matches!(
+            c.claim(id).unwrap().status,
+            ClaimStatus::Disputed { ref challenger } if challenger == "chal"
+        ));
+        assert!((c.escrowed("chal") - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_adoption_matches_sharded() {
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        let slash = (lo + hi) / 2.0;
+        let mut s = reference::SerialCoordinator::new(econ, slash).unwrap();
+        let c = coordinator();
+        for acct in ["prop", "colluder", "watchtower"] {
+            s.fund(acct, 1_000.0);
+            c.fund(acct, 1_000.0);
+        }
+        let sid = s.submit_claim("prop", commitment(), &meta()).unwrap();
+        let cid = c.submit_claim("prop", commitment(), &meta()).unwrap();
+        s.open_challenge(sid, "colluder").unwrap();
+        c.open_challenge(cid, "colluder").unwrap();
+        assert_eq!(
+            s.adopt_challenge(sid, "watchtower").unwrap(),
+            c.adopt_challenge(cid, "watchtower").unwrap()
+        );
+        s.settle(sid, Party::Challenger, 3).unwrap();
+        c.settle(cid, Party::Challenger, 3).unwrap();
+        for acct in ["prop", "colluder", "watchtower", "committee-pool"] {
+            assert!(
+                (s.balance(acct) - c.balance(acct)).abs() < 1e-9,
+                "{acct}: serial {} vs sharded {}",
+                s.balance(acct),
+                c.balance(acct)
+            );
+        }
     }
 
     #[test]

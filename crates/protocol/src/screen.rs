@@ -57,6 +57,29 @@ impl Screening {
         self.commitment.as_ref()
     }
 
+    /// Re-evaluates this screening's claim under an *alternative* threshold
+    /// bundle, reusing the already-computed trace (no forward pass). This
+    /// is the calibration A/B hook: a campaign screens once against the
+    /// committed bundle and can then ask what a variant estimator (e.g. the
+    /// smoothed tail vs the raw max envelope) would have decided for the
+    /// same claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MissingThreshold`] when `bundle` has no
+    /// entry for `output_node`, or a graph error if the trace lacks a value
+    /// for the node.
+    pub fn exceedance_under(
+        &self,
+        bundle: &ThresholdBundle,
+        output_node: NodeId,
+        claimed_output: &Tensor<f32>,
+    ) -> Result<f64> {
+        let prof = error_profile(claimed_output, self.trace.value(output_node)?, DEFAULT_EPS);
+        bundle
+            .exceedance(output_node, &prof)
+            .ok_or(ProtocolError::MissingThreshold(output_node))
+    }
 }
 
 /// Screens one claim: re-executes `claim.inputs` on `device` and compares
@@ -173,6 +196,52 @@ mod tests {
             // The trace is complete and reusable in a dispute.
             assert_eq!(s.trace.values.len(), g.len());
         }
+    }
+
+    #[test]
+    fn exceedance_under_reuses_trace_for_ab_bundles() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter("w", Tensor::<f32>::rand_uniform(&[16, 16], -0.4, 0.4, 3));
+        let m = b.op("mm", OpKind::MatMul, &[x, w]);
+        let sm = b.op("softmax", OpKind::Softmax, &[m]);
+        let g = b.finish(vec![sm]).unwrap();
+        let samples: Vec<Vec<Tensor<f32>>> = (0..8)
+            .map(|i| vec![Tensor::<f32>::rand_uniform(&[2, 16], -1.0, 1.0, 40 + i)])
+            .collect();
+        let record = calibrate(&g, &samples, &Fleet::standard()).unwrap();
+        let raw = record.clone().into_thresholds(DEFAULT_ALPHA);
+        let smoothed = record
+            .into_thresholds_with(DEFAULT_ALPHA, tao_calib::TailEstimator::smoothed_default());
+
+        let input = vec![Tensor::<f32>::rand_uniform(&[2, 16], -1.0, 1.0, 91)];
+        let claimed = execute(&g, &input, Device::rtx4090_like().config(), None)
+            .unwrap()
+            .value(sm)
+            .unwrap()
+            .clone();
+        let screening = screen_claim(
+            &g,
+            sm,
+            &raw,
+            ClaimCheck {
+                inputs: &input,
+                claimed_output: &claimed,
+            },
+            &Device::h100_like(),
+        )
+        .unwrap();
+        // Same bundle reproduces the screening's own exceedance exactly.
+        let same = screening.exceedance_under(&raw, sm, &claimed).unwrap();
+        assert_eq!(same, screening.exceedance);
+        // Smoothed thresholds dominate pointwise, so exceedance shrinks.
+        let alt = screening.exceedance_under(&smoothed, sm, &claimed).unwrap();
+        assert!(alt <= same, "smoothed exceedance {alt} above raw {same}");
+        // A bundle without the node is a deployment error, not fraud.
+        assert!(matches!(
+            screening.exceedance_under(&raw, NodeId(0), &claimed),
+            Err(ProtocolError::MissingThreshold(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! documented safe operating point, improve monotonically with samples,
 //! and scale exactly linearly with α.
 
-use tao_calib::{calibrate, error_profile, ThresholdBundle, DEFAULT_EPS};
+use tao_calib::{calibrate, error_profile, TailEstimator, ThresholdBundle, DEFAULT_EPS};
 use tao_device::Fleet;
 use tao_graph::{execute, Graph, GraphBuilder, OpKind};
 use tao_tensor::Tensor;
@@ -153,4 +153,77 @@ fn alpha_inflation_never_shrinks_thresholds() {
             assert!(r5 >= r3);
         }
     }
+}
+
+/// Differential coverage, raw max envelope vs smoothed-tail estimator:
+/// the smoothed bundle dominates pointwise at every (sample count, α)
+/// cell, so honest-operator coverage never decreases, and the
+/// nested-sample monotonicity of the raw sweep survives smoothing. The
+/// documented safe operating point must hold under both estimators.
+#[test]
+fn smoothed_tail_estimator_never_reduces_honest_coverage() {
+    let g = model();
+    let fleet = Fleet::standard();
+    let all_samples: Vec<Vec<Tensor<f32>>> = (0..*SAMPLE_COUNTS.iter().max().unwrap() as u64)
+        .map(|i| sample(100 + i))
+        .collect();
+
+    let mut smoothed_sweep = Vec::new();
+    for &n in &SAMPLE_COUNTS {
+        let record = calibrate(&g, &all_samples[..n], &fleet).unwrap();
+        for &alpha in &ALPHAS {
+            let raw = record
+                .clone()
+                .into_thresholds_with(alpha, TailEstimator::RawMax);
+            let smoothed = record
+                .clone()
+                .into_thresholds_with(alpha, TailEstimator::smoothed_default());
+            // Pointwise dominance: smoothing only adds tail slack.
+            for (r, s) in raw.operators.iter().zip(&smoothed.operators) {
+                for (a, b) in r.thresholds.abs.iter().zip(&s.thresholds.abs) {
+                    assert!(b >= a, "smoothed abs threshold shrank at {n} samples");
+                }
+                for (a, b) in r.thresholds.rel.iter().zip(&s.thresholds.rel) {
+                    assert!(b >= a, "smoothed rel threshold shrank at {n} samples");
+                }
+            }
+            let exc_raw = max_fresh_exceedance(&g, &raw, &fleet);
+            let exc_smoothed = max_fresh_exceedance(&g, &smoothed, &fleet);
+            println!(
+                "smoothed coverage: samples={n:2} alpha={alpha} \
+                 raw exc {exc_raw:.3} -> smoothed exc {exc_smoothed:.3}"
+            );
+            assert!(
+                exc_smoothed <= exc_raw * (1.0 + 1e-12),
+                "smoothed estimator reduced honest coverage at {n} samples, alpha={alpha}: \
+                 {exc_raw:.3} -> {exc_smoothed:.3}"
+            );
+            smoothed_sweep.push((n, alpha, exc_smoothed));
+        }
+    }
+
+    // Nested-sample monotonicity still holds under the smoothed estimator.
+    let exc_at = |n: usize, alpha: f64| {
+        smoothed_sweep
+            .iter()
+            .find(|&&(sn, sa, _)| sn == n && sa == alpha)
+            .map(|&(_, _, e)| e)
+            .unwrap()
+    };
+    for &alpha in &ALPHAS {
+        for w in SAMPLE_COUNTS.windows(2) {
+            let (lo, hi) = (exc_at(w[0], alpha), exc_at(w[1], alpha));
+            assert!(
+                hi <= lo * (1.0 + 1e-12),
+                "smoothed coverage regressed with more samples at alpha={alpha}: \
+                 {lo:.3} @ {} -> {hi:.3} @ {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    // The documented operating point covers under the smoothed bundle too.
+    let safe = exc_at(SAFE_SAMPLES, SAFE_ALPHA);
+    assert!(safe <= 1.0, "smoothed safe-point exceedance {safe:.3} > 1");
 }

@@ -197,3 +197,35 @@ fn coordinator_pays_and_slashes_consistently() {
     assert!(coord.balance("challenger") > c0);
     assert!(coord.lock().gas().total > 0);
 }
+
+/// Disputes raised *inside a concurrent campaign* must still reuse the
+/// challenger's screening trace and the proposer's session commitment:
+/// zero challenger forward passes and zero re-hashed leaves per dispute,
+/// across every adversary archetype (escalated evasion, spam logits,
+/// colluding pairs adopted by watchtowers, and griefed honest claims).
+#[test]
+fn campaign_disputes_reuse_screening_traces_and_commitments() {
+    let report = tao_campaign::Campaign::new(tao_campaign::CampaignConfig::smoke(5))
+        .run()
+        .unwrap();
+    report.assert_floors();
+    let mut disputes = 0;
+    for outcome in &report.outcomes {
+        let Some(d) = &outcome.dispute else { continue };
+        disputes += 1;
+        assert_eq!(
+            d.challenger_forward_passes, 0,
+            "claim {} ({:?}): campaign dispute re-executed the challenger forward pass",
+            outcome.claim_id, outcome.role
+        );
+        assert_eq!(
+            d.rehashed_leaves, 0,
+            "claim {} ({:?}): campaign dispute re-hashed proposer trace leaves",
+            outcome.claim_id, outcome.role
+        );
+    }
+    // Every planted cheat and every griefed honest claim carries a dispute.
+    let pop = report.population;
+    let expected = (pop.planted() + pop.griefers.min(pop.honest)) * report.epochs.len();
+    assert_eq!(disputes, expected, "campaign dispute count");
+}
