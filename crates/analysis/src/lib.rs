@@ -1,0 +1,28 @@
+//! Static analysis of committed graphs — the admission-time seam of the
+//! TAO marketplace.
+//!
+//! Every [`tao_graph::OpKind`] carries one declarative analysis contract
+//! ([`contract()`]): arity, output aliasing, an [`ErrorRule`] classification
+//! consumed by the bounds engine, and shape-inference rules that mirror
+//! the `tao-tensor` kernel validation exactly. The interpreter
+//! ([`analyze`]) folds those contracts over a graph *without executing
+//! it*, producing a [`StaticReport`] — inferred shapes, FLOPs, operand
+//! traffic, peak resident bytes, an admission gas quote, a deposit bound,
+//! and linter findings — that the coordinator uses to price and
+//! sanity-check a claim before any forward pass.
+//!
+//! The report is oracle-checked: `tests/tests/analysis_oracle.rs` asserts
+//! exact shape/FLOP/peak-memory equality against `execute_with_stats`
+//! measurements on every bundled model and on proptest-random graphs.
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod interp;
+pub mod lint;
+
+pub use contract::{contract, infer_shape, Arity, ErrorRule, Intrinsic, OpContract, ShapeIssue};
+pub use interp::{
+    analyze, analyze_with, StaticReport, BYTES_PER_GAS, DEPOSIT_PER_MFLOP, FLOPS_PER_GAS, GAS_BASE,
+};
+pub use lint::{lint_graph, LintConfig, LintFinding, LintRule, Severity};

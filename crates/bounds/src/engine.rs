@@ -11,6 +11,7 @@
 //! All bound arithmetic runs in f64 (the paper's runtime uses FP64 for
 //! error-bound calculations), on the FP32 values of the execution trace.
 
+use tao_analysis::{contract, ErrorRule, Intrinsic};
 use tao_tensor::{MathLib, Tensor};
 
 use tao_graph::{Execution, Graph, Node, NodeId, OpKind};
@@ -79,6 +80,16 @@ impl BoundEngine {
         self.math.rsqrt_max_ulp().max(MathLib::rsqrt_fleet_ulp()) + 1.0
     }
 
+    /// ULP budget for the intrinsic named by an analysis contract.
+    fn intrinsic_ulp(&self, intrinsic: Intrinsic) -> f64 {
+        match intrinsic {
+            Intrinsic::Exp => self.exp_ulp(),
+            Intrinsic::Log => self.ln_ulp(),
+            Intrinsic::Tanh => self.tanh_ulp(),
+            Intrinsic::Rsqrt => self.rsqrt_ulp(),
+        }
+    }
+
     /// Co-executes bounds for the whole trace: `τ_theo` for every node
     /// (zero tensors for structural operators).
     ///
@@ -114,46 +125,27 @@ impl BoundEngine {
         let zero = || Tensor::<f64>::zeros(out.dims());
         let fresh = |scale: f64| out.map(|y| scale * U32 * y.abs());
 
-        let bound = match &node.kind {
+        // Dispatch on the analysis contract's error classification: the
+        // per-op -> rule mapping lives in `tao-analysis` (one place for
+        // every crate), while the value-level bound templates stay here.
+        let bound = match contract(&node.kind).error {
             // Structural / exact operators contribute no rounding error.
-            OpKind::Input(_)
-            | OpKind::Parameter(_)
-            | OpKind::Neg
-            | OpKind::Relu
-            | OpKind::Reshape(_)
-            | OpKind::Flatten
-            | OpKind::FlattenFrom(_)
-            | OpKind::Transpose(_, _)
-            | OpKind::Permute(_)
-            | OpKind::Slice { .. }
-            | OpKind::Concat(_)
-            | OpKind::Embedding
-            | OpKind::MaskedFill(_)
-            | OpKind::Identity
-            | OpKind::MaxAxis(_)
-            | OpKind::MaxPool2d { .. }
-            | OpKind::UpsampleNearest(_) => zero(),
+            ErrorRule::Exact => zero(),
 
-            // Single-rounding elementwise arithmetic: ε ≤ u|out|.
-            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div => fresh(1.0),
-            OpKind::AddScalar(_) | OpKind::MulScalar(_) => fresh(1.0),
-
-            // Correctly rounded library sqrt.
-            OpKind::Sqrt => fresh(1.0),
+            // `scale` fresh roundings on the output: ε ≤ scale·u|out|
+            // (elementwise arithmetic at 1, exp(y ln x) chains at 6, …).
+            ErrorRule::Fresh { scale } => fresh(scale),
 
             // Intrinsics: documented max-ULP relative errors.
-            OpKind::Rsqrt => fresh(self.intrinsic_rel(self.rsqrt_ulp()) / U32),
-            OpKind::Exp => fresh(self.intrinsic_rel(self.exp_ulp()) / U32),
-            OpKind::Log => fresh(self.intrinsic_rel(self.ln_ulp()) / U32),
-            OpKind::Tanh => fresh(self.intrinsic_rel(self.tanh_ulp()) / U32),
-            OpKind::Sin | OpKind::Cos => {
+            ErrorRule::Intrinsic(i) => {
+                fresh(self.intrinsic_rel(self.intrinsic_ulp(i)) / U32)
+            }
+            ErrorRule::UnitRange => {
                 // |sin|,|cos| ≤ 1: charge 2 ULP absolute at unit scale.
                 out.map(|y| 2.0 * U32 * (y.abs() + 1.0))
             }
-            // pow(x, y) = exp(y ln x): three intrinsic-grade roundings.
-            OpKind::Pow | OpKind::PowScalar(_) => fresh(6.0),
 
-            OpKind::Sigmoid => {
+            ErrorRule::Sigmoid => {
                 // s = 1/(1 + exp(-x)): ε_e = ulp_exp·e, ε_d = ε_e + u·d,
                 // ε_s = s²·ε_d + u·s  (|d(1/d)| = 1/d² = s²/…).
                 let x = val(node.inputs[0])?;
@@ -173,7 +165,7 @@ impl BoundEngine {
                     x.dims(),
                 )?
             }
-            OpKind::Silu => {
+            ErrorRule::Silu => {
                 // out = x·σ(x): ε = |x| ε_σ + u|out|.
                 let x = val(node.inputs[0])?;
                 let rel_exp = self.intrinsic_rel(self.exp_ulp());
@@ -191,7 +183,7 @@ impl BoundEngine {
                     x.dims(),
                 )?
             }
-            OpKind::Gelu => {
+            ErrorRule::Gelu => {
                 // u1 = c(x + kx³): 4 roundings on monomials;
                 // t = tanh(u1): ε_t = (1-t²) ε_u1 + ulp_tanh·|t|;
                 // out = 0.5x(1+t): ε = 0.5|x| ε_t + 2u|out|.
@@ -216,105 +208,124 @@ impl BoundEngine {
                 )?
             }
 
-            OpKind::Softmax => self.softmax_bound(&val(node.inputs[0])?)?,
+            ErrorRule::Softmax => self.softmax_bound(&val(node.inputs[0])?)?,
 
-            OpKind::LayerNorm { eps } => {
+            ErrorRule::LayerNorm => {
+                let OpKind::LayerNorm { eps } = &node.kind else {
+                    unreachable!("contract classified {:?} as LayerNorm", node.kind)
+                };
                 let x = val(node.inputs[0])?;
                 let gamma_p = val(node.inputs[1])?;
                 self.layer_norm_bound(&x, &gamma_p, *eps)?
             }
-            OpKind::RmsNorm { eps } => {
+            ErrorRule::RmsNorm => {
+                let OpKind::RmsNorm { eps } = &node.kind else {
+                    unreachable!("contract classified {:?} as RmsNorm", node.kind)
+                };
                 let x = val(node.inputs[0])?;
                 let gamma_p = val(node.inputs[1])?;
                 self.rms_norm_bound(&x, &gamma_p, *eps)?
             }
-            OpKind::BatchNorm2d { eps } => {
+            ErrorRule::BatchNorm => {
+                let OpKind::BatchNorm2d { eps } = &node.kind else {
+                    unreachable!("contract classified {:?} as BatchNorm", node.kind)
+                };
                 let x = val(node.inputs[0])?;
                 let gamma_p = val(node.inputs[1])?;
                 let mean = val(node.inputs[3])?;
                 let var = val(node.inputs[4])?;
                 self.batch_norm_bound(&x, &gamma_p, &mean, &var, *eps)?
             }
-            OpKind::GroupNorm { groups, eps } => {
+            ErrorRule::GroupNorm => {
+                let OpKind::GroupNorm { groups, eps } = &node.kind else {
+                    unreachable!("contract classified {:?} as GroupNorm", node.kind)
+                };
                 let x = val(node.inputs[0])?;
                 let gamma_p = val(node.inputs[1])?;
                 self.group_norm_bound(&x, &gamma_p, *groups, *eps)?
             }
 
-            OpKind::MatMul => {
-                // |fl(aᵀb) − aᵀb| ≤ γ_k Σ|a_i||b_i| with k the dot length.
-                let a = val(node.inputs[0])?.abs();
-                let b = val(node.inputs[1])?.abs();
-                let k = *a.dims().last().unwrap_or(&1);
-                let absprod = a
-                    .matmul(&b, &tao_tensor::KernelConfig::reference())
-                    .map_err(BoundError::from)?;
-                absprod.mul_scalar(self.gamma(k))
-            }
-            OpKind::Linear => {
-                let x = val(node.inputs[0])?.abs();
-                let w = val(node.inputs[1])?.abs();
-                let k = *x.dims().last().unwrap_or(&1);
-                let cfg = tao_tensor::KernelConfig::reference();
-                let base = match node.inputs.get(2) {
-                    Some(&b) => {
-                        let bias = val(b)?.abs();
-                        x.linear(&w, Some(&bias), &cfg).map_err(BoundError::from)?
-                    }
-                    None => x.linear(&w, None, &cfg).map_err(BoundError::from)?,
-                };
-                base.mul_scalar(self.gamma(k + 1))
-            }
-            OpKind::Conv2d { stride, padding } => {
-                let x = val(node.inputs[0])?.abs();
-                let w = val(node.inputs[1])?.abs();
-                let patch: usize = w.dims()[1..].iter().product();
-                let cfg = tao_tensor::KernelConfig::reference();
-                let params = tao_tensor::Conv2dParams {
-                    stride: *stride,
-                    padding: *padding,
-                };
-                let base = match node.inputs.get(2) {
-                    Some(&b) => {
-                        let bias = val(b)?.abs();
-                        x.conv2d(&w, Some(&bias), params, &cfg)
-                            .map_err(BoundError::from)?
-                    }
-                    None => x.conv2d(&w, None, params, &cfg).map_err(BoundError::from)?,
-                };
-                base.mul_scalar(self.gamma(patch + 1))
-            }
+            // Length-k dot products under γ_k accumulation; the geometry
+            // (and optional bias rounding) comes back off the node.
+            ErrorRule::DotProduct => match &node.kind {
+                OpKind::MatMul => {
+                    // |fl(aᵀb) − aᵀb| ≤ γ_k Σ|a_i||b_i| with k the dot length.
+                    let a = val(node.inputs[0])?.abs();
+                    let b = val(node.inputs[1])?.abs();
+                    let k = *a.dims().last().unwrap_or(&1);
+                    let absprod = a
+                        .matmul(&b, &tao_tensor::KernelConfig::reference())
+                        .map_err(BoundError::from)?;
+                    absprod.mul_scalar(self.gamma(k))
+                }
+                OpKind::Linear => {
+                    let x = val(node.inputs[0])?.abs();
+                    let w = val(node.inputs[1])?.abs();
+                    let k = *x.dims().last().unwrap_or(&1);
+                    let cfg = tao_tensor::KernelConfig::reference();
+                    let base = match node.inputs.get(2) {
+                        Some(&b) => {
+                            let bias = val(b)?.abs();
+                            x.linear(&w, Some(&bias), &cfg).map_err(BoundError::from)?
+                        }
+                        None => x.linear(&w, None, &cfg).map_err(BoundError::from)?,
+                    };
+                    base.mul_scalar(self.gamma(k + 1))
+                }
+                OpKind::Conv2d { stride, padding } => {
+                    let x = val(node.inputs[0])?.abs();
+                    let w = val(node.inputs[1])?.abs();
+                    let patch: usize = w.dims()[1..].iter().product();
+                    let cfg = tao_tensor::KernelConfig::reference();
+                    let params = tao_tensor::Conv2dParams {
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let base = match node.inputs.get(2) {
+                        Some(&b) => {
+                            let bias = val(b)?.abs();
+                            x.conv2d(&w, Some(&bias), params, &cfg)
+                                .map_err(BoundError::from)?
+                        }
+                        None => x.conv2d(&w, None, params, &cfg).map_err(BoundError::from)?,
+                    };
+                    base.mul_scalar(self.gamma(patch + 1))
+                }
+                kind => unreachable!("contract classified {kind:?} as DotProduct"),
+            },
 
-            OpKind::SumAll => {
+            ErrorRule::SumAll => {
                 let x = val(node.inputs[0])?;
                 let abs_sum: f64 = x.data().iter().map(|v| v.abs()).sum();
                 Tensor::scalar(self.gamma(x.len().saturating_sub(1)) * abs_sum)
             }
-            OpKind::MeanAll => {
+            ErrorRule::MeanAll => {
                 let x = val(node.inputs[0])?;
                 let n = x.len().max(1) as f64;
                 let abs_sum: f64 = x.data().iter().map(|v| v.abs()).sum();
                 let y = out.data()[0];
                 Tensor::scalar(self.gamma(x.len().saturating_sub(1)) * abs_sum / n + U32 * y.abs())
             }
-            OpKind::SumAxis(axis) | OpKind::MeanAxis(axis) => {
+            ErrorRule::ReduceAxis { mean } => {
+                let (OpKind::SumAxis(axis) | OpKind::MeanAxis(axis)) = &node.kind else {
+                    unreachable!("contract classified {:?} as ReduceAxis", node.kind)
+                };
                 let x = val(node.inputs[0])?;
                 let extent = x.dims()[*axis];
                 let g = self.gamma(extent.saturating_sub(1));
                 let cfg = tao_tensor::KernelConfig::reference();
                 let abs_sums = x.abs().sum_axis(*axis, &cfg).map_err(BoundError::from)?;
-                let scale = if matches!(node.kind, OpKind::MeanAxis(_)) {
-                    1.0 / extent as f64
-                } else {
-                    1.0
-                };
+                let scale = if mean { 1.0 / extent as f64 } else { 1.0 };
                 let mut t = abs_sums.mul_scalar(g * scale);
-                if matches!(node.kind, OpKind::MeanAxis(_)) {
+                if mean {
                     t = t.add(&fresh(1.0)).map_err(BoundError::from)?;
                 }
                 t
             }
-            OpKind::AvgPool2d { kernel, .. } => {
+            ErrorRule::AvgPool => {
+                let OpKind::AvgPool2d { kernel, .. } = &node.kind else {
+                    unreachable!("contract classified {:?} as AvgPool", node.kind)
+                };
                 // Per window: γ_{k²-1}·Σ|window|/k² + u|out|; bound the
                 // window abs-sum by k²·max|x| for a cheap envelope.
                 let x = val(node.inputs[0])?;
@@ -323,7 +334,7 @@ impl BoundEngine {
                 let max_abs = x.max_abs();
                 out.map(|y| g * max_abs * k2 / k2 + U32 * y.abs())
             }
-            OpKind::AdaptiveAvgPool1x1 => {
+            ErrorRule::GlobalAvgPool => {
                 let x = val(node.inputs[0])?;
                 let (h, w) = (x.dims()[2], x.dims()[3]);
                 let hw = h * w;

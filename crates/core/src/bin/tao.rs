@@ -3,17 +3,21 @@
 //! ```text
 //! tao demo [model]              end-to-end honest + malicious session
 //! tao sessions [model] [workers] run a mixed batch concurrently on the scheduler
+//! tao analyze [model|--all]  print the static analysis report (no execution)
 //! tao calibrate [model]     run the cross-device calibration and print thresholds
 //! tao commit [model]        print the Phase 0 Merkle roots
 //! tao econ                  print the economic feasibility region
 //! tao models                list available model stand-ins
 //! ```
 //!
-//! Models: `bert` (default), `qwen`, `resnet`.
+//! Models: `bert` (default), `qwen`, `resnet`; `analyze` additionally
+//! accepts `transformer` and `diffusion`, or `--all` to lint every
+//! bundled model (exiting nonzero on any deny finding).
 
+use tao::analysis::LintConfig;
 use tao::{
-    default_coordinator, deploy, Deployment, ProposerBehavior, Scheduler, SessionBuilder,
-    SharedCoordinator,
+    analyze_model, default_coordinator, deploy, render_report, Deployment, ProposerBehavior,
+    Scheduler, SessionBuilder, SharedCoordinator, MODEL_NAMES,
 };
 use tao_device::{Device, Fleet};
 use tao_graph::{execute, Perturbations};
@@ -24,8 +28,8 @@ use tao_tensor::Tensor;
 fn usage() -> ! {
     eprintln!(
         "usage: tao <command> [model] [workers]\n\
-         commands: demo | sessions | calibrate | commit | econ | models\n\
-         models:   bert (default) | qwen | resnet\n\
+         commands: demo | sessions | analyze | calibrate | commit | econ | models\n\
+         models:   bert (default) | qwen | resnet; analyze also: transformer | diffusion | --all\n\
          workers:  scheduler pool size for `sessions` (default: host parallelism)"
     );
     std::process::exit(2)
@@ -165,6 +169,41 @@ fn cmd_sessions(model: &str, workers: Option<usize>) {
     );
 }
 
+fn cmd_analyze(model: &str) {
+    if model == "--all" {
+        // The CI lint gate: every bundled model must carry zero deny
+        // findings under the default configuration.
+        let mut denies = 0usize;
+        for name in MODEL_NAMES {
+            let (_, report) = analyze_model(name, &LintConfig::default()).expect("bundled model");
+            let warns = report.lint_findings.len() - report.deny_count();
+            println!(
+                "{name:<12} flops {:>12}  peak {:>10} B  gas {:>8}  deny {}  warn {}",
+                report.total_flops(),
+                report.peak_resident_bytes,
+                report.gas_quote,
+                report.deny_count(),
+                warns
+            );
+            denies += report.deny_count();
+        }
+        if denies > 0 {
+            eprintln!("lint gate FAILED: {denies} deny finding(s)");
+            std::process::exit(1);
+        }
+        println!("lint gate passed: zero deny findings");
+        return;
+    }
+    let (m, report) = analyze_model(model, &LintConfig::default()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
+    print!("{}", render_report(&m, &report));
+    if !report.is_admissible() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_calibrate(model: &str) {
     let (deployment, _) = build_deployment(model);
     println!(
@@ -248,6 +287,7 @@ fn main() {
     match cmd {
         "demo" => cmd_demo(model),
         "sessions" => cmd_sessions(model, workers),
+        "analyze" => cmd_analyze(model),
         "calibrate" => cmd_calibrate(model),
         "commit" => cmd_commit(model),
         "econ" => cmd_econ(),

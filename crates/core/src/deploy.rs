@@ -3,6 +3,7 @@
 use std::ops::Deref;
 use std::sync::Arc;
 
+use tao_analysis::StaticReport;
 use tao_calib::{calibrate, CalibrationRecord, TailEstimator, ThresholdBundle};
 use tao_device::Fleet;
 use tao_merkle::{commit_model, graph_tree, weight_tree, MerkleTree, ModelCommitment};
@@ -32,6 +33,10 @@ pub struct DeploymentArtifacts {
     pub graph_tree: MerkleTree,
     /// The Phase 0 commitment `(r_w, r_g, r_e)`.
     pub commitment: ModelCommitment,
+    /// Static analysis of the committed graph: shapes, costs, gas quote,
+    /// deposit bound and lint findings. Claim admission
+    /// ([`crate::PendingSession::submit`]) prices claims from this report.
+    pub static_report: StaticReport,
 }
 
 /// A shared handle to a deployed model.
@@ -117,6 +122,22 @@ pub fn deploy_with(
             "safety factor alpha {alpha} must be >= 1"
         )));
     }
+    // Static analysis gates deployment: a graph the interpreter rejects
+    // (shape mismatches, missing parameters) would fail calibration anyway
+    // — fail fast with the linter's explanation instead.
+    let static_report = tao_analysis::analyze(&model.graph, &model.input_shapes);
+    if !static_report.is_admissible() {
+        let first = static_report
+            .lint_findings
+            .iter()
+            .find(|f| f.severity == tao_analysis::Severity::Deny)
+            .expect("deny_count > 0");
+        return Err(TaoError::Config(format!(
+            "model fails static analysis ({} deny finding(s); first: {})",
+            static_report.deny_count(),
+            first.message
+        )));
+    }
     let calibration = calibrate(&model.graph, samples, &fleet)?;
     let thresholds = calibration.clone().into_thresholds_with(alpha, estimator);
     let wt = weight_tree(&model.graph);
@@ -130,6 +151,7 @@ pub fn deploy_with(
         weight_tree: wt,
         graph_tree: gt,
         commitment,
+        static_report,
     }))
 }
 

@@ -34,12 +34,14 @@
 //! assert!(report.proposer_prevailed());
 //! ```
 
+pub mod analyze;
 pub mod deploy;
 pub mod error;
 pub mod schedule;
 pub mod session;
 pub mod verify;
 
+pub use analyze::{analyze_model, build_model, render_report, MODEL_NAMES};
 pub use deploy::{deploy, deploy_with, Deployment, DeploymentArtifacts};
 pub use error::TaoError;
 pub use schedule::Scheduler;
@@ -50,6 +52,7 @@ pub use session::{
 pub use verify::{make_receipt, screen_output, verify_receipt, Receipt, ScreeningReport};
 
 // Re-export the sub-crates so downstream users need a single dependency.
+pub use tao_analysis as analysis;
 pub use tao_attack as attack;
 pub use tao_bounds as bounds;
 pub use tao_calib as calib;

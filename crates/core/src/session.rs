@@ -303,18 +303,21 @@ impl PendingSession {
         &self.commitment
     }
 
-    /// Posts the claim, escrowing the proposer deposit. Claim ids are
-    /// assigned by the coordinator in submission order, so submitting from
-    /// one thread (as [`crate::Scheduler`] does) keeps them deterministic.
+    /// Posts the claim, charging the gas quote and escrowing the deposit
+    /// from the deployment's static report (`max(D_p, deposit_bound)`).
+    /// Claim ids are assigned by the coordinator in submission order, so
+    /// submitting from one thread (as [`crate::Scheduler`] does) keeps
+    /// them deterministic.
     ///
     /// # Errors
     ///
     /// Returns an error when the proposer cannot post its deposit.
     pub fn submit(self, coordinator: &SharedCoordinator) -> Result<Session> {
-        let claim_id = coordinator.coordinator().submit_claim(
+        let claim_id = coordinator.coordinator().submit_claim_quoted(
             &self.cfg.proposer_account,
             self.commitment,
             &self.meta,
+            &self.deployment.static_report,
         )?;
         Ok(Session {
             deployment: self.deployment,

@@ -14,8 +14,9 @@
 //! value list (a refcount bump — `Tensor` storage is copy-on-write), a
 //! last-use pass over the op list frees each intermediate at its final
 //! consumer, and uniquely-owned freed buffers return to a size-bucketed
-//! [`BufferPool`] that subsequent elementwise/GEMM nodes draw from via the
-//! tensor layer's `_with_buf` kernels. Those kernels run the identical
+//! [`BufferPool`] that subsequent elementwise, GEMM, convolution, softmax
+//! and normalization nodes draw from via the tensor layer's `_with_buf`
+//! kernels. Those kernels run the identical
 //! numeric code paths as their allocating originals, so pooled forward
 //! passes are **bit-identical** to [`crate::execute`]'s outputs — asserted
 //! by this module's tests and the executor regression suite.
@@ -27,7 +28,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use tao_tensor::{KernelConfig, Tensor};
+use tao_tensor::{Conv2dParams, KernelConfig, Tensor};
 
 use crate::error::GraphError;
 use crate::exec::{eval_node, output_shares_storage};
@@ -179,6 +180,22 @@ fn pooled_len_estimate(node: &OpKind, a: &Tensor<f32>, b: Option<&Tensor<f32>>) 
             let out_f = w.dims().first().copied().unwrap_or(0);
             (a.len() / in_f) * out_f
         }
+        OpKind::Conv2d { stride, padding } => {
+            let w = b.expect("conv2d has a weight");
+            if a.rank() != 4 || w.rank() != 4 {
+                return 0;
+            }
+            let params = Conv2dParams {
+                stride: *stride,
+                padding: *padding,
+            };
+            let (n, h, wd) = (a.dims()[0], a.dims()[2], a.dims()[3]);
+            let (c_out, kh, kw) = (w.dims()[0], w.dims()[2], w.dims()[3]);
+            match (params.out_extent(h, kh), params.out_extent(wd, kw)) {
+                (Some(oh), Some(ow)) => n * c_out * oh * ow,
+                _ => 0,
+            }
+        }
         // Binary elementwise: the broadcast output volume (0 on
         // incompatible shapes — the kernel will error before the buffer
         // matters).
@@ -319,6 +336,28 @@ pub fn forward_with_stats(
                 let estimate = pooled_len_estimate(&node.kind, arg(0), Some(arg(1)));
                 let buf = take(estimate, pool, &mut from_pool);
                 arg(0).linear_with_buf(arg(1), bias, cfg, buf)?
+            }
+            OpKind::Conv2d { stride, padding } if node.inputs.len() >= 2 => {
+                let bias = (node.inputs.len() == 3).then(|| arg(2));
+                let estimate = pooled_len_estimate(&node.kind, arg(0), Some(arg(1)));
+                let buf = take(estimate, pool, &mut from_pool);
+                let params = Conv2dParams {
+                    stride: *stride,
+                    padding: *padding,
+                };
+                arg(0).conv2d_with_buf(arg(1), bias, params, cfg, buf)?
+            }
+            OpKind::Softmax if node.inputs.len() == 1 => {
+                let buf = take(arg(0).len(), pool, &mut from_pool);
+                arg(0).softmax_last_with_buf(cfg, buf)?
+            }
+            OpKind::LayerNorm { eps } if node.inputs.len() == 3 => {
+                let buf = take(arg(0).len(), pool, &mut from_pool);
+                arg(0).layer_norm_with_buf(arg(1), arg(2), *eps, cfg, buf)?
+            }
+            OpKind::RmsNorm { eps } if node.inputs.len() == 2 => {
+                let buf = take(arg(0).len(), pool, &mut from_pool);
+                arg(0).rms_norm_with_buf(arg(1), *eps, cfg, buf)?
             }
             // Everything else runs the trace executor's kernel unchanged.
             _ => eval_node(graph, node, &values, inputs, cfg)?,

@@ -27,3 +27,4 @@ pub use decode::{greedy_decode, Argmax, DecodeStep, SelectToken};
 pub use diffusion::DiffusionConfig;
 pub use qwen::QwenConfig;
 pub use resnet::ResNetConfig;
+pub use transformer::TransformerConfig;

@@ -1,9 +1,12 @@
-//! Shared transformer building blocks: multi-head attention and FFNs.
+//! Shared transformer building blocks — multi-head attention and FFNs —
+//! plus a small post-norm encoder classifier ([`build`]) whose output head
+//! is a softmax (the calibration-safe head shape the graph linter checks
+//! for).
 
 use tao_graph::{GraphBuilder, NodeId, OpKind};
 use tao_tensor::Tensor;
 
-use crate::common::xavier;
+use crate::common::{xavier, Model};
 
 /// Multi-head attention hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +161,94 @@ pub fn swiglu_ffn(
     b.op(format!("{prefix}.down"), OpKind::Linear, &[prod, wd])
 }
 
+/// Encoder-classifier configuration for [`build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub layers: usize,
+}
+
+impl TransformerConfig {
+    /// Laptop-scale encoder classifier.
+    pub fn small() -> Self {
+        TransformerConfig {
+            vocab: 64,
+            seq: 8,
+            dim: 24,
+            heads: 4,
+            layers: 2,
+        }
+    }
+}
+
+/// Builds a pre-norm transformer encoder with a *softmax* output head:
+/// token embeddings, `layers` blocks of LayerNorm → unmasked attention →
+/// residual → LayerNorm → GELU FFN → residual, a final LayerNorm, and a
+/// per-token vocabulary distribution `[seq, vocab]`. Unlike the other
+/// bundled language models, the head is bounded — this is the
+/// calibration-safe shape the `tao-analysis` linter certifies clean.
+pub fn build(cfg: TransformerConfig, seed: u64) -> Model {
+    let mut b = GraphBuilder::new(1);
+    let ids = b.input(0, "token_ids");
+    let mut s = seed * 20_000;
+    let mut next = || {
+        s += 1;
+        s
+    };
+
+    let table = b.parameter(
+        "encoder.embed.weight",
+        xavier(&[cfg.vocab, cfg.dim], cfg.vocab, cfg.dim, next()),
+    );
+    let mut cur = b.op("encoder.embed", OpKind::Embedding, &[table, ids]);
+
+    let d = AttnDims {
+        seq: cfg.seq,
+        dim: cfg.dim,
+        heads: cfg.heads,
+    };
+    for l in 0..cfg.layers {
+        let p = format!("encoder.layers{l}");
+        let norm1 = layer_norm(&mut b, &format!("{p}.ln1"), cur, cfg.dim);
+        let attn = self_attention(&mut b, &format!("{p}.attn"), norm1, d, None, next());
+        let res1 = b.op(format!("{p}.residual1"), OpKind::Add, &[attn, cur]);
+        let norm2 = layer_norm(&mut b, &format!("{p}.ln2"), res1, cfg.dim);
+        let ffn = gelu_ffn(&mut b, &format!("{p}.ffn"), norm2, cfg.dim, cfg.dim * 4, next());
+        cur = b.op(format!("{p}.residual2"), OpKind::Add, &[ffn, res1]);
+    }
+
+    let final_norm = layer_norm(&mut b, "encoder.norm", cur, cfg.dim);
+    let head = b.parameter(
+        "head.weight",
+        xavier(&[cfg.vocab, cfg.dim], cfg.dim, cfg.vocab, next()),
+    );
+    let scores = b.op("head", OpKind::Linear, &[final_norm, head]);
+    let probs = b.op("head.softmax", OpKind::Softmax, &[scores]);
+
+    let graph = b
+        .finish(vec![probs])
+        .expect("transformer graph is well-formed");
+    Model {
+        name: "transformer-sim".into(),
+        graph,
+        logits: probs,
+        input_shapes: vec![vec![cfg.seq]],
+    }
+}
+
+/// Samples a valid token-id input for the model.
+pub fn sample_ids(cfg: TransformerConfig, seed: u64) -> Tensor<f32> {
+    crate::data::zipf_tokens(cfg.seq, cfg.vocab, seed)
+}
+
 /// A `[seq, seq]` upper-triangular causal mask (1 above the diagonal).
 pub fn causal_mask_tensor(seq: usize) -> Tensor<f32> {
     let mut m = Tensor::<f32>::zeros(&[seq, seq]);
@@ -258,6 +349,27 @@ mod tests {
         let exec = execute(&g, &[input], &KernelConfig::reference(), None).unwrap();
         assert_eq!(exec.value(rn).unwrap().dims(), &[3, 8]);
         assert!(exec.value(rn).unwrap().all_finite());
+    }
+
+    #[test]
+    fn encoder_classifier_outputs_distributions() {
+        let cfg = TransformerConfig::small();
+        let m = build(cfg, 1);
+        let ids = sample_ids(cfg, 2);
+        let exec = execute(&m.graph, &[ids], &KernelConfig::reference(), None).unwrap();
+        let probs = exec.value(m.logits).unwrap();
+        assert_eq!(probs.dims(), &[cfg.seq, cfg.vocab]);
+        assert!(probs.all_finite());
+        // Softmax head: every row sums to ~1 and is nonnegative.
+        for t in 0..cfg.seq {
+            let mut sum = 0.0f32;
+            for j in 0..cfg.vocab {
+                let p = probs.at(&[t, j]).unwrap();
+                assert!(p >= 0.0);
+                sum += p;
+            }
+            assert!((sum - 1.0).abs() < 1e-4, "row {t} sums to {sum}");
+        }
     }
 
     #[test]

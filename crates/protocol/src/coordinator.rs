@@ -89,6 +89,10 @@ pub struct Claim {
     pub posted_at: u64,
     /// Challenge-window length in ticks.
     pub window: u64,
+    /// Proposer deposit escrowed for this claim. Flat `D_p` for
+    /// [`Coordinator::submit_claim`]; at least `D_p`, scaled up by the
+    /// static FLOP bound, for [`Coordinator::submit_claim_quoted`].
+    pub deposit: f64,
     /// Current status.
     pub status: ClaimStatus,
 }
@@ -344,22 +348,68 @@ impl Coordinator {
         Ok(())
     }
 
-    /// Posts a claim commitment (Phase 1), escrowing the proposer deposit.
-    /// The claim id is allocated only after the deposit clears, so a
-    /// rejected submission leaves no gap in the id sequence.
+    /// Posts a claim commitment (Phase 1), escrowing the flat proposer
+    /// deposit `D_p` and charging the flat commitment gas. The claim id is
+    /// allocated only after the deposit clears, so a rejected submission
+    /// leaves no gap in the id sequence.
     ///
     /// # Errors
     ///
     /// Returns an error when the proposer's balance is below `D_p`.
     pub fn submit_claim(&self, proposer: &str, commitment: Digest, meta: &ClaimMeta) -> Result<u64> {
+        self.admit(
+            proposer,
+            commitment,
+            meta,
+            gas::commit_claim(),
+            self.econ.d_p,
+        )
+    }
+
+    /// Posts a claim commitment priced by its static analysis: the gas
+    /// charged is the report's quote (base commitment cost plus the
+    /// FLOP/traffic surcharge) and the escrowed deposit is
+    /// `max(D_p, deposit_bound)`, so a claim committing to more work posts
+    /// collateral that scales with it. Inadmissible graphs — any
+    /// `Deny`-severity lint finding — are rejected before any money moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the report carries `Deny` findings or the
+    /// proposer cannot post the quoted deposit.
+    pub fn submit_claim_quoted(
+        &self,
+        proposer: &str,
+        commitment: Digest,
+        meta: &ClaimMeta,
+        report: &tao_analysis::StaticReport,
+    ) -> Result<u64> {
+        if !report.is_admissible() {
+            return Err(ProtocolError::BadState(format!(
+                "claim graph fails static analysis: {} deny finding(s)",
+                report.deny_count()
+            )));
+        }
+        let deposit = self.econ.d_p.max(report.deposit_bound);
+        self.admit(proposer, commitment, meta, report.gas_quote, deposit)
+    }
+
+    fn admit(
+        &self,
+        proposer: &str,
+        commitment: Digest,
+        meta: &ClaimMeta,
+        gas_cost: u64,
+        deposit: f64,
+    ) -> Result<u64> {
         self.ledger
-            .reserve(proposer, self.econ.d_p)
+            .reserve(proposer, deposit)
             .map_err(|available| ProtocolError::InsufficientFunds {
                 account: proposer.to_string(),
-                needed: self.econ.d_p,
+                needed: deposit,
                 available,
             })?;
-        self.charge("commit_claim", gas::commit_claim());
+        self.charge("commit_claim", gas_cost);
         let id = self.claims.allocate();
         self.claims.shard(id).lock().insert(
             id,
@@ -369,6 +419,7 @@ impl Coordinator {
                 commitment,
                 posted_at: self.now(),
                 window: meta.challenge_window,
+                deposit,
                 status: ClaimStatus::Pending,
             },
         );
@@ -398,17 +449,17 @@ impl Coordinator {
             for claim in shard.values_mut() {
                 if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
                     claim.status = ClaimStatus::Finalized;
-                    finalized.push((claim.id, claim.proposer.clone()));
+                    finalized.push((claim.id, claim.proposer.clone(), claim.deposit));
                 }
             }
         }
-        finalized.sort_unstable_by_key(|(id, _)| *id);
-        for (_, proposer) in &finalized {
-            self.ledger.release(proposer, self.econ.d_p);
+        finalized.sort_unstable_by_key(|(id, _, _)| *id);
+        for (_, proposer, deposit) in &finalized {
+            self.ledger.release(proposer, *deposit);
             // Pay the task reward on finality.
             self.ledger.mint(proposer, self.econ.r_p);
         }
-        finalized.into_iter().map(|(id, _)| id).collect()
+        finalized.into_iter().map(|(id, _, _)| id).collect()
     }
 
     /// Opens a challenge against a pending claim, escrowing `D_ch` and
@@ -514,7 +565,7 @@ impl Coordinator {
     ///
     /// Returns an error when the claim is not disputed.
     pub fn settle(&self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
-        let (proposer, challenger) = {
+        let (proposer, challenger, deposit) = {
             let mut shard = self.claims.shard(id).lock();
             let claim = shard.get_mut(&id).ok_or(ProtocolError::UnknownClaim(id))?;
             let ClaimStatus::Disputed { challenger } = &claim.status else {
@@ -522,9 +573,9 @@ impl Coordinator {
                     "claim #{id} is not disputed"
                 )));
             };
-            let pair = (claim.proposer.clone(), challenger.clone());
+            let triple = (claim.proposer.clone(), challenger.clone(), claim.deposit);
             claim.status = ClaimStatus::Settled { winner };
-            pair
+            triple
         };
         self.charge("settlement", gas::settlement());
         match winner {
@@ -532,8 +583,7 @@ impl Coordinator {
                 // Slash the proposer; the challenger and committee shares
                 // are re-minted from the burn, the rest stays destroyed.
                 let slashed = self.ledger.burn_escrow(&proposer, self.slash);
-                self.ledger
-                    .release(&proposer, (self.econ.d_p - slashed).max(0.0));
+                self.ledger.release(&proposer, (deposit - slashed).max(0.0));
                 self.ledger.mint(&challenger, self.econ.alpha_ch * slashed);
                 if committee_size > 0 {
                     self.ledger
@@ -546,7 +596,7 @@ impl Coordinator {
                 // the proposer — an atomic ordered two-account transfer.
                 self.ledger
                     .escrow_transfer(&challenger, &proposer, self.econ.d_ch);
-                self.ledger.release(&proposer, self.econ.d_p);
+                self.ledger.release(&proposer, deposit);
                 self.ledger.mint(&proposer, self.econ.r_p);
                 if committee_size > 0 {
                     self.ledger.mint(
@@ -650,7 +700,7 @@ pub mod reference {
             self.escrow.get(account).copied().unwrap_or(0.0)
         }
 
-        /// Posts a claim, escrowing the proposer deposit.
+        /// Posts a claim, escrowing the flat proposer deposit.
         ///
         /// # Errors
         ///
@@ -661,8 +711,45 @@ pub mod reference {
             commitment: Digest,
             meta: &ClaimMeta,
         ) -> Result<u64> {
-            self.lock(proposer, self.econ.d_p)?;
-            self.gas.charge("commit_claim", gas::commit_claim());
+            let d_p = self.econ.d_p;
+            self.admit(proposer, commitment, meta, gas::commit_claim(), d_p)
+        }
+
+        /// Serial mirror of [`super::Coordinator::submit_claim_quoted`]:
+        /// charges the static report's gas quote and escrows
+        /// `max(D_p, deposit_bound)`, rejecting inadmissible graphs.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when the report carries `Deny` findings or the
+        /// proposer cannot post the quoted deposit.
+        pub fn submit_claim_quoted(
+            &mut self,
+            proposer: &str,
+            commitment: Digest,
+            meta: &ClaimMeta,
+            report: &tao_analysis::StaticReport,
+        ) -> Result<u64> {
+            if !report.is_admissible() {
+                return Err(ProtocolError::BadState(format!(
+                    "claim graph fails static analysis: {} deny finding(s)",
+                    report.deny_count()
+                )));
+            }
+            let deposit = self.econ.d_p.max(report.deposit_bound);
+            self.admit(proposer, commitment, meta, report.gas_quote, deposit)
+        }
+
+        fn admit(
+            &mut self,
+            proposer: &str,
+            commitment: Digest,
+            meta: &ClaimMeta,
+            gas_cost: u64,
+            deposit: f64,
+        ) -> Result<u64> {
+            self.lock(proposer, deposit)?;
+            self.gas.charge("commit_claim", gas_cost);
             let id = self.claims.len() as u64;
             self.claims.push(Claim {
                 id,
@@ -670,6 +757,7 @@ pub mod reference {
                 commitment,
                 posted_at: self.tick,
                 window: meta.challenge_window,
+                deposit,
                 status: ClaimStatus::Pending,
             });
             Ok(id)
@@ -695,11 +783,11 @@ pub mod reference {
             for claim in &mut self.claims {
                 if matches!(claim.status, ClaimStatus::Pending) && now > claim.deadline() {
                     claim.status = ClaimStatus::Finalized;
-                    releases.push((claim.proposer.clone(), claim.id));
+                    releases.push((claim.proposer.clone(), claim.id, claim.deposit));
                 }
             }
-            for (proposer, id) in releases {
-                self.release(&proposer, self.econ.d_p);
+            for (proposer, id, deposit) in releases {
+                self.release(&proposer, deposit);
                 self.fund(&proposer, self.econ.r_p);
                 finalized.push(id);
             }
@@ -779,14 +867,14 @@ pub mod reference {
         ///
         /// Returns an error when the claim is not disputed.
         pub fn settle(&mut self, id: u64, winner: Party, committee_size: usize) -> Result<()> {
-            let (proposer, challenger) = {
+            let (proposer, challenger, deposit) = {
                 let claim = self.claim(id)?;
                 let ClaimStatus::Disputed { challenger } = &claim.status else {
                     return Err(ProtocolError::BadState(format!(
                         "claim #{id} is not disputed"
                     )));
                 };
-                (claim.proposer.clone(), challenger.clone())
+                (claim.proposer.clone(), challenger.clone(), claim.deposit)
             };
             self.gas.charge("settlement", gas::settlement());
             match winner {
@@ -795,7 +883,7 @@ pub mod reference {
                     self.take_escrow(&proposer, slashed);
                     self.release(
                         &proposer,
-                        self.escrowed(&proposer).min(self.econ.d_p - slashed),
+                        self.escrowed(&proposer).min(deposit - slashed),
                     );
                     self.fund(&challenger, self.econ.alpha_ch * slashed);
                     if committee_size > 0 {
@@ -808,7 +896,7 @@ pub mod reference {
                     let forfeited = self.econ.d_ch.min(self.escrowed(&challenger));
                     self.take_escrow(&challenger, forfeited);
                     self.fund(&proposer, forfeited);
-                    self.release(&proposer, self.econ.d_p);
+                    self.release(&proposer, deposit);
                     self.fund(&proposer, self.econ.r_p);
                     if committee_size > 0 {
                         self.fund(
@@ -1149,6 +1237,79 @@ mod tests {
         let before = c.gas().total;
         let _ = c.submit_claim("prop", commitment(), &meta()).unwrap();
         assert!(c.gas().total > before);
+    }
+
+    fn report_for_tiny_graph() -> tao_analysis::StaticReport {
+        let mut b = tao_graph::GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w = b.parameter("w", tao_tensor::Tensor::<f32>::eye(8));
+        let y = b.op("y", tao_graph::OpKind::MatMul, &[x, w]);
+        let s = b.op("s", tao_graph::OpKind::Softmax, &[y]);
+        let g = b.finish(vec![s]).unwrap();
+        tao_analysis::analyze(&g, &[vec![4, 8]])
+    }
+
+    #[test]
+    fn quoted_submission_charges_the_static_quote_and_scales_the_deposit() {
+        let c = coordinator();
+        c.fund("prop", 1_000.0);
+        let report = report_for_tiny_graph();
+        assert!(report.is_admissible());
+        let id = c
+            .submit_claim_quoted("prop", commitment(), &meta(), &report)
+            .unwrap();
+        // Gas charged is exactly the quote, which rides on the flat base.
+        assert_eq!(c.gas().total, report.gas_quote);
+        assert!(report.gas_quote >= gas::commit_claim());
+        // The tiny model's FLOP bound is far below D_p: flat deposit.
+        let claim = c.claim(id).unwrap();
+        assert!((claim.deposit - 500.0).abs() < 1e-12);
+        assert!((c.escrowed("prop") - claim.deposit).abs() < 1e-12);
+        // Finalization releases the per-claim deposit exactly.
+        c.advance(11);
+        assert_eq!(c.escrowed("prop"), 0.0);
+    }
+
+    #[test]
+    fn quoted_submission_rejects_inadmissible_graphs_before_money_moves() {
+        let c = coordinator();
+        c.fund("prop", 1_000.0);
+        let mut report = report_for_tiny_graph();
+        report.lint_findings.push(tao_analysis::LintFinding::deny(
+            tao_analysis::LintRule::ShapeMismatch,
+            None,
+            "planted violation",
+        ));
+        assert!(matches!(
+            c.submit_claim_quoted("prop", commitment(), &meta(), &report),
+            Err(ProtocolError::BadState(_))
+        ));
+        assert_eq!(c.escrowed("prop"), 0.0);
+        assert_eq!(c.gas().total, 0);
+        assert!(c.claims.is_empty());
+    }
+
+    #[test]
+    fn serial_quoted_submission_matches_sharded() {
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        let slash = (lo + hi) / 2.0;
+        let mut s = reference::SerialCoordinator::new(econ, slash).unwrap();
+        let c = coordinator();
+        let report = report_for_tiny_graph();
+        s.fund("prop", 1_000.0);
+        c.fund("prop", 1_000.0);
+        let sid = s
+            .submit_claim_quoted("prop", commitment(), &meta(), &report)
+            .unwrap();
+        let cid = c
+            .submit_claim_quoted("prop", commitment(), &meta(), &report)
+            .unwrap();
+        assert_eq!(s.claim(sid).unwrap().deposit, c.claim(cid).unwrap().deposit);
+        assert_eq!(s.gas.total, c.gas().total);
+        s.advance(11);
+        c.advance(11);
+        assert!((s.balance("prop") - c.balance("prop")).abs() < 1e-9);
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl<T: Element> Tensor<T> {
         params: Conv2dParams,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
+        self.conv2d_with_buf(weight, bias, params, cfg, Vec::new())
+    }
+
+    /// [`conv2d`](Self::conv2d) into a recycled output buffer: the same
+    /// im2col-backed GEMM and bit-identical results, but the output tensor
+    /// reuses `buf`'s allocation when its capacity suffices.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`conv2d`](Self::conv2d).
+    pub fn conv2d_with_buf(
+        &self,
+        weight: &Tensor<T>,
+        bias: Option<&Tensor<T>>,
+        params: Conv2dParams,
+        cfg: &KernelConfig,
+        buf: Vec<T>,
+    ) -> Result<Tensor<T>> {
         let geo = self.conv2d_check(weight, bias, params)?;
         let ConvGeometry {
             n,
@@ -73,7 +91,9 @@ impl<T: Element> Tensor<T> {
             patch,
         } = geo;
         let ohow = oh * ow;
-        let mut out = vec![T::ZERO; n * c_out * ohow];
+        let mut out = buf;
+        out.clear();
+        out.resize(n * c_out * ohow, T::ZERO);
         if out.is_empty() {
             return Tensor::from_vec(out, &[n, c_out, oh, ow]);
         }

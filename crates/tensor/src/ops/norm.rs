@@ -25,8 +25,21 @@ impl<T: MathElement> Tensor<T> {
     ///
     /// Returns an error for rank-0 tensors.
     pub fn softmax_last(&self, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        self.softmax_last_with_buf(cfg, Vec::new())
+    }
+
+    /// [`softmax_last`](Self::softmax_last) into a recycled output buffer:
+    /// bit-identical results, but the output tensor reuses `buf`'s
+    /// allocation when its capacity suffices.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`softmax_last`](Self::softmax_last).
+    pub fn softmax_last_with_buf(&self, cfg: &KernelConfig, buf: Vec<T>) -> Result<Tensor<T>> {
         let d = self.last_axis_check("softmax")?;
-        let mut out = vec![T::ZERO; self.len()];
+        let mut out = buf;
+        out.clear();
+        out.resize(self.len(), T::ZERO);
         let threads = auto_threads(self.len() as u64 * 4);
         par_bands(&mut out, d, threads, |lane0, band| {
             let mut e = vec![T::ZERO; d];
@@ -101,10 +114,29 @@ impl<T: MathElement> Tensor<T> {
         eps: f64,
         cfg: &KernelConfig,
     ) -> Result<Tensor<T>> {
+        self.layer_norm_with_buf(gamma, beta, eps, cfg, Vec::new())
+    }
+
+    /// [`layer_norm`](Self::layer_norm) into a recycled output buffer
+    /// (identical results; see [`softmax_last_with_buf`](Self::softmax_last_with_buf)).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`layer_norm`](Self::layer_norm).
+    pub fn layer_norm_with_buf(
+        &self,
+        gamma: &Tensor<T>,
+        beta: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+        buf: Vec<T>,
+    ) -> Result<Tensor<T>> {
         let d = self.layer_norm_check(gamma, beta)?;
         let nd = T::from_f64(d as f64);
         let epsd = T::from_f64(eps);
-        let mut out = vec![T::ZERO; self.len()];
+        let mut out = buf;
+        out.clear();
+        out.resize(self.len(), T::ZERO);
         let threads = auto_threads(self.len() as u64 * 4);
         par_bands(&mut out, d, threads, |lane0, band| {
             let mut centered = vec![T::ZERO; d];
@@ -185,10 +217,28 @@ impl<T: MathElement> Tensor<T> {
     ///
     /// Returns an error for rank-0 input or a parameter shape mismatch.
     pub fn rms_norm(&self, gamma: &Tensor<T>, eps: f64, cfg: &KernelConfig) -> Result<Tensor<T>> {
+        self.rms_norm_with_buf(gamma, eps, cfg, Vec::new())
+    }
+
+    /// [`rms_norm`](Self::rms_norm) into a recycled output buffer
+    /// (identical results; see [`softmax_last_with_buf`](Self::softmax_last_with_buf)).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`rms_norm`](Self::rms_norm).
+    pub fn rms_norm_with_buf(
+        &self,
+        gamma: &Tensor<T>,
+        eps: f64,
+        cfg: &KernelConfig,
+        buf: Vec<T>,
+    ) -> Result<Tensor<T>> {
         let d = self.rms_norm_check(gamma)?;
         let nd = T::from_f64(d as f64);
         let epsd = T::from_f64(eps);
-        let mut out = vec![T::ZERO; self.len()];
+        let mut out = buf;
+        out.clear();
+        out.resize(self.len(), T::ZERO);
         let threads = auto_threads(self.len() as u64 * 3);
         par_bands(&mut out, d, threads, |lane0, band| {
             let mut sq = vec![T::ZERO; d];
