@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 
 use tao_graph::{Graph, OpKind};
+use tao_money::Money;
 use tao_tensor::Shape;
 
 use crate::contract::{contract, infer_shape};
@@ -43,10 +44,12 @@ pub const FLOPS_PER_GAS: u64 = 1_000;
 /// Bytes of operand traffic covered by one unit of quoted gas.
 pub const BYTES_PER_GAS: u64 = 10_000;
 
-/// Deposit bound per million FLOPs, in ledger units. Small relative to the
-/// protocol's flat proposer deposit for the bundled models; claims larger
-/// than ~1 GFLOP start scaling the reserve.
-pub const DEPOSIT_PER_MFLOP: f64 = 1e-3;
+/// FLOPs covered by one micro-credit of deposit bound: the bound is
+/// `total_flops / FLOPS_PER_DEPOSIT_UNIT` micro-credits, i.e. one
+/// millicredit per MFLOP — exact integer arithmetic, small relative to
+/// the protocol's flat proposer deposit for the bundled models; claims
+/// larger than ~1 GFLOP start scaling the reserve.
+pub const FLOPS_PER_DEPOSIT_UNIT: u64 = 1_000;
 
 /// Everything the coordinator needs to price, bound and sanity-check a
 /// claim before any forward pass.
@@ -64,8 +67,8 @@ pub struct StaticReport {
     pub peak_resident_bytes: u64,
     /// Admission gas quote for committing this claim.
     pub gas_quote: u64,
-    /// FLOP-proportional lower bound on the proposer deposit.
-    pub deposit_bound: f64,
+    /// FLOP-proportional lower bound on the proposer deposit, exact.
+    pub deposit_bound: Money,
     /// Linter findings (well-formedness + calibration safety).
     pub lint_findings: Vec<LintFinding>,
 }
@@ -208,7 +211,7 @@ pub fn analyze_with(graph: &Graph, input_shapes: &[Vec<usize>], cfg: &LintConfig
     let peak_resident_bytes: u64 = resident.values().sum();
     let total_flops: u64 = flops.iter().sum();
     let gas_quote = GAS_BASE + total_flops / FLOPS_PER_GAS + bytes_moved / BYTES_PER_GAS;
-    let deposit_bound = total_flops as f64 / 1e6 * DEPOSIT_PER_MFLOP;
+    let deposit_bound = Money::from_units((total_flops / FLOPS_PER_DEPOSIT_UNIT) as i128);
 
     findings.extend(lint_graph(graph, &shapes, cfg));
 
@@ -251,7 +254,15 @@ mod tests {
         // x(32) + w(64) + y(32) + s(32) bytes, all distinct buffers.
         assert_eq!(r.peak_resident_bytes, 160);
         assert!(r.gas_quote >= GAS_BASE);
-        assert!(r.deposit_bound > 0.0);
+        // 104 FLOPs / 1_000 FLOPs-per-unit floors to zero micro-credits.
+        assert_eq!(r.deposit_bound, Money::from_units(0));
+        // A graph past the unit threshold gets a positive exact bound.
+        let big = analyze(&g, &[vec![64, 4]]);
+        assert_eq!(
+            big.deposit_bound,
+            Money::from_units((big.total_flops() / FLOPS_PER_DEPOSIT_UNIT) as i128)
+        );
+        assert!(big.deposit_bound > Money::ZERO);
     }
 
     #[test]

@@ -152,9 +152,9 @@ fn main() {
                 "all < 0".into(),
             ],
             vec![
-                "ledger conservation (rel err)".into(),
-                format!("{:.2e}", last.conservation_err),
-                "<= 1e-9".into(),
+                "ledger conservation (micro-credit drift)".into(),
+                format!("{}", last.conservation_err_units),
+                "== 0".into(),
             ],
             vec![
                 "wall clock".into(),

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use tao_protocol::{ClaimStatus, DisputeOutcome, Party};
+use tao_protocol::{ClaimStatus, DisputeOutcome, Money, Party};
 
 use crate::population::{Population, Role};
 
@@ -98,9 +98,10 @@ pub struct EpochStats {
     pub cov_smoothed: f64,
     /// Cumulative per-role nets at this epoch boundary.
     pub nets: RoleNets,
-    /// Relative ledger-conservation error
-    /// `|total_value - injected| / max(injected, 1)` at the boundary.
-    pub conservation_err: f64,
+    /// Absolute ledger-conservation error `|total_value - injected|` at
+    /// the boundary, in micro-credits. The ledger is exact fixed-point,
+    /// so the floor is **exactly zero** — no tolerance.
+    pub conservation_err_units: i128,
 }
 
 /// Everything a finished campaign produced.
@@ -129,8 +130,8 @@ pub struct CampaignReport {
     /// Worst final net over individual honest operator accounts
     /// (0 when no honest operators were fielded).
     pub min_honest_operator_net: f64,
-    /// Final wealth (balance + escrow) per account.
-    pub wealth: BTreeMap<String, f64>,
+    /// Final wealth (balance + escrow) per account, exact.
+    pub wealth: BTreeMap<String, Money>,
 }
 
 impl CampaignReport {
@@ -176,7 +177,9 @@ impl CampaignReport {
     /// 5. every fielded honest operator ended with non-negative net;
     /// 6. every fielded adversary role ended strictly in the red;
     /// 7. smoothed-tail coverage never fell below raw-max coverage;
-    /// 8. the ledger conserved value at every epoch boundary.
+    /// 8. the ledger conserved value **exactly** at every epoch boundary
+    ///    (zero micro-credits of drift — the fixed-point ledger admits no
+    ///    tolerance).
     ///
     /// # Panics
     ///
@@ -251,11 +254,10 @@ impl CampaignReport {
                 e.cov_smoothed,
                 e.cov_raw
             );
-            assert!(
-                e.conservation_err <= 1e-9,
-                "floor: ledger conservation violated at epoch {} (relative error {})",
-                e.epoch,
-                e.conservation_err
+            assert_eq!(
+                e.conservation_err_units, 0,
+                "floor: ledger conservation violated at epoch {} ({} micro-credits of drift)",
+                e.epoch, e.conservation_err_units
             );
         }
     }
@@ -275,7 +277,7 @@ impl CampaignReport {
                 e.caught as f64 / e.planted as f64
             };
             out.push_str(&format!(
-                "{},{},{},{},{:.6},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3e}\n",
+                "{},{},{},{},{:.6},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
                 e.epoch,
                 e.claims,
                 e.planted,
@@ -292,7 +294,7 @@ impl CampaignReport {
                 e.nets.collusion,
                 e.nets.griefer,
                 e.nets.watchtower,
-                e.conservation_err,
+                e.conservation_err_units,
             ));
         }
         out
@@ -350,7 +352,7 @@ mod tests {
                     evasion: -110.0,
                     ..RoleNets::default()
                 },
-                conservation_err: 0.0,
+                conservation_err_units: 0,
             }],
             outcomes: vec![
                 outcome(Role::Honest, ClaimStatus::Finalized, 0.4),

@@ -15,8 +15,8 @@
 //! hardware, sortition seeds — derives from [`CampaignConfig::seed`]
 //! through a SplitMix64 finalizer and a per-epoch ChaCha8 stream drawn in
 //! fixed operator order, so a campaign replays identically at any worker
-//! count (balances match to f64 summation order; statuses and winners
-//! match exactly).
+//! count (the ledger is exact fixed-point [`tao_protocol::Money`], so
+//! balances, statuses and winners all match bit-exactly).
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -31,7 +31,7 @@ use tao_calib::TailEstimator;
 use tao_device::{Device, Fleet};
 use tao_graph::{GraphBuilder, NodeId, OpKind, Perturbations};
 use tao_models::Model;
-use tao_protocol::{Coordinator, EconParams};
+use tao_protocol::{Coordinator, EconParams, Money};
 use tao_tensor::Tensor;
 
 use crate::config::CampaignConfig;
@@ -239,9 +239,13 @@ impl Campaign {
 
         // Fund everyone generously (profits are measured as deltas against
         // the recorded funding, so headroom does not distort the floors).
-        let mut funded: HashMap<String, f64> = HashMap::new();
+        // Funding math is exact Money derived from the coordinator's own
+        // admission amounts.
+        let amounts = coord.coordinator().amounts();
+        let slash_m = coord.coordinator().slash_amount();
+        let mut funded: HashMap<String, Money> = HashMap::new();
         let mut accounts: Vec<(String, Group)> = Vec::new();
-        let claimant_fund = 2.0 * econ.d_p + slash * cfg.epochs as f64 + 100.0;
+        let claimant_fund = amounts.d_p * 2 + slash_m * cfg.epochs as u64 + Money::from(100);
         for c in &claimants {
             let group = match c.role {
                 Role::Honest => Group::Honest,
@@ -254,7 +258,7 @@ impl Campaign {
             funded.insert(c.account.clone(), claimant_fund);
             accounts.push((c.account.clone(), group));
         }
-        let challenger_fund = econ.d_ch * (cfg.epochs + 1) as f64 + 100.0;
+        let challenger_fund = amounts.d_ch * (cfg.epochs + 1) as u64 + Money::from(100);
         for (name, group) in partners
             .iter()
             .map(|(a, _)| (a, Group::Collusion))
@@ -264,7 +268,8 @@ impl Campaign {
             funded.insert(name.clone(), challenger_fund);
             accounts.push((name.clone(), group));
         }
-        let watchtower_fund = econ.d_ch * ((pop.claimants() + 1) * cfg.epochs) as f64 + 100.0;
+        let watchtower_fund =
+            amounts.d_ch * ((pop.claimants() + 1) * cfg.epochs) as u64 + Money::from(100);
         for (name, _) in &watchtowers {
             coord.coordinator().fund(name, watchtower_fund);
             funded.insert(name.clone(), watchtower_fund);
@@ -474,8 +479,8 @@ impl Campaign {
             };
             let (nets, _) = nets_snapshot(&coord, &accounts, &funded, &costs);
             let ledger = coord.coordinator().ledger();
-            let conservation_err =
-                (ledger.total_value() - ledger.injected()).abs() / ledger.injected().max(1.0);
+            let conservation_err_units =
+                (ledger.total_value() - ledger.injected()).units().abs();
             epoch_stats.push(EpochStats {
                 epoch,
                 claims: claimants.len(),
@@ -487,12 +492,12 @@ impl Campaign {
                 cov_raw,
                 cov_smoothed,
                 nets,
-                conservation_err,
+                conservation_err_units,
             });
         }
 
         let (final_nets, min_honest) = nets_snapshot(&coord, &accounts, &funded, &costs);
-        let wealth: BTreeMap<String, f64> = coord
+        let wealth: BTreeMap<String, Money> = coord
             .coordinator()
             .ledger()
             .accounts()
@@ -566,19 +571,22 @@ fn evasion_behavior(
 }
 
 /// Cumulative per-group nets (wealth minus funding minus modeled costs)
-/// and the worst individual honest-operator net.
+/// and the worst individual honest-operator net. The on-ledger part
+/// (wealth − funding) is computed exactly in Money before the modeled
+/// f64 compute costs — an analysis quantity, not ledger state — are
+/// subtracted.
 fn nets_snapshot(
     coord: &SharedCoordinator,
     accounts: &[(String, Group)],
-    funded: &HashMap<String, f64>,
+    funded: &HashMap<String, Money>,
     costs: &HashMap<String, f64>,
 ) -> (RoleNets, f64) {
     let mut nets = RoleNets::default();
     let mut min_honest = f64::INFINITY;
     for (account, group) in accounts {
         let wealth = coord.balance(account) + coord.coordinator().escrowed(account);
-        let net = wealth - funded.get(account).copied().unwrap_or(0.0)
-            - costs.get(account).copied().unwrap_or(0.0);
+        let on_ledger = wealth - funded.get(account).copied().unwrap_or(Money::ZERO);
+        let net = on_ledger.to_f64() - costs.get(account).copied().unwrap_or(0.0);
         match group {
             Group::Honest => {
                 nets.honest += net;

@@ -61,7 +61,7 @@ pub fn render_report(model: &Model, report: &StaticReport) -> String {
     let _ = writeln!(out, "bytes moved:         {}", report.bytes_moved);
     let _ = writeln!(out, "peak resident bytes: {}", report.peak_resident_bytes);
     let _ = writeln!(out, "gas quote:           {}", report.gas_quote);
-    let _ = writeln!(out, "deposit bound:       {:.6}", report.deposit_bound);
+    let _ = writeln!(out, "deposit bound:       {}", report.deposit_bound);
     let _ = writeln!(out, "admissible:          {}", report.is_admissible());
 
     let mut heavy: Vec<usize> = (0..report.flops.len()).collect();

@@ -163,9 +163,18 @@ fn cmd_sessions(model: &str, workers: Option<usize>) {
         );
     }
     println!(
-        "\n{jobs} sessions in {secs:.2}s; proposer balance {:.1}, challenger balance {:.1}",
+        "\n{jobs} sessions in {secs:.2}s; proposer balance {}, challenger balance {}",
         coordinator.balance("proposer"),
         coordinator.balance("challenger"),
+    );
+    // Seal the batch as one epoch: the canonical settlement+gas log is
+    // Merkle-committed, and the root is identical for any worker count.
+    let epoch = coordinator.coordinator().seal_epoch();
+    println!(
+        "epoch {} root: {} ({} gas events)",
+        epoch.index,
+        tao_merkle::to_hex(&epoch.root),
+        epoch.entries.len()
     );
 }
 

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use tao_protocol::Money;
+
 /// Errors surfaced by the `tao` facade.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaoError {
@@ -17,6 +19,21 @@ pub enum TaoError {
     Attack(String),
     /// Configuration problem in the runtime itself.
     Config(String),
+    /// A batch's peak concurrent escrow exceeds an account's balance.
+    ///
+    /// Raised by the scheduler **before** any claim in the batch is
+    /// posted: concurrent sessions escrow all their deposits at once, so
+    /// `needed` is the sum of every deposit quote the account would have
+    /// to cover simultaneously — not the single-claim `D_p` the serial
+    /// path would report mid-batch.
+    InsufficientFunds {
+        /// The underfunded proposer account.
+        account: String,
+        /// Peak concurrent escrow the batch requires from the account.
+        needed: Money,
+        /// The account's free balance at admission time.
+        available: Money,
+    },
 }
 
 impl fmt::Display for TaoError {
@@ -28,6 +45,17 @@ impl fmt::Display for TaoError {
             TaoError::Bound(m) => ("bound", m),
             TaoError::Attack(m) => ("attack", m),
             TaoError::Config(m) => ("config", m),
+            TaoError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => {
+                return write!(
+                    f,
+                    "admission error: account {account:?} needs {needed} escrowed at the \
+                     batch's concurrency peak but holds {available}"
+                );
+            }
         };
         write!(f, "{kind} error: {msg}")
     }

@@ -28,7 +28,12 @@
 //! and `tests/tests/coordinator_invariants.rs` for the coordinator-level
 //! proptest). The one behavioral difference is peak escrow: all proposer
 //! deposits are locked at once during phase 2, so accounts must be funded
-//! for the sum of concurrent deposits rather than one at a time.
+//! for the sum of concurrent deposits rather than one at a time. That
+//! requirement is checked **at admission**, before any claim is posted:
+//! an underfunded batch fails with a typed
+//! [`TaoError::InsufficientFunds`] naming the account, its peak escrow
+//! requirement and its balance, instead of bouncing mid-batch with
+//! earlier claims already pending.
 //!
 //! The worker pool is configurable up to [`MAX_WORKERS`]. The settle
 //! phase is coordinator-bound and uses the full pool; the compute-bound
@@ -37,9 +42,13 @@
 //! ([`MAX_PAR_THREADS`]) and nested parallelism remains bounded by the
 //! square of that one constant.
 
-use tao_protocol::par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
+use std::collections::BTreeMap;
 
-use crate::session::{Session, SessionBuilder, SessionReport, SharedCoordinator};
+use tao_protocol::par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
+use tao_protocol::Money;
+
+use crate::error::TaoError;
+use crate::session::{PendingSession, Session, SessionBuilder, SessionReport, SharedCoordinator};
 use crate::Result;
 
 /// Runs batches of verification sessions concurrently.
@@ -137,10 +146,20 @@ impl Scheduler {
         let compute_threads = self.threads.min(MAX_PAR_THREADS);
         // Phase 1 (parallel): proposer forward passes + commitments.
         let prepared = parallel_map(sessions, compute_threads, SessionBuilder::prepare);
+        let mut pending = Vec::with_capacity(prepared.len());
+        for p in prepared {
+            pending.push(p?);
+        }
+        // Admission check: concurrent sessions escrow every deposit at
+        // once during phase 2, so an account must cover the *sum* of its
+        // quotes, not one deposit at a time. Checking up front turns an
+        // opaque mid-batch bounce (which would strand already-posted
+        // claims) into a typed error naming the peak requirement.
+        check_peak_escrow(coordinator, &pending)?;
         // Phase 2 (serial, in order): deterministic claim-id assignment.
-        let mut submitted = Vec::with_capacity(prepared.len());
-        for (index, pending) in prepared.into_iter().enumerate() {
-            submitted.push((index, pending?.submit(coordinator)?));
+        let mut submitted = Vec::with_capacity(pending.len());
+        for (index, session) in pending.into_iter().enumerate() {
+            submitted.push((index, session.submit(coordinator)?));
         }
         // Phase 3 (parallel): screening, disputes and leaf adjudication —
         // or whatever moves `resolve` plays instead.
@@ -166,6 +185,31 @@ impl Scheduler {
         }
         Ok(reports)
     }
+}
+
+/// Verifies every proposer account can cover the batch's peak concurrent
+/// escrow: the exact sum of its sessions' deposit quotes
+/// (`max(D_p, deposit_bound)` each, in fixed-point money) against its
+/// free balance. Accounts are checked in name order so the first failure
+/// is deterministic.
+fn check_peak_escrow(coordinator: &SharedCoordinator, pending: &[PendingSession]) -> Result<()> {
+    let inner = coordinator.coordinator();
+    let mut peak: BTreeMap<&str, Money> = BTreeMap::new();
+    for session in pending {
+        let entry = peak.entry(session.proposer_account()).or_insert(Money::ZERO);
+        *entry += session.deposit_quote(inner);
+    }
+    for (account, needed) in peak {
+        let available = inner.balance(account);
+        if needed > available {
+            return Err(TaoError::InsufficientFunds {
+                account: account.to_string(),
+                needed,
+                available,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -224,5 +268,58 @@ mod tests {
                 assert!(matches!(r.final_status, ClaimStatus::Finalized));
             }
         }
+    }
+
+    /// An account that could fund claims one at a time but not the whole
+    /// concurrent batch is rejected at admission with the exact peak
+    /// escrow requirement — and no claim is posted.
+    #[test]
+    fn underfunded_batch_fails_admission_with_peak_escrow_requirement() {
+        use tao_protocol::{Coordinator, EconParams};
+
+        let cfg = BertConfig {
+            layers: 1,
+            ..BertConfig::small()
+        };
+        let model = bert::build(cfg, 1);
+        let samples = data::token_dataset(6, cfg.seq, cfg.vocab, 100);
+        let d = deploy(model, Fleet::standard(), &samples, DEFAULT_ALPHA).unwrap();
+
+        let econ = EconParams::default_market();
+        let (lo, hi) = econ.feasible_slash_region().unwrap();
+        let inner = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
+        let quote = inner
+            .amounts()
+            .d_p
+            .max(d.static_report.deposit_bound);
+        // Enough for two serial claims, but not three concurrent ones.
+        let funded = quote * 2;
+        inner.fund("proposer", funded);
+        let coord = SharedCoordinator::new(inner);
+
+        let builders: Vec<SessionBuilder> = (0..3)
+            .map(|i| SessionBuilder::new(&d, vec![bert::sample_ids(cfg, 300 + i)]))
+            .collect();
+        let err = Scheduler::with_threads(3)
+            .run(&coord, builders)
+            .unwrap_err();
+        match err {
+            TaoError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => {
+                assert_eq!(account, "proposer");
+                assert_eq!(needed, quote * 3, "peak = sum of all concurrent quotes");
+                assert_eq!(available, funded);
+            }
+            other => panic!("expected InsufficientFunds, got {other}"),
+        }
+        // Nothing was posted and nothing is escrowed: the batch was
+        // rejected before phase 2 touched the coordinator.
+        let inner = coord.into_inner();
+        assert!(inner.claim(0).is_err(), "no claim may be posted");
+        assert_eq!(inner.escrowed("proposer"), Money::ZERO);
+        assert_eq!(inner.balance("proposer"), funded);
     }
 }

@@ -31,7 +31,7 @@ use tao_merkle::{claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest, 
 use tao_protocol::{
     adjudicate, leaf_case, run_dispute, sample_committee, screen_claim, AdjudicationPath,
     ChallengerView, ClaimCheck, ClaimStatus, Coordinator, DisputeConfig, DisputeOutcome,
-    DisputeResult, LeafVerdict, Party, ProposerView, Screening,
+    DisputeResult, LeafVerdict, Money, Party, ProposerView, Screening,
 };
 use tao_tensor::Tensor;
 
@@ -119,8 +119,8 @@ impl SharedCoordinator {
         &self.inner
     }
 
-    /// Free (non-escrowed) balance of an account.
-    pub fn balance(&self, account: &str) -> f64 {
+    /// Free (non-escrowed) balance of an account, exact.
+    pub fn balance(&self, account: &str) -> Money {
         self.inner.balance(account)
     }
 
@@ -301,6 +301,20 @@ impl PendingSession {
     /// The claim commitment `C0` that will be posted.
     pub fn commitment(&self) -> &Digest {
         &self.commitment
+    }
+
+    /// The proposer account that will post (and fund) the claim.
+    pub fn proposer_account(&self) -> &str {
+        &self.cfg.proposer_account
+    }
+
+    /// The exact deposit this claim will escrow on submission:
+    /// `max(D_p, deposit_bound)` from the deployment's static report.
+    pub fn deposit_quote(&self, coordinator: &Coordinator) -> Money {
+        coordinator
+            .amounts()
+            .d_p
+            .max(self.deployment.static_report.deposit_bound)
     }
 
     /// Posts the claim, charging the gas quote and escrowing the deposit
@@ -639,8 +653,8 @@ pub fn default_coordinator() -> Result<Coordinator> {
         .feasible_slash_region()
         .ok_or_else(|| TaoError::Config("default economics infeasible".into()))?;
     let c = Coordinator::new(econ, (lo + hi) / 2.0)?;
-    c.fund("proposer", 10_000.0);
-    c.fund("challenger", 1_000.0);
+    c.fund("proposer", 10_000);
+    c.fund("challenger", 1_000);
     Ok(c)
 }
 
@@ -713,7 +727,7 @@ mod tests {
                 winner: Party::Challenger
             }
         ));
-        assert!(coord.balance("challenger") > 1_000.0 - 1e-9);
+        assert!(coord.balance("challenger") > Money::from_credits(1_000));
     }
 
     #[test]
@@ -790,7 +804,7 @@ mod tests {
             }
         ));
         // The griefer forfeited its deposit to the honest proposer.
-        assert!(coord.balance("challenger") < 1_000.0);
+        assert!(coord.balance("challenger") < Money::from_credits(1_000));
     }
 
     #[test]
@@ -815,7 +829,7 @@ mod tests {
     fn watchtower_adopts_abandoned_dispute_and_convicts() {
         let (d, inputs) = deployment();
         let c = default_coordinator().unwrap();
-        c.fund("watchtower", 1_000.0);
+        c.fund("watchtower", 1_000);
         let coord = SharedCoordinator::new(c);
         // Collusion: a perturbed claim challenged by the partner, which
         // immediately abandons the dispute.
@@ -857,15 +871,15 @@ mod tests {
             }
         ));
         // The watchtower profits; the deserting colluder's deposit burned.
-        assert!(coord.balance("watchtower") > 1_000.0);
+        assert!(coord.balance("watchtower") > Money::from_credits(1_000));
         let colluder_total =
             coord.balance("challenger") + coord.coordinator().escrowed("challenger");
         assert!(
-            colluder_total < 1_000.0 - 1e-9,
+            colluder_total < Money::from_credits(1_000),
             "deserter kept {colluder_total}"
         );
         let ledger = coord.coordinator().ledger();
-        assert!((ledger.total_value() - ledger.injected()).abs() < 1e-9);
+        assert_eq!(ledger.total_value(), ledger.injected());
     }
 
     #[test]

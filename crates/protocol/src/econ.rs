@@ -1,6 +1,14 @@
 //! Economic soundness and incentives (§5.5, Eq. 16–25), and the sharded
 //! account [`Ledger`] that moves the money.
 //!
+//! Incentive analysis ([`EconParams`]) stays in f64 — the paper's
+//! utility formulas are real-valued and never touch the ledger. The
+//! *amounts* the protocol actually moves are derived once, exactly, into
+//! an [`EconAmounts`] ([`Money`] deposits/fees plus [`Ppm`] split rates)
+//! and all ledger arithmetic from that point on is exact i128
+//! fixed-point: see the `tao-money` crate docs for the scale and the
+//! rounding policy.
+//!
 //! The ledger shards accounts over [`ACCOUNT_SHARDS`] independent locks so
 //! bond operations on unrelated accounts never contend. Operations that
 //! touch two accounts ([`Ledger::transfer`], [`Ledger::escrow_transfer`])
@@ -13,6 +21,9 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
+use tao_money::{Money, Ppm};
+
+use crate::error::ProtocolError;
 
 /// Parameters of the fee-and-deposit mechanism.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +173,55 @@ impl EconParams {
             None => false,
         }
     }
+
+    /// The exact ledger amounts these parameters imply: the one
+    /// sanctioned f64 → [`Money`] conversion, performed once per
+    /// coordinator at construction. `None` when any amount is
+    /// non-finite, negative, or out of range, or when the split shares
+    /// exceed 100%.
+    pub fn amounts(&self) -> Option<EconAmounts> {
+        let d_p = Money::from_f64(self.d_p)?;
+        let d_ch = Money::from_f64(self.d_ch)?;
+        let r_p = Money::from_f64(self.r_p)?;
+        let committee_fee = Money::from_f64(self.committee_fee)?;
+        if d_p < Money::ZERO || d_ch < Money::ZERO || r_p < Money::ZERO
+            || committee_fee < Money::ZERO
+        {
+            return None;
+        }
+        let alpha_ch = Ppm::from_fraction(self.alpha_ch)?;
+        let alpha_cm = Ppm::from_fraction(self.alpha_cm)?;
+        if alpha_ch.0 as u64 + alpha_cm.0 as u64 > 1_000_000 {
+            return None;
+        }
+        Some(EconAmounts {
+            d_p,
+            d_ch,
+            r_p,
+            committee_fee,
+            alpha_ch,
+            alpha_cm,
+        })
+    }
+}
+
+/// The exact fixed-point amounts the coordinator moves: every ledger
+/// operation draws from these, never from the f64 [`EconParams`].
+/// Derived once by [`EconParams::amounts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EconAmounts {
+    /// Proposer deposit `D_p`.
+    pub d_p: Money,
+    /// Challenger deposit `D_ch`.
+    pub d_ch: Money,
+    /// Task reward `R_p`.
+    pub r_p: Money,
+    /// Per-member committee fee `F_i`.
+    pub committee_fee: Money,
+    /// Challenger share of the slash `α_ch`.
+    pub alpha_ch: Ppm,
+    /// Committee share of the slash `α_cm`.
+    pub alpha_cm: Ppm,
 }
 
 /// Default number of account shards. The shard count is runtime
@@ -170,10 +230,10 @@ impl EconParams {
 pub const ACCOUNT_SHARDS: usize = 16;
 
 /// One account's funds: the free balance and the escrowed bonds.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Account {
-    balance: f64,
-    escrow: f64,
+    balance: Money,
+    escrow: Money,
 }
 
 /// A sharded account ledger: balances and escrow split over
@@ -184,15 +244,15 @@ struct Account {
 /// Every operation conserves `Σ balances + Σ escrow` against the running
 /// [`injected`](Ledger::injected) supply counter: mints add to it, burns
 /// subtract from it, and transfers/reservations/releases leave it
-/// untouched. At any quiescent point (no operation in flight),
-/// [`total_value`](Ledger::total_value) equals `injected()` up to f64
-/// summation rounding — the conservation invariant the concurrency tests
-/// assert after every phase.
+/// untouched. Because balances are exact integers, at any quiescent
+/// point (no operation in flight) [`total_value`](Ledger::total_value)
+/// equals `injected()` **exactly** — the conservation invariant the
+/// concurrency tests assert with `==` after every phase.
 #[derive(Debug)]
 pub struct Ledger {
     shards: Vec<Mutex<HashMap<String, Account>>>,
     /// Net value injected from outside (mints minus burns).
-    supply: Mutex<f64>,
+    supply: Mutex<Money>,
 }
 
 impl Default for Ledger {
@@ -215,7 +275,7 @@ impl Ledger {
         let shards = shards.max(1).next_power_of_two();
         Ledger {
             shards: (0..shards).map(|_| Mutex::default()).collect(),
-            supply: Mutex::new(0.0),
+            supply: Mutex::new(Money::ZERO),
         }
     }
 
@@ -238,8 +298,8 @@ impl Ledger {
 
     /// Credits an account with freshly injected value (external funding or
     /// a protocol reward).
-    pub fn mint(&self, account: &str, amount: f64) {
-        if amount == 0.0 {
+    pub fn mint(&self, account: &str, amount: Money) {
+        if amount.is_zero() {
             return;
         }
         self.shards[self.shard_of(account)]
@@ -251,19 +311,19 @@ impl Ledger {
     }
 
     /// Free (non-escrowed) balance of an account.
-    pub fn balance(&self, account: &str) -> f64 {
+    pub fn balance(&self, account: &str) -> Money {
         self.shards[self.shard_of(account)]
             .lock()
             .get(account)
-            .map_or(0.0, |a| a.balance)
+            .map_or(Money::ZERO, |a| a.balance)
     }
 
     /// Escrowed balance of an account.
-    pub fn escrowed(&self, account: &str) -> f64 {
+    pub fn escrowed(&self, account: &str) -> Money {
         self.shards[self.shard_of(account)]
             .lock()
             .get(account)
-            .map_or(0.0, |a| a.escrow)
+            .map_or(Money::ZERO, |a| a.escrow)
     }
 
     /// Reserves a deposit: moves `amount` from the free balance into
@@ -271,13 +331,18 @@ impl Ledger {
     ///
     /// # Errors
     ///
-    /// Returns the available balance when it is below `amount`; nothing
-    /// moves in that case.
-    pub fn reserve(&self, account: &str, amount: f64) -> Result<(), f64> {
+    /// [`ProtocolError::InsufficientFunds`] naming the account, the
+    /// requested amount and the available balance when the balance is
+    /// below `amount`; nothing moves in that case.
+    pub fn reserve(&self, account: &str, amount: Money) -> Result<(), ProtocolError> {
         let mut shard = self.shards[self.shard_of(account)].lock();
         let acct = shard.entry(account.to_string()).or_default();
         if acct.balance < amount {
-            return Err(acct.balance);
+            return Err(ProtocolError::InsufficientFunds {
+                account: account.to_string(),
+                needed: amount,
+                available: acct.balance,
+            });
         }
         acct.balance -= amount;
         acct.escrow += amount;
@@ -286,10 +351,10 @@ impl Ledger {
 
     /// Releases up to `amount` from escrow back to the free balance;
     /// returns how much actually moved (clamped to the escrowed funds).
-    pub fn release(&self, account: &str, amount: f64) -> f64 {
+    pub fn release(&self, account: &str, amount: Money) -> Money {
         let mut shard = self.shards[self.shard_of(account)].lock();
         let acct = shard.entry(account.to_string()).or_default();
-        let moved = amount.min(acct.escrow).max(0.0);
+        let moved = amount.min(acct.escrow).max(Money::ZERO);
         acct.escrow -= moved;
         acct.balance += moved;
         moved
@@ -297,15 +362,15 @@ impl Ledger {
 
     /// Destroys up to `amount` of escrowed funds (a slash burn); returns
     /// how much was actually burned.
-    pub fn burn_escrow(&self, account: &str, amount: f64) -> f64 {
+    pub fn burn_escrow(&self, account: &str, amount: Money) -> Money {
         let burned = {
             let mut shard = self.shards[self.shard_of(account)].lock();
             let acct = shard.entry(account.to_string()).or_default();
-            let burned = amount.min(acct.escrow).max(0.0);
+            let burned = amount.min(acct.escrow).max(Money::ZERO);
             acct.escrow -= burned;
             burned
         };
-        if burned != 0.0 {
+        if !burned.is_zero() {
             *self.supply.lock() -= burned;
         }
         burned
@@ -318,16 +383,28 @@ impl Ledger {
     ///
     /// # Errors
     ///
-    /// Returns `from`'s available balance when it is below `amount`;
-    /// nothing moves in that case.
-    pub fn transfer(&self, from: &str, to: &str, amount: f64) -> Result<(), f64> {
+    /// [`ProtocolError::InsufficientFunds`] when `from`'s balance is
+    /// below `amount`; nothing moves in that case.
+    pub fn transfer(&self, from: &str, to: &str, amount: Money) -> Result<(), ProtocolError> {
         if from == to {
             let balance = self.balance(from);
-            return if balance < amount { Err(balance) } else { Ok(()) };
+            return if balance < amount {
+                Err(ProtocolError::InsufficientFunds {
+                    account: from.to_string(),
+                    needed: amount,
+                    available: balance,
+                })
+            } else {
+                Ok(())
+            };
         }
         self.with_pair(from, to, |a, b| {
             if a.balance < amount {
-                return Err(a.balance);
+                return Err(ProtocolError::InsufficientFunds {
+                    account: from.to_string(),
+                    needed: amount,
+                    available: a.balance,
+                });
             }
             a.balance -= amount;
             b.balance += amount;
@@ -339,12 +416,12 @@ impl Ledger {
     /// `to`'s free balance (a forfeiture or slash share), with the same
     /// ascending lock order as [`transfer`](Self::transfer). Returns how
     /// much moved.
-    pub fn escrow_transfer(&self, from: &str, to: &str, amount: f64) -> f64 {
+    pub fn escrow_transfer(&self, from: &str, to: &str, amount: Money) -> Money {
         if from == to {
             return self.release(from, amount);
         }
         self.with_pair(from, to, |a, b| {
-            let moved = amount.min(a.escrow).max(0.0);
+            let moved = amount.min(a.escrow).max(Money::ZERO);
             a.escrow -= moved;
             b.balance += moved;
             moved
@@ -382,21 +459,25 @@ impl Ledger {
     }
 
     /// Net value injected from outside (mints minus burns).
-    pub fn injected(&self) -> f64 {
+    pub fn injected(&self) -> Money {
         *self.supply.lock()
     }
 
-    /// `Σ balances + Σ escrow` over every account, summed in
-    /// deterministic (sorted-account) order. Only meaningful at quiescent
-    /// points: the shard locks are taken one at a time, not all at once.
-    pub fn total_value(&self) -> f64 {
-        let mut entries: Vec<(String, f64)> = Vec::new();
-        for shard in &self.shards {
-            let shard = shard.lock();
-            entries.extend(shard.iter().map(|(k, a)| (k.clone(), a.balance + a.escrow)));
-        }
-        entries.sort_by(|x, y| x.0.cmp(&y.0));
-        entries.into_iter().map(|(_, v)| v).sum()
+    /// `Σ balances + Σ escrow` over every account. Integer addition is
+    /// associative, so no summation order is imposed. Only meaningful at
+    /// quiescent points: the shard locks are taken one at a time, not
+    /// all at once.
+    pub fn total_value(&self) -> Money {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .values()
+                    .map(|a| a.balance + a.escrow)
+                    .sum::<Money>()
+            })
+            .sum()
     }
 
     /// Every account name the ledger has seen, sorted.
@@ -423,6 +504,10 @@ impl Clone for Ledger {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn m(credits: i64) -> Money {
+        Money::from_credits(credits)
+    }
 
     #[test]
     fn detection_prob_formula() {
@@ -494,50 +579,86 @@ mod tests {
     }
 
     #[test]
+    fn amounts_derive_exactly_from_default_market() {
+        let a = EconParams::default_market().amounts().expect("finite params");
+        assert_eq!(a.d_p, m(500));
+        assert_eq!(a.d_ch, m(50));
+        assert_eq!(a.r_p, m(15));
+        assert_eq!(a.committee_fee, m(2));
+        assert_eq!(a.alpha_ch, Ppm(500_000));
+        assert_eq!(a.alpha_cm, Ppm(300_000));
+    }
+
+    #[test]
+    fn amounts_reject_bad_parameterizations() {
+        let p = EconParams::default_market();
+        assert!(EconParams { d_p: f64::NAN, ..p }.amounts().is_none());
+        assert!(EconParams { d_ch: -1.0, ..p }.amounts().is_none());
+        // Shares summing past 100% would make the burn negative.
+        assert!(EconParams { alpha_ch: 0.7, alpha_cm: 0.4, ..p }.amounts().is_none());
+    }
+
+    #[test]
     fn ledger_roundtrip_conserves_value() {
         let l = Ledger::new();
-        l.mint("a", 100.0);
-        l.mint("b", 50.0);
-        assert_eq!(l.balance("a"), 100.0);
-        l.reserve("a", 30.0).unwrap();
-        assert_eq!(l.balance("a"), 70.0);
-        assert_eq!(l.escrowed("a"), 30.0);
-        assert_eq!(l.reserve("b", 51.0).unwrap_err(), 50.0);
-        assert_eq!(l.release("a", 10.0), 10.0);
-        assert_eq!(l.release("a", 1_000.0), 20.0, "release clamps to escrow");
-        assert!((l.total_value() - l.injected()).abs() < 1e-12);
-        assert_eq!(l.injected(), 150.0);
+        l.mint("a", m(100));
+        l.mint("b", m(50));
+        assert_eq!(l.balance("a"), m(100));
+        l.reserve("a", m(30)).unwrap();
+        assert_eq!(l.balance("a"), m(70));
+        assert_eq!(l.escrowed("a"), m(30));
+        // Satellite 1: the failure is a typed error naming the account,
+        // the requirement, and the shortfall — not a bare f64.
+        match l.reserve("b", m(51)).unwrap_err() {
+            ProtocolError::InsufficientFunds { account, needed, available } => {
+                assert_eq!(account, "b");
+                assert_eq!(needed, m(51));
+                assert_eq!(available, m(50));
+            }
+            other => panic!("expected InsufficientFunds, got {other:?}"),
+        }
+        assert_eq!(l.release("a", m(10)), m(10));
+        assert_eq!(l.release("a", m(1_000)), m(20), "release clamps to escrow");
+        assert_eq!(l.total_value(), l.injected());
+        assert_eq!(l.injected(), m(150));
     }
 
     #[test]
     fn ledger_burn_reduces_supply() {
         let l = Ledger::new();
-        l.mint("a", 100.0);
-        l.reserve("a", 60.0).unwrap();
-        assert_eq!(l.burn_escrow("a", 45.0), 45.0);
-        assert_eq!(l.burn_escrow("a", 45.0), 15.0, "burn clamps to escrow");
-        assert_eq!(l.injected(), 40.0);
-        assert!((l.total_value() - l.injected()).abs() < 1e-12);
+        l.mint("a", m(100));
+        l.reserve("a", m(60)).unwrap();
+        assert_eq!(l.burn_escrow("a", m(45)), m(45));
+        assert_eq!(l.burn_escrow("a", m(45)), m(15), "burn clamps to escrow");
+        assert_eq!(l.injected(), m(40));
+        assert_eq!(l.total_value(), l.injected());
     }
 
     #[test]
     fn ledger_transfers_are_atomic_and_conserving() {
         let l = Ledger::new();
-        l.mint("a", 100.0);
-        l.mint("b", 10.0);
-        l.transfer("a", "b", 25.0).unwrap();
-        assert_eq!(l.balance("a"), 75.0);
-        assert_eq!(l.balance("b"), 35.0);
-        assert_eq!(l.transfer("a", "b", 80.0).unwrap_err(), 75.0);
-        l.reserve("a", 50.0).unwrap();
-        assert_eq!(l.escrow_transfer("a", "b", 30.0), 30.0);
-        assert_eq!(l.escrow_transfer("a", "b", 30.0), 20.0, "clamped");
-        assert_eq!(l.escrowed("a"), 0.0);
-        assert_eq!(l.balance("b"), 85.0);
+        l.mint("a", m(100));
+        l.mint("b", m(10));
+        l.transfer("a", "b", m(25)).unwrap();
+        assert_eq!(l.balance("a"), m(75));
+        assert_eq!(l.balance("b"), m(35));
+        match l.transfer("a", "b", m(80)).unwrap_err() {
+            ProtocolError::InsufficientFunds { account, needed, available } => {
+                assert_eq!(account, "a");
+                assert_eq!(needed, m(80));
+                assert_eq!(available, m(75));
+            }
+            other => panic!("expected InsufficientFunds, got {other:?}"),
+        }
+        l.reserve("a", m(50)).unwrap();
+        assert_eq!(l.escrow_transfer("a", "b", m(30)), m(30));
+        assert_eq!(l.escrow_transfer("a", "b", m(30)), m(20), "clamped");
+        assert_eq!(l.escrowed("a"), Money::ZERO);
+        assert_eq!(l.balance("b"), m(85));
         // Self-transfers are no-ops on the balance.
-        l.transfer("a", "a", 5.0).unwrap();
-        assert_eq!(l.balance("a"), 25.0);
-        assert!((l.total_value() - l.injected()).abs() < 1e-12);
+        l.transfer("a", "a", m(5)).unwrap();
+        assert_eq!(l.balance("a"), m(25));
+        assert_eq!(l.total_value(), l.injected());
     }
 
     #[test]
@@ -555,10 +676,10 @@ mod tests {
             }
         }
         let b = b.expect("a colliding account exists");
-        l.mint(&a, 10.0);
-        l.transfer(&a, &b, 4.0).unwrap();
-        assert_eq!(l.balance(&a), 6.0);
-        assert_eq!(l.balance(&b), 4.0);
+        l.mint(&a, m(10));
+        l.transfer(&a, &b, m(4)).unwrap();
+        assert_eq!(l.balance(&a), m(6));
+        assert_eq!(l.balance(&b), m(4));
     }
 
     #[test]
@@ -568,7 +689,7 @@ mod tests {
         // update or deadlock shows up as a balance mismatch or a hang.
         let l = std::sync::Arc::new(Ledger::new());
         for acct in ["x", "y", "z"] {
-            l.mint(acct, 1_000.0);
+            l.mint(acct, m(1_000));
         }
         std::thread::scope(|scope| {
             for t in 0..8 {
@@ -576,22 +697,21 @@ mod tests {
                 scope.spawn(move || {
                     for _ in 0..500 {
                         if t % 2 == 0 {
-                            l.transfer("x", "y", 1.0).unwrap();
-                            l.transfer("y", "z", 1.0).unwrap();
-                            l.transfer("z", "x", 1.0).unwrap();
+                            l.transfer("x", "y", m(1)).unwrap();
+                            l.transfer("y", "z", m(1)).unwrap();
+                            l.transfer("z", "x", m(1)).unwrap();
                         } else {
-                            l.transfer("z", "y", 1.0).unwrap();
-                            l.transfer("y", "x", 1.0).unwrap();
-                            l.transfer("x", "z", 1.0).unwrap();
+                            l.transfer("z", "y", m(1)).unwrap();
+                            l.transfer("y", "x", m(1)).unwrap();
+                            l.transfer("x", "z", m(1)).unwrap();
                         }
                     }
                 });
             }
         });
-        // Integer-valued f64 arithmetic in this range is exact.
-        assert_eq!(l.balance("x"), 1_000.0);
-        assert_eq!(l.balance("y"), 1_000.0);
-        assert_eq!(l.balance("z"), 1_000.0);
-        assert_eq!(l.injected(), 3_000.0);
+        assert_eq!(l.balance("x"), m(1_000));
+        assert_eq!(l.balance("y"), m(1_000));
+        assert_eq!(l.balance("z"), m(1_000));
+        assert_eq!(l.injected(), m(3_000));
     }
 }

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use tao_money::Money;
+
 /// Errors from the coordinator, dispute game, and adjudication.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolError {
@@ -9,14 +11,15 @@ pub enum ProtocolError {
     UnknownClaim(u64),
     /// Action invalid in the claim's current state.
     BadState(String),
-    /// Account balance insufficient for the required deposit.
+    /// Account balance insufficient for the required deposit; amounts
+    /// are exact [`Money`].
     InsufficientFunds {
         /// Account name.
         account: String,
         /// Required amount.
-        needed: f64,
+        needed: Money,
         /// Available amount.
-        available: f64,
+        available: Money,
     },
     /// Challenge arrived after the window closed.
     WindowClosed {

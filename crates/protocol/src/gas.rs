@@ -22,13 +22,46 @@ pub const G_HASH_WORD: u64 = 60;
 /// compact inclusion-proof segment (bytes of calldata).
 pub const CHILD_RECORD_BYTES: u64 = 900;
 
+use tao_money::Money;
+
+/// One metered protocol action: what happened, to which claim, in what
+/// per-claim order, for how much gas, and how much money it moved.
+///
+/// `(claim, seq)` is the canonical sort key: `seq` is allocated from the
+/// claim's own monotone counter **under the claim's shard lock**, so the
+/// canonical order of a claim's events is fixed by protocol causality no
+/// matter how settle threads interleave their meter appends. Events with
+/// `claim: None` belong to the coordinator lane (model registration,
+/// dispute-game metering) and keep a meter-local sequence; the
+/// coordinator only emits them from serial phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GasEvent {
+    /// The claim this event belongs to; `None` for coordinator-lane
+    /// actions not tied to any claim.
+    pub claim: Option<u64>,
+    /// Monotone per-claim (or per-lane) sequence number.
+    pub seq: u32,
+    /// Action mnemonic (`"commit_claim"`, `"settle"`, …).
+    pub action: String,
+    /// Gas consumed.
+    pub gas: u64,
+    /// The characteristic money amount of the action (deposit reserved,
+    /// amount slashed, reward minted, …); [`Money::ZERO`] for pure-gas
+    /// actions.
+    pub amount: Money,
+}
+
 /// A metered ledger of gas spent, by action.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GasMeter {
     /// Total gas consumed.
     pub total: u64,
-    /// Itemized `(action, gas)` log in execution order.
-    pub log: Vec<(String, u64)>,
+    /// Itemized event log in meter-append order. Append order is *not*
+    /// deterministic under parallel settlement — canonicalize with
+    /// [`crate::epoch::canonical_log`] before comparing or committing.
+    pub log: Vec<GasEvent>,
+    /// Next coordinator-lane sequence number (events with `claim: None`).
+    lane_seq: u32,
 }
 
 impl GasMeter {
@@ -37,10 +70,39 @@ impl GasMeter {
         Self::default()
     }
 
-    /// Records an action.
+    /// Records a coordinator-lane action (no claim, no money moved).
     pub fn charge(&mut self, action: impl Into<String>, gas: u64) {
+        let seq = self.lane_seq;
+        self.lane_seq += 1;
         self.total += gas;
-        self.log.push((action.into(), gas));
+        self.log.push(GasEvent {
+            claim: None,
+            seq,
+            action: action.into(),
+            gas,
+            amount: Money::ZERO,
+        });
+    }
+
+    /// Records a claim-scoped action. `seq` must come from the claim's
+    /// own monotone counter (allocated under the claim's shard lock);
+    /// the meter itself imposes no ordering.
+    pub fn charge_claim(
+        &mut self,
+        claim: u64,
+        seq: u32,
+        action: impl Into<String>,
+        gas: u64,
+        amount: Money,
+    ) {
+        self.total += gas;
+        self.log.push(GasEvent {
+            claim: Some(claim),
+            seq,
+            action: action.into(),
+            gas,
+            amount,
+        });
     }
 
     /// Gas in thousands (the paper reports kgas).
@@ -104,6 +166,21 @@ mod tests {
         assert_eq!(m.total, 150);
         assert_eq!(m.log.len(), 2);
         assert!((m.kgas() - 0.15).abs() < 1e-12);
+        // Lane events get their own monotone sequence.
+        assert_eq!(m.log[0].seq, 0);
+        assert_eq!(m.log[1].seq, 1);
+        assert_eq!(m.log[1].claim, None);
+    }
+
+    #[test]
+    fn claim_events_carry_their_key_and_amount() {
+        let mut m = GasMeter::new();
+        m.charge_claim(7, 0, "commit_claim", 100, Money::from_credits(500));
+        m.charge_claim(7, 1, "settle", 50, Money::from_credits(120));
+        assert_eq!(m.total, 150);
+        assert_eq!(m.log[0].claim, Some(7));
+        assert_eq!(m.log[1].seq, 1);
+        assert_eq!(m.log[1].amount, Money::from_credits(120));
     }
 
     #[test]

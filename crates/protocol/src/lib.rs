@@ -13,6 +13,7 @@ pub mod adjudicate;
 pub mod coordinator;
 pub mod dispute;
 pub mod econ;
+pub mod epoch;
 pub mod error;
 pub mod gas;
 pub mod par;
@@ -33,9 +34,11 @@ pub use dispute::{
     run_dispute, ChallengerView, DisputeAnchors, DisputeConfig, DisputeOutcome, DisputeResult,
     ProposerView, RoundStats,
 };
-pub use econ::{EconParams, Ledger, ACCOUNT_SHARDS};
+pub use econ::{EconAmounts, EconParams, Ledger, ACCOUNT_SHARDS};
+pub use epoch::{canonical_log, encode_event, encode_log, epoch_root, log_csv, EpochCommitment};
 pub use error::ProtocolError;
-pub use gas::GasMeter;
+pub use gas::{GasEvent, GasMeter};
+pub use tao_money::{Money, Ppm};
 pub use par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
 pub use record::{make_record, make_record_with, verify_record, SubgraphRecord, TraceDigestCache};
 pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};

@@ -39,8 +39,8 @@ fn main() {
     let coordinator = Coordinator::new(econ, slash).expect("feasible");
     // Concurrent sessions escrow all their deposits at once, so accounts
     // are funded for the whole batch up front.
-    coordinator.fund("proposer", 50_000.0);
-    coordinator.fund("challenger", 5_000.0);
+    coordinator.fund("proposer", 50_000);
+    coordinator.fund("challenger", 5_000);
     let coordinator = SharedCoordinator::new(coordinator);
 
     // Draw the job stream first (same RNG sequence as the old serial
@@ -119,7 +119,7 @@ fn main() {
          {caught}/{cheated} cheats caught"
     );
     println!(
-        "balances: proposer {:.1}, challenger {:.1}, committee pool {:.1}",
+        "balances: proposer {}, challenger {}, committee pool {}",
         coordinator.balance("proposer"),
         coordinator.balance("challenger"),
         coordinator.balance("committee-pool"),
@@ -129,11 +129,12 @@ fn main() {
         coordinator.lock().gas().kgas()
     );
     assert_eq!(caught, cheated, "every cheat must be caught");
-    // Value conservation: whatever the settlement interleaving, the ledger
-    // balances out against its injected supply.
+    // Value conservation: whatever the settlement interleaving, the
+    // fixed-point ledger balances out against its injected supply exactly.
     let ledger = coordinator.lock().ledger();
-    assert!(
-        (ledger.total_value() - ledger.injected()).abs() < 1e-9,
+    assert_eq!(
+        ledger.total_value(),
+        ledger.injected(),
         "ledger conservation violated"
     );
 }

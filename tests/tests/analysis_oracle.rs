@@ -110,7 +110,7 @@ fn static_report_matches_measured_execution_on_every_bundled_model() {
         let report = assert_static_matches_measured(&model.graph, &inputs, name);
         assert!(report.total_flops() > 0, "{name}: zero-cost model");
         assert!(
-            report.deposit_bound > 0.0,
+            report.deposit_bound > tao_protocol::Money::ZERO,
             "{name}: deposit bound must scale with work"
         );
     }

@@ -70,8 +70,8 @@ fn campaign_floors_hold_with_smoothed_estimator_committed() {
 }
 
 /// Same seed, any worker count: claim ids, statuses, winners, screening
-/// exceedances and challenge decisions replay bit-identically; balances
-/// agree to the f64-reassociation tolerance of parallel settlement.
+/// exceedances and challenge decisions replay bit-identically, and the
+/// fixed-point ledger makes every balance bit-exact too — no tolerance.
 #[test]
 fn campaign_replays_identically_from_the_same_seed() {
     let runs: Vec<_> = worker_counts()
@@ -107,10 +107,9 @@ fn campaign_replays_identically_from_the_same_seed() {
             r.wealth.keys().collect::<Vec<_>>()
         );
         for (account, w) in &base.wealth {
-            let other = r.wealth[account];
-            assert!(
-                (w - other).abs() <= 1e-9 * w.abs().max(1.0),
-                "{account}: {w} vs {other}"
+            assert_eq!(
+                *w, r.wealth[account],
+                "{account}: wealth must replay bit-exactly"
             );
         }
     }
@@ -146,10 +145,10 @@ proptest! {
             });
             prop_assert_eq!(report.epochs.len(), 2);
             for e in &report.epochs {
-                prop_assert!(
-                    e.conservation_err <= 1e-9,
-                    "conservation broke at epoch {} ({} workers): {}",
-                    e.epoch, workers, e.conservation_err
+                prop_assert_eq!(
+                    e.conservation_err_units, 0,
+                    "conservation broke at epoch {} ({} workers): {} units",
+                    e.epoch, workers, e.conservation_err_units
                 );
             }
             report.assert_floors();

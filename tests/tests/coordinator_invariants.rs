@@ -1,12 +1,14 @@
 //! Differential concurrency invariants for the sharded coordinator.
 //!
-//! The hard contract of the sharding PR: for any batch of sessions, the
-//! sharded coordinator driven **in parallel** is observationally
-//! equivalent to the pre-sharding single-mutex arbiter
-//! ([`SerialCoordinator`]) driven **serially** — same claim statuses,
-//! same winners, same final balances and escrow — and the ledger
-//! conserves value (`Σ balances + Σ escrow == injected supply`) at every
-//! phase boundary.
+//! The hard contract of the sharding PR, tightened by the fixed-point
+//! money PR: for any batch of sessions, the sharded coordinator driven
+//! **in parallel** is observationally equivalent to the pre-sharding
+//! single-mutex arbiter ([`SerialCoordinator`]) driven **serially** —
+//! same claim statuses, same winners, **bit-exact** final balances and
+//! escrow (`==`, no tolerance anywhere), the same canonical gas log to
+//! the byte, and the same per-epoch settlement Merkle root — and the
+//! ledger conserves value (`Σ balances + Σ escrow == injected supply`)
+//! **exactly** at every phase boundary.
 //!
 //! Sessions here are protocol-level abstractions (the expensive
 //! model-level flags/winners equivalence lives in
@@ -21,7 +23,8 @@
 //! Worker counts are forced via `TAO_TEST_WORKERS` (CI runs 2, 8 and 32
 //! as a fail-fast step); without it every count is swept. A 60 s
 //! watchdog turns any shard-lock deadlock into a test failure instead of
-//! a hang.
+//! a hang. Set `TAO_EPOCH_CSV` to a path to export the canonical epoch
+//! log as CSV (the artifact CI uploads).
 
 mod common;
 
@@ -32,7 +35,10 @@ use common::{
     COMMITTEE, WINDOW,
 };
 use proptest::prelude::*;
-use tao_protocol::{parallel_map, ClaimStatus, Coordinator, Party, SerialCoordinator};
+use tao_protocol::{
+    canonical_log, encode_log, epoch_root, parallel_map, ClaimStatus, Coordinator, Money, Party,
+    SerialCoordinator,
+};
 
 const PROPOSERS: [&str; 4] = ["alice", "bob", "carol", "dave"];
 const CHALLENGERS: [&str; 3] = ["eve", "frank", "grace"];
@@ -75,22 +81,22 @@ fn decode(code: usize) -> Spec {
 
 fn fund_serial(c: &mut SerialCoordinator) {
     for p in PROPOSERS {
-        c.fund(p, 20_000.0);
+        c.fund(p, 20_000);
     }
     for ch in CHALLENGERS {
-        c.fund(ch, 10_000.0);
+        c.fund(ch, 10_000);
     }
-    c.fund(PAUPER, 1.0);
+    c.fund(PAUPER, 1);
 }
 
 fn fund_sharded(c: &Coordinator) {
     for p in PROPOSERS {
-        c.fund(p, 20_000.0);
+        c.fund(p, 20_000);
     }
     for ch in CHALLENGERS {
-        c.fund(ch, 10_000.0);
+        c.fund(ch, 10_000);
     }
-    c.fund(PAUPER, 1.0);
+    c.fund(PAUPER, 1);
 }
 
 fn commitment(i: usize) -> tao_merkle::Digest {
@@ -164,9 +170,11 @@ fn run_sharded_parallel(
             (s, id)
         });
         // Phase boundary: every deposit escrowed, nothing settled yet.
+        // The fixed-point ledger conserves exactly — no tolerance.
         let ledger = coordinator.ledger();
-        assert!(
-            (ledger.total_value() - ledger.injected()).abs() < 1e-7,
+        assert_eq!(
+            ledger.total_value(),
+            ledger.injected(),
             "conservation violated after the challenge phase"
         );
         let coord = coordinator.clone();
@@ -189,8 +197,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Random mixed batches: sharded-parallel ≡ single-mutex-serial on
-    /// statuses, winners, balances and escrow, at every forced worker
-    /// count, with value conserved at phase boundaries.
+    /// statuses, winners, balances, escrow, canonical gas logs and epoch
+    /// roots — all bit-exact — at every forced worker count, with value
+    /// conserved exactly at phase boundaries.
     #[test]
     fn sharded_parallel_is_equivalent_to_single_mutex_serial(
         codes in prop::collection::vec(0usize..48, 1..25),
@@ -201,6 +210,7 @@ proptest! {
         let mut oracle = SerialCoordinator::new(econ, slash).unwrap();
         fund_serial(&mut oracle);
         let serial_ids = run_serial_oracle(&specs, &mut oracle);
+        let serial_log = canonical_log(&oracle.gas);
 
         for workers in worker_counts() {
             let coordinator = Arc::new(Coordinator::new(econ, slash).unwrap());
@@ -229,23 +239,35 @@ proptest! {
                 );
             }
             for account in accounts() {
-                let (serial, sharded) = (oracle.balance(account), coordinator.balance(account));
-                prop_assert!(
-                    (serial - sharded).abs() < 1e-7,
-                    "{account} balance: serial {serial} vs sharded {sharded} ({workers} workers)"
+                prop_assert_eq!(
+                    oracle.balance(account),
+                    coordinator.balance(account),
+                    "{account} balance: serial vs sharded ({workers} workers)"
                 );
-                let (serial, sharded) = (oracle.escrowed(account), coordinator.escrowed(account));
-                prop_assert!(
-                    (serial - sharded).abs() < 1e-7,
-                    "{account} escrow: serial {serial} vs sharded {sharded} ({workers} workers)"
+                prop_assert_eq!(
+                    oracle.escrowed(account),
+                    coordinator.escrowed(account),
+                    "{account} escrow: serial vs sharded ({workers} workers)"
                 );
             }
             let ledger = coordinator.ledger();
-            prop_assert!(
-                (ledger.total_value() - ledger.injected()).abs() < 1e-7,
-                "conservation after settlement: value {} vs injected {}",
+            prop_assert_eq!(
                 ledger.total_value(),
-                ledger.injected()
+                ledger.injected(),
+                "conservation after settlement"
+            );
+            // The canonical settlement+gas log is byte-identical to the
+            // serial oracle's, and so is its Merkle commitment.
+            let sharded_log = canonical_log(&coordinator.gas());
+            prop_assert_eq!(
+                encode_log(&serial_log),
+                encode_log(&sharded_log),
+                "canonical log bytes diverged ({workers} workers)"
+            );
+            prop_assert_eq!(
+                epoch_root(&serial_log),
+                epoch_root(&sharded_log),
+                "epoch root diverged ({workers} workers)"
             );
         }
     }
@@ -254,7 +276,8 @@ proptest! {
 /// Shard counts are runtime-configurable (PR 4 leftover): a 1-shard
 /// coordinator — the serial single-lock layout — and a 64-shard one must
 /// both be observationally equivalent to the serial oracle on a fixed
-/// mixed batch at every forced worker count.
+/// mixed batch at every forced worker count. Bit-exact, like everything
+/// else in this suite.
 #[test]
 fn shard_count_sweep_is_serial_equivalent() {
     let specs: Vec<Spec> = (0..48).map(decode).collect();
@@ -277,20 +300,69 @@ fn shard_count_sweep_is_serial_equivalent() {
                 );
             }
             for account in accounts() {
-                assert!(
-                    (oracle.balance(account) - coordinator.balance(account)).abs() < 1e-7,
+                assert_eq!(
+                    oracle.balance(account),
+                    coordinator.balance(account),
                     "{shards} shards, {workers} workers: {account} balance"
                 );
-                assert!(
-                    (oracle.escrowed(account) - coordinator.escrowed(account)).abs() < 1e-7,
+                assert_eq!(
+                    oracle.escrowed(account),
+                    coordinator.escrowed(account),
                     "{shards} shards, {workers} workers: {account} escrow"
                 );
             }
             let ledger = coordinator.ledger();
-            assert!(
-                (ledger.total_value() - ledger.injected()).abs() < 1e-7,
+            assert_eq!(
+                ledger.total_value(),
+                ledger.injected(),
                 "{shards} shards, {workers} workers: conservation"
             );
+        }
+    }
+}
+
+/// Satellite determinism check for the epoch commitment layer: the same
+/// fixed mixed batch driven at 2, 8 and 32 workers (and serially through
+/// the oracle) produces byte-identical canonical log encodings and the
+/// **identical** sealed epoch Merkle root. When `TAO_EPOCH_CSV` is set,
+/// the canonical epoch log is exported as CSV — the artifact CI uploads.
+#[test]
+fn epoch_root_is_identical_across_worker_counts() {
+    let specs: Vec<Spec> = (0..48).map(decode).collect();
+    let (econ, slash) = econ_and_slash();
+    let mut oracle = SerialCoordinator::new(econ, slash).unwrap();
+    fund_serial(&mut oracle);
+    run_serial_oracle(&specs, &mut oracle);
+    let serial_epoch = oracle.seal_epoch();
+    assert!(
+        !serial_epoch.entries.is_empty(),
+        "the batch must log gas events"
+    );
+
+    let mut roots = vec![serial_epoch.root];
+    for workers in [2usize, 8, 32] {
+        let coordinator = Arc::new(Coordinator::new(econ, slash).unwrap());
+        fund_sharded(&coordinator);
+        run_sharded_parallel(specs.clone(), coordinator.clone(), workers);
+        let epoch = coordinator.seal_epoch();
+        assert_eq!(
+            encode_log(&serial_epoch.entries),
+            encode_log(&epoch.entries),
+            "canonical log bytes diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_epoch.root, epoch.root,
+            "epoch root diverged at {workers} workers"
+        );
+        assert_eq!(coordinator.epoch_roots(), vec![epoch.root]);
+        roots.push(epoch.root);
+    }
+    assert!(roots.windows(2).all(|w| w[0] == w[1]));
+
+    if let Ok(path) = std::env::var("TAO_EPOCH_CSV") {
+        if !path.is_empty() {
+            let csv = tao_protocol::log_csv(serial_epoch.index, &serial_epoch.entries);
+            std::fs::write(&path, csv).expect("write TAO_EPOCH_CSV artifact");
         }
     }
 }
@@ -303,7 +375,7 @@ fn shard_count_sweep_is_serial_equivalent() {
 fn audit_lifecycle_settles_and_conserves_on_shards() {
     let (econ, slash) = econ_and_slash();
     let sharded = Coordinator::new(econ, slash).unwrap();
-    sharded.fund("prop", 5_000.0);
+    sharded.fund("prop", 5_000);
 
     let id = sharded.submit_claim("prop", commitment(0), &meta()).unwrap();
     sharded.open_audit(id).unwrap();
@@ -312,10 +384,10 @@ fn audit_lifecycle_settles_and_conserves_on_shards() {
         sharded.claim(id).unwrap().status,
         ClaimStatus::Settled { winner: Party::Proposer }
     ));
-    // Committee fees paid, proposer made whole plus reward.
-    assert!(sharded.balance("committee-pool") > 0.0);
-    assert!(sharded.balance("prop") > 5_000.0);
-    assert!(sharded.escrowed("prop").abs() < 1e-9);
+    // Committee fees paid, proposer made whole plus reward — exactly.
+    assert!(sharded.balance("committee-pool") > Money::ZERO);
+    assert!(sharded.balance("prop") > Money::from_credits(5_000));
+    assert_eq!(sharded.escrowed("prop"), Money::ZERO);
     let ledger = sharded.ledger();
-    assert!((ledger.total_value() - ledger.injected()).abs() < 1e-9);
+    assert_eq!(ledger.total_value(), ledger.injected());
 }

@@ -10,8 +10,9 @@
 //! settle/challenge phases from forced thread counts (2/8/32, or
 //! `TAO_TEST_WORKERS` in CI's fail-fast step) under a 60 s watchdog and
 //! asserts balance conservation — `Σ balances + Σ escrowed deposits`
-//! matches the ledger's injected supply — **after every phase**, plus
-//! exact equivalence to the single-mutex serial oracle at the end.
+//! equals the ledger's injected supply **exactly** — **after every
+//! phase**, plus bit-exact equivalence to the single-mutex serial oracle
+//! at the end.
 
 mod common;
 
@@ -21,7 +22,7 @@ use common::{
     commitment as tagged_commitment, econ_and_slash, meta, with_deadlock_watchdog, worker_counts,
     COMMITTEE, WINDOW,
 };
-use tao_protocol::{parallel_map, ClaimStatus, Coordinator, Party, SerialCoordinator};
+use tao_protocol::{parallel_map, ClaimStatus, Coordinator, Money, Party, SerialCoordinator};
 
 const ACCOUNTS: [&str; 6] = ["n0", "n1", "n2", "n3", "n4", "n5"];
 /// Claims per ordered account pair (6·5 pairs → 90 claims).
@@ -76,12 +77,13 @@ fn commitment(i: usize) -> tao_merkle::Digest {
     tagged_commitment("stress", i)
 }
 
-/// Asserts `Σ balances + Σ escrow == injected` on the sharded ledger.
+/// Asserts `Σ balances + Σ escrow == injected` on the sharded ledger —
+/// exactly, in micro-credits.
 fn assert_conserved(c: &Coordinator, phase: &str) {
     let ledger = c.ledger();
     let (value, injected) = (ledger.total_value(), ledger.injected());
-    assert!(
-        (value - injected).abs() < 1e-6,
+    assert_eq!(
+        value, injected,
         "conservation violated after {phase}: value {value} vs injected {injected}"
     );
 }
@@ -95,7 +97,7 @@ fn overlapping_pair_settlement_conserves_and_matches_serial() {
     // single-mutex arbiter.
     let mut oracle = SerialCoordinator::new(econ, slash).unwrap();
     for account in ACCOUNTS {
-        oracle.fund(account, 30_000.0);
+        oracle.fund(account, 30_000);
     }
     for (i, lane) in lanes.iter().enumerate() {
         let id = oracle
@@ -113,7 +115,7 @@ fn overlapping_pair_settlement_conserves_and_matches_serial() {
     for workers in worker_counts() {
         let coordinator = Arc::new(Coordinator::new(econ, slash).unwrap());
         for account in ACCOUNTS {
-            coordinator.fund(account, 30_000.0);
+            coordinator.fund(account, 30_000);
         }
         assert_conserved(&coordinator, "funding");
 
@@ -125,9 +127,10 @@ fn overlapping_pair_settlement_conserves_and_matches_serial() {
             assert_eq!(id, i as u64, "dense deterministic claim ids");
         }
         assert_conserved(&coordinator, "submission");
-        let escrowed: f64 = ACCOUNTS.iter().map(|a| coordinator.escrowed(a)).sum();
-        assert!(
-            (escrowed - lanes.len() as f64 * econ.d_p).abs() < 1e-6,
+        let escrowed: Money = ACCOUNTS.iter().map(|a| coordinator.escrowed(a)).sum();
+        assert_eq!(
+            escrowed,
+            coordinator.amounts().d_p * lanes.len() as u64,
             "every proposer deposit escrowed exactly once"
         );
 
@@ -169,23 +172,21 @@ fn overlapping_pair_settlement_conserves_and_matches_serial() {
             );
         }
         for account in ACCOUNTS {
-            assert!(
-                coordinator.escrowed(account).abs() < 1e-6,
+            assert_eq!(
+                coordinator.escrowed(account),
+                Money::ZERO,
                 "{account} escrow drained"
             );
             let (serial, sharded) = (oracle.balance(account), coordinator.balance(account));
-            assert!(
-                (serial - sharded).abs() < 1e-6,
+            assert_eq!(
+                serial, sharded,
                 "{account}: serial {serial} vs sharded {sharded} ({workers} workers)"
             );
         }
-        let (serial, sharded) = (
+        assert_eq!(
             oracle.balance("committee-pool"),
             coordinator.balance("committee-pool"),
-        );
-        assert!(
-            (serial - sharded).abs() < 1e-6,
-            "committee-pool: serial {serial} vs sharded {sharded}"
+            "committee-pool: serial vs sharded"
         );
     }
 }
@@ -198,7 +199,7 @@ fn concurrent_advances_finalize_each_claim_exactly_once() {
     let (econ, slash) = econ_and_slash();
     for workers in worker_counts() {
         let coordinator = Arc::new(Coordinator::new(econ, slash).unwrap());
-        coordinator.fund("prop", 60_000.0);
+        coordinator.fund("prop", 60_000);
         let n = 64u64;
         for i in 0..n {
             coordinator
@@ -221,13 +222,13 @@ fn concurrent_advances_finalize_each_claim_exactly_once() {
         assert_eq!(sorted.len(), finalized.len(), "no double finalization");
         assert_eq!(sorted, (0..n).collect::<Vec<u64>>(), "all claims finalized");
         // One deposit release + one reward per claim, exactly.
-        let expected = 60_000.0 + n as f64 * econ.r_p;
-        assert!(
-            (coordinator.balance("prop") - expected).abs() < 1e-6,
-            "balance {} vs expected {expected}",
-            coordinator.balance("prop")
+        let expected = Money::from_credits(60_000) + coordinator.amounts().r_p * n;
+        assert_eq!(
+            coordinator.balance("prop"),
+            expected,
+            "one release + one reward per claim"
         );
-        assert!(coordinator.escrowed("prop").abs() < 1e-6);
+        assert_eq!(coordinator.escrowed("prop"), Money::ZERO);
         assert_conserved(&coordinator, "concurrent advances");
     }
 }

@@ -95,7 +95,7 @@ fn randomized_audit_channel_enforces_like_a_challenge() {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().expect("region");
     let coord = Coordinator::new(econ, (lo + hi) / 2.0).expect("feasible");
-    coord.fund("prop", 10_000.0);
+    coord.fund("prop", 10_000);
     let meta = ClaimMeta {
         device: "sim-a100".into(),
         kernel: "pairwise".into(),
@@ -126,7 +126,7 @@ fn randomized_audit_channel_enforces_like_a_challenge() {
     }
     assert!(audited > 0, "phi = 0.05 over 200 claims should audit some");
     assert!(audited < 40, "audit rate should be near phi");
-    assert!(coord.balance("committee-pool") > 0.0);
+    assert!(coord.balance("committee-pool") > tao_protocol::Money::ZERO);
 }
 
 /// Adapter: a committed tie-break rule as a decoding policy.

@@ -1,7 +1,7 @@
 //! Scheduler equivalence: running a batch of mixed honest/malicious
 //! sessions concurrently must be observationally identical to running the
 //! same sessions one after another — same claim ids, same challenge
-//! flags, same winners, same final balances.
+//! flags, same winners, and bit-exact final balances.
 
 use tao::{
     deploy, Deployment, ProposerBehavior, Scheduler, SessionBuilder, SessionReport,
@@ -36,8 +36,8 @@ fn coordinator() -> SharedCoordinator {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().unwrap();
     let c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
-    c.fund("proposer", 50_000.0);
-    c.fund("challenger", 5_000.0);
+    c.fund("proposer", 50_000);
+    c.fund("challenger", 5_000);
     SharedCoordinator::new(c)
 }
 
@@ -131,21 +131,19 @@ fn concurrent_scheduler_is_equivalent_to_serial_execution() {
         }
     }
 
-    // Final balances are identical: bond arithmetic is a sum of per-event
-    // deltas, independent of interleaving.
+    // Final balances are bit-identical: the fixed-point ledger makes bond
+    // arithmetic a sum of exact per-event deltas, independent of
+    // interleaving.
     for account in ["proposer", "challenger", "committee-pool"] {
         let a = serial_coord.balance(account);
         let b = parallel_coord.balance(account);
-        assert!(
-            (a - b).abs() < 1e-9,
-            "{account}: serial {a} vs parallel {b}"
-        );
+        assert_eq!(a, b, "{account}: serial {a} vs parallel {b}");
     }
     // And nothing is left in escrow on either path.
     let serial_inner = serial_coord.into_inner();
     let parallel_inner = parallel_coord.into_inner();
     for account in ["proposer", "challenger"] {
-        assert!(serial_inner.escrowed(account).abs() < 1e-9);
-        assert!(parallel_inner.escrowed(account).abs() < 1e-9);
+        assert_eq!(serial_inner.escrowed(account), tao_protocol::Money::ZERO);
+        assert_eq!(parallel_inner.escrowed(account), tao_protocol::Money::ZERO);
     }
 }

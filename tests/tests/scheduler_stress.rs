@@ -36,8 +36,8 @@ fn coordinator() -> SharedCoordinator {
     let econ = EconParams::default_market();
     let (lo, hi) = econ.feasible_slash_region().unwrap();
     let c = Coordinator::new(econ, (lo + hi) / 2.0).unwrap();
-    c.fund("proposer", 500_000.0);
-    c.fund("challenger", 50_000.0);
+    c.fund("proposer", 500_000);
+    c.fund("challenger", 50_000);
     SharedCoordinator::new(c)
 }
 
@@ -127,28 +127,24 @@ fn batch_of_32_under_contention_matches_serial_execution() {
         }
     }
 
-    // Balances and escrow match the serial run to the last bit of f64
-    // rounding noise.
+    // Balances and escrow match the serial run bit-exactly — fixed-point
+    // money leaves no rounding noise to tolerate.
     for account in ["proposer", "challenger", "committee-pool"] {
         let a = serial_coord.balance(account);
         let b = parallel_coord.balance(account);
-        assert!(
-            (a - b).abs() < 1e-9,
-            "{account}: serial {a} vs parallel {b}"
-        );
+        assert_eq!(a, b, "{account}: serial {a} vs parallel {b}");
     }
     let serial_inner = serial_coord.into_inner();
     let parallel_inner = parallel_coord.into_inner();
     for account in ["proposer", "challenger"] {
-        assert!(serial_inner.escrowed(account).abs() < 1e-9);
-        assert!(parallel_inner.escrowed(account).abs() < 1e-9);
+        assert_eq!(serial_inner.escrowed(account), tao_protocol::Money::ZERO);
+        assert_eq!(parallel_inner.escrowed(account), tao_protocol::Money::ZERO);
     }
-    // Ledger conservation after the parallel settle phase.
+    // Ledger conservation after the parallel settle phase — exact.
     let ledger = parallel_inner.ledger();
-    assert!(
-        (ledger.total_value() - ledger.injected()).abs() < 1e-9,
-        "conservation: value {} vs injected {}",
+    assert_eq!(
         ledger.total_value(),
-        ledger.injected()
+        ledger.injected(),
+        "conservation violated after parallel settle"
     );
 }
