@@ -3,8 +3,8 @@
 use std::time::Instant;
 
 use tao_device::Device;
-use tao_graph::{execute, NodeId, Perturbations};
-use tao_merkle::TraceCommitment;
+use tao_graph::{execute, execute_observed, NodeId, Perturbations};
+use tao_merkle::StreamingCommitter;
 use tao_protocol::{
     run_dispute, screen_claim, ChallengerView, ClaimCheck, DisputeConfig, DisputeOutcome,
     ProposerView,
@@ -58,7 +58,12 @@ pub fn run_perturbed_dispute(
     let shape = honest.values[target.0].dims().to_vec();
     let mut p = Perturbations::new();
     p.insert(target, Tensor::full(&shape, magnitude));
-    let trace = execute(graph, input, proposer.config(), Some(&p)).expect("perturbed forward");
+    // The proposer's trace commitment streams through its forward pass
+    // (as in the real protocol) and its root anchors the dispute below.
+    let mut committer = StreamingCommitter::new(graph.len());
+    let trace = execute_observed(graph, input, proposer.config(), Some(&p), &mut committer)
+        .expect("perturbed forward");
+    let proposer_commitment = committer.finish();
     let claimed_output = trace
         .value(w.deployment.model.logits)
         .expect("logits traced");
@@ -75,13 +80,11 @@ pub fn run_perturbed_dispute(
     )
     .expect("screening");
     let screen_seconds = screen_start.elapsed().as_secs_f64();
-    // The proposer's trace commitment, built once when the challenge
-    // opens; the descent derives all interface hashes from it.
-    let proposer_commitment = TraceCommitment::build(&trace.values);
+    let trace_root = proposer_commitment.root();
     let start = Instant::now();
     let outcome = run_dispute(
         graph,
-        w.deployment.dispute_anchors(),
+        w.deployment.dispute_anchors().with_trace_root(&trace_root),
         ProposerView::new(&trace).with_commitment(&proposer_commitment),
         input,
         ChallengerView::from_screening(&challenger, &screening),
@@ -96,6 +99,10 @@ pub fn run_perturbed_dispute(
     assert_eq!(
         outcome.rehashed_leaves, 0,
         "bench disputes must reuse the screening trace's subtree digests"
+    );
+    assert!(
+        outcome.reveal_checks > 0,
+        "anchored disputes must verify reveals against the committed root"
     );
     TimedDispute {
         outcome,

@@ -73,6 +73,9 @@ impl Deployment {
             weight_tree: &self.inner.weight_tree,
             graph_root: &self.inner.commitment.graph_root,
             weight_root: &self.inner.commitment.weight_root,
+            // The trace root is per-claim, not per-deployment: the session
+            // attaches it via `with_trace_root` once `C0` is prepared.
+            trace_root: None,
         }
     }
 }

@@ -26,12 +26,15 @@
 
 use tao_bounds::BoundEngine;
 use tao_device::Device;
-use tao_graph::{execute, Execution, Perturbations};
-use tao_merkle::{claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest, TraceCommitment};
+use tao_graph::{execute_observed, Execution, Perturbations};
+use tao_merkle::{
+    claim_commitment, inputs_hash, tensor_hash, ClaimMeta, Digest, StreamingCommitter,
+    TraceCommitment,
+};
 use tao_protocol::{
-    adjudicate, leaf_case, run_dispute, sample_committee, screen_claim, AdjudicationPath,
-    ChallengerView, ClaimCheck, ClaimStatus, Coordinator, DisputeConfig, DisputeOutcome,
-    DisputeResult, LeafVerdict, Money, Party, ProposerView, Screening,
+    adjudicate, leaf_case, run_dispute, sample_committee, screen_claim, screen_claim_committed,
+    AdjudicationPath, ChallengerView, ClaimCheck, ClaimStatus, Coordinator, DisputeConfig,
+    DisputeOutcome, DisputeResult, LeafVerdict, Money, Party, ProposerView, Screening,
 };
 use tao_tensor::Tensor;
 
@@ -222,12 +225,20 @@ impl SessionBuilder {
             ProposerBehavior::Honest => None,
             ProposerBehavior::Malicious(p) => Some(p),
         };
-        let trace = execute(
+        // The trace commitment streams through the forward pass: every
+        // node's value is hashed as it is produced (overlapping the
+        // remaining compute on multi-core hosts) instead of in a post-hoc
+        // pass over the finished trace. Built exactly once, here — the
+        // dispute reuses it, never rebuilds.
+        let mut committer = StreamingCommitter::new(deployment.model.graph.len());
+        let trace = execute_observed(
             &deployment.model.graph,
             &inputs,
             cfg.proposer.config(),
             perturb,
+            &mut committer,
         )?;
+        let trace_commitment = committer.finish();
         let output = trace.value(deployment.model.logits)?.clone();
         let meta = ClaimMeta {
             device: cfg.proposer.name().to_string(),
@@ -237,10 +248,13 @@ impl SessionBuilder {
         };
         // Bind the full ordered input list (domain-separated), not just
         // the first tensor: multi-input claims are otherwise malleable.
+        // The trace root is bound too, so the bisection reveals of any
+        // later dispute are verifiable against what was claimed *now*.
         let commitment = claim_commitment(
             &deployment.commitment,
             &inputs_hash(&inputs),
             &tensor_hash(&output),
+            &trace_commitment.root(),
             &meta,
         );
         Ok(PendingSession {
@@ -248,6 +262,7 @@ impl SessionBuilder {
             cfg,
             inputs,
             trace,
+            trace_commitment,
             output,
             meta,
             commitment,
@@ -292,6 +307,7 @@ pub struct PendingSession {
     cfg: SessionConfig,
     inputs: Vec<Tensor<f32>>,
     trace: Execution,
+    trace_commitment: TraceCommitment,
     output: Tensor<f32>,
     meta: ClaimMeta,
     commitment: Digest,
@@ -301,6 +317,12 @@ impl PendingSession {
     /// The claim commitment `C0` that will be posted.
     pub fn commitment(&self) -> &Digest {
         &self.commitment
+    }
+
+    /// Root of the per-node trace commitment bound into `C0` (streamed
+    /// through the proposer's forward pass at prepare time).
+    pub fn trace_root(&self) -> Digest {
+        self.trace_commitment.root()
     }
 
     /// The proposer account that will post (and fund) the claim.
@@ -338,6 +360,7 @@ impl PendingSession {
             cfg: self.cfg,
             inputs: self.inputs,
             trace: self.trace,
+            trace_commitment: self.trace_commitment,
             output: self.output,
             claim_id,
             screening: None,
@@ -356,6 +379,7 @@ pub struct Session {
     cfg: SessionConfig,
     inputs: Vec<Tensor<f32>>,
     trace: Execution,
+    trace_commitment: TraceCommitment,
     output: Tensor<f32>,
     claim_id: u64,
     screening: Option<Screening>,
@@ -518,8 +542,10 @@ impl Session {
         self.cfg.challenger_account = account.to_string();
         // The adopter screens for itself: its own trace (and flagged-trace
         // commitment) replaces the deserter's, and the dispute below reuses
-        // it — the adopter pays one forward pass, never more.
-        self.screening = Some(screen_claim(
+        // it — the adopter pays one forward pass, never more. The committed
+        // variant streams digests through that pass, so the adopter arrives
+        // at the dispute with its commitment already assembled.
+        self.screening = Some(screen_claim_committed(
             &self.deployment.model.graph,
             self.deployment.model.logits,
             &self.deployment.thresholds,
@@ -550,15 +576,21 @@ impl Session {
             .as_ref()
             .expect("resolve_dispute() runs after a screening is cached");
         let graph = &self.deployment.model.graph;
-        // The proposer commits to its trace (per-node subtree digests)
-        // when the challenge opens; every round's child interface hashes
-        // then re-derive from the cached digests — the dispute rehashes
-        // zero activation tensors (asserted via `rehashed_leaves`).
-        let proposer_commitment = TraceCommitment::build(&self.trace.values);
+        // The proposer committed to its trace when the claim was prepared
+        // (streamed through the forward pass, root bound into `C0`); the
+        // dispute reuses that commitment — it is never rebuilt — and
+        // anchors every revealed digest to the committed root, so a
+        // tampered or stale digest is detected and attributed instead of
+        // silently steering the descent. Child interface hashes re-derive
+        // from the cached digests: zero activation tensors are rehashed
+        // (asserted via `rehashed_leaves`).
+        let trace_root = self.trace_commitment.root();
         let outcome = run_dispute(
             graph,
-            self.deployment.dispute_anchors(),
-            ProposerView::new(&self.trace).with_commitment(&proposer_commitment),
+            self.deployment
+                .dispute_anchors()
+                .with_trace_root(&trace_root),
+            ProposerView::new(&self.trace).with_commitment(&self.trace_commitment),
             &self.inputs,
             ChallengerView::from_screening(&self.cfg.challenger, screening),
             &self.deployment.thresholds,
@@ -585,6 +617,9 @@ impl Session {
                 (Some((path, leaf_verdict)), winner)
             }
             DisputeResult::NoOffendingChild { .. } => (None, Party::Proposer),
+            // A reveal failed to open against the root bound into `C0`:
+            // attributable proposer fraud, no leaf adjudication needed.
+            DisputeResult::CommitmentBreach { .. } => (None, Party::Challenger),
         };
         self.verdict = verdict;
         self.winner = Some(winner);
@@ -664,6 +699,7 @@ mod tests {
     use crate::deploy::deploy;
     use tao_calib::DEFAULT_ALPHA;
     use tao_device::Fleet;
+    use tao_graph::execute;
     use tao_models::{bert, data, BertConfig};
 
     fn deployment() -> (Deployment, Vec<Tensor<f32>>) {
@@ -899,16 +935,19 @@ mod tests {
             challenge_window: 10,
         };
         let out = Tensor::<f32>::ones(&[1]);
+        let rt = tao_merkle::sha256(b"trace-root");
         let c1 = claim_commitment(
             &d.commitment,
             &inputs_hash(&[x.clone(), y1]),
             &tensor_hash(&out),
+            &rt,
             &meta,
         );
         let c2 = claim_commitment(
             &d.commitment,
             &inputs_hash(&[x, y2]),
             &tensor_hash(&out),
+            &rt,
             &meta,
         );
         assert_ne!(c1, c2, "second input must be bound into C0");

@@ -22,23 +22,35 @@ pub struct Receipt {
     pub input_hash: Digest,
     /// Hash of the returned output.
     pub output_hash: Digest,
+    /// Root of the proposer's per-node trace commitment, bound into `C0`
+    /// so dispute reveals are verifiable against what was claimed.
+    pub trace_root: Digest,
 }
 
-/// Builds a receipt for a served request, binding every input tensor.
+/// Builds a receipt for a served request, binding every input tensor and
+/// the proposer's trace-commitment root.
 pub fn make_receipt(
     deployment: &Deployment,
     inputs: &[Tensor<f32>],
     output: &Tensor<f32>,
+    trace_root: Digest,
     meta: ClaimMeta,
 ) -> Receipt {
     let input_hash = inputs_hash(inputs);
     let output_hash = tensor_hash(output);
-    let commitment = claim_commitment(&deployment.commitment, &input_hash, &output_hash, &meta);
+    let commitment = claim_commitment(
+        &deployment.commitment,
+        &input_hash,
+        &output_hash,
+        &trace_root,
+        &meta,
+    );
     Receipt {
         commitment,
         meta,
         input_hash,
         output_hash,
+        trace_root,
     }
 }
 
@@ -56,6 +68,7 @@ pub fn verify_receipt(
             &deployment.commitment,
             &receipt.input_hash,
             &receipt.output_hash,
+            &receipt.trace_root,
             &receipt.meta,
         ) == receipt.commitment
 }
@@ -106,9 +119,10 @@ mod tests {
     use crate::deploy::deploy;
     use tao_device::Fleet;
     use tao_graph::execute;
+    use tao_merkle::TraceCommitment;
     use tao_models::{bert, data, BertConfig};
 
-    fn setup() -> (Deployment, Vec<Tensor<f32>>, Tensor<f32>) {
+    fn setup() -> (Deployment, Vec<Tensor<f32>>, Tensor<f32>, Digest) {
         let cfg = BertConfig {
             layers: 1,
             ..BertConfig::small()
@@ -119,7 +133,8 @@ mod tests {
         let inputs = vec![bert::sample_ids(cfg, 5)];
         let exec = execute(&d.model.graph, &inputs, Device::a100_like().config(), None).unwrap();
         let output = exec.value(d.model.logits).unwrap().clone();
-        (d, inputs, output)
+        let trace_root = TraceCommitment::build(&exec.values).root();
+        (d, inputs, output, trace_root)
     }
 
     fn meta() -> ClaimMeta {
@@ -133,15 +148,15 @@ mod tests {
 
     #[test]
     fn receipt_roundtrip() {
-        let (d, inputs, output) = setup();
-        let r = make_receipt(&d, &inputs, &output, meta());
+        let (d, inputs, output, rt) = setup();
+        let r = make_receipt(&d, &inputs, &output, rt, meta());
         assert!(verify_receipt(&d, &r, &inputs, &output));
     }
 
     #[test]
     fn receipt_rejects_swapped_output() {
-        let (d, inputs, output) = setup();
-        let r = make_receipt(&d, &inputs, &output, meta());
+        let (d, inputs, output, rt) = setup();
+        let r = make_receipt(&d, &inputs, &output, rt, meta());
         let mut other = output.clone();
         other.data_mut()[0] += 1e-3;
         assert!(!verify_receipt(&d, &r, &inputs, &other));
@@ -155,15 +170,25 @@ mod tests {
 
     #[test]
     fn receipt_rejects_forged_meta() {
-        let (d, inputs, output) = setup();
-        let mut r = make_receipt(&d, &inputs, &output, meta());
+        let (d, inputs, output, rt) = setup();
+        let mut r = make_receipt(&d, &inputs, &output, rt, meta());
         r.meta.challenge_window = 1; // Shortened window forgery.
         assert!(!verify_receipt(&d, &r, &inputs, &output));
     }
 
     #[test]
+    fn receipt_rejects_forged_trace_root() {
+        // A proposer that swaps the trace root after posting loses the
+        // binding: C0 no longer recomputes.
+        let (d, inputs, output, rt) = setup();
+        let mut r = make_receipt(&d, &inputs, &output, rt, meta());
+        r.trace_root[0] ^= 0x01;
+        assert!(!verify_receipt(&d, &r, &inputs, &output));
+    }
+
+    #[test]
     fn screening_accepts_honest_flags_tampered() {
-        let (d, inputs, output) = setup();
+        let (d, inputs, output, _) = setup();
         let device = Device::h100_like();
         let ok = screen_output(&d, &inputs, &output, &device).unwrap();
         assert!(!ok.should_challenge, "exceedance {}", ok.exceedance);

@@ -50,6 +50,21 @@ impl Execution {
 /// adversary model (`h_v <- h_v + Δ_v`).
 pub type Perturbations = HashMap<NodeId, Tensor<f32>>;
 
+/// Observes every node's final output value exactly once during an
+/// execution pass — the streamed-commitment hook.
+///
+/// Both executors guarantee the same contract: `observe` fires once per
+/// node with the node's *final* value (perturbations applied), while the
+/// tensor is still alive. The trace executor observes in node order; the
+/// pooled executor observes each value when the buffer pool's last-use
+/// analysis retires it (so hashing overlaps the remaining compute), with
+/// node order **not** guaranteed. Observers must therefore key on the
+/// `NodeId`, never on arrival order.
+pub trait ValueObserver {
+    /// Called exactly once per node with its final output value.
+    fn observe(&mut self, id: NodeId, value: &Tensor<f32>);
+}
+
 /// Executes `graph` on `inputs` under `cfg`, optionally injecting additive
 /// perturbations after selected node outputs.
 ///
@@ -64,6 +79,24 @@ pub fn execute(
     perturb: Option<&Perturbations>,
 ) -> Result<Execution> {
     execute_with_stats(graph, inputs, cfg, perturb).map(|(exec, _)| exec)
+}
+
+/// [`execute`] with a [`ValueObserver`] receiving every node's final value
+/// as it is produced — the streamed-commitment entry point for traced
+/// execution (each value is hashed while the next node computes, instead
+/// of in a post-hoc pass over the finished trace).
+///
+/// # Errors
+///
+/// Same error conditions as [`execute`].
+pub fn execute_observed(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    perturb: Option<&Perturbations>,
+    observer: &mut dyn ValueObserver,
+) -> Result<Execution> {
+    execute_inner(graph, inputs, cfg, perturb, Some(observer)).map(|(exec, _)| exec)
 }
 
 /// [`execute`] plus the executor cost ledger ([`crate::ExecStats`]).
@@ -82,6 +115,16 @@ pub fn execute_with_stats(
     inputs: &[Tensor<f32>],
     cfg: &KernelConfig,
     perturb: Option<&Perturbations>,
+) -> Result<(Execution, crate::ExecStats)> {
+    execute_inner(graph, inputs, cfg, perturb, None)
+}
+
+fn execute_inner(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    perturb: Option<&Perturbations>,
+    mut observer: Option<&mut dyn ValueObserver>,
 ) -> Result<(Execution, crate::ExecStats)> {
     if inputs.len() != graph.num_inputs() {
         return Err(GraphError::InputCount {
@@ -109,6 +152,9 @@ pub fn execute_with_stats(
         }
         let in_shapes: Vec<_> = node.inputs.iter().map(|&i| values[i.0].shape()).collect();
         flops.push(node.kind.flops(&in_shapes, out.shape()));
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.observe(node.id, &out);
+        }
         values.push(out);
     }
     // The trace keeps every value alive, so the peak resident set is the

@@ -35,10 +35,13 @@ pub mod subgraph;
 pub use autodiff::{backward, Gradients};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use exec::{eval_node, execute, execute_with_stats, Execution, Perturbations};
+pub use exec::{
+    eval_node, execute, execute_observed, execute_with_stats, Execution, Perturbations,
+    ValueObserver,
+};
 pub use graph::{Graph, Node, NodeId};
 pub use op::OpKind;
-pub use pool::{forward, forward_with_stats, BufferPool, ExecStats};
+pub use pool::{forward, forward_observed, forward_with_stats, BufferPool, ExecStats};
 pub use subgraph::{execute_subgraph, extract, partition, Subgraph};
 
 /// Crate-wide result alias.

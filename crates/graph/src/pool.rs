@@ -31,8 +31,8 @@ use std::collections::{BTreeMap, HashMap};
 use tao_tensor::{Conv2dParams, KernelConfig, Tensor};
 
 use crate::error::GraphError;
-use crate::exec::{eval_node, output_shares_storage};
-use crate::graph::Graph;
+use crate::exec::{eval_node, output_shares_storage, ValueObserver};
+use crate::graph::{Graph, NodeId};
 use crate::op::OpKind;
 use crate::Result;
 
@@ -242,6 +242,41 @@ pub fn forward_with_stats(
     cfg: &KernelConfig,
     pool: &mut BufferPool,
 ) -> Result<(Vec<Tensor<f32>>, ExecStats)> {
+    forward_inner(graph, inputs, cfg, pool, None)
+}
+
+/// [`forward`] with a [`ValueObserver`] receiving every node's final value
+/// exactly once — each dead intermediate is observed at the moment the
+/// last-use analysis retires it (just before its buffer returns to the
+/// pool), and the values still live at the end of the pass (graph outputs,
+/// never-read nodes) are observed in a final id-order sweep. This is the
+/// streamed-commitment hook: hashing overlaps the remaining compute
+/// instead of running as a post-hoc pass, and because observation happens
+/// *before* [`Tensor::into_unique_data`], buffer recycling is unaffected.
+///
+/// Observation order follows retirement order, not node order; observers
+/// key on the `NodeId` they are handed.
+///
+/// # Errors
+///
+/// Same error conditions as [`crate::execute`].
+pub fn forward_observed(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    pool: &mut BufferPool,
+    observer: &mut dyn ValueObserver,
+) -> Result<Vec<Tensor<f32>>> {
+    forward_inner(graph, inputs, cfg, pool, Some(observer)).map(|(outputs, _)| outputs)
+}
+
+fn forward_inner(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    pool: &mut BufferPool,
+    mut observer: Option<&mut dyn ValueObserver>,
+) -> Result<(Vec<Tensor<f32>>, ExecStats)> {
     if inputs.len() != graph.num_inputs() {
         return Err(GraphError::InputCount {
             expected: graph.num_inputs(),
@@ -258,6 +293,7 @@ pub fn forward_with_stats(
     }
     let mut stats = ExecStats::default();
     let mut resident = ResidentSet::default();
+    let mut observed = vec![false; if observer.is_some() { graph.len() } else { 0 }];
     // Freed slots are replaced by clones of this empty tensor (an Arc
     // bump, no allocation).
     let empty = Tensor::<f32>::zeros(&[0]);
@@ -370,9 +406,15 @@ pub fn forward_with_stats(
         resident.add(&out);
         values.push(out);
         // Free every value whose last consumer was this node; uniquely
-        // owned buffers go back to the pool.
+        // owned buffers go back to the pool. Observation must precede
+        // `into_unique_data` — a live observer clone would defeat the
+        // uniqueness check and leak the buffer out of the pool.
         for &id in &free_at[node.id.0] {
             let dead = core::mem::replace(&mut values[id], empty.clone());
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.observe(NodeId(id), &dead);
+                observed[id] = true;
+            }
             resident.remove(&dead);
             if let Some(buf) = dead.into_unique_data() {
                 pool.give(buf);
@@ -380,6 +422,16 @@ pub fn forward_with_stats(
         }
     }
     stats.peak_resident_bytes = resident.peak;
+    // Values never retired by the loop — graph outputs (pinned live) and
+    // never-read nodes — get observed in a final id-order sweep so the
+    // exactly-once contract holds for every node.
+    if let Some(obs) = observer {
+        for (id, seen) in observed.iter().enumerate() {
+            if !seen {
+                obs.observe(NodeId(id), &values[id]);
+            }
+        }
+    }
     let outputs = graph
         .outputs()
         .iter()

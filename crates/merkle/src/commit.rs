@@ -147,7 +147,21 @@ impl TraceCommitment {
     /// Commits a trace on a pinned backend (equivalence tests and
     /// microbenchmarks sweep every supported one).
     pub fn build_with(values: &[Tensor<f32>], backend: Backend) -> Self {
-        let digests = tensor_digests(values, backend);
+        Self::from_digests_with(tensor_digests(values, backend), backend)
+    }
+
+    /// Assembles a commitment from already-computed per-node digests on
+    /// the fastest supported backend. This is the streamed-hashing entry
+    /// point: the executor's observer hashes each node's value as the
+    /// buffer pool retires it, and only the tree assembly remains at the
+    /// end of the pass. Bit-identical to [`TraceCommitment::build`] when
+    /// the digests equal `values.iter().map(tensor_hash)`.
+    pub fn from_digests(digests: Vec<Digest>) -> Self {
+        Self::from_digests_with(digests, Backend::auto())
+    }
+
+    /// [`TraceCommitment::from_digests`] on a pinned backend.
+    pub fn from_digests_with(digests: Vec<Digest>, backend: Backend) -> Self {
         let leaf_digests = crate::tree::hash_leaves(backend, &digests);
         // Small levels stay serial inside the builder's work threshold.
         let threads = std::thread::available_parallelism()
@@ -353,12 +367,24 @@ pub fn inputs_hash(inputs: &[Tensor<f32>]) -> Digest {
     h.finalize()
 }
 
+/// Domain tag for the trace-root field of [`claim_commitment`]; keeps the
+/// root injective against the neighbouring hash fields.
+const TRACE_ROOT_DOMAIN: &[u8] = b"tao.v1.trace-root";
+
 /// The Phase 1 claim commitment
-/// `C0 = H(r_w || r_g || H(x) || H(y) || meta)`.
+/// `C0 = H(r_w || r_g || H(x) || H(y) || "tao.v1.trace-root" || r_t || meta)`.
+///
+/// `trace_root` is the root of the proposer's [`TraceCommitment`] over its
+/// per-node execution digests, computed at prepare time. Binding it here is
+/// what makes the dispute game's bisection reveals *verifiable*: every
+/// digest the proposer reveals during descent must open against `r_t` via a
+/// Merkle path, so a tampered or stale digest cache is detected and
+/// attributed instead of silently steering the round.
 pub fn claim_commitment(
     model: &ModelCommitment,
     input_hash: &Digest,
     output_hash: &Digest,
+    trace_root: &Digest,
     meta: &ClaimMeta,
 ) -> Digest {
     let mut h = Sha256::new();
@@ -366,6 +392,8 @@ pub fn claim_commitment(
     h.update(&model.graph_root);
     h.update(input_hash);
     h.update(output_hash);
+    h.update(TRACE_ROOT_DOMAIN);
+    h.update(trace_root);
     h.update(&meta.canon());
     h.finalize()
 }
@@ -445,16 +473,22 @@ mod tests {
         let mc = commit_model(&g, &[b"thresholds".to_vec()]);
         let x = Tensor::<f32>::ones(&[1, 4]);
         let y = Tensor::<f32>::ones(&[1, 4]);
-        let c0 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &meta());
+        let rt = sha256(b"trace-root");
+        let c0 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &rt, &meta());
         // Different output → different commitment.
         let y2 = Tensor::<f32>::zeros(&[1, 4]);
-        let c1 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y2), &meta());
+        let c1 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y2), &rt, &meta());
         assert_ne!(c0, c1);
         // Different window → different commitment.
         let mut m2 = meta();
         m2.challenge_window = 99;
-        let c2 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &m2);
+        let c2 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &rt, &m2);
         assert_ne!(c0, c2);
+        // Different trace root → different commitment: the per-node trace
+        // tree is bound, so post-hoc digest swaps invalidate the claim.
+        let rt2 = sha256(b"another-trace-root");
+        let c3 = claim_commitment(&mc, &tensor_hash(&x), &tensor_hash(&y), &rt2, &meta());
+        assert_ne!(c0, c3);
     }
 
     #[test]
@@ -542,6 +576,12 @@ mod tests {
         for backend in Backend::available() {
             let got = TraceCommitment::build_with(&values, backend);
             assert_eq!(got, oracle, "{backend:?}");
+            // Pre-computed digests assemble to the identical commitment.
+            let streamed = TraceCommitment::from_digests_with(
+                values.iter().map(tensor_hash).collect(),
+                backend,
+            );
+            assert_eq!(streamed, oracle, "{backend:?} from_digests");
             for (i, v) in values.iter().enumerate() {
                 assert_eq!(got.digest(i), Some(&tensor_hash(v)), "{backend:?} node {i}");
             }

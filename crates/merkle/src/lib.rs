@@ -21,6 +21,7 @@ pub mod canon;
 pub mod commit;
 pub mod multiway;
 pub mod sha256;
+pub mod stream;
 pub mod tree;
 
 pub use canon::{
@@ -37,6 +38,7 @@ pub use multiway::{
     MultiSha256,
 };
 pub use sha256::{sha256, to_hex, Digest, Sha256};
+pub use stream::{StreamingCommitter, TokenChain};
 pub use tree::{
     hash_leaves, verify_inclusion, verify_inclusion_digest, InclusionProof, MerkleTree,
     MAX_HASH_THREADS,

@@ -1,0 +1,345 @@
+//! Streamed trace commitments: hash node values *during* the forward pass
+//! instead of in a post-hoc pass over the finished trace.
+//!
+//! [`StreamingCommitter`] implements [`tao_graph::ValueObserver`], so
+//! either executor ([`tao_graph::execute_observed`] for traced runs,
+//! [`tao_graph::forward_observed`] for pooled inference) feeds it each
+//! node's final value exactly once. On multi-core hosts the hashing runs
+//! on a dedicated worker thread — an `Arc`-cheap tensor clone crosses an
+//! mpsc channel and the canonical encoding + SHA-256 overlap the remaining
+//! compute, which is what collapses the flagged-path screening surcharge.
+//! On a single core (or by request) the committer hashes inline at the
+//! observation point, which still skips the second traversal of the trace.
+//!
+//! Both modes finish by assembling the identical
+//! [`TraceCommitment`] via [`TraceCommitment::from_digests`]; the digests
+//! are **bit-identical** to the post-hoc [`TraceCommitment::build`]
+//! oracle by contract, asserted across backends and modes by the
+//! `commit_equiv` differential suite.
+//!
+//! [`TokenChain`] extends the same machinery to autoregressive decoding:
+//! each decode step appends one leaf binding `(step, token, step trace
+//! root)` to a domain-separated rolling chain, so a session `n + 1` tokens
+//! long extends the `n`-token commitment with two compression calls and
+//! zero prefix rehashing — long sessions stay disputable at token
+//! granularity.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use tao_graph::{NodeId, ValueObserver};
+use tao_tensor::Tensor;
+
+use crate::canon::canon_tensor_sink;
+use crate::commit::TraceCommitment;
+use crate::multiway::{Backend, FastSha256};
+use crate::sha256::{Digest, Sha256};
+
+enum Mode {
+    Inline {
+        backend: Backend,
+    },
+    Background {
+        tx: Option<mpsc::Sender<(usize, Tensor<f32>)>>,
+        handle: Option<JoinHandle<Vec<(usize, Digest)>>>,
+    },
+}
+
+/// Streams per-node digests out of a running forward pass and assembles
+/// the [`TraceCommitment`] at the end; see the module docs for the
+/// threading model.
+pub struct StreamingCommitter {
+    slots: Vec<Option<Digest>>,
+    mode: Mode,
+}
+
+impl StreamingCommitter {
+    /// A committer for a graph of `len` nodes, choosing the overlapped
+    /// background worker when the host has more than one core and inline
+    /// hashing otherwise.
+    pub fn new(len: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 2 && len > 0 {
+            Self::background(len)
+        } else {
+            Self::inline(len)
+        }
+    }
+
+    /// A committer that hashes inline at each observation point (no worker
+    /// thread). Deterministic-mode pin for tests; also what [`new`]
+    /// picks on single-core hosts.
+    ///
+    /// [`new`]: StreamingCommitter::new
+    pub fn inline(len: usize) -> Self {
+        StreamingCommitter {
+            slots: vec![None; len],
+            mode: Mode::Inline {
+                backend: Backend::auto(),
+            },
+        }
+    }
+
+    /// A committer that ships values to a dedicated hashing thread; each
+    /// observation is an `Arc` refcount bump plus a channel send.
+    ///
+    /// Note for the pooled executor: the in-flight clone can make a
+    /// retired buffer non-unique for a moment, so some buffers skip the
+    /// pool and drop normally. That trades a little allocator traffic for
+    /// compute/hash overlap; outputs and digests are unaffected.
+    pub fn background(len: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<(usize, Tensor<f32>)>();
+        let handle = std::thread::spawn(move || {
+            let backend = Backend::auto();
+            let mut out = Vec::new();
+            while let Ok((id, t)) = rx.recv() {
+                out.push((id, hash_value(backend, &t)));
+            }
+            out
+        });
+        StreamingCommitter {
+            slots: vec![None; len],
+            mode: Mode::Background {
+                tx: Some(tx),
+                handle: Some(handle),
+            },
+        }
+    }
+
+    /// Number of nodes this committer expects to observe.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the committer expects no observations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Joins any in-flight hashing and assembles the commitment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node was never observed (or observed out of range) —
+    /// both executors guarantee the exactly-once contract, so a miss is a
+    /// caller bug, not a runtime condition.
+    pub fn finish(mut self) -> TraceCommitment {
+        if let Mode::Background { tx, handle } = &mut self.mode {
+            drop(tx.take());
+            let hashed = handle
+                .take()
+                .expect("finish called once")
+                .join()
+                .expect("hash worker panicked");
+            for (id, digest) in hashed {
+                self.slots[id] = Some(digest);
+            }
+        }
+        let digests: Vec<Digest> = self
+            .slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| d.unwrap_or_else(|| panic!("node {i} never observed")))
+            .collect();
+        TraceCommitment::from_digests(digests)
+    }
+}
+
+impl ValueObserver for StreamingCommitter {
+    fn observe(&mut self, id: NodeId, value: &Tensor<f32>) {
+        match &mut self.mode {
+            Mode::Inline { backend } => {
+                self.slots[id.0] = Some(hash_value(*backend, value));
+            }
+            Mode::Background { tx, .. } => {
+                // The worker outlives every send (tx drops in finish), so
+                // this cannot fail while the committer is alive.
+                tx.as_ref()
+                    .expect("observe after finish")
+                    .send((id.0, value.clone()))
+                    .expect("hash worker exited early");
+                self.slots[id.0] = Some([0u8; 32]); // placeholder: marks "observed"
+            }
+        }
+    }
+}
+
+/// One node digest: the canonical tensor encoding streamed into the
+/// fastest supported hasher — bit-identical to [`crate::tensor_hash`].
+fn hash_value(backend: Backend, t: &Tensor<f32>) -> Digest {
+    let mut h = FastSha256::with_backend(backend);
+    canon_tensor_sink(t, &mut h);
+    h.finalize()
+}
+
+/// Domain tags for the decode-time token chain.
+const CHAIN_LEAF_DOMAIN: &[u8] = b"tao.v1.decode.leaf";
+const CHAIN_NODE_DOMAIN: &[u8] = b"tao.v1.decode.chain";
+const CHAIN_GENESIS_DOMAIN: &[u8] = b"tao.v1.decode.genesis";
+
+/// A prefix-stable rolling commitment over an autoregressive decode: leaf
+/// `t` binds `(t, token_t, r_t)` where `r_t` is the trace root of step
+/// `t`'s forward pass, and the chain root after `t` steps binds the whole
+/// prefix. Appending a token costs exactly two hashes — the prefix is
+/// never recommitted — so `roots()[..n]` of an `n+1`-token chain equals
+/// the `n`-token chain bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenChain {
+    leaves: Vec<Digest>,
+    roots: Vec<Digest>,
+}
+
+impl Default for TokenChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        TokenChain {
+            leaves: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// The chain root before any append (domain-separated genesis value).
+    pub fn genesis() -> Digest {
+        crate::sha256::sha256(CHAIN_GENESIS_DOMAIN)
+    }
+
+    /// Appends one decode step and returns the new chain root. `step_root`
+    /// is the [`TraceCommitment`] root of the step's forward pass.
+    pub fn append(&mut self, token: u64, step_root: &Digest) -> Digest {
+        let t = self.leaves.len() as u64;
+        let mut h = Sha256::new();
+        h.update(CHAIN_LEAF_DOMAIN);
+        h.update(&t.to_le_bytes());
+        h.update(&token.to_le_bytes());
+        h.update(step_root);
+        let leaf = h.finalize();
+        let mut h = Sha256::new();
+        h.update(CHAIN_NODE_DOMAIN);
+        h.update(&t.to_le_bytes());
+        h.update(&self.root());
+        h.update(&leaf);
+        let root = h.finalize();
+        self.leaves.push(leaf);
+        self.roots.push(root);
+        root
+    }
+
+    /// Rebuilds a chain from scratch over `(token, step_root)` pairs — the
+    /// post-hoc differential oracle for the incremental [`append`] path.
+    ///
+    /// [`append`]: TokenChain::append
+    pub fn from_steps(steps: &[(u64, Digest)]) -> Self {
+        let mut chain = TokenChain::new();
+        for (token, root) in steps {
+            chain.append(*token, root);
+        }
+        chain
+    }
+
+    /// The current chain root ([`TokenChain::genesis`] when empty).
+    pub fn root(&self) -> Digest {
+        self.roots.last().copied().unwrap_or_else(Self::genesis)
+    }
+
+    /// The chain root after step `t` (prefix commitment).
+    pub fn root_at(&self, t: usize) -> Option<&Digest> {
+        self.roots.get(t)
+    }
+
+    /// All per-step leaves, in step order.
+    pub fn leaves(&self) -> &[Digest] {
+        &self.leaves
+    }
+
+    /// All per-step chain roots, in step order.
+    pub fn roots(&self) -> &[Digest] {
+        &self.roots
+    }
+
+    /// Number of appended steps.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when no steps were appended.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_graph::{execute, execute_observed, forward_observed, BufferPool, GraphBuilder, OpKind};
+    use tao_tensor::KernelConfig;
+
+    fn mlp() -> (tao_graph::Graph, Vec<Tensor<f32>>) {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let w1 = b.parameter("w1", Tensor::<f32>::rand_uniform(&[8, 8], -0.5, 0.5, 1));
+        let h = b.op("mm1", OpKind::MatMul, &[x, w1]);
+        let r = b.op("relu", OpKind::Relu, &[h]);
+        let w2 = b.parameter("w2", Tensor::<f32>::rand_uniform(&[8, 8], -0.5, 0.5, 2));
+        let m = b.op("mm2", OpKind::MatMul, &[r, w2]);
+        let a = b.op("res", OpKind::Add, &[m, x]);
+        let g = b.finish(vec![a]).unwrap();
+        let inputs = vec![Tensor::<f32>::rand_uniform(&[4, 8], -1.0, 1.0, 9)];
+        (g, inputs)
+    }
+
+    #[test]
+    fn streamed_commitment_equals_post_hoc_oracle_in_both_modes() {
+        let (g, inputs) = mlp();
+        let cfg = KernelConfig::reference();
+        let trace = execute(&g, &inputs, &cfg, None).unwrap();
+        let oracle = TraceCommitment::build(&trace.values);
+        for background in [false, true] {
+            let mut c = if background {
+                StreamingCommitter::background(g.len())
+            } else {
+                StreamingCommitter::inline(g.len())
+            };
+            let streamed_trace = execute_observed(&g, &inputs, &cfg, None, &mut c).unwrap();
+            assert_eq!(c.finish(), oracle, "traced, background={background}");
+            assert_eq!(streamed_trace.values.len(), trace.values.len());
+
+            let mut c = if background {
+                StreamingCommitter::background(g.len())
+            } else {
+                StreamingCommitter::inline(g.len())
+            };
+            let mut pool = BufferPool::new();
+            let outputs = forward_observed(&g, &inputs, &cfg, &mut pool, &mut c).unwrap();
+            assert_eq!(c.finish(), oracle, "pooled, background={background}");
+            assert_eq!(outputs[0].data(), trace.outputs(&g)[0].data());
+        }
+    }
+
+    #[test]
+    fn token_chain_is_prefix_stable_and_matches_oracle() {
+        let steps: Vec<(u64, Digest)> = (0..7u64)
+            .map(|t| (t * 13 + 1, crate::sha256::sha256(&t.to_le_bytes())))
+            .collect();
+        let full = TokenChain::from_steps(&steps);
+        let mut incremental = TokenChain::new();
+        assert_eq!(incremental.root(), TokenChain::genesis());
+        for (n, (token, root)) in steps.iter().enumerate() {
+            incremental.append(*token, root);
+            // The n-step prefix of the full chain is the n-step chain.
+            assert_eq!(full.roots()[..=n], incremental.roots()[..], "step {n}");
+        }
+        assert_eq!(incremental, full);
+        // Every field is bound.
+        let mut other = TokenChain::from_steps(&steps[..6]);
+        other.append(steps[6].0 + 1, &steps[6].1);
+        assert_ne!(other.root(), full.root());
+    }
+}

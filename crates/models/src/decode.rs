@@ -7,7 +7,8 @@
 //! committed rule, tolerance-level logit drift can flip an argmax and turn
 //! numerical noise into divergent generations.
 
-use tao_graph::{execute, forward, BufferPool};
+use tao_graph::{execute, execute_observed, forward, forward_observed, BufferPool};
+use tao_merkle::{Digest, StreamingCommitter, TokenChain};
 use tao_tensor::{KernelConfig, Tensor};
 
 use crate::common::Model;
@@ -100,6 +101,98 @@ pub fn greedy_decode(
     Ok(out)
 }
 
+/// Incremental commitment over a decode session: one per-step trace root
+/// plus a prefix-stable [`TokenChain`] binding `(step, token, step_root)`
+/// triples in order.
+///
+/// Appending token `n+1` extends the chain without rehashing the prefix,
+/// so a long autoregressive session stays disputable at token granularity:
+/// `chain.root_at(t)` commits steps `0..=t`, and any single step can be
+/// contested against its own `step_roots[t]` with the usual per-node
+/// bisection — no recommitment of earlier tokens required.
+#[derive(Debug, Clone)]
+pub struct DecodeCommitment {
+    /// Per-step trace-commitment roots (one full forward pass each),
+    /// streamed through the pass rather than hashed post hoc.
+    pub step_roots: Vec<Digest>,
+    /// Rolling chain over `(step, token, step_root)`; see [`TokenChain`].
+    pub chain: TokenChain,
+}
+
+/// [`greedy_decode`] plus per-token incremental commitments: each step's
+/// forward pass streams its node values through a [`StreamingCommitter`]
+/// (hashing overlaps compute on multi-core hosts) and the resulting step
+/// root is appended to a prefix-stable [`TokenChain`].
+///
+/// Decoded tokens and logits are bit-identical to [`greedy_decode`] — the
+/// observer only reads values the executor already produced.
+///
+/// # Errors
+///
+/// Returns an error when a forward pass fails.
+pub fn greedy_decode_committed(
+    model: &Model,
+    cfg: QwenConfig,
+    prompt: &Tensor<f32>,
+    steps: usize,
+    kernel: &KernelConfig,
+    policy: &impl SelectToken,
+) -> Result<(Vec<DecodeStep>, DecodeCommitment), tao_graph::GraphError> {
+    let mut window = prompt.clone();
+    let mut out = Vec::with_capacity(steps);
+    let mut step_roots = Vec::with_capacity(steps);
+    let mut chain = TokenChain::new();
+    let logits_pos = model
+        .graph
+        .outputs()
+        .iter()
+        .position(|&id| id == model.logits);
+    let mut pool = BufferPool::new();
+    for step in 0..steps {
+        // A fresh committer per step: each token's forward pass gets its
+        // own trace root, so disputes land on one step, not the session.
+        let mut committer = StreamingCommitter::new(model.graph.len());
+        let logits_value;
+        let logits = match logits_pos {
+            Some(pos) => {
+                let mut outputs = forward_observed(
+                    &model.graph,
+                    std::slice::from_ref(&window),
+                    kernel,
+                    &mut pool,
+                    &mut committer,
+                )?;
+                logits_value = outputs.swap_remove(pos);
+                &logits_value
+            }
+            None => {
+                let exec = execute_observed(
+                    &model.graph,
+                    std::slice::from_ref(&window),
+                    kernel,
+                    None,
+                    &mut committer,
+                )?;
+                logits_value = exec.value(model.logits)?.clone();
+                &logits_value
+            }
+        };
+        let step_root = committer.finish().root();
+        let lane = logits.data()[logits.len() - cfg.vocab..].to_vec();
+        let token = policy.select(&lane, step as u64).unwrap_or(0);
+        chain.append(token as u64, &step_root);
+        step_roots.push(step_root);
+        out.push(DecodeStep {
+            token,
+            logits: lane,
+        });
+        let mut ids = window.data()[1..].to_vec();
+        ids.push(token as f32);
+        window = Tensor::from_vec(ids, &[cfg.seq]).expect("window keeps its shape");
+    }
+    Ok((out, DecodeCommitment { step_roots, chain }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +222,36 @@ mod tests {
         let ta: Vec<usize> = a.iter().map(|s| s.token).collect();
         let tb: Vec<usize> = b.iter().map(|s| s.token).collect();
         assert_ne!(ta, tb, "different prompts should rarely decode identically");
+    }
+
+    #[test]
+    fn committed_decode_matches_plain_and_is_prefix_stable() {
+        let cfg = QwenConfig::small();
+        let model = qwen::build(cfg, 3);
+        let prompt = qwen::sample_ids(cfg, 1);
+        let k = KernelConfig::reference();
+        let plain = greedy_decode(&model, cfg, &prompt, 5, &k, &Argmax).unwrap();
+        let (committed, c5) =
+            greedy_decode_committed(&model, cfg, &prompt, 5, &k, &Argmax).unwrap();
+        // Observation never perturbs the decode.
+        for (a, b) in plain.iter().zip(&committed) {
+            assert_eq!(a.token, b.token);
+            assert_eq!(a.logits, b.logits);
+        }
+        assert_eq!(c5.step_roots.len(), 5);
+        assert_eq!(c5.chain.len(), 5);
+        // Prefix stability: a 4-step session's chain is literally the
+        // 5-step session's chain truncated — no prefix rehashing.
+        let (_, c4) = greedy_decode_committed(&model, cfg, &prompt, 4, &k, &Argmax).unwrap();
+        assert_eq!(c4.step_roots[..], c5.step_roots[..4]);
+        assert_eq!(&c4.chain.root(), c5.chain.root_at(3).unwrap());
+        // And the rolling chain matches its post-hoc oracle.
+        let steps: Vec<(u64, Digest)> = committed
+            .iter()
+            .zip(&c5.step_roots)
+            .map(|(s, r)| (s.token as u64, *r))
+            .collect();
+        assert_eq!(TokenChain::from_steps(&steps).root(), c5.chain.root());
     }
 
     #[test]

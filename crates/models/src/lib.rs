@@ -23,7 +23,9 @@ pub mod transformer;
 
 pub use bert::BertConfig;
 pub use common::Model;
-pub use decode::{greedy_decode, Argmax, DecodeStep, SelectToken};
+pub use decode::{
+    greedy_decode, greedy_decode_committed, Argmax, DecodeCommitment, DecodeStep, SelectToken,
+};
 pub use diffusion::DiffusionConfig;
 pub use qwen::QwenConfig;
 pub use resnet::ResNetConfig;

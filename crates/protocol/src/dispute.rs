@@ -8,8 +8,9 @@ use tao_graph::{execute_subgraph, extract, partition, Execution, Graph, NodeId};
 use tao_merkle::{Digest, MerkleTree, TraceCommitment};
 use tao_tensor::Tensor;
 
+use crate::error::ProtocolError;
 use crate::gas::{self, GasMeter};
-use crate::record::{make_record_with, verify_record, TraceDigestCache};
+use crate::record::{make_record_with, verify_record_anchored, TraceDigestCache};
 use crate::screen::Screening;
 use crate::Result;
 
@@ -50,6 +51,22 @@ pub struct DisputeAnchors<'a> {
     pub graph_root: &'a Digest,
     /// Committed weight root `r_w`.
     pub weight_root: &'a Digest,
+    /// Trace root `r_t` bound into the claim commitment `C0` at prepare
+    /// time, when the claim carried one. With `Some`, every revealed
+    /// interface digest posted during descent must open against this root
+    /// via a Merkle path — a tampered or stale digest cache becomes
+    /// attributable fraud ([`DisputeResult::CommitmentBreach`]) instead of
+    /// silently steering the round.
+    pub trace_root: Option<&'a Digest>,
+}
+
+impl<'a> DisputeAnchors<'a> {
+    /// Anchors the dispute to the trace root the claim's `C0` binds.
+    #[must_use]
+    pub fn with_trace_root(mut self, root: &'a Digest) -> Self {
+        self.trace_root = Some(root);
+        self
+    }
 }
 
 /// The proposer's side of a dispute: the committed execution trace, plus
@@ -172,6 +189,17 @@ pub enum DisputeResult {
         /// Round at which the search went cold.
         round: usize,
     },
+    /// A revealed digest failed to open against the trace root bound into
+    /// `C0` (or a mandatory reveal was missing): the proposer's digest
+    /// cache is tampered or stale, and because only the proposer could
+    /// have produced `C0`, the breach is attributed to it — the proposer
+    /// loses without further descent.
+    CommitmentBreach {
+        /// Round at which the breach surfaced.
+        round: usize,
+        /// First node whose reveal was rejected.
+        node: NodeId,
+    },
 }
 
 /// Full outcome of Phase 2.
@@ -185,6 +213,10 @@ pub struct DisputeOutcome {
     pub challenger_flops: u64,
     /// Total Merkle proof verifications.
     pub merkle_checks: u64,
+    /// Revealed interface digests verified against the trace root bound
+    /// into `C0` (0 when the dispute ran unanchored). When positive,
+    /// `rehashed_leaves == 0` is a *verified* property, not a convention.
+    pub reveal_checks: u64,
     /// Full challenger forward passes executed *inside* the dispute: 0 when
     /// the screening trace was reused via
     /// [`ChallengerView::with_screening`], 1 when the game had to recompute
@@ -246,9 +278,10 @@ pub fn run_dispute(
     // the proposer's TraceCommitment was supplied, memoized otherwise. A
     // commitment of the wrong arity cannot bind this trace — ignore it
     // (fall back to rehashing) rather than derive hashes from the wrong
-    // digests. Within-arity binding is the caller's contract: the session
-    // builds both commitments from the very traces passed here, and
-    // posting the root on-chain (ROADMAP) would make it verifiable.
+    // digests. When the anchors carry the C0-bound trace root, dropping
+    // the commitment is not an escape hatch: records then post no reveals
+    // and the anchored verification below convicts the proposer of a
+    // commitment breach.
     let proposer_commitment = proposer
         .commitment
         .filter(|c| c.len() == proposer_trace.values.len());
@@ -272,6 +305,7 @@ pub fn run_dispute(
     let mut rounds = Vec::new();
     let mut total_flops = 0u64;
     let mut total_checks = 0u64;
+    let mut total_reveals = 0u64;
     let (mut start, mut end) = (0usize, graph.len());
     let mut round = 0usize;
 
@@ -304,8 +338,51 @@ pub fn run_dispute(
         // the maximum keeps the descent pointed at the real divergence,
         // whose exceedance sits orders of magnitude higher.
         let mut merkle_checks = 0u64;
+        let mut breach: Option<NodeId> = None;
         for rec in &records {
-            merkle_checks += verify_record(graph, anchors.graph_root, anchors.weight_root, rec)?;
+            match verify_record_anchored(
+                graph,
+                anchors.graph_root,
+                anchors.weight_root,
+                anchors.trace_root,
+                rec,
+            ) {
+                Ok((checks, reveals)) => {
+                    merkle_checks += checks;
+                    total_reveals += reveals;
+                }
+                Err(ProtocolError::RevealMismatch { node, .. }) => {
+                    // Attributable: the reveal disagrees with the root the
+                    // proposer itself bound into C0. Stop descending — the
+                    // records are garbage by construction.
+                    breach = Some(node);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        total_checks += merkle_checks;
+        if let Some(node) = breach {
+            rounds.push(RoundStats {
+                round,
+                range: (start, end),
+                children: records.len(),
+                chosen: usize::MAX,
+                partition_bytes,
+                selection_flops: 0,
+                merkle_checks,
+            });
+            gas.charge("settlement", gas::settlement());
+            return Ok(DisputeOutcome {
+                result: DisputeResult::CommitmentBreach { round, node },
+                rounds,
+                challenger_flops: total_flops,
+                merkle_checks: total_checks,
+                reveal_checks: total_reveals,
+                challenger_forward_passes,
+                rehashed_leaves: digest_cache.rehashed_leaves(),
+                gas,
+            });
         }
         // Cheap screen against the challenger's own screening trace:
         // exceedance of a committed node value vs the challenger's own
@@ -449,7 +526,6 @@ pub fn run_dispute(
             .map(|(ci, _)| ci);
         gas.charge("selection_post", gas::selection_post());
         total_flops += selection_flops;
-        total_checks += merkle_checks;
 
         let Some(ci) = chosen else {
             rounds.push(RoundStats {
@@ -467,6 +543,7 @@ pub fn run_dispute(
                 rounds,
                 challenger_flops: total_flops,
                 merkle_checks: total_checks,
+                reveal_checks: total_reveals,
                 challenger_forward_passes,
                 rehashed_leaves: digest_cache.rehashed_leaves(),
                 gas,
@@ -495,6 +572,7 @@ pub fn run_dispute(
         rounds,
         challenger_flops: total_flops,
         merkle_checks: total_checks,
+        reveal_checks: total_reveals,
         challenger_forward_passes,
         rehashed_leaves: digest_cache.rehashed_leaves(),
         gas,
@@ -559,6 +637,7 @@ mod tests {
                 weight_tree: &wt,
                 graph_root: &gt.root(),
                 weight_root: &wt.root(),
+                trace_root: None,
             },
             ProposerView::new(&trace),
             inputs,
@@ -608,6 +687,7 @@ mod tests {
             weight_tree: &wt,
             graph_root: &gt.root(),
             weight_root: &wt.root(),
+            trace_root: None,
         };
         let reused = run_dispute(
             &g,
@@ -640,6 +720,25 @@ mod tests {
         assert_eq!(committed.rehashed_leaves, 0, "cached digests must be reused");
         assert_eq!(committed.result, reused.result);
         assert_eq!(committed.challenger_flops, reused.challenger_flops);
+        assert_eq!(committed.reveal_checks, 0, "unanchored: nothing to verify");
+        // Anchoring the dispute to the C0-bound trace root turns the
+        // zero-rehash convention into a verified property: every revealed
+        // digest opens against the root, and nothing else changes.
+        let root = commitment.root();
+        let anchored = run_dispute(
+            &g,
+            anchors.with_trace_root(&root),
+            ProposerView::new(&trace).with_commitment(&commitment),
+            &inputs,
+            ChallengerView::with_screening(&challenger_dev, &screening),
+            &bundle,
+            DisputeConfig { n_way: 2 },
+        )
+        .unwrap();
+        assert_eq!(anchored.result, reused.result);
+        assert_eq!(anchored.rehashed_leaves, 0);
+        assert!(anchored.reveal_checks > 0, "reveals must be verified");
+        assert_eq!(anchored.challenger_flops, reused.challenger_flops);
         let fresh = run_dispute(
             &g,
             anchors,

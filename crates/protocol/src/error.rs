@@ -38,6 +38,19 @@ pub enum ProtocolError {
     Bound(String),
     /// Committee configuration invalid (e.g. even size or empty).
     BadCommittee(String),
+    /// A revealed trace digest failed to open against the trace root
+    /// bound into the claim commitment `C0` (missing, mis-indexed, or
+    /// non-verifying Merkle opening, or interface hashes that do not
+    /// re-derive from the reveals). Unlike [`ProtocolError::BadRecord`],
+    /// this is *attributable* fraud evidence against the proposer: only
+    /// the party that computed `C0` could have produced the commitment
+    /// the reveal disagrees with.
+    RevealMismatch {
+        /// First node whose reveal failed.
+        node: tao_graph::NodeId,
+        /// What went wrong with the reveal.
+        detail: String,
+    },
     /// No committed threshold exists for an operator that requires one.
     ///
     /// Screening and dispute selection compare error profiles against the
@@ -71,6 +84,9 @@ impl fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::BadRecord(m) => write!(f, "record verification failed: {m}"),
+            ProtocolError::RevealMismatch { node, detail } => {
+                write!(f, "reveal for node {node} rejected: {detail}")
+            }
             ProtocolError::Graph(m) => write!(f, "graph error: {m}"),
             ProtocolError::Bound(m) => write!(f, "bound error: {m}"),
             ProtocolError::BadCommittee(m) => write!(f, "bad committee: {m}"),

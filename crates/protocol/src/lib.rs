@@ -40,8 +40,11 @@ pub use error::ProtocolError;
 pub use gas::{GasEvent, GasMeter};
 pub use tao_money::{Money, Ppm};
 pub use par::{parallel_map, MAX_PAR_THREADS, MAX_WORKERS};
-pub use record::{make_record, make_record_with, verify_record, SubgraphRecord, TraceDigestCache};
-pub use screen::{screen_batch, screen_claim, ClaimCheck, Screening};
+pub use record::{
+    make_record, make_record_with, verify_record, verify_record_anchored, SubgraphRecord,
+    TraceDigestCache,
+};
+pub use screen::{screen_batch, screen_claim, screen_claim_committed, ClaimCheck, Screening};
 pub use temporal::{earliest_offense, states_agree, TemporalCommitment, TemporalVerdict};
 pub use tiebreak::{tie_seed, TieBreakRule};
 

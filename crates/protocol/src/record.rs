@@ -15,8 +15,8 @@ use std::collections::HashMap;
 
 use tao_graph::{Execution, Graph, NodeId, Subgraph};
 use tao_merkle::{
-    tensor_hash, verify_graph_leaf, verify_weight_leaf, Digest, InclusionProof, MerkleTree, Sha256,
-    TraceCommitment,
+    tensor_hash, verify_graph_leaf, verify_inclusion, verify_weight_leaf, Digest, InclusionProof,
+    MerkleTree, Sha256, TraceCommitment,
 };
 
 use crate::error::ProtocolError;
@@ -83,6 +83,19 @@ impl<'a> TraceDigestCache<'a> {
     pub fn rehashed_leaves(&self) -> u64 {
         self.rehashed
     }
+
+    /// The backing commitment, when one was supplied.
+    pub fn committed(&self) -> Option<&'a TraceCommitment> {
+        self.committed
+    }
+
+    /// Inclusion proof for node `id`'s digest into the backing
+    /// commitment's trace tree (`None` without a commitment or out of
+    /// range). This is what lets a record's interface digests be *opened*
+    /// against the trace root bound into `C0`.
+    pub fn prove(&self, id: NodeId) -> Option<InclusionProof> {
+        self.committed.and_then(|c| c.tree().prove(id.0))
+    }
 }
 
 /// A posted subgraph record: slice indices, interface hashes, and
@@ -100,6 +113,12 @@ pub struct SubgraphRecord {
     /// Inclusion proofs into the weight tree for referenced parameters,
     /// keyed by `(name, leaf index)`.
     pub param_proofs: Vec<(String, InclusionProof)>,
+    /// Revealed interface digests `(node id, digest, proof)` opening each
+    /// live-in/live-out node's digest against the trace root bound into
+    /// `C0`. Empty when the proposer's trace carries no commitment (then
+    /// an anchored verification must fail — the reveals are mandatory
+    /// whenever a trace root was committed).
+    pub trace_reveals: Vec<(usize, Digest, InclusionProof)>,
 }
 
 impl SubgraphRecord {
@@ -113,6 +132,11 @@ impl SubgraphRecord {
                 self.param_proofs
                     .iter()
                     .map(|(n, p)| n.len() + 8 + p.siblings.len() * 33),
+            )
+            .chain(
+                self.trace_reveals
+                    .iter()
+                    .map(|(_, _, p)| 8 + 32 + 8 + p.siblings.len() * 33),
             )
             .sum();
         16 + 64 + proofs
@@ -154,6 +178,21 @@ pub fn make_record_with(
 ) -> Result<SubgraphRecord> {
     let live_in_hash = cache.list_hash(trace, &sub.live_in)?;
     let live_out_hash = cache.list_hash(trace, &sub.live_out)?;
+    // With a committed trace, reveal each interface digest with its
+    // opening into the trace tree so the challenger can check every
+    // revealed digest against the root bound into `C0`.
+    let mut trace_reveals = Vec::new();
+    if cache.committed().is_some() {
+        let mut seen = std::collections::HashSet::new();
+        for &id in sub.live_in.iter().chain(&sub.live_out) {
+            if !seen.insert(id.0) {
+                continue;
+            }
+            if let Some(proof) = cache.prove(id) {
+                trace_reveals.push((id.0, cache.digest(trace, id)?, proof));
+            }
+        }
+    }
     let mut op_proofs = Vec::with_capacity(sub.len());
     for idx in sub.start..sub.end {
         let proof = graph_tree
@@ -179,6 +218,7 @@ pub fn make_record_with(
         live_out_hash,
         op_proofs,
         param_proofs,
+        trace_reveals,
     })
 }
 
@@ -196,6 +236,31 @@ pub fn verify_record(
     weight_root: &Digest,
     record: &SubgraphRecord,
 ) -> Result<u64> {
+    verify_record_anchored(graph, graph_root, weight_root, None, record).map(|(checks, _)| checks)
+}
+
+/// [`verify_record`] with the reveal-verification rule: when `trace_root`
+/// is the root bound into `C0`, **every** live-in and live-out node must
+/// carry a revealed digest that opens against it via a Merkle path, and
+/// the record's interface hashes must re-derive from exactly those
+/// revealed digests. A tampered or stale digest cache therefore cannot
+/// steer the round — it fails here, attributably.
+///
+/// Returns `(merkle_checks, reveal_checks)`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::BadRecord`] on any failed provenance proof and
+/// [`ProtocolError::RevealMismatch`] (naming the first offending node) on
+/// a missing, mis-indexed, or non-opening reveal, or interface hashes that
+/// do not re-derive from the revealed digests.
+pub fn verify_record_anchored(
+    graph: &Graph,
+    graph_root: &Digest,
+    weight_root: &Digest,
+    trace_root: Option<&Digest>,
+    record: &SubgraphRecord,
+) -> Result<(u64, u64)> {
     let mut checks = 0u64;
     for (idx, proof) in &record.op_proofs {
         let node = graph.node(tao_graph::NodeId(*idx))?;
@@ -215,7 +280,43 @@ pub fn verify_record(
             )));
         }
     }
-    Ok(checks)
+    let mut reveal_checks = 0u64;
+    if let Some(root) = trace_root {
+        let revealed: HashMap<usize, (&Digest, &InclusionProof)> = record
+            .trace_reveals
+            .iter()
+            .map(|(id, d, p)| (*id, (d, p)))
+            .collect();
+        for (ids, want, side) in [
+            (&record.sub.live_in, &record.live_in_hash, "live-in"),
+            (&record.sub.live_out, &record.live_out_hash, "live-out"),
+        ] {
+            let mut h = Sha256::new();
+            for &id in ids.iter() {
+                let (digest, proof) = revealed.get(&id.0).ok_or_else(|| {
+                    ProtocolError::RevealMismatch {
+                        node: id,
+                        detail: format!("{side} digest never revealed"),
+                    }
+                })?;
+                reveal_checks += 1;
+                if proof.index != id.0 || !verify_inclusion(root, &digest[..], proof) {
+                    return Err(ProtocolError::RevealMismatch {
+                        node: id,
+                        detail: format!("{side} reveal does not open against the committed root"),
+                    });
+                }
+                h.update(&digest[..]);
+            }
+            if h.finalize() != *want {
+                return Err(ProtocolError::RevealMismatch {
+                    node: *ids.first().unwrap_or(&NodeId(record.sub.start)),
+                    detail: format!("{side} hash does not re-derive from the revealed digests"),
+                });
+            }
+        }
+    }
+    Ok((checks, reveal_checks))
 }
 
 #[cfg(test)]
@@ -287,13 +388,40 @@ mod tests {
         let (g, exec, gt, wt) = setup();
         let sub = extract(&g, 2, 4).unwrap();
         let plain = make_record(&g, &gt, &wt, &sub, &exec).unwrap();
+        assert!(plain.trace_reveals.is_empty(), "no commitment, no reveals");
 
-        // Committed digests: identical record, zero rehashed leaves.
+        // Committed digests: identical hashes plus interface reveals,
+        // zero rehashed leaves, and the reveals open against the root.
         let commitment = tao_merkle::TraceCommitment::build(&exec.values);
         let mut cache = TraceDigestCache::new(Some(&commitment));
         let cached = make_record_with(&g, &gt, &wt, &sub, &exec, &mut cache).unwrap();
-        assert_eq!(cached, plain);
+        assert_eq!(cached.live_in_hash, plain.live_in_hash);
+        assert_eq!(cached.live_out_hash, plain.live_out_hash);
+        assert_eq!(cached.op_proofs, plain.op_proofs);
+        assert_eq!(cached.param_proofs, plain.param_proofs);
+        assert_eq!(
+            cached.trace_reveals.len(),
+            sub.live_in.len() + sub.live_out.len()
+        );
+        assert!(cached.byte_size() > plain.byte_size());
         assert_eq!(cache.rehashed_leaves(), 0);
+        let root = commitment.root();
+        let (_, reveal_checks) =
+            verify_record_anchored(&g, &gt.root(), &wt.root(), Some(&root), &cached).unwrap();
+        assert_eq!(reveal_checks as usize, cached.trace_reveals.len());
+        // The plain record carries no reveals, so anchored verification
+        // must reject it: reveals are mandatory once a root is committed.
+        assert!(matches!(
+            verify_record_anchored(&g, &gt.root(), &wt.root(), Some(&root), &plain),
+            Err(ProtocolError::RevealMismatch { .. })
+        ));
+        // A tampered revealed digest fails to open against the root.
+        let mut tampered = cached.clone();
+        tampered.trace_reveals[0].1[0] ^= 0x01;
+        assert!(matches!(
+            verify_record_anchored(&g, &gt.root(), &wt.root(), Some(&root), &tampered),
+            Err(ProtocolError::RevealMismatch { .. })
+        ));
 
         // Lazy cache: same record, rehashes each node once then memoizes.
         let mut lazy = TraceDigestCache::new(None);

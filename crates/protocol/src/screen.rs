@@ -12,8 +12,8 @@
 
 use tao_calib::{error_profile, ThresholdBundle, DEFAULT_EPS};
 use tao_device::Device;
-use tao_graph::{execute, Execution, Graph, NodeId};
-use tao_merkle::TraceCommitment;
+use tao_graph::{execute, execute_observed, Execution, Graph, NodeId};
+use tao_merkle::{StreamingCommitter, TraceCommitment};
 use tao_tensor::Tensor;
 
 use crate::error::ProtocolError;
@@ -111,6 +111,44 @@ pub fn screen_claim(
         flagged,
         trace,
         commitment,
+    })
+}
+
+/// [`screen_claim`] with the trace commitment streamed *through* the
+/// forward pass: a [`StreamingCommitter`] observes every node value as the
+/// executor produces it, so on multi-core hosts the hashing overlaps the
+/// remaining compute instead of running as a post-hoc pass over the
+/// finished trace (the `screen_throughput` flagged-path surcharge). The
+/// commitment is always present — this is the path for a challenger that
+/// intends to dispute (e.g. [`crate::ChallengerView::from_screening`]
+/// after an adopted abandonment), where the digests are consumed whether
+/// or not the exceedance flags.
+///
+/// Digests are bit-identical to [`TraceCommitment::build`] over the same
+/// trace; the `commit_equiv` suite asserts the equivalence.
+///
+/// # Errors
+///
+/// Same error conditions as [`screen_claim`].
+pub fn screen_claim_committed(
+    graph: &Graph,
+    output_node: NodeId,
+    thresholds: &ThresholdBundle,
+    claim: ClaimCheck<'_>,
+    device: &Device,
+) -> Result<Screening> {
+    let mut committer = StreamingCommitter::new(graph.len());
+    let trace = execute_observed(graph, claim.inputs, device.config(), None, &mut committer)?;
+    let commitment = committer.finish();
+    let prof = error_profile(claim.claimed_output, trace.value(output_node)?, DEFAULT_EPS);
+    let exceedance = thresholds
+        .exceedance(output_node, &prof)
+        .ok_or(ProtocolError::MissingThreshold(output_node))?;
+    Ok(Screening {
+        exceedance,
+        flagged: exceedance > 1.0,
+        trace,
+        commitment: Some(commitment),
     })
 }
 
@@ -242,6 +280,44 @@ mod tests {
             screening.exceedance_under(&raw, NodeId(0), &claimed),
             Err(ProtocolError::MissingThreshold(_))
         ));
+    }
+
+    #[test]
+    fn committed_screening_matches_plain_and_streams_identical_digests() {
+        let (g, bundle, out) = setup();
+        let proposer = Device::rtx4090_like();
+        let challenger = Device::h100_like();
+        let input = vec![Tensor::<f32>::rand_uniform(&[2, 16], -1.0, 1.0, 91)];
+        let honest = execute(&g, &input, proposer.config(), None)
+            .unwrap()
+            .value(out)
+            .unwrap()
+            .clone();
+        for tamper in [false, true] {
+            let claimed = if tamper {
+                honest.add_scalar(0.05)
+            } else {
+                honest.clone()
+            };
+            let claim = ClaimCheck {
+                inputs: &input,
+                claimed_output: &claimed,
+            };
+            let plain = screen_claim(&g, out, &bundle, claim, &challenger).unwrap();
+            let committed = screen_claim_committed(&g, out, &bundle, claim, &challenger).unwrap();
+            assert_eq!(committed.exceedance, plain.exceedance, "tamper={tamper}");
+            assert_eq!(committed.flagged, plain.flagged);
+            assert_eq!(committed.flagged, tamper);
+            // The streamed commitment is always present and bit-identical
+            // to the post-hoc oracle over the same trace.
+            let oracle = TraceCommitment::build(&committed.trace.values);
+            assert_eq!(committed.commitment(), Some(&oracle), "tamper={tamper}");
+            if tamper {
+                assert_eq!(plain.commitment(), Some(&oracle), "same trace, same digests");
+            } else {
+                assert!(plain.commitment().is_none(), "plain path skips hashing");
+            }
+        }
     }
 
     #[test]

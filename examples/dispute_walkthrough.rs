@@ -89,7 +89,17 @@ fn main() {
         DisputeResult::NoOffendingChild { round } => {
             println!("\nsearch went cold at round {round} (unexpected here)");
         }
+        DisputeResult::CommitmentBreach { round, node } => {
+            println!(
+                "\nreveal for node {node} failed against the committed trace root at \
+                 round {round} (unexpected here: this proposer commits honestly)"
+            );
+        }
     }
+    println!(
+        "reveals verified against the C0-bound trace root: {}",
+        dispute.reveal_checks
+    );
     let (path, verdict) = report.verdict.expect("leaf adjudicated");
     println!("adjudication path: {path:?}; verdict: {verdict:?}");
     println!("dispute gas: {:.1} kgas", dispute.gas.kgas());

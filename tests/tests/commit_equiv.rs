@@ -6,11 +6,13 @@
 //! leaf counts, and any forced thread count.
 
 use proptest::prelude::*;
+use tao_graph::{execute_observed, forward_observed, BufferPool, GraphBuilder, OpKind};
 use tao_merkle::{
     canon_tensor, sha256, sha256_batch_with, sha256_with, tensor_hash, tensor_hash_reference,
-    Backend, FastSha256, MerkleTree, Sha256, TraceCommitment,
+    Backend, Digest, FastSha256, MerkleTree, Sha256, StreamingCommitter, TokenChain,
+    TraceCommitment,
 };
-use tao_tensor::Tensor;
+use tao_tensor::{KernelConfig, Tensor};
 
 fn message(len: usize, seed: u8) -> Vec<u8> {
     (0..len)
@@ -126,6 +128,81 @@ proptest! {
                 "{:?}",
                 backend
             );
+        }
+    }
+
+    /// Streamed commitments (digests hashed as the executor retires each
+    /// node, in retirement order) are bit-identical to the post-hoc oracle
+    /// over the finished trace — for both executors, both committer modes,
+    /// and any chain depth/width/seed.
+    #[test]
+    fn streamed_commitment_equals_post_hoc_for_any_graph(
+        depth in 1usize..4,
+        width in 2usize..17,
+        seed in 0u64..1000,
+    ) {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(0, "x");
+        let mut cur = x;
+        for i in 0..depth {
+            let w = b.parameter(
+                format!("w{i}"),
+                Tensor::<f32>::rand_uniform(&[width, width], -0.4, 0.4, seed + i as u64),
+            );
+            let m = b.op(format!("mm{i}"), OpKind::MatMul, &[cur, w]);
+            cur = b.op(format!("act{i}"), OpKind::Gelu, &[m]);
+        }
+        let g = b.finish(vec![cur]).unwrap();
+        let inputs = vec![Tensor::<f32>::rand_uniform(&[3, width], -1.0, 1.0, seed + 99)];
+        let k = KernelConfig::reference();
+        // Post-hoc oracle over the trace executor's kept-alive values.
+        let mut probe = StreamingCommitter::inline(g.len());
+        let trace = execute_observed(&g, &inputs, &k, None, &mut probe).unwrap();
+        let oracle = TraceCommitment::build(&trace.values);
+        prop_assert_eq!(probe.finish().root(), oracle.root(), "trace inline");
+        let mut bg = StreamingCommitter::background(g.len());
+        execute_observed(&g, &inputs, &k, None, &mut bg).unwrap();
+        prop_assert_eq!(bg.finish().root(), oracle.root(), "trace background");
+        // The pooled executor observes in retirement order, not id order;
+        // the commitment must not care.
+        for mode in 0..2usize {
+            let mut committer = if mode == 0 {
+                StreamingCommitter::inline(g.len())
+            } else {
+                StreamingCommitter::background(g.len())
+            };
+            let mut pool = BufferPool::new();
+            forward_observed(&g, &inputs, &k, &mut pool, &mut committer).unwrap();
+            prop_assert_eq!(
+                committer.finish().root(),
+                oracle.root(),
+                "pooled mode {}",
+                mode
+            );
+        }
+    }
+
+    /// The rolling token chain equals its post-hoc oracle and is prefix
+    /// stable at every length: root_at(t) of the long chain equals the
+    /// root of the chain stopped at t.
+    #[test]
+    fn token_chain_matches_oracle_and_is_prefix_stable(
+        tokens in prop::collection::vec(0u64..50_000, 1..20),
+    ) {
+        let steps: Vec<(u64, Digest)> = tokens
+            .iter()
+            .enumerate()
+            .map(|(t, &tok)| (tok, sha256(&[t as u8, tok as u8])))
+            .collect();
+        let mut chain = TokenChain::new();
+        for (tok, root) in &steps {
+            chain.append(*tok, root);
+        }
+        let oracle = TokenChain::from_steps(&steps);
+        prop_assert_eq!(chain.root(), oracle.root());
+        for t in 0..steps.len() {
+            let prefix = TokenChain::from_steps(&steps[..=t]);
+            prop_assert_eq!(*chain.root_at(t).unwrap(), prefix.root(), "prefix t={}", t);
         }
     }
 }

@@ -2,7 +2,9 @@
 //! tampering and graph rewrites must break the Merkle commitments.
 
 use tao_graph::extract;
-use tao_merkle::{claim_commitment, commit_model, graph_tree, tensor_hash, weight_tree, ClaimMeta};
+use tao_merkle::{
+    claim_commitment, commit_model, graph_tree, sha256, tensor_hash, weight_tree, ClaimMeta,
+};
 use tao_models::{bert, qwen, BertConfig, QwenConfig};
 use tao_protocol::{make_record, verify_record};
 use tao_tensor::{KernelConfig, Tensor};
@@ -58,8 +60,9 @@ fn quantization_like_weight_change_detected() {
     let y1 = Tensor::<f32>::ones(&[1, 14]);
     let mut y2 = y1.clone();
     y2.data_mut()[3] += 1e-6;
-    let c1 = claim_commitment(&original, &tensor_hash(&x), &tensor_hash(&y1), &meta());
-    let c2 = claim_commitment(&original, &tensor_hash(&x), &tensor_hash(&y2), &meta());
+    let rt = sha256(b"trace-root");
+    let c1 = claim_commitment(&original, &tensor_hash(&x), &tensor_hash(&y1), &rt, &meta());
+    let c2 = claim_commitment(&original, &tensor_hash(&x), &tensor_hash(&y2), &rt, &meta());
     assert_ne!(c1, c2, "output hash binds the claim to exact bytes");
 }
 
@@ -100,9 +103,13 @@ fn meta_binds_device_and_window() {
     let c = commit_model(&m.graph, &[b"t".to_vec()]);
     let x = Tensor::<f32>::ones(&[8]);
     let y = Tensor::<f32>::ones(&[1, 14]);
-    let c1 = claim_commitment(&c, &tensor_hash(&x), &tensor_hash(&y), &meta());
+    let rt = sha256(b"trace-root");
+    let c1 = claim_commitment(&c, &tensor_hash(&x), &tensor_hash(&y), &rt, &meta());
     let mut other = meta();
     other.device = "sim-a100".into();
-    let c2 = claim_commitment(&c, &tensor_hash(&x), &tensor_hash(&y), &other);
+    let c2 = claim_commitment(&c, &tensor_hash(&x), &tensor_hash(&y), &rt, &other);
     assert_ne!(c1, c2);
+    // The trace root is bound too: same everything else, different root.
+    let c3 = claim_commitment(&c, &tensor_hash(&x), &tensor_hash(&y), &sha256(b"other"), &meta());
+    assert_ne!(c1, c3, "trace root must be bound into C0");
 }

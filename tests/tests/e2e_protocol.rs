@@ -70,6 +70,10 @@ fn bert_honest_and_malicious_sessions() {
         dispute.rehashed_leaves, 0,
         "dispute must derive child commitments from the cached subtree digests"
     );
+    assert!(
+        dispute.reveal_checks > 0,
+        "dispute must verify reveals against the C0-bound trace root"
+    );
     assert_eq!(evil.verdict.unwrap().1, LeafVerdict::Fraud);
     assert!(matches!(
         evil.final_status,
@@ -106,6 +110,7 @@ fn qwen_dispute_localizes_across_partition_widths() {
         let dispute = report.dispute.expect("dispute ran");
         assert_eq!(dispute.result, DisputeResult::Leaf(target), "N = {n_way}");
         assert_eq!(dispute.rehashed_leaves, 0, "N = {n_way}: digests must be cached");
+        assert!(dispute.reveal_checks > 0, "N = {n_way}: reveals must be verified");
         rounds_by_n.push(dispute.rounds.len());
     }
     assert!(
@@ -221,6 +226,11 @@ fn campaign_disputes_reuse_screening_traces_and_commitments() {
         assert_eq!(
             d.rehashed_leaves, 0,
             "claim {} ({:?}): campaign dispute re-hashed proposer trace leaves",
+            outcome.claim_id, outcome.role
+        );
+        assert!(
+            d.reveal_checks > 0,
+            "claim {} ({:?}): campaign dispute skipped reveal verification",
             outcome.claim_id, outcome.role
         );
     }

@@ -5,9 +5,9 @@
 use tao_calib::{calibrate, error_profile, DEFAULT_EPS};
 use tao_device::{Device, Fleet};
 use tao_graph::execute;
-use tao_merkle::{tensor_hash, MerkleTree};
-use tao_models::{diffusion, DiffusionConfig};
-use tao_tensor::Tensor;
+use tao_merkle::{tensor_hash, MerkleTree, TokenChain};
+use tao_models::{diffusion, greedy_decode, greedy_decode_committed, qwen, Argmax, DiffusionConfig, QwenConfig};
+use tao_tensor::{KernelConfig, Tensor};
 
 /// Re-runs the sampler on the challenger device and returns the earliest
 /// step whose latent deviates beyond a tolerance from the proposer's
@@ -141,6 +141,53 @@ fn batch_screening_amortizes_one_deployment_across_steps() {
         // Each screening keeps its trace so a dispute on the flagged step
         // would start with zero recomputation.
         assert_eq!(s.trace.values.len(), deployment.model.graph.len());
+    }
+}
+
+#[test]
+fn decode_sessions_are_disputable_at_token_granularity() {
+    // A long autoregressive session carries one trace root per token plus
+    // a prefix-stable rolling chain: contesting token t needs only
+    // step_roots[t] and the chain prefix — earlier tokens are never
+    // recommitted.
+    let cfg = QwenConfig::small();
+    let model = qwen::build(cfg, 3);
+    let prompt = qwen::sample_ids(cfg, 11);
+    let k = KernelConfig::reference();
+    let (steps, commit) = greedy_decode_committed(&model, cfg, &prompt, 6, &k, &Argmax).unwrap();
+    // Commitment never perturbs the decode.
+    let plain = greedy_decode(&model, cfg, &prompt, 6, &k, &Argmax).unwrap();
+    let plain_tokens: Vec<usize> = plain.iter().map(|s| s.token).collect();
+    let tokens: Vec<usize> = steps.iter().map(|s| s.token).collect();
+    assert_eq!(tokens, plain_tokens);
+    // Decode commitments are seed-deterministic: a re-run reproduces every
+    // step root and the chain bit-for-bit (whatever committer mode the
+    // host picks).
+    let (_, again) = greedy_decode_committed(&model, cfg, &prompt, 6, &k, &Argmax).unwrap();
+    assert_eq!(commit.step_roots, again.step_roots);
+    assert_eq!(commit.chain.root(), again.chain.root());
+    // Extending the session from 6 to 7 tokens rehashes no prefix state:
+    // the first six step roots and every intermediate chain root match.
+    let (_, longer) = greedy_decode_committed(&model, cfg, &prompt, 7, &k, &Argmax).unwrap();
+    assert_eq!(&longer.step_roots[..6], &commit.step_roots[..]);
+    for t in 0..6 {
+        assert_eq!(longer.chain.root_at(t), commit.chain.root_at(t), "t={t}");
+    }
+    // Tampering one step's root breaks the chain from that point on while
+    // the prefix stays final — the temporal-bisection property at token
+    // granularity.
+    let mut forged: Vec<(u64, tao_merkle::Digest)> = steps
+        .iter()
+        .zip(&commit.step_roots)
+        .map(|(s, r)| (s.token as u64, *r))
+        .collect();
+    forged[3].1[0] ^= 0x01;
+    let forged_chain = TokenChain::from_steps(&forged);
+    for t in 0..3 {
+        assert_eq!(forged_chain.root_at(t), commit.chain.root_at(t), "prefix t={t}");
+    }
+    for t in 3..6 {
+        assert_ne!(forged_chain.root_at(t), commit.chain.root_at(t), "suffix t={t}");
     }
 }
 
