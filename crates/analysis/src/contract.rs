@@ -77,6 +77,12 @@ pub enum ErrorRule {
     AvgPool,
     /// Global (adaptive 1x1) average pooling.
     GlobalAvgPool,
+    /// Int8-quantized operator: the committed numeric contract is exact
+    /// integer arithmetic (widening wrapping-`i32` accumulation plus
+    /// deterministic `f64` scale roundings), so the *cross-device
+    /// deviation* bound is zero — every honest device reproduces the same
+    /// bits at every `KernelConfig`.
+    Quantized,
 }
 
 /// How many inputs an operator accepts (mirrors `eval_node`'s checks).
@@ -154,6 +160,11 @@ pub fn contract(kind: &OpKind) -> OpContract {
         OpKind::MatMul => c(Arity::Exact(2), false, E::DotProduct),
         OpKind::Linear => c(Arity::Range(2, 3), false, E::DotProduct),
         OpKind::Conv2d { .. } => c(Arity::Range(2, 3), false, E::DotProduct),
+        OpKind::QuantMatmul => c(Arity::Exact(2), false, E::Quantized),
+        OpKind::QuantLinear => c(Arity::Range(2, 3), false, E::Quantized),
+        OpKind::Quantize { .. } | OpKind::Dequantize { .. } => {
+            c(Arity::Exact(1), false, E::Quantized)
+        }
         OpKind::MeanAll => c(Arity::Exact(1), false, E::MeanAll),
         OpKind::SumAll => c(Arity::Exact(1), false, E::SumAll),
         OpKind::SumAxis(_) => c(Arity::Exact(1), false, E::ReduceAxis { mean: false }),
@@ -346,6 +357,50 @@ pub fn infer_shape(kind: &OpKind, inputs: &[&[usize]]) -> ShapeResult {
             let mut out = x.to_vec();
             *out.last_mut().expect("rank checked") = out_f;
             Ok(out)
+        }
+        OpKind::QuantMatmul => {
+            // Rank-2 only, mirroring the kernel's `quant_matmul_check`.
+            let (a, b) = (inputs[0], inputs[1]);
+            if a.len() != 2 || b.len() != 2 {
+                return Err(issue(format!(
+                    "quant_matmul needs rank 2 operands, got {a:?} @ {b:?}"
+                )));
+            }
+            if a[1] != b[0] {
+                return Err(issue(format!("quant_matmul inner dims differ: {a:?} @ {b:?}")));
+            }
+            Ok(vec![a[0], b[1]])
+        }
+        OpKind::QuantLinear => {
+            let (x, w) = (inputs[0], inputs[1]);
+            if w.len() != 2 {
+                return Err(issue(format!("quant_linear weight must be rank 2, got {w:?}")));
+            }
+            let in_f = *x
+                .last()
+                .ok_or_else(|| issue("quant_linear input needs rank >= 1"))?;
+            let (out_f, w_in) = (w[0], w[1]);
+            if w_in != in_f {
+                return Err(issue(format!("quant_linear features differ: {x:?} @ {w:?}")));
+            }
+            if let Some(b) = inputs.get(2) {
+                if **b != [out_f] {
+                    return Err(issue(format!("quant_linear bias {b:?} must be [{out_f}]")));
+                }
+            }
+            let mut out = x.to_vec();
+            *out.last_mut().expect("rank checked") = out_f;
+            Ok(out)
+        }
+        OpKind::Quantize { scale } | OpKind::Dequantize { scale } => {
+            // Mirrors the kernel's `check_scale` so an inadmissible scale
+            // is a lint finding, not a runtime surprise.
+            if !scale.is_finite() || *scale <= 0.0 {
+                return Err(issue(format!(
+                    "{kind:?}: scale must be finite and positive, got {scale}"
+                )));
+            }
+            Ok(inputs[0].to_vec())
         }
         OpKind::Conv2d { stride, padding } => {
             let (n, c_in, h, w) = nchw(inputs[0])?;

@@ -16,10 +16,12 @@
 //! seed scalar loop under the reference config — is recorded in BENCH.md
 //! and asserted ≥ 4x here (outside smoke mode).
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use tao_bench::print_table;
-use tao_tensor::kernel::{gemm, PackedRhs};
+use tao_tensor::kernel::{gemm, gemm_into, gemm_packed_into, PackedLhs, PackedRhs};
+use tao_tensor::quant::{quant_gemm_into, quant_gemm_reference, quantize_symmetric};
 use tao_tensor::{AccumMode, Conv2dParams, KernelConfig, MathLib, Tensor};
 
 /// Median wall-clock seconds of `samples` runs of `f` (one warm-up run).
@@ -44,6 +46,38 @@ fn assert_bits_eq(fast: &[f32], slow: &[f32], what: &str) {
             "{what}: element {i}: blocked {f:e} != oracle {s:e}"
         );
     }
+}
+
+/// Appends one row in the criterion stub's CSV schema when
+/// `CRITERION_CSV` is set.
+fn export_csv(id: &str, secs: f64, flops: u64) {
+    let Ok(path) = std::env::var("CRITERION_CSV") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let exists = std::path::Path::new(&path).exists();
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    let Ok(mut file) = file else {
+        eprintln!("kernel_microbench: CSV export to {path} failed to open");
+        return;
+    };
+    if !exists {
+        let _ = writeln!(
+            file,
+            "id,samples,min_ns,mean_ns,median_ns,stddev_ns,throughput_unit,throughput_per_iter,outliers_rejected"
+        );
+    }
+    let ns = (secs * 1e9) as u128;
+    let _ = writeln!(
+        file,
+        "{},1,{ns},{ns},{ns},0,flops,{flops},0",
+        id.replace(',', ";")
+    );
 }
 
 fn fleet_configs() -> Vec<(&'static str, KernelConfig)> {
@@ -215,6 +249,150 @@ fn main() {
         &["kernel config", "conv2d", "softmax", "layer_norm"],
         &rows,
     );
+
+    // --- int8 quantized GEMM vs the blocked f32 hot path -----------------
+    // The quantized kernel family's acceptance row: the AVX2 int8 GEMM
+    // (bit-identical to the scalar int8 oracle) must beat the *fast*
+    // blocked f32 path, not just the seed loop. Floor: ≥ 2x at 256³ on
+    // AVX2 hosts, asserted outside smoke mode.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    let avx2 = false;
+    let qa_f = Tensor::<f32>::rand_uniform(&[dim, dim], -2.0, 2.0, 6);
+    let qb_f = Tensor::<f32>::rand_uniform(&[dim, dim], -2.0, 2.0, 7);
+    let (qa, _) = quantize_symmetric(qa_f.data());
+    let (qb, _) = quantize_symmetric(qb_f.data());
+    let qrhs = PackedRhs::<i8>::from_row_major(&qb, dim, dim);
+    let f32_cfg = KernelConfig {
+        accum: AccumMode::Blocked(32),
+        fma: true,
+        math: MathLib::VariantA,
+    };
+    let f32_rhs = PackedRhs::from_row_major(qb_f.data(), dim, dim);
+    let mut fast = vec![0i32; dim * dim];
+    quant_gemm_into(&qa, dim, &qrhs, &mut fast, 1);
+    assert_eq!(
+        fast,
+        quant_gemm_reference(&qa, dim, dim, &qb, dim),
+        "int8 fast path drifted from the scalar int8 oracle"
+    );
+    let t_f32_blocked = median_secs(samples, || gemm(&f32_cfg, qa_f.data(), dim, &f32_rhs, 1));
+    let t_i8 = median_secs(samples, || {
+        quant_gemm_into(&qa, dim, &qrhs, &mut fast, 1);
+    });
+    let t_i8_oracle = median_secs(samples, || quant_gemm_reference(&qa, dim, dim, &qb, dim));
+    let gemm_flops = 2 * (dim as u64).pow(3);
+    export_csv(&format!("int8_gemm_{dim}"), t_i8, gemm_flops);
+    export_csv(&format!("int8_gemm_oracle_{dim}"), t_i8_oracle, gemm_flops);
+    export_csv(&format!("f32_gemm_blocked_{dim}"), t_f32_blocked, gemm_flops);
+    let int8_vs_f32 = t_f32_blocked / t_i8;
+    print_table(
+        &format!("Kernel microbench — int8 GEMM {dim}x{dim}x{dim} vs blocked f32 (avx2: {avx2})"),
+        &[
+            "kernel",
+            "time",
+            "vs blocked f32",
+            "vs int8 scalar oracle",
+        ],
+        &[
+            vec![
+                "blocked f32 + fma".into(),
+                format!("{:.2}ms", 1e3 * t_f32_blocked),
+                "1.00x".into(),
+                String::new(),
+            ],
+            vec![
+                "int8 scalar oracle".into(),
+                format!("{:.2}ms", 1e3 * t_i8_oracle),
+                format!("{:.2}x", t_f32_blocked / t_i8_oracle),
+                "1.00x".into(),
+            ],
+            vec![
+                "int8 fast path".into(),
+                format!("{:.2}ms", 1e3 * t_i8),
+                format!("{int8_vs_f32:.2}x"),
+                format!("{:.2}x", t_i8_oracle / t_i8),
+            ],
+        ],
+    );
+    if smoke {
+        println!("(smoke mode: 2x int8-vs-f32 floor not asserted)");
+    } else if !avx2 {
+        println!("(no AVX2 on this host: 2x int8-vs-f32 floor not asserted)");
+    } else {
+        assert!(
+            int8_vs_f32 >= 2.0,
+            "int8 GEMM ran at {int8_vs_f32:.2}x the blocked f32 path, below the 2x floor"
+        );
+    }
+
+    // --- packed-lhs register blocking, attention-shaped ------------------
+    // Batched attention matmuls (scores = Q Kᵀ per head) are where lhs
+    // panel packing pays: the MR-row register tile reuses each rhs panel
+    // load across 4 output rows. Packing happens inside the timed region,
+    // exactly as `matmul_with_buf` pays it. Floor: ≥ 1.2x over the
+    // unpacked blocked kernel, asserted outside smoke mode.
+    let (heads, seq, hd) = if smoke { (2, 32, 16) } else { (8, 128, 64) };
+    let att_cfg = KernelConfig::reference();
+    let q_heads: Vec<Tensor<f32>> = (0..heads)
+        .map(|h| Tensor::<f32>::rand_uniform(&[seq, hd], -1.0, 1.0, 100 + h as u64))
+        .collect();
+    let k_rhs: Vec<PackedRhs<f32>> = (0..heads)
+        .map(|h| {
+            let k = Tensor::<f32>::rand_uniform(&[hd, seq], -1.0, 1.0, 200 + h as u64);
+            PackedRhs::from_row_major(k.data(), hd, seq)
+        })
+        .collect();
+    let mut scores = vec![0f32; seq * seq];
+    let t_unpacked = median_secs(samples, || {
+        for (q, k) in q_heads.iter().zip(&k_rhs) {
+            gemm_into(&att_cfg, q.data(), seq, k, &mut scores, 1);
+        }
+    });
+    let t_packed = median_secs(samples, || {
+        for (q, k) in q_heads.iter().zip(&k_rhs) {
+            let lhs = PackedLhs::from_row_major(q.data(), seq, hd);
+            gemm_packed_into(&att_cfg, &lhs, k, &mut scores, 1);
+        }
+    });
+    for (q, k) in q_heads.iter().zip(&k_rhs) {
+        let mut unpacked = vec![0f32; seq * seq];
+        gemm_into(&att_cfg, q.data(), seq, k, &mut unpacked, 1);
+        let lhs = PackedLhs::from_row_major(q.data(), seq, hd);
+        gemm_packed_into(&att_cfg, &lhs, k, &mut scores, 1);
+        assert_bits_eq(&scores, &unpacked, "packed-lhs attention gemm");
+    }
+    let att_flops = 2 * (heads * seq * hd * seq) as u64;
+    export_csv(&format!("attention_gemm_unpacked_{heads}x{seq}x{hd}"), t_unpacked, att_flops);
+    export_csv(&format!("attention_gemm_packed_lhs_{heads}x{seq}x{hd}"), t_packed, att_flops);
+    let lhs_speedup = t_unpacked / t_packed;
+    print_table(
+        &format!(
+            "Kernel microbench — attention-shaped batched matmul, {heads} heads x {seq}x{hd}x{seq}"
+        ),
+        &["kernel", "time", "speedup"],
+        &[
+            vec![
+                "unpacked blocked".into(),
+                format!("{:.2}ms", 1e3 * t_unpacked),
+                "1.00x".into(),
+            ],
+            vec![
+                "packed-lhs MR tile".into(),
+                format!("{:.2}ms", 1e3 * t_packed),
+                format!("{lhs_speedup:.2}x"),
+            ],
+        ],
+    );
+    if smoke {
+        println!("(smoke mode: 1.2x packed-lhs floor not asserted)");
+    } else {
+        assert!(
+            lhs_speedup >= 1.2,
+            "packed-lhs attention matmul ran at {lhs_speedup:.2}x unpacked, below the 1.2x floor"
+        );
+    }
 
     println!(
         "\nAll timed pairs bit-compared against the scalar oracles: OK.\n\

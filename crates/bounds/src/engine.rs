@@ -132,6 +132,13 @@ impl BoundEngine {
             // Structural / exact operators contribute no rounding error.
             ErrorRule::Exact => zero(),
 
+            // Quantized operators pin their entire numeric pipeline
+            // (integer accumulation, deterministic f64 scale roundings),
+            // so every honest device reproduces identical bits at every
+            // `KernelConfig`: the cross-device deviation bound is zero and
+            // *any* nonzero deviation is adversarial.
+            ErrorRule::Quantized => zero(),
+
             // `scale` fresh roundings on the output: ε ≤ scale·u|out|
             // (elementwise arithmetic at 1, exp(y ln x) chains at 6, …).
             ErrorRule::Fresh { scale } => fresh(scale),

@@ -98,6 +98,45 @@ pub fn calibrate(
     samples: &[Vec<Tensor<f32>>],
     fleet: &Fleet,
 ) -> Result<CalibrationRecord> {
+    calibrate_inner(graph, samples, fleet, 0)
+}
+
+/// [`calibrate`] with the deployment's static report threaded in: the
+/// per-worker error scratch buffers and every per-operator envelope are
+/// sized from the report's inferred shapes *before* the first forward
+/// pass, so the calibration hot loop performs no per-sample allocation.
+///
+/// Produces a [`CalibrationRecord`] identical to [`calibrate`]'s — the
+/// report only informs allocation, never the numbers.
+///
+/// # Errors
+///
+/// Returns an error for an empty fleet/sample set or if execution fails.
+pub fn calibrate_with_report(
+    graph: &Graph,
+    samples: &[Vec<Tensor<f32>>],
+    fleet: &Fleet,
+    report: &tao_analysis::StaticReport,
+) -> Result<CalibrationRecord> {
+    // The largest inferred operator output determines the scratch size: the
+    // element-wise error pass never produces more entries than the larger
+    // operand, and both traces executed the same graph.
+    let scratch = report
+        .shapes
+        .iter()
+        .flatten()
+        .map(|dims| dims.iter().product::<usize>())
+        .max()
+        .unwrap_or(0);
+    calibrate_inner(graph, samples, fleet, scratch)
+}
+
+fn calibrate_inner(
+    graph: &Graph,
+    samples: &[Vec<Tensor<f32>>],
+    fleet: &Fleet,
+    scratch_elems: usize,
+) -> Result<CalibrationRecord> {
     if fleet.len() < 2 {
         return Err(CalibError::NotEnoughDevices(fleet.len()));
     }
@@ -138,6 +177,15 @@ pub fn calibrate(
                 let errors = &errors;
                 let compute_nodes = &compute_nodes;
                 scope.spawn(move || {
+                    // Per-worker scratch, allocated once before the first
+                    // forward pass (pre-sized from the static report when
+                    // one was provided) and reused across every
+                    // (sample × device-pair × node) error computation.
+                    let mut abs: Vec<f64> = Vec::with_capacity(scratch_elems);
+                    let mut rel: Vec<f64> = Vec::with_capacity(scratch_elems);
+                    let mut local: Vec<PercentilePair> =
+                        vec![PercentilePair::zero(); compute_nodes.len()];
+                    let mut local_abs: Vec<(f64, u64)> = vec![(0.0, 0); compute_nodes.len()];
                     for (si, sample) in sample_chunk.iter().enumerate() {
                         let s = ti * chunk + si;
                         // Execute on every device.
@@ -152,16 +200,19 @@ pub fn calibrate(
                             }
                         }
                         // Per-sample envelope across ordered device pairs.
-                        let mut local: Vec<PercentilePair> =
-                            vec![PercentilePair::zero(); compute_nodes.len()];
-                        let mut local_abs: Vec<(f64, u64)> = vec![(0.0, 0); compute_nodes.len()];
+                        for p in &mut local {
+                            p.abs.fill(0.0);
+                            p.rel.fill(0.0);
+                        }
+                        local_abs.fill((0.0, 0));
                         for j in 0..traces.len() {
                             for k in j + 1..traces.len() {
                                 for (ci, &node) in compute_nodes.iter().enumerate() {
                                     let a = &traces[j].values[node.0];
                                     let b = &traces[k].values[node.0];
-                                    let (abs, rel) =
-                                        crate::profile::elementwise_errors(a, b, DEFAULT_EPS);
+                                    crate::profile::elementwise_errors_into(
+                                        a, b, DEFAULT_EPS, &mut abs, &mut rel,
+                                    );
                                     let prof = PercentilePair {
                                         abs: crate::percentile::grid_profile(&abs),
                                         rel: crate::percentile::grid_profile(&rel),
@@ -309,6 +360,23 @@ mod tests {
             s0.thresholds.abs.iter().sum::<f64>() > r0.thresholds.abs.iter().sum::<f64>(),
             "smoothed-tail estimator added no slack over the raw envelope"
         );
+    }
+
+    #[test]
+    fn presized_calibration_matches_unsized_exactly() {
+        // The static report only informs allocation: thresholds from the
+        // pre-sized path must be bit-identical to the plain path.
+        let g = small_model();
+        let fleet = Fleet::standard();
+        let samples = dataset(6);
+        let report = tao_analysis::analyze(&g, &[vec![4, 96]]);
+        let plain = calibrate(&g, &samples, &fleet)
+            .unwrap()
+            .into_thresholds(DEFAULT_ALPHA);
+        let presized = calibrate_with_report(&g, &samples, &fleet, &report)
+            .unwrap()
+            .into_thresholds(DEFAULT_ALPHA);
+        assert_eq!(plain, presized);
     }
 
     #[test]

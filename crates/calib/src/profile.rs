@@ -51,9 +51,28 @@ impl PercentilePair {
 /// Element-wise absolute and relative errors between two executions of the
 /// same operator (Eq. 1–2), flattened to 1-D.
 pub fn elementwise_errors(a: &Tensor<f32>, b: &Tensor<f32>, eps: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut abs = Vec::new();
+    let mut rel = Vec::new();
+    elementwise_errors_into(a, b, eps, &mut abs, &mut rel);
+    (abs, rel)
+}
+
+/// Allocation-free variant of [`elementwise_errors`]: clears `abs`/`rel` and
+/// writes into them, reusing whatever capacity the caller pre-sized. The
+/// calibration hot loop calls this with scratch vectors sized from the
+/// deployment's static report so no per-sample allocation happens.
+pub fn elementwise_errors_into(
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+    eps: f64,
+    abs: &mut Vec<f64>,
+    rel: &mut Vec<f64>,
+) {
     let n = a.len().min(b.len());
-    let mut abs = Vec::with_capacity(n);
-    let mut rel = Vec::with_capacity(n);
+    abs.clear();
+    rel.clear();
+    abs.reserve(n);
+    rel.reserve(n);
     for i in 0..n {
         let x = a.data()[i] as f64;
         let y = b.data()[i] as f64;
@@ -61,7 +80,6 @@ pub fn elementwise_errors(a: &Tensor<f32>, b: &Tensor<f32>, eps: f64) -> (Vec<f6
         abs.push(d);
         rel.push(d / (x.abs() + eps));
     }
-    (abs, rel)
 }
 
 /// Percentile profiles of the element-wise errors between two outputs

@@ -379,7 +379,24 @@ fn vjp(
             }
             vec![Some(ga), Some(gb)]
         }
-        OpKind::Linear => {
+        // Quantized GEMMs under the straight-through estimator: rounding
+        // to the int8 grid is piecewise-constant (gradient zero almost
+        // everywhere), so attack-search gradients treat the grid as
+        // transparent and differentiate the float-equivalent op.
+        OpKind::QuantMatmul => {
+            let a = val(node.inputs[0])?;
+            let b = val(node.inputs[1])?;
+            // Rank-2 only (enforced by the kernel), so no batch reduction.
+            vec![
+                Some(gout.matmul(&transpose_last2(b)?, cfg)?),
+                Some(transpose_last2(a)?.matmul(gout, cfg)?),
+            ]
+        }
+        // Straight-through slopes of the static-scale fake-quant pair:
+        // quantize divides by the scale, dequantize multiplies it back.
+        OpKind::Quantize { scale } => vec![Some(gout.mul_scalar((1.0 / *scale) as f32))],
+        OpKind::Dequantize { scale } => vec![Some(gout.mul_scalar(*scale as f32))],
+        OpKind::Linear | OpKind::QuantLinear => {
             let x = val(node.inputs[0])?;
             let wt = val(node.inputs[1])?;
             let in_f = x.dims()[x.rank() - 1];

@@ -63,6 +63,29 @@ pub type Perturbations = HashMap<NodeId, Tensor<f32>>;
 pub trait ValueObserver {
     /// Called exactly once per node with its final output value.
     fn observe(&mut self, id: NodeId, value: &Tensor<f32>);
+
+    /// Called by the pooled executor instead of [`observe`](Self::observe)
+    /// when a value is *retired* (its last consumer has run): the observer
+    /// takes ownership of the tensor and is responsible for returning its
+    /// buffer to `pool` once it no longer needs the data.
+    ///
+    /// The default forwards to [`observe`](Self::observe) and recycles the
+    /// buffer immediately. Observers that defer work on the value (e.g. a
+    /// background hashing thread) override this to hand the owned buffer
+    /// to the worker and route it back into the pool after digesting,
+    /// instead of cloning the tensor and letting the clone defeat the
+    /// uniqueness check that feeds the pool.
+    fn observe_retired(
+        &mut self,
+        id: NodeId,
+        value: Tensor<f32>,
+        pool: &mut crate::pool::BufferPool,
+    ) {
+        self.observe(id, &value);
+        if let Some(buf) = value.into_unique_data() {
+            pool.give(buf);
+        }
+    }
 }
 
 /// Executes `graph` on `inputs` under `cfg`, optionally injecting additive
@@ -356,6 +379,27 @@ pub fn eval_node(
                 },
                 cfg,
             )?
+        }
+        OpKind::QuantMatmul => {
+            need(2)?;
+            arg(0)?.quant_matmul(arg(1)?)?
+        }
+        OpKind::QuantLinear => {
+            let bias = if node.inputs.len() == 3 {
+                Some(arg(2)?)
+            } else {
+                need(2)?;
+                None
+            };
+            arg(0)?.quant_linear(arg(1)?, bias)?
+        }
+        OpKind::Quantize { scale } => {
+            need(1)?;
+            arg(0)?.quantize_static(*scale)?
+        }
+        OpKind::Dequantize { scale } => {
+            need(1)?;
+            arg(0)?.dequantize_static(*scale)?
         }
         OpKind::MeanAll => {
             need(1)?;

@@ -105,6 +105,29 @@ pub enum OpKind {
         padding: usize,
     },
 
+    // Int8-quantized kernel family. The quantization policy (symmetric
+    // scales, round-ties-away, clamp to ±127, widening wrapping-i32
+    // accumulation) is exact integer arithmetic, so these operators are
+    // cross-device bit-exact at every `KernelConfig` — their calibration
+    // envelopes are all-zero and any deviation is an unbounded offense.
+    /// Int8-quantized rank-2 matrix product with per-tensor symmetric
+    /// scales derived from both operands.
+    QuantMatmul,
+    /// Int8-quantized affine layer with a per-tensor activation scale and
+    /// per-output-channel weight scales; inputs `(x, w)` or `(x, w, b)`.
+    QuantLinear,
+    /// Fake-quantize to the symmetric int8 grid with a static committed
+    /// scale (the scale is part of the operator signature).
+    Quantize {
+        /// Static quantization step; must be finite and positive.
+        scale: f64,
+    },
+    /// Multiply quantized-grid integers back by a static committed scale.
+    Dequantize {
+        /// Static quantization step; must be finite and positive.
+        scale: f64,
+    },
+
     // Reductions / pooling / resampling.
     /// Mean over all elements (rank-0 output).
     MeanAll,
@@ -201,6 +224,10 @@ impl OpKind {
             OpKind::MatMul => "matmul",
             OpKind::Linear => "linear",
             OpKind::Conv2d { .. } => "conv2d",
+            OpKind::QuantMatmul => "quant_matmul",
+            OpKind::QuantLinear => "quant_linear",
+            OpKind::Quantize { .. } => "quantize",
+            OpKind::Dequantize { .. } => "dequantize",
             OpKind::MeanAll => "mean",
             OpKind::SumAll => "sum",
             OpKind::SumAxis(_) => "sum_axis",
@@ -296,6 +323,18 @@ impl OpKind {
                     .unwrap_or(1);
                 2 * out_n * patch as u64
             }
+            // Quantized GEMMs: the integer multiply-accumulates (2*out*k)
+            // plus one quantization op per input element and one
+            // dequantize(+bias) op per output element.
+            OpKind::QuantMatmul | OpKind::QuantLinear => {
+                let k = inputs
+                    .first()
+                    .map(|s| *s.dims().last().unwrap_or(&1))
+                    .unwrap_or(1);
+                let in_n: u64 = inputs.iter().map(|s| s.volume() as u64).sum();
+                2 * out_n * k as u64 + in_n + out_n
+            }
+            OpKind::Quantize { .. } | OpKind::Dequantize { .. } => out_n,
             OpKind::MeanAll | OpKind::SumAll => {
                 inputs.first().map(|s| s.volume() as u64).unwrap_or(0)
             }

@@ -168,13 +168,13 @@ fn last_uses(graph: &Graph) -> Vec<usize> {
 /// estimate can never affect results).
 fn pooled_len_estimate(node: &OpKind, a: &Tensor<f32>, b: Option<&Tensor<f32>>) -> usize {
     match node {
-        OpKind::MatMul => {
+        OpKind::MatMul | OpKind::QuantMatmul => {
             let b = b.expect("matmul has two inputs");
             let k = a.dims().last().copied().unwrap_or(1).max(1);
             let n = b.dims().last().copied().unwrap_or(0);
             (a.len() / k) * n
         }
-        OpKind::Linear => {
+        OpKind::Linear | OpKind::QuantLinear => {
             let w = b.expect("linear has a weight");
             let in_f = w.dims().last().copied().unwrap_or(1).max(1);
             let out_f = w.dims().first().copied().unwrap_or(0);
@@ -246,13 +246,16 @@ pub fn forward_with_stats(
 }
 
 /// [`forward`] with a [`ValueObserver`] receiving every node's final value
-/// exactly once — each dead intermediate is observed at the moment the
-/// last-use analysis retires it (just before its buffer returns to the
-/// pool), and the values still live at the end of the pass (graph outputs,
-/// never-read nodes) are observed in a final id-order sweep. This is the
+/// exactly once — each dead intermediate is handed to the observer's
+/// [`ValueObserver::observe_retired`] at the moment the last-use analysis
+/// retires it, *by value together with the pool*: the observer digests the
+/// tensor without cloning and returns the buffer to the pool itself (the
+/// background hasher does so after the worker thread finishes with it).
+/// Values still live at the end of the pass (graph outputs, never-read
+/// nodes) are observed by reference in a final id-order sweep. This is the
 /// streamed-commitment hook: hashing overlaps the remaining compute
-/// instead of running as a post-hoc pass, and because observation happens
-/// *before* [`Tensor::into_unique_data`], buffer recycling is unaffected.
+/// instead of running as a post-hoc pass, and retired buffers flow
+/// observer → pool with no copy on the retirement path.
 ///
 /// Observation order follows retirement order, not node order; observers
 /// key on the `NodeId` they are handed.
@@ -268,6 +271,24 @@ pub fn forward_observed(
     observer: &mut dyn ValueObserver,
 ) -> Result<Vec<Tensor<f32>>> {
     forward_inner(graph, inputs, cfg, pool, Some(observer)).map(|(outputs, _)| outputs)
+}
+
+/// [`forward_observed`] plus the executor cost ledger, so callers can pin
+/// that observation does not change the pool economics (the streamed
+/// committer hands every retired buffer back; warm-pass `pool_hits` match
+/// the unobserved executor exactly).
+///
+/// # Errors
+///
+/// Same error conditions as [`crate::execute`].
+pub fn forward_observed_with_stats(
+    graph: &Graph,
+    inputs: &[Tensor<f32>],
+    cfg: &KernelConfig,
+    pool: &mut BufferPool,
+    observer: &mut dyn ValueObserver,
+) -> Result<(Vec<Tensor<f32>>, ExecStats)> {
+    forward_inner(graph, inputs, cfg, pool, Some(observer))
 }
 
 fn forward_inner(
@@ -383,6 +404,25 @@ fn forward_inner(
                 };
                 arg(0).conv2d_with_buf(arg(1), bias, params, cfg, buf)?
             }
+            OpKind::QuantMatmul if node.inputs.len() == 2 => {
+                let estimate = pooled_len_estimate(&node.kind, arg(0), Some(arg(1)));
+                let buf = take(estimate, pool, &mut from_pool);
+                arg(0).quant_matmul_with_buf(arg(1), buf)?
+            }
+            OpKind::QuantLinear if node.inputs.len() >= 2 => {
+                let bias = (node.inputs.len() == 3).then(|| arg(2));
+                let estimate = pooled_len_estimate(&node.kind, arg(0), Some(arg(1)));
+                let buf = take(estimate, pool, &mut from_pool);
+                arg(0).quant_linear_with_buf(arg(1), bias, buf)?
+            }
+            OpKind::Quantize { scale } if node.inputs.len() == 1 => {
+                let buf = take(arg(0).len(), pool, &mut from_pool);
+                arg(0).quantize_static_with_buf(*scale, buf)?
+            }
+            OpKind::Dequantize { scale } if node.inputs.len() == 1 => {
+                let buf = take(arg(0).len(), pool, &mut from_pool);
+                arg(0).dequantize_static_with_buf(*scale, buf)?
+            }
             OpKind::Softmax if node.inputs.len() == 1 => {
                 let buf = take(arg(0).len(), pool, &mut from_pool);
                 arg(0).softmax_last_with_buf(cfg, buf)?
@@ -405,19 +445,24 @@ fn forward_inner(
         }
         resident.add(&out);
         values.push(out);
-        // Free every value whose last consumer was this node; uniquely
-        // owned buffers go back to the pool. Observation must precede
-        // `into_unique_data` — a live observer clone would defeat the
-        // uniqueness check and leak the buffer out of the pool.
+        // Free every value whose last consumer was this node. With an
+        // observer attached, the retired tensor is handed over whole
+        // (`observe_retired` owns returning the buffer to the pool — see
+        // the trait docs); otherwise uniquely owned buffers go straight
+        // back to the pool.
         for &id in &free_at[node.id.0] {
             let dead = core::mem::replace(&mut values[id], empty.clone());
-            if let Some(obs) = observer.as_deref_mut() {
-                obs.observe(NodeId(id), &dead);
-                observed[id] = true;
-            }
             resident.remove(&dead);
-            if let Some(buf) = dead.into_unique_data() {
-                pool.give(buf);
+            match observer.as_deref_mut() {
+                Some(obs) => {
+                    obs.observe_retired(NodeId(id), dead, pool);
+                    observed[id] = true;
+                }
+                None => {
+                    if let Some(buf) = dead.into_unique_data() {
+                        pool.give(buf);
+                    }
+                }
             }
         }
     }

@@ -35,13 +35,28 @@ use crate::commit::TraceCommitment;
 use crate::multiway::{Backend, FastSha256};
 use crate::sha256::{Digest, Sha256};
 
+/// Work shipped to the background hashing thread.
+enum Job {
+    /// Hash a (cloned) live value; the caller keeps the original.
+    Hash(usize, Tensor<f32>),
+    /// Hash an *owned* retired value and send its buffer back on the
+    /// return channel once digested, so the caller can recycle it.
+    HashAndReturn(usize, Tensor<f32>),
+}
+
 enum Mode {
     Inline {
         backend: Backend,
     },
     Background {
-        tx: Option<mpsc::Sender<(usize, Tensor<f32>)>>,
+        tx: Option<mpsc::Sender<Job>>,
         handle: Option<JoinHandle<Vec<(usize, Digest)>>>,
+        /// Buffers coming back from `Job::HashAndReturn` (one message per
+        /// job; `None` when the tensor's storage was still shared).
+        buf_rx: mpsc::Receiver<Option<Vec<f32>>>,
+        /// Outstanding `HashAndReturn` jobs not yet drained (kept ≤ 1 so
+        /// the pool state after each retirement is deterministic).
+        in_flight: usize,
     },
 }
 
@@ -82,20 +97,28 @@ impl StreamingCommitter {
         }
     }
 
-    /// A committer that ships values to a dedicated hashing thread; each
-    /// observation is an `Arc` refcount bump plus a channel send.
-    ///
-    /// Note for the pooled executor: the in-flight clone can make a
-    /// retired buffer non-unique for a moment, so some buffers skip the
-    /// pool and drop normally. That trades a little allocator traffic for
-    /// compute/hash overlap; outputs and digests are unaffected.
+    /// A committer that ships values to a dedicated hashing thread; a live
+    /// observation is an `Arc` refcount bump plus a channel send, while a
+    /// *retired* observation (pooled executor) hands the worker the owned
+    /// tensor and gets the buffer back for the pool after digesting — so
+    /// background hashing no longer defeats buffer recycling.
     pub fn background(len: usize) -> Self {
-        let (tx, rx) = mpsc::channel::<(usize, Tensor<f32>)>();
+        let (tx, rx) = mpsc::channel::<Job>();
+        let (buf_tx, buf_rx) = mpsc::channel::<Option<Vec<f32>>>();
         let handle = std::thread::spawn(move || {
             let backend = Backend::auto();
             let mut out = Vec::new();
-            while let Ok((id, t)) = rx.recv() {
-                out.push((id, hash_value(backend, &t)));
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Hash(id, t) => out.push((id, hash_value(backend, &t))),
+                    Job::HashAndReturn(id, t) => {
+                        out.push((id, hash_value(backend, &t)));
+                        // Send even a `None` so the drain accounting stays
+                        // one message per job; ignore a hung-up receiver
+                        // (finish() may have dropped it).
+                        let _ = buf_tx.send(t.into_unique_data());
+                    }
+                }
             }
             out
         });
@@ -104,7 +127,32 @@ impl StreamingCommitter {
             mode: Mode::Background {
                 tx: Some(tx),
                 handle: Some(handle),
+                buf_rx,
+                in_flight: 0,
             },
+        }
+    }
+
+    /// Blocks until every outstanding retired buffer has come back from
+    /// the background worker and returns it to `pool` (no-op in inline
+    /// mode, where buffers are pooled at the observation point). Call this
+    /// between the end of a pooled forward pass and [`finish`]: the last
+    /// retirement's buffer is still with the worker when the pass ends,
+    /// and draining it keeps the pool's contents identical to an
+    /// unobserved run instead of dropping one buffer per pass.
+    ///
+    /// [`finish`]: StreamingCommitter::finish
+    pub fn drain_returns(&mut self, pool: &mut tao_graph::BufferPool) {
+        if let Mode::Background {
+            buf_rx, in_flight, ..
+        } = &mut self.mode
+        {
+            while *in_flight > 0 {
+                if let Ok(Some(buf)) = buf_rx.recv() {
+                    pool.give(buf);
+                }
+                *in_flight -= 1;
+            }
         }
     }
 
@@ -126,7 +174,7 @@ impl StreamingCommitter {
     /// both executors guarantee the exactly-once contract, so a miss is a
     /// caller bug, not a runtime condition.
     pub fn finish(mut self) -> TraceCommitment {
-        if let Mode::Background { tx, handle } = &mut self.mode {
+        if let Mode::Background { tx, handle, .. } = &mut self.mode {
             drop(tx.take());
             let hashed = handle
                 .take()
@@ -158,8 +206,44 @@ impl ValueObserver for StreamingCommitter {
                 // this cannot fail while the committer is alive.
                 tx.as_ref()
                     .expect("observe after finish")
-                    .send((id.0, value.clone()))
+                    .send(Job::Hash(id.0, value.clone()))
                     .expect("hash worker exited early");
+                self.slots[id.0] = Some([0u8; 32]); // placeholder: marks "observed"
+            }
+        }
+    }
+
+    fn observe_retired(&mut self, id: NodeId, value: Tensor<f32>, pool: &mut tao_graph::BufferPool) {
+        match &mut self.mode {
+            Mode::Inline { backend } => {
+                self.slots[id.0] = Some(hash_value(*backend, &value));
+                if let Some(buf) = value.into_unique_data() {
+                    pool.give(buf);
+                }
+            }
+            Mode::Background {
+                tx,
+                buf_rx,
+                in_flight,
+                ..
+            } => {
+                // Drain the previous retirement's buffer back into the
+                // pool before shipping the next one. Keeping at most one
+                // HashAndReturn outstanding makes the pool contents after
+                // every retirement deterministic (tests pin `pool_hits`),
+                // while the hash still overlaps the compute between two
+                // consecutive retirements.
+                while *in_flight > 0 {
+                    if let Ok(Some(buf)) = buf_rx.recv() {
+                        pool.give(buf);
+                    }
+                    *in_flight -= 1;
+                }
+                tx.as_ref()
+                    .expect("observe after finish")
+                    .send(Job::HashAndReturn(id.0, value))
+                    .expect("hash worker exited early");
+                *in_flight += 1;
                 self.slots[id.0] = Some([0u8; 32]); // placeholder: marks "observed"
             }
         }

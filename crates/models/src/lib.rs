@@ -17,6 +17,7 @@ pub mod common;
 pub mod data;
 pub mod decode;
 pub mod diffusion;
+pub mod quantize;
 pub mod qwen;
 pub mod resnet;
 pub mod transformer;
@@ -27,6 +28,7 @@ pub use decode::{
     greedy_decode, greedy_decode_committed, Argmax, DecodeCommitment, DecodeStep, SelectToken,
 };
 pub use diffusion::DiffusionConfig;
+pub use quantize::{num_quantized_ops, quantize_linears};
 pub use qwen::QwenConfig;
 pub use resnet::ResNetConfig;
 pub use transformer::TransformerConfig;

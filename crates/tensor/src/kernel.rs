@@ -41,7 +41,7 @@
 //! [`Tensor::matmul_reference`]: crate::Tensor::matmul_reference
 
 use crate::accum::{AccumMode, KernelConfig};
-use crate::element::Element;
+use crate::element::{Element, Scalar};
 
 /// Register-tile width: how many output columns one micro-kernel call
 /// produces, i.e. how many independent accumulation chains run in flight.
@@ -59,13 +59,13 @@ const PAR_MIN_FLOPS: u64 = 1 << 18;
 /// panels of width [`PANEL`] (zero-padded past `n`; padded lanes are
 /// computed and discarded, never observable).
 #[derive(Debug, Clone)]
-pub struct PackedRhs<T: Element> {
+pub struct PackedRhs<T: Scalar> {
     k: usize,
     n: usize,
     panels: Vec<T>,
 }
 
-impl<T: Element> PackedRhs<T> {
+impl<T: Scalar> PackedRhs<T> {
     /// Packs a `k x n` operand whose element at reduction index `kk`,
     /// output column `col` is produced by `at(kk, col)`.
     ///
@@ -111,6 +111,13 @@ impl<T: Element> PackedRhs<T> {
     /// Output column count `n`.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Raw interleaved panel storage (`n.div_ceil(PANEL) * k * PANEL`
+    /// elements; padded lanes hold `T::ZERO`). Crate-internal: the
+    /// quantized GEMM micro-kernels stream panels directly.
+    pub(crate) fn panels(&self) -> &[T] {
+        &self.panels
     }
 }
 
@@ -246,7 +253,7 @@ fn dot_tile<T: Element>(cfg: &KernelConfig, a: &[T], panel: &[T]) -> [T; PANEL] 
 /// a transliteration of its scalar counterpart, not a reassociation.
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{AccumMode, KernelConfig, PANEL};
+    use super::{AccumMode, KernelConfig, MR, PANEL};
     use core::arch::x86_64::{
         __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
         _mm256_setzero_ps, _mm256_storeu_ps, _mm256_sub_ps,
@@ -336,6 +343,81 @@ mod x86 {
             let end = (i + block).min(k);
             let partial = seq_v(&a[i..end], &panel[i * PANEL..end * PANEL], fma);
             acc = _mm256_add_ps(acc, partial);
+            i = end;
+        }
+        acc
+    }
+
+    /// [`MR`]-row register block for the packed-lhs path. Zero-padded
+    /// block rows are computed and discarded by the caller.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA (checked by [`have_fma_simd`]),
+    /// `panel.len() == (block.len() / MR) * PANEL`, and a sequential or
+    /// blocked accumulation mode in `cfg`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn mr_tile_f32(
+        cfg: &KernelConfig,
+        block: &[f32],
+        rows: usize,
+        panel: &[f32],
+    ) -> [[f32; PANEL]; MR] {
+        let _ = rows; // All MR lanes are computed; padded rows are discarded.
+        let acc = match cfg.accum {
+            AccumMode::Sequential => seq_mr_v(block, panel, cfg.fma),
+            AccumMode::Blocked(kblock) => blocked_mr_v(kblock, block, panel, cfg.fma),
+            _ => unreachable!("lhs_pack_applies gates the packed-lhs path"),
+        };
+        let mut out = [[0f32; PANEL]; MR];
+        for (slot, lane) in out.iter_mut().zip(&acc) {
+            _mm256_storeu_ps(slot.as_mut_ptr(), *lane);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn seq_mr_v(block: &[f32], panel: &[f32], fma: bool) -> [__m256; MR] {
+        let k = block.len() / MR;
+        let mut acc = [_mm256_setzero_ps(); MR];
+        let p = panel.as_ptr();
+        let b = block.as_ptr();
+        if fma {
+            for kk in 0..k {
+                let row = _mm256_loadu_ps(p.add(kk * PANEL));
+                for (r, lane) in acc.iter_mut().enumerate() {
+                    *lane = _mm256_fmadd_ps(_mm256_set1_ps(*b.add(kk * MR + r)), row, *lane);
+                }
+            }
+        } else {
+            for kk in 0..k {
+                let row = _mm256_loadu_ps(p.add(kk * PANEL));
+                for (r, lane) in acc.iter_mut().enumerate() {
+                    *lane = _mm256_add_ps(
+                        *lane,
+                        _mm256_mul_ps(_mm256_set1_ps(*b.add(kk * MR + r)), row),
+                    );
+                }
+            }
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn blocked_mr_v(kblock: usize, block: &[f32], panel: &[f32], fma: bool) -> [__m256; MR] {
+        let kblock = kblock.max(1);
+        let k = block.len() / MR;
+        if k <= kblock {
+            return seq_mr_v(block, panel, fma);
+        }
+        let mut acc = [_mm256_setzero_ps(); MR];
+        let mut i = 0;
+        while i < k {
+            let end = (i + kblock).min(k);
+            let partial = seq_mr_v(&block[i * MR..end * MR], &panel[i * PANEL..end * PANEL], fma);
+            for (lane, part) in acc.iter_mut().zip(&partial) {
+                *lane = _mm256_add_ps(*lane, *part);
+            }
             i = end;
         }
         acc
@@ -451,6 +533,212 @@ pub fn gemm<T: Element>(
     let mut out = vec![T::ZERO; m * rhs.n];
     gemm_into(cfg, a, m, rhs, &mut out, threads);
     out
+}
+
+/// Row-block height of the packed-lhs micro-kernel: how many output rows
+/// one [`PackedLhs`] panel interleaves, i.e. how many rows share each
+/// streamed rhs panel load.
+pub const MR: usize = 4;
+
+/// The left-hand operand of a GEMM, repacked into row blocks of [`MR`]
+/// interleaved rows (`panel[kk * MR + r]` holds reduction index `kk` of
+/// block-row `r`; rows past `m` are zero-padded, computed and discarded).
+///
+/// Packing the lhs buys two things the row-at-a-time `gemm_row` path
+/// cannot: each rhs panel row is loaded once and reused across [`MR`]
+/// output rows, and [`MR`] independent accumulation chains run per column
+/// lane instead of one — which is what hides the FP-add/FMA latency on
+/// attention-shaped batched matmuls, where each batch's lhs is packed
+/// once and reused across every column panel of that batch's GEMM.
+/// Like rhs packing, this moves bytes, not arithmetic: every output
+/// element's dot product still reduces in the exact scalar-oracle order.
+#[derive(Debug, Clone)]
+pub struct PackedLhs<T: Scalar> {
+    m: usize,
+    k: usize,
+    panels: Vec<T>,
+}
+
+impl<T: Scalar> PackedLhs<T> {
+    /// Packs an `m x k` operand whose element at output row `row`,
+    /// reduction index `kk` is produced by `at(row, kk)`.
+    pub fn pack_with(m: usize, k: usize, at: impl Fn(usize, usize) -> T) -> Self {
+        let num_blocks = m.div_ceil(MR);
+        let mut panels = vec![T::ZERO; num_blocks * k * MR];
+        for p in 0..num_blocks {
+            let base = p * k * MR;
+            let row0 = p * MR;
+            let height = MR.min(m - row0);
+            for kk in 0..k {
+                let slot = &mut panels[base + kk * MR..base + (kk + 1) * MR];
+                for (r, lane) in slot.iter_mut().enumerate().take(height) {
+                    *lane = at(row0 + r, kk);
+                }
+            }
+        }
+        PackedLhs { m, k, panels }
+    }
+
+    /// Packs a row-major `[m, k]` matrix (the `A` of `A @ B`).
+    pub fn from_row_major(a: &[T], m: usize, k: usize) -> Self {
+        assert_eq!(a.len(), m * k, "lhs length mismatch");
+        Self::pack_with(m, k, |row, kk| a[row * k + kk])
+    }
+
+    /// Output row count `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Whether `cfg` has a packed-lhs [`MR`]-row micro-kernel. Sequential and
+/// blocked accumulation tile directly (their per-row chains are plain
+/// left-to-right folds the block kernel replays verbatim); pairwise and
+/// Kahan configs keep the row-at-a-time path.
+pub fn lhs_pack_applies(cfg: &KernelConfig) -> bool {
+    matches!(cfg.accum, AccumMode::Sequential | AccumMode::Blocked(_))
+}
+
+/// One [`MR`]x[`PANEL`] sequential register block: `rows` dot products per
+/// column lane, every row following the scalar sequential order.
+fn seq_mr_tile<T: Element>(
+    block: &[T],
+    rows: usize,
+    panel: &[T],
+    fma: bool,
+    acc: &mut [[T; PANEL]; MR],
+) {
+    let k = block.len() / MR;
+    for kk in 0..k {
+        let brow = &panel[kk * PANEL..(kk + 1) * PANEL];
+        let arow = &block[kk * MR..kk * MR + rows];
+        for (r, &av) in arow.iter().enumerate() {
+            for (lane, &bv) in acc[r].iter_mut().zip(brow) {
+                *lane = if fma { av.mul_add(bv, *lane) } else { *lane + av * bv };
+            }
+        }
+    }
+}
+
+/// Blocked variant of [`seq_mr_tile`]: per-row sequential partials per
+/// `block`-sized `k` chunk with a strict left-to-right partial reduction —
+/// the exact scalar `AccumMode::Blocked` structure, row by row.
+fn blocked_mr_tile<T: Element>(
+    kblock: usize,
+    lhs_block: &[T],
+    rows: usize,
+    panel: &[T],
+    fma: bool,
+) -> [[T; PANEL]; MR] {
+    let kblock = kblock.max(1);
+    let k = lhs_block.len() / MR;
+    let mut acc = [[T::ZERO; PANEL]; MR];
+    if k <= kblock {
+        seq_mr_tile(lhs_block, rows, panel, fma, &mut acc);
+        return acc;
+    }
+    let mut i = 0;
+    while i < k {
+        let end = (i + kblock).min(k);
+        let mut partial = [[T::ZERO; PANEL]; MR];
+        seq_mr_tile(
+            &lhs_block[i * MR..end * MR],
+            rows,
+            &panel[i * PANEL..end * PANEL],
+            fma,
+            &mut partial,
+        );
+        for (accr, partr) in acc.iter_mut().zip(&partial) {
+            for (lane, &p) in accr.iter_mut().zip(partr) {
+                *lane += p;
+            }
+        }
+        i = end;
+    }
+    acc
+}
+
+/// Dispatches one [`MR`]-row register block under `cfg` (sequential or
+/// blocked accumulation only; see [`lhs_pack_applies`]). `f32` blocks use
+/// the AVX2/FMA vector micro-kernel when the host supports it, under the
+/// same per-lane IEEE-754-equivalence argument as [`dot_tile`].
+fn mr_tile<T: Element>(
+    cfg: &KernelConfig,
+    lhs_block: &[T],
+    rows: usize,
+    panel: &[T],
+) -> [[T; PANEL]; MR] {
+    #[cfg(target_arch = "x86_64")]
+    if core::any::TypeId::of::<T>() == core::any::TypeId::of::<f32>() && x86::have_fma_simd() {
+        // SAFETY: `T` is `f32` (checked above), so the slices reinterpret
+        // losslessly and the result transmutes element-for-element; the
+        // target features were runtime-detected.
+        unsafe {
+            let b32 = core::slice::from_raw_parts(lhs_block.as_ptr().cast::<f32>(), lhs_block.len());
+            let p32 = core::slice::from_raw_parts(panel.as_ptr().cast::<f32>(), panel.len());
+            let tile = x86::mr_tile_f32(cfg, b32, rows, p32);
+            return core::mem::transmute_copy(&tile);
+        }
+    }
+    match cfg.accum {
+        AccumMode::Sequential => {
+            let mut acc = [[T::ZERO; PANEL]; MR];
+            seq_mr_tile(lhs_block, rows, panel, cfg.fma, &mut acc);
+            acc
+        }
+        AccumMode::Blocked(kblock) => blocked_mr_tile(kblock, lhs_block, rows, panel, cfg.fma),
+        _ => unreachable!("lhs_pack_applies gates the packed-lhs path"),
+    }
+}
+
+/// Blocked GEMM from a packed lhs into a preallocated buffer, bit-identical
+/// to [`gemm_into`] on the unpacked operand at any thread count.
+///
+/// # Panics
+///
+/// Panics if `lhs.k() != rhs.k()`, if `out` is not `lhs.m() * rhs.n()`
+/// long, or if `cfg` has no packed-lhs micro-kernel
+/// (see [`lhs_pack_applies`]).
+pub fn gemm_packed_into<T: Element>(
+    cfg: &KernelConfig,
+    lhs: &PackedLhs<T>,
+    rhs: &PackedRhs<T>,
+    out: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(lhs.k, rhs.k, "reduction length mismatch");
+    assert_eq!(out.len(), lhs.m * rhs.n, "out length mismatch");
+    assert!(lhs_pack_applies(cfg), "no packed-lhs kernel for {cfg:?}");
+    if rhs.n == 0 {
+        return;
+    }
+    if rhs.k == 0 {
+        out.fill(T::ZERO);
+        return;
+    }
+    let (n, k) = (rhs.n, rhs.k);
+    let panel_len = k * PANEL;
+    par_bands(out, MR * n, threads, |block0, band| {
+        for (bi, chunk) in band.chunks_mut(MR * n).enumerate() {
+            let block = block0 + bi;
+            let rows = chunk.len() / n;
+            let lhs_block = &lhs.panels[block * k * MR..(block + 1) * k * MR];
+            for (p, panel) in rhs.panels.chunks(panel_len).enumerate() {
+                let tile = mr_tile(cfg, lhs_block, rows, panel);
+                let col0 = p * PANEL;
+                let width = PANEL.min(n - col0);
+                for (r, tile_row) in tile.iter().enumerate().take(rows) {
+                    chunk[r * n + col0..r * n + col0 + width]
+                        .copy_from_slice(&tile_row[..width]);
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -575,6 +863,67 @@ mod tests {
         // m = 0: empty output.
         let packed = PackedRhs::from_row_major(&[1.0, 2.0], 1, 2);
         assert!(gemm::<f32>(&cfg, &[], 0, &packed, 2).is_empty());
+    }
+
+    #[test]
+    fn packed_lhs_layout_roundtrips() {
+        let (m, k) = (7, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        let lhs = PackedLhs::from_row_major(&a, m, k);
+        assert_eq!(lhs.m(), m);
+        assert_eq!(lhs.k(), k);
+        for row in 0..m {
+            let p = row / MR;
+            let r = row % MR;
+            for kk in 0..k {
+                assert_eq!(lhs.panels[p * k * MR + kk * MR + r], a[row * k + kk]);
+            }
+        }
+        // Padded block rows are zero.
+        assert_eq!(lhs.panels[(m / MR) * k * MR + m % MR], 0.0);
+    }
+
+    #[test]
+    fn packed_lhs_matches_row_gemm_bitwise() {
+        // Ragged everywhere: m % MR != 0, n % PANEL != 0, odd k.
+        let (m, k, n) = (11, 37, 19);
+        let a = ill_conditioned(m * k, 3);
+        let b = ill_conditioned(k * n, 13);
+        let rhs = PackedRhs::from_row_major(&b, k, n);
+        let lhs = PackedLhs::from_row_major(&a, m, k);
+        for cfg in all_cfgs().into_iter().filter(lhs_pack_applies) {
+            let base = gemm(&cfg, &a, m, &rhs, 1);
+            for threads in [1usize, 2, 5] {
+                let mut out = vec![0f32; m * n];
+                gemm_packed_into(&cfg, &lhs, &rhs, &mut out, threads);
+                let same = base
+                    .iter()
+                    .zip(&out)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "threads={threads} {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_lhs_degenerate_shapes() {
+        let cfg = KernelConfig::reference();
+        // k = 0: all dots are empty sums.
+        let rhs = PackedRhs::from_row_major(&[], 0, 4);
+        let lhs = PackedLhs::<f32>::from_row_major(&[], 3, 0);
+        let mut out = vec![1.0f32; 12];
+        gemm_packed_into(&cfg, &lhs, &rhs, &mut out, 2);
+        assert_eq!(out, vec![0.0; 12]);
+        // m smaller than one MR block.
+        let (m, k, n) = (2, 9, 10);
+        let a = ill_conditioned(m * k, 21);
+        let b = ill_conditioned(k * n, 22);
+        let rhs = PackedRhs::from_row_major(&b, k, n);
+        let lhs = PackedLhs::from_row_major(&a, m, k);
+        let mut out = vec![0f32; m * n];
+        gemm_packed_into(&cfg, &lhs, &rhs, &mut out, 4);
+        let base = gemm(&cfg, &a, m, &rhs, 1);
+        assert!(base.iter().zip(&out).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -43,11 +43,12 @@ pub mod error;
 pub mod kernel;
 pub mod math;
 pub mod ops;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 
 pub use accum::{AccumMode, KernelConfig};
-pub use element::Element;
+pub use element::{Element, Scalar};
 pub use error::TensorError;
 pub use math::{MathElement, MathLib};
 pub use ops::conv::Conv2dParams;

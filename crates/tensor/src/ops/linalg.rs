@@ -7,7 +7,9 @@
 use crate::accum::KernelConfig;
 use crate::element::Element;
 use crate::error::TensorError;
-use crate::kernel::{auto_threads, gemm_into, par_bands, PackedRhs};
+use crate::kernel::{
+    auto_threads, gemm_into, gemm_packed_into, lhs_pack_applies, par_bands, PackedLhs, PackedRhs,
+};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -115,23 +117,29 @@ impl<T: Element> Tensor<T> {
         let per_batch_flops = (m * k * n) as u64;
         if batch == 1 {
             let rhs = PackedRhs::from_row_major(&other.data()[..k * n], k, n);
-            gemm_into(
-                cfg,
-                &self.data()[..m * k],
-                m,
-                &rhs,
-                &mut out,
-                auto_threads(per_batch_flops),
-            );
+            let threads = auto_threads(per_batch_flops);
+            if lhs_pack_applies(cfg) {
+                let lhs = PackedLhs::from_row_major(&self.data()[..m * k], m, k);
+                gemm_packed_into(cfg, &lhs, &rhs, &mut out, threads);
+            } else {
+                gemm_into(cfg, &self.data()[..m * k], m, &rhs, &mut out, threads);
+            }
         } else {
             // Shared-rhs broadcast packs once; otherwise each batch entry
             // packs its own panel set. Batches are fanned out over threads;
             // when the batch is smaller than the worker budget, the
             // leftover workers go to row bands *inside* each entry (both
-            // axes are bit-exact at any thread count).
+            // axes are bit-exact at any thread count). For the accum modes
+            // where MR-row register blocking reproduces the committed
+            // per-row chains (see `lhs_pack_applies`), each batch's lhs is
+            // packed once into MR panels and reused across all of that
+            // entry's column panels — the attention-shaped B×T GEMM case.
+            let pack_lhs = lhs_pack_applies(cfg);
             let shared_rhs = plan
                 .b_broadcast
                 .then(|| PackedRhs::from_row_major(&other.data()[..k * n], k, n));
+            let shared_lhs = (pack_lhs && plan.a_broadcast)
+                .then(|| PackedLhs::from_row_major(&self.data()[..m * k], m, k));
             let threads = auto_threads(per_batch_flops.saturating_mul(batch as u64));
             let inner_threads = (threads / batch.max(1)).max(1);
             par_bands(&mut out, m * n, threads, |batch0, band| {
@@ -151,14 +159,30 @@ impl<T: Element> Tensor<T> {
                             &packed
                         }
                     };
-                    gemm_into(
-                        cfg,
-                        &self.data()[a_off..a_off + m * k],
-                        m,
-                        rhs,
-                        out_mat,
-                        inner_threads,
-                    );
+                    if pack_lhs {
+                        let packed_a;
+                        let lhs = match &shared_lhs {
+                            Some(shared) => shared,
+                            None => {
+                                packed_a = PackedLhs::from_row_major(
+                                    &self.data()[a_off..a_off + m * k],
+                                    m,
+                                    k,
+                                );
+                                &packed_a
+                            }
+                        };
+                        gemm_packed_into(cfg, lhs, rhs, out_mat, inner_threads);
+                    } else {
+                        gemm_into(
+                            cfg,
+                            &self.data()[a_off..a_off + m * k],
+                            m,
+                            rhs,
+                            out_mat,
+                            inner_threads,
+                        );
+                    }
                 }
             });
         }

@@ -13,4 +13,5 @@ pub mod embedding;
 pub mod linalg;
 pub mod norm;
 pub mod pool;
+pub mod quant;
 pub mod reduce;

@@ -200,6 +200,12 @@ fn op_zoo() -> (Graph, Vec<Tensor<f32>>) {
     let _mm = op(&mut b, "mm", OpKind::MatMul, &[x, w_mm]);
     let _li = op(&mut b, "li", OpKind::Linear, &[x, w_lin, b_lin]);
 
+    // Int8-quantized linear algebra and the static-scale fake-quant pair.
+    let _qm = op(&mut b, "qm", OpKind::QuantMatmul, &[x, w_mm]);
+    let _ql = op(&mut b, "ql", OpKind::QuantLinear, &[x, w_lin, b_lin]);
+    let qz = op(&mut b, "qz", OpKind::Quantize { scale: 0.05 }, &[x]);
+    let _dq = op(&mut b, "dq", OpKind::Dequantize { scale: 0.05 }, &[qz]);
+
     // Reductions.
     let _ma = op(&mut b, "ma", OpKind::MeanAll, &[x]);
     let _sa = op(&mut b, "sa", OpKind::SumAll, &[x]);
@@ -294,9 +300,9 @@ fn op_zoo_covers_every_kind_and_matches_measured_execution() {
             seen.push(d);
         }
     }
-    // 49 OpKind variants (incl. Input/Parameter); a new op without zoo
+    // 53 OpKind variants (incl. Input/Parameter); a new op without zoo
     // coverage shows up as a count mismatch here.
-    assert_eq!(seen.len(), 49, "zoo must exercise every OpKind exactly");
+    assert_eq!(seen.len(), 53, "zoo must exercise every OpKind exactly");
     assert_static_matches_measured(&graph, &inputs, "op-zoo");
 }
 

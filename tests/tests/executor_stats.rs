@@ -158,6 +158,57 @@ fn every_pooled_capable_op_draws_from_a_warm_pool() {
 }
 
 #[test]
+fn background_committer_keeps_pool_economics_identical() {
+    // The streamed-commitment hook must not tax the pooled executor: a
+    // retired buffer is handed to the background hasher *by value* (no
+    // clone) and comes back to the pool once digested. With the
+    // end-of-pass drain, an observed warm pass draws exactly as many
+    // buffers from the pool as an unobserved one — and still produces the
+    // bit-identical commitment.
+    use tao_merkle::{StreamingCommitter, TraceCommitment};
+
+    let (graph, inputs) = transformer();
+    let cfg = KernelConfig::reference();
+    let trace = execute(&graph, &inputs, &cfg, None).unwrap();
+    let oracle = TraceCommitment::build(&trace.values);
+
+    // Baseline: unobserved cold + warm passes.
+    let mut pool = BufferPool::new();
+    let _ = forward_with_stats(&graph, &inputs, &cfg, &mut pool).unwrap();
+    let (_, warm) = forward_with_stats(&graph, &inputs, &cfg, &mut pool).unwrap();
+    assert!(warm.pool_hits > 0);
+
+    // Observed: explicit background mode (`new` would pick inline on a
+    // single-core host) with its own pool, same cold + warm schedule.
+    let mut pool_obs = BufferPool::new();
+    for pass in 0..2u32 {
+        let mut committer = StreamingCommitter::background(graph.len());
+        let (_, stats) = tao_graph::forward_observed_with_stats(
+            &graph,
+            &inputs,
+            &cfg,
+            &mut pool_obs,
+            &mut committer,
+        )
+        .unwrap();
+        committer.drain_returns(&mut pool_obs);
+        assert_eq!(committer.finish(), oracle, "pass {pass}");
+        if pass == 1 {
+            assert_eq!(
+                stats.pool_hits, warm.pool_hits,
+                "no-clone retirement changed the warm pool economics"
+            );
+            assert_eq!(stats.fresh_allocations, warm.fresh_allocations);
+            assert_eq!(stats.param_copies, 0);
+        }
+    }
+    // After the drain, the observed pool holds exactly what the
+    // unobserved one does.
+    assert_eq!(pool_obs.len(), pool.len());
+    assert_eq!(pool_obs.held_bytes(), pool.held_bytes());
+}
+
+#[test]
 fn greedy_decode_runs_pooled_with_zero_parameter_copies() {
     // The decode loop rides the pooled executor; its per-step stats are
     // internal, so pin the contract at the executor level on the same
